@@ -1,0 +1,74 @@
+// Figure 1 — the three direct-network families the paper targets:
+// (a) 2-D mesh, (b) 4-ary 2-cube torus, (c) 3-cube hypercube, with the
+// degree/diameter properties §3 quotes, plus a size sweep per family.
+#include "bench_util.hpp"
+#include "topology/factory.hpp"
+#include "topology/graph.hpp"
+
+int main() {
+  using namespace ddpm;
+
+  bench::banner("Figure 1: the paper's example networks");
+  {
+    bench::Table t({"network", "nodes", "links", "degree", "diameter",
+                    "paper degree", "paper diameter"});
+    struct Entry {
+      const char* spec;
+      int degree, diameter;
+    };
+    // Paper §3: mesh degree 2n / diameter sum(k-1) ("degree four, diameter
+    // six" for Fig 1a); torus degree 2n / diameter sum(k/2); hypercube n/n.
+    for (const Entry& e : {Entry{"mesh:4x4", 4, 6}, Entry{"torus:4x4", 4, 4},
+                           Entry{"hypercube:3", 3, 3}}) {
+      const auto topo = topo::make_topology(e.spec);
+      t.row(e.spec, topo->num_nodes(), topo->links().size(), topo->degree(),
+            topo->diameter(), e.degree, e.diameter);
+    }
+    t.print();
+  }
+
+  bench::banner("Family sweep (BFS-verified diameter)");
+  {
+    bench::Table t({"network", "nodes", "degree", "diameter",
+                    "BFS diameter", "avg min hops"});
+    for (const char* spec :
+         {"mesh:4x4", "mesh:8x8", "mesh:16x16", "mesh:4x4x4", "torus:4x4",
+          "torus:8x8", "torus:4x4x4", "hypercube:3", "hypercube:6",
+          "hypercube:9"}) {
+      const auto topo = topo::make_topology(spec);
+      // BFS eccentricity from node 0 (all three families are
+      // vertex-transitive except the mesh, where we scan all nodes).
+      int bfs_diam = 0;
+      double total = 0;
+      std::uint64_t pairs = 0;
+      const bool scan_all = topo->kind() == topo::TopologyKind::kMesh;
+      const topo::NodeId sources =
+          scan_all ? topo->num_nodes() : topo::NodeId(1);
+      for (topo::NodeId s = 0; s < sources; ++s) {
+        for (int d : topo::bfs_distances(*topo, s)) {
+          bfs_diam = std::max(bfs_diam, d);
+          total += d;
+          ++pairs;
+        }
+      }
+      t.row(spec, topo->num_nodes(), topo->degree(), topo->diameter(),
+            bfs_diam, total / double(pairs));
+    }
+    t.print();
+  }
+
+  bench::banner("Why Internet traceback breaks here: cluster diameters");
+  {
+    // Paper §4.2: a ~1024-node mesh has diameter 62, far beyond the ~15
+    // average Internet hops PPM/DPM were designed for.
+    bench::Table t({"network", "nodes", "diameter", "> 16-hop DPM window?"});
+    for (const char* spec : {"mesh:32x32", "mesh:64x64", "mesh:128x128",
+                             "torus:32x32", "hypercube:10", "hypercube:16"}) {
+      const auto topo = topo::make_topology(spec);
+      t.row(spec, topo->num_nodes(), topo->diameter(),
+            topo->diameter() > 16 ? "yes" : "no");
+    }
+    t.print();
+  }
+  return 0;
+}

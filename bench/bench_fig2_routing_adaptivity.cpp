@@ -1,0 +1,97 @@
+// Figure 2 — routing adaptivity on a 4x4 mesh under link failures:
+// (a) healthy network: XY routing works;
+// (b) failed east links at the sources: XY blocks, west-first detours;
+// (c) destination reachable only from its east side (the final turn must
+//     be westward): west-first also fails, full adaptivity survives.
+#include "bench_util.hpp"
+#include "marking/walk.hpp"
+#include "routing/router.hpp"
+#include "topology/factory.hpp"
+
+namespace {
+
+using namespace ddpm;
+using topo::Coord;
+
+struct Scenario {
+  const char* name;
+  topo::LinkFailureSet failures;
+  std::vector<topo::NodeId> sources;
+  topo::NodeId dest;
+};
+
+void run_scenario(const topo::Topology& topo, const Scenario& scenario) {
+  bench::banner(std::string("Figure 2") + scenario.name);
+  bench::Table t({"router", "delivered", "blocked", "ttl-expired",
+                  "mean hops (delivered)"});
+  for (const char* router_name :
+       {"xy", "west-first", "north-last", "negative-first", "adaptive",
+        "adaptive-misroute", "oracle"}) {
+    const auto router = route::make_router(router_name, topo);
+    int delivered = 0, blocked = 0, expired = 0;
+    double hops = 0;
+    constexpr int kSeeds = 50;
+    for (topo::NodeId src : scenario.sources) {
+      for (int seed = 0; seed < kSeeds; ++seed) {
+        mark::WalkOptions options;
+        options.failures = &scenario.failures;
+        options.seed = std::uint64_t(seed) * 977 + src;
+        options.record_path = false;
+        const auto walk =
+            mark::walk_packet(topo, *router, nullptr, src, scenario.dest, options);
+        switch (walk.outcome) {
+          case mark::WalkOutcome::kDelivered:
+            ++delivered;
+            hops += walk.hops;
+            break;
+          case mark::WalkOutcome::kBlocked:
+            ++blocked;
+            break;
+          case mark::WalkOutcome::kTtlExpired:
+            ++expired;
+            break;
+        }
+      }
+    }
+    const int total = int(scenario.sources.size()) * kSeeds;
+    t.row(router_name,
+          std::to_string(delivered * 100 / total) + "%",
+          std::to_string(blocked * 100 / total) + "%",
+          std::to_string(expired * 100 / total) + "%",
+          delivered ? hops / delivered : 0.0);
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  const auto topo = topo::make_topology("mesh:4x4");
+  const auto s1 = topo->id_of(Coord{0, 1});
+  const auto s2 = topo->id_of(Coord{0, 2});
+  const auto d = topo->id_of(Coord{3, 1});
+
+  Scenario a{"(a): healthy 4x4 mesh", {}, {s1, s2}, d};
+  run_scenario(*topo, a);
+
+  Scenario b{"(b): east links out of the sources failed", {}, {s1, s2}, d};
+  b.failures.fail(s1, topo->id_of(Coord{1, 1}));
+  b.failures.fail(s2, topo->id_of(Coord{1, 2}));
+  run_scenario(*topo, b);
+
+  // Scenario (c) needs a destination with a live east neighbor, so the
+  // only surviving approach forces a final westward turn: D = (2,1).
+  const auto d_c = topo->id_of(Coord{2, 1});
+  Scenario c{"(c): destination approachable only from the east", {}, {s1, s2}, d_c};
+  c.failures.fail(d_c, topo->id_of(Coord{1, 1}));  // west approach dead
+  c.failures.fail(d_c, topo->id_of(Coord{2, 0}));  // north approach dead
+  c.failures.fail(d_c, topo->id_of(Coord{2, 2}));  // south approach dead
+  run_scenario(*topo, c);
+
+  std::cout << "\nReading: (a) everyone delivers; (b) XY blocks where the\n"
+               "turn models and adaptive routing detour; (c) only routers\n"
+               "willing to misroute past D and turn back west deliver —\n"
+               "the paper's case for full adaptivity, and the reason\n"
+               "path-recording traceback cannot assume stable routes.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Extension X5 — hybrid (two-level) networks: hierarchical DDPM on a mesh
+// of buses (paper §3 names "multiple backbone buses and cluster-based
+// networks" as the hybrid family; §6.3 defers them to future work).
+//
+// Field budget trade-off made visible: local-host bits compete with the
+// mesh distance vector inside the same 16-bit field, so hosts-per-switch
+// trades against mesh side. Identification remains one-packet and
+// route-independent because the two regions never interact.
+#include "bench_util.hpp"
+#include "hybrid/hybrid.hpp"
+#include "marking/walk.hpp"
+#include "routing/router.hpp"
+
+int main() {
+  using namespace ddpm;
+
+  bench::banner("X5a: hierarchical DDPM field budget (16-bit MF)");
+  {
+    bench::Table t({"switch mesh", "hosts/switch", "total hosts",
+                    "bits needed", "fits?"});
+    for (const auto& [side, hosts] :
+         std::vector<std::pair<int, int>>{{8, 4}, {8, 16}, {16, 16},
+                                          {16, 64}, {32, 16}, {32, 32},
+                                          {64, 4}, {64, 16}}) {
+      hybrid::HybridTopology topo(side, hosts);
+      const int bits = hybrid::HierarchicalDdpmCodec::required_bits(topo);
+      std::ostringstream mesh;
+      mesh << side << "x" << side;
+      t.row(mesh.str(), hosts, topo.num_hosts(), bits,
+            bits <= 16 ? "yes" : "NO");
+    }
+    t.print();
+    std::cout << "Sweet spot: 32x32 switches x 16 hosts = 16384 hosts in\n"
+                 "exactly 16 bits — the same budget DDPM's Table 3 spends\n"
+                 "on a flat 128x128 mesh.\n";
+  }
+
+  bench::banner("X5b: one-packet host identification across adaptive routes");
+  {
+    bench::Table t({"configuration", "trials", "correct host", "wrong"});
+    for (const auto& [side, hosts] :
+         std::vector<std::pair<int, int>>{{8, 8}, {16, 16}, {32, 16}}) {
+      hybrid::HybridTopology topo(side, hosts);
+      hybrid::HierarchicalDdpmScheme scheme(topo);
+      hybrid::HierarchicalDdpmIdentifier identifier(topo);
+      const auto router = route::make_router("adaptive", topo.mesh());
+      netsim::Rng rng(99);
+      int correct = 0, wrong = 0, trials = 3000;
+      for (int i = 0; i < trials; ++i) {
+        const auto src = hybrid::HostId(rng.next_below(topo.num_hosts()));
+        const auto dst = hybrid::HostId(rng.next_below(topo.num_hosts()));
+        pkt::Packet p;
+        p.set_marking_field(std::uint16_t(rng.next_u64()));  // hostile seed
+        scheme.mark_injection(p, topo.switch_of(src), topo.local_of(src));
+        if (topo.switch_of(src) != topo.switch_of(dst)) {
+          mark::WalkOptions options;
+          options.seed = rng.next_u64();
+          options.initial_ttl = 255;
+          options.record_path = true;
+          const auto walk =
+              mark::walk_packet(topo.mesh(), *router, nullptr,
+                                topo.switch_of(src), topo.switch_of(dst),
+                                options);
+          for (std::size_t h = 1; h < walk.path.size(); ++h) {
+            scheme.mark_forward(p, walk.path[h - 1], walk.path[h]);
+          }
+        }
+        const auto named =
+            identifier.identify(topo.switch_of(dst), p.marking_field());
+        if (named && *named == src) {
+          ++correct;
+        } else {
+          ++wrong;
+        }
+      }
+      std::ostringstream name;
+      name << side << "x" << side << " x " << hosts;
+      t.row(name.str(), trials,
+            std::to_string(correct * 100 / trials) + "%", wrong);
+    }
+    t.print();
+  }
+  return 0;
+}

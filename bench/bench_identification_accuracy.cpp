@@ -1,0 +1,132 @@
+// Experiment E3 — the headline comparison: source-identification quality of
+// DDPM vs DPM vs PPM across routing algorithms (paper §4-§5).
+//
+// For random (source, victim) pairs, packets flow until the victim-side
+// identifier names exactly the true source (or the budget runs out).
+// Reported per (scheme, router):
+//   accuracy   — pairs where the true source was (eventually) named alone
+//   packets    — mean packets consumed until that happened
+//   misnamed   — pairs where some single innocent node was named first
+//
+// Expected shape (the paper's argument): DDPM = 100% with 1 packet under
+// every router; DPM only works under the deterministic router it trained
+// on, and ambiguously; PPM needs orders of magnitude more packets and
+// degrades under adaptivity.
+#include <algorithm>
+
+#include "bench_util.hpp"
+#include "marking/ddpm.hpp"
+#include "marking/dpm.hpp"
+#include "marking/ppm.hpp"
+#include "marking/ppm_reconstruct.hpp"
+#include "marking/walk.hpp"
+#include "routing/dor.hpp"
+#include "routing/router.hpp"
+#include "topology/factory.hpp"
+
+namespace {
+
+using namespace ddpm;
+
+struct Outcome {
+  int identified = 0;
+  int misnamed = 0;
+  double packets = 0;
+};
+
+/// One (src, victim) episode: feed packets, watch the candidate sets.
+struct Episode {
+  bool identified = false;
+  bool misnamed_first = false;
+  std::uint64_t packets_used = 0;
+};
+
+Episode run_episode(const topo::Topology& topo, const route::Router& router,
+                    mark::MarkingScheme* scheme,
+                    mark::SourceIdentifier& identifier, topo::NodeId src,
+                    topo::NodeId victim, std::uint64_t budget,
+                    std::uint64_t seed) {
+  Episode e;
+  identifier.reset();
+  for (std::uint64_t n = 1; n <= budget; ++n) {
+    mark::WalkOptions options;
+    options.seed = seed * 65537 + n;
+    options.record_path = false;
+    const auto walk =
+        mark::walk_packet(topo, router, scheme, src, victim, options);
+    if (!walk.delivered()) continue;
+    const auto c = identifier.observe(walk.packet, victim);
+    if (c.size() == 1) {
+      if (c.front() == src) {
+        e.identified = true;
+        e.packets_used = n;
+        return e;
+      }
+      if (!e.misnamed_first) e.misnamed_first = true;
+    }
+  }
+  return e;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E3: identification accuracy, 8x8 mesh, 40 random pairs each");
+  const auto topo = topo::make_topology("mesh:8x8");
+  netsim::Rng pair_rng(314159);
+  struct Pair { topo::NodeId src, victim; };
+  std::vector<Pair> pairs;
+  for (int i = 0; i < 40; ++i) {
+    const auto a = topo::NodeId(pair_rng.next_below(topo->num_nodes()));
+    auto b = topo::NodeId(pair_rng.next_below(topo->num_nodes()));
+    if (b == a) b = (b + 1) % topo->num_nodes();
+    pairs.push_back({a, b});
+  }
+
+  bench::Table t({"scheme", "router", "accuracy", "mean packets",
+                  "misnamed innocents"});
+  for (const char* scheme_name : {"ddpm", "dpm", "ppm-full"}) {
+    for (const char* router_name : {"dor", "west-first", "adaptive",
+                                    "adaptive-misroute"}) {
+      const auto router = route::make_router(router_name, *topo);
+      Outcome outcome;
+      const std::uint64_t budget =
+          std::string(scheme_name) == "ppm-full" ? 20000 : 200;
+      for (std::size_t i = 0; i < pairs.size(); ++i) {
+        // Fresh scheme per episode so PPM's RNG stream is reproducible.
+        std::unique_ptr<mark::MarkingScheme> scheme;
+        std::unique_ptr<mark::SourceIdentifier> identifier;
+        if (std::string(scheme_name) == "ddpm") {
+          scheme = std::make_unique<mark::DdpmScheme>(*topo);
+          identifier = std::make_unique<mark::DdpmIdentifier>(*topo);
+        } else if (std::string(scheme_name) == "dpm") {
+          scheme = std::make_unique<mark::DpmScheme>();
+          route::DimensionOrderRouter trained(*topo);
+          identifier = std::make_unique<mark::DpmIdentifier>(
+              *topo, trained, pairs[i].victim, mark::DpmScheme(), 64);
+        } else {
+          scheme = std::make_unique<mark::PpmScheme>(
+              *topo, mark::PpmVariant::kFullEdge, 0.1, i * 31 + 7);
+          identifier = std::make_unique<mark::PpmIdentifier>(
+              *topo, mark::PpmVariant::kFullEdge);
+        }
+        const Episode e = run_episode(*topo, *router, scheme.get(), *identifier,
+                                      pairs[i].src, pairs[i].victim, budget, i);
+        if (e.identified) {
+          ++outcome.identified;
+          outcome.packets += double(e.packets_used);
+        }
+        if (e.misnamed_first) ++outcome.misnamed;
+      }
+      t.row(scheme_name, router_name,
+            std::to_string(outcome.identified * 100 / int(pairs.size())) + "%",
+            outcome.identified ? outcome.packets / outcome.identified : 0.0,
+            outcome.misnamed);
+    }
+  }
+  t.print();
+  std::cout << "\nDDPM: one packet, every router. DPM: usable only under the\n"
+               "deterministic routes it trained on, with collisions. PPM:\n"
+               "hundreds-thousands of packets, worse under adaptivity.\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Ablation A8 — the baseline the paper dismissed too quickly.
+//
+// §2: "Ferguson and Senie proposed an ingress filtering scheme ... It is
+// effective to block DDoS attacks in small networks because routers are
+// aware of all source IP addresses. However, in large networks it is
+// impossible to have all the IP information." Inside a cluster that
+// impossibility evaporates: each switch has exactly one attached compute
+// node and knows its one address (the §4.1 mapping table), so the ingress
+// check is a single compare.
+//
+// This bench measures: (a) ingress filtering kills 100% of spoofed
+// traffic at the source switch; (b) the attacker's only recourse is
+// honest addresses, where victim-side address blocking suffices without
+// any marking; and (c) what marking still buys — identification inside
+// pre-deployed networks without filters, and attribution evidence beyond
+// an address header.
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/sis.hpp"
+
+namespace {
+
+using namespace ddpm;
+
+core::ScenarioReport run(bool filtering, attack::SpoofStrategy spoof,
+                         bool block_by_address) {
+  core::ScenarioConfig config;
+  config.cluster.topology = "mesh:8x8";
+  config.cluster.router = "adaptive";
+  config.cluster.scheme = "none";  // no marking at all in this study
+  config.cluster.benign_rate_per_node = 0.0002;
+  config.cluster.ingress_filtering = filtering;
+  config.cluster.seed = 31;
+  config.identifier = "none";
+  config.detect_rate_threshold = 0.005;
+  config.duration = 400000;
+  config.attack.kind = attack::AttackKind::kUdpFlood;
+  config.attack.victim = 27;
+  config.attack.zombies = {3, 40, 59, 14};
+  config.attack.rate_per_zombie = 0.008;
+  config.attack.spoof = spoof;
+  config.attack.start_time = 50000;
+
+  core::SourceIdentificationSystem system(config);
+  if (block_by_address) {
+    // Victim-side policy without marking: once alarmed, block the claimed
+    // source address of every attack packet.
+    auto& net = system.network();
+    auto detector =
+        std::make_shared<detect::RateThresholdDetector>(0.005, 2000);
+    system.set_observer([&net, detector](const pkt::Packet& p,
+                                         topo::NodeId at) {
+      if (at != 27) return;
+      detector->observe(p, net.sim().now());
+      if (detector->alarmed() && p.is_attack()) {
+        net.filter().block_address(p.header.source());
+      }
+    });
+  }
+  return system.run();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("A8: RFC 2267 ingress filtering inside the cluster");
+  {
+    bench::Table t({"config", "attack injected", "spoofed dropped at source",
+                    "attack delivered to victim"});
+    const auto off = run(false, attack::SpoofStrategy::kRandomCluster, false);
+    t.row("no filter, spoofing", off.metrics.injected_attack,
+          off.metrics.dropped_spoofed_ingress, off.metrics.delivered_attack);
+    const auto on = run(true, attack::SpoofStrategy::kRandomCluster, false);
+    t.row("ingress filter, spoofing", on.metrics.injected_attack,
+          on.metrics.dropped_spoofed_ingress, on.metrics.delivered_attack);
+    t.print();
+    std::cout << "Every spoofed packet dies at its own switch: the spoofing\n"
+                 "premise of the traceback problem is optional in clusters.\n";
+  }
+
+  bench::banner("A8b: the attacker falls back to honest addresses");
+  {
+    bench::Table t({"victim policy", "attack delivered", "address rules",
+                    "delivered after first block"});
+    const auto naive = run(true, attack::SpoofStrategy::kNone, false);
+    t.row("none", naive.metrics.delivered_attack, 0, "-");
+    const auto blocked = run(true, attack::SpoofStrategy::kNone, true);
+    t.row("block claimed address",
+          blocked.metrics.delivered_attack,
+          blocked.metrics.filtered_at_victim > 0 ? "installed" : "none",
+          blocked.metrics.filtered_at_victim);
+    t.print();
+    std::cout << "\nWith spoofing off the table, the address header is\n"
+                 "trustworthy and victim-side blocking needs no marking at\n"
+                 "all (though source-switch blocking, which marking's\n"
+                 "switch-id evidence supports, still saves the network the\n"
+                 "dead traffic — compare bench_mitigation).\n\n"
+                 "Critical note for EXPERIMENTS.md: inside a cluster,\n"
+                 "ingress filtering + address blocking solves the paper's\n"
+                 "problem under the paper's own trust assumptions; DDPM's\n"
+                 "residual value is forensic (switch-written evidence\n"
+                 "rather than host-written headers) and deployment-\n"
+                 "flexibility (works where filters are not configured).\n";
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Extension X4 — irregular networks (paper §6.3: "hybrid networks and
+// irregular networks do not have a universal regularity and it may need a
+// completely different approach").
+//
+// On a random irregular switch network with up*/down* routing there is no
+// coordinate system, so DDPM's distance vector has nothing to accumulate.
+// The "completely different approach" that works under the same trust
+// model is Ingress-Stamp Marking: the source switch writes its own index.
+// This bench characterizes the substrate (up*/down* path inflation) and
+// the identification result — plus the critical comparison on REGULAR
+// networks, where ingress stamping also works and scales further than
+// DDPM's Table 3 (an observation the paper does not make; see
+// EXPERIMENTS.md).
+#include "bench_util.hpp"
+#include "irregular/irregular.hpp"
+#include "marking/ddpm.hpp"
+#include "marking/ingress.hpp"
+#include "marking/scalability.hpp"
+
+int main() {
+  using namespace ddpm;
+
+  bench::banner("X4a: up*/down* substrate on random irregular networks");
+  {
+    bench::Table t({"network", "edges", "diameter-ish", "path inflation",
+                    "all pairs routable"});
+    for (const auto& [nodes, extra, seed] :
+         std::vector<std::tuple<irregular::NodeId, std::size_t, std::uint64_t>>{
+             {32, 8, 1}, {64, 24, 2}, {96, 48, 3}, {128, 64, 4}}) {
+      irregular::IrregularTopology topo(nodes, extra, seed);
+      irregular::UpDownRouter router(topo);
+      int worst = 0;
+      bool all = true;
+      for (irregular::NodeId s = 0; s < nodes; ++s) {
+        for (irregular::NodeId d = 0; d < nodes; ++d) {
+          if (s == d) continue;
+          const int legal = router.legal_distance(s, d);
+          all = all && legal > 0;
+          worst = std::max(worst, legal);
+        }
+      }
+      t.row(topo.spec(), topo.num_edges(), worst, router.path_inflation(),
+            all ? "yes" : "NO");
+    }
+    t.print();
+  }
+
+  bench::banner("X4b: ingress-stamp identification on irregular networks");
+  {
+    bench::Table t({"network", "trials", "correct", "seed-proof"});
+    for (const std::uint64_t seed : {11ull, 22ull, 33ull}) {
+      irregular::IrregularTopology topo(96, 48, seed);
+      irregular::UpDownRouter router(topo);
+      mark::IngressStampScheme scheme(topo.num_nodes());
+      mark::IngressStampIdentifier identifier(topo.num_nodes());
+      netsim::Rng rng(seed * 7);
+      int correct = 0, seed_proof = 0, trials = 2000;
+      for (int i = 0; i < trials; ++i) {
+        const auto s = irregular::NodeId(rng.next_below(topo.num_nodes()));
+        auto d = irregular::NodeId(rng.next_below(topo.num_nodes()));
+        if (d == s) d = (d + 1) % topo.num_nodes();
+        const auto path = walk_updown(topo, router, s, d, rng);
+        for (const std::uint16_t seeded : {std::uint16_t(0), std::uint16_t(0xffff)}) {
+          pkt::Packet p;
+          p.set_marking_field(seeded);
+          scheme.on_injection(p, s);
+          for (std::size_t h = 1; h < path.size(); ++h) {
+            scheme.on_forward(p, path[h - 1], path[h]);
+          }
+          const auto named = identifier.observe(p, d);
+          const bool ok = named.size() == 1 && named.front() == s;
+          if (seeded == 0) correct += ok; else seed_proof += ok;
+        }
+      }
+      t.row(topo.spec(), trials,
+            std::to_string(correct * 100 / trials) + "%",
+            std::to_string(seed_proof * 100 / trials) + "%");
+    }
+    t.print();
+  }
+
+  bench::banner("X4c: critical comparison — field budget, ingress stamp vs DDPM");
+  {
+    bench::Table t({"topology family", "DDPM max (Table 3)",
+                    "ingress-stamp max", "note"});
+    t.row("n x n mesh/torus", "128 x 128 (16384)", "256 x 256 (65536)",
+          "stamp = ceil(log2 N) bits");
+    t.row("n-cube hypercube", "16-cube (65536)", "16-cube (65536)",
+          "equal: DDPM needs n bits too");
+    t.row("butterfly MIN", "n/a (no coordinates)", "65536 terminals",
+          "port-stamp equivalent");
+    t.row("irregular", "n/a (no coordinates)", "65536 switches", "this bench");
+    t.print();
+    std::cout <<
+        "\nCritical note: under the paper's own trust model (switches are\n"
+        "trusted and the source switch knows it is first — the assumption\n"
+        "behind Figure 4's V := 0), simply stamping the ingress switch id\n"
+        "identifies sources in ANY topology and scales further than DDPM.\n"
+        "DDPM's distinctive value is that only the FIRST switch needs the\n"
+        "'I am first' knowledge while every other switch does pure local\n"
+        "arithmetic, and that per-hop increments keep working when the\n"
+        "ingress reset is the only lost function (see the partial-\n"
+        "deployment ablation A2: with honest traffic, missing interior\n"
+        "switches merely shift attribution a few hops, whereas a missing\n"
+        "ingress stamp loses everything).\n";
+  }
+  return 0;
+}

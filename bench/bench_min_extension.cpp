@@ -1,0 +1,71 @@
+// Extension X1 — indirect networks (paper §6.3 future work).
+//
+// The paper's approach is limited to direct networks; §6.3 asks for a new
+// approach for indirect ones. Port-Stamp Marking (src/indirect) is that
+// approach for butterflies (MINs): under destination-tag routing the input
+// port at stage i equals source digit i, so stamping input ports into the
+// Marking Field reconstructs the source terminal from one packet.
+//
+// This bench regenerates (a) the scalability table in the style of the
+// paper's Tables 1-3 and (b) an exhaustive identification check.
+#include "bench_util.hpp"
+#include "indirect/port_stamp.hpp"
+
+int main() {
+  using namespace ddpm;
+  using indirect::Butterfly;
+  using indirect::PortStampScheme;
+
+  bench::banner("X1: Port-Stamp Marking scalability on k-ary n-fly MINs");
+  {
+    bench::Table t({"network", "terminals", "switches", "bits needed",
+                    "fits 16-bit MF?"});
+    for (const auto& [k, n] : std::vector<std::pair<int, int>>{{2, 8},
+                                                               {2, 12},
+                                                               {2, 16},
+                                                               {2, 17},
+                                                               {4, 6},
+                                                               {4, 8},
+                                                               {4, 9},
+                                                               {8, 5},
+                                                               {16, 4}}) {
+      // Constructing a >16-bit scheme throws; probe via required_bits.
+      Butterfly net(k, n);
+      const int bits = PortStampScheme::required_bits(net);
+      t.row(net.spec(), net.num_terminals(), net.num_switches(), bits,
+            bits <= 16 ? "yes" : "NO");
+    }
+    t.print();
+    std::cout << "Like DDPM's hypercube bound (Table 3), the limit is\n"
+                 "ceil(log2 N) bits: 65536 terminals in 16 bits.\n";
+  }
+
+  bench::banner("X1b: exhaustive one-packet identification");
+  {
+    bench::Table t({"network", "(src,dst) pairs", "correct", "seed-proof"});
+    for (const auto& [k, n] : std::vector<std::pair<int, int>>{{2, 6},
+                                                               {4, 4},
+                                                               {8, 2},
+                                                               {3, 4}}) {
+      Butterfly net(k, n);
+      PortStampScheme scheme(net);
+      std::uint64_t pairs = 0, correct = 0, seed_proof = 0;
+      for (indirect::TerminalId s = 0; s < net.num_terminals(); ++s) {
+        for (indirect::TerminalId d = 0; d < net.num_terminals(); ++d) {
+          ++pairs;
+          correct += (scheme.identify(scheme.mark_along(s, d, 0)) == s);
+          seed_proof += (scheme.identify(scheme.mark_along(s, d, 0xffff)) == s);
+        }
+      }
+      t.row(net.spec(), pairs, std::to_string(correct * 100 / pairs) + "%",
+            std::to_string(seed_proof * 100 / pairs) + "%");
+    }
+    t.print();
+    std::cout << "100% from a single packet, even when the attacker pre-\n"
+                 "loads the field: every digit slot is switch-overwritten.\n"
+                 "Boundary: requires the unique destination-tag path —\n"
+                 "multipath MINs (Benes, fat trees) remain open, as §6.3\n"
+                 "anticipated.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Experiment E5 — the end-to-end pipeline the paper motivates (§1, §2):
+// detect the flood, identify the sources with DDPM, block them at their own
+// switches, and watch the victim recover.
+//
+// Two runs of the identical scenario: mitigation off vs on. Reported as a
+// timeline of attack/benign packets absorbed by the victim per window.
+#include <map>
+
+#include "bench_util.hpp"
+#include "core/sis.hpp"
+
+namespace {
+
+using namespace ddpm;
+
+struct Timeline {
+  std::map<std::uint64_t, std::uint64_t> attack;
+  std::map<std::uint64_t, std::uint64_t> benign;
+  core::ScenarioReport report;
+};
+
+Timeline run(bool auto_block, std::uint64_t window) {
+  core::ScenarioConfig config;
+  config.cluster.topology = "mesh:8x8";
+  config.cluster.router = "adaptive";
+  config.cluster.scheme = "ddpm";
+  config.cluster.benign_rate_per_node = 0.0003;
+  config.cluster.seed = 777;
+  config.identifier = "ddpm";
+  config.detect_rate_threshold = 0.005;
+  config.auto_block = auto_block;
+  config.duration = 600000;
+  config.attack.kind = attack::AttackKind::kUdpFlood;
+  config.attack.victim = 27;
+  config.attack.zombies = {2, 16, 45, 61, 38};
+  config.attack.rate_per_zombie = 0.008;
+  config.attack.start_time = 100000;
+  config.attack.spoof = attack::SpoofStrategy::kRandomCluster;
+
+  core::SourceIdentificationSystem system(config);
+  Timeline timeline;
+  system.set_observer([&](const pkt::Packet& p, topo::NodeId at) {
+    if (at != config.attack.victim) return;
+    const std::uint64_t bucket = p.delivered_at / window;
+    if (p.is_attack()) {
+      ++timeline.attack[bucket];
+    } else {
+      ++timeline.benign[bucket];
+    }
+  });
+  timeline.report = system.run();
+  return timeline;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kWindow = 50000;
+  const Timeline off = run(false, kWindow);
+  const Timeline on = run(true, kWindow);
+
+  bench::banner("E5: victim-absorbed traffic per 50k-tick window");
+  bench::Table t({"window", "attack (no mitigation)", "attack (DDPM+block)",
+                  "benign (no mitigation)", "benign (DDPM+block)"});
+  for (std::uint64_t w = 0; w < 12; ++w) {
+    auto get = [w](const std::map<std::uint64_t, std::uint64_t>& m) {
+      const auto it = m.find(w);
+      return it == m.end() ? std::uint64_t(0) : it->second;
+    };
+    t.row(std::to_string(w * kWindow) + "+", get(off.attack), get(on.attack),
+          get(off.benign), get(on.benign));
+  }
+  t.print();
+
+  bench::banner("Pipeline summary (mitigated run)");
+  std::cout << on.report.summary() << '\n';
+
+  bench::banner("Pipeline summary (unmitigated run)");
+  std::cout << off.report.summary() << '\n';
+
+  std::cout << "\nReading: the attack opens at t=100000. Unmitigated, the\n"
+               "victim keeps absorbing the flood for the whole run. With\n"
+               "DDPM identification + source blocking, the flood dies within\n"
+               "one window of detection, and only in-flight packets leak.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation A4 — performance vs security at network level (paper §6.2:
+// "we need to find the relationship between performance degradation and
+// security functions").
+//
+// Identical benign workloads on the full cluster simulator with marking
+// disabled / DDPM / DPM / PPM: delivered-packet latency and throughput
+// must be statistically indistinguishable, because marking work is orders
+// of magnitude below link serialization (see bench_switch_overhead for the
+// per-operation numbers).
+#include "bench_util.hpp"
+#include "cluster/network.hpp"
+
+namespace {
+
+using namespace ddpm;
+
+struct RunResult {
+  std::uint64_t delivered;
+  double mean_latency;
+  double p99_latency;
+  double mean_hops;
+};
+
+RunResult run(const std::string& scheme, const std::string& pattern) {
+  cluster::ClusterConfig config;
+  config.topology = "torus:8x8";
+  config.router = "adaptive";
+  config.scheme = scheme;
+  config.pattern = pattern;
+  config.benign_rate_per_node = 0.001;
+  config.seed = 5;  // identical workload across schemes
+  cluster::ClusterNetwork net(config);
+  net.start();
+  net.run_until(400000);
+  const auto& m = net.metrics();
+  return {m.delivered_benign, m.latency_benign.mean(),
+          m.latency_benign_p99.value(), m.hops.mean()};
+}
+
+}  // namespace
+
+int main() {
+  for (const char* pattern : {"uniform", "transpose", "hotspot"}) {
+    bench::banner(std::string("A4: benign ") + pattern +
+                  " workload, torus:8x8, adaptive routing");
+    bench::Table t({"scheme", "delivered", "mean latency (ticks)",
+                    "p99 latency", "mean hops"});
+    for (const char* scheme : {"none", "ddpm", "dpm", "ppm-full"}) {
+      const auto r = run(scheme, pattern);
+      t.row(scheme, r.delivered, r.mean_latency, r.p99_latency, r.mean_hops);
+    }
+    t.print();
+  }
+  std::cout << "\nMarking changes neither delivery counts nor latency: the\n"
+               "simulator charges the same link costs, and the real-world\n"
+               "analogue (ns-scale ALU work per hop, bench_switch_overhead)\n"
+               "is far below serialization delay — the paper's §6.2\n"
+               "expectation, made concrete.\n";
+  return 0;
+}

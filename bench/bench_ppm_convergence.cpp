@@ -1,0 +1,181 @@
+// Experiment E1 — PPM convergence cost (paper §2 and §4.2).
+//
+// Savage's bound says the victim needs ~ ln(d) / (p (1-p)^(d-1)) packets to
+// reconstruct a path of length d. Cluster interconnects have much larger d
+// than the Internet paths PPM was designed for, so the cost explodes; and
+// under adaptive routing the marks come from many paths at once and
+// reconstruction mixes them. This bench measures all three effects.
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "marking/ppm.hpp"
+#include "marking/ppm_fragment.hpp"
+#include "marking/ppm_reconstruct.hpp"
+#include "marking/walk.hpp"
+#include "routing/router.hpp"
+#include "topology/mesh.hpp"
+
+namespace {
+
+using namespace ddpm;
+using topo::Coord;
+
+/// Packets until the identifier's candidates contain the true source;
+/// 0 if the budget runs out.
+std::uint64_t converge(const topo::Topology& topo, const route::Router& router,
+                       mark::PpmScheme& scheme, mark::PpmIdentifier& identifier,
+                       topo::NodeId src, topo::NodeId victim,
+                       std::uint64_t budget, std::uint64_t seed) {
+  identifier.reset();
+  for (std::uint64_t n = 1; n <= budget; ++n) {
+    mark::WalkOptions options;
+    options.seed = seed * 1000003 + n;
+    options.record_path = false;
+    const auto walk = mark::walk_packet(topo, router, &scheme, src, victim, options);
+    if (!walk.delivered()) continue;
+    const auto c = identifier.observe(walk.packet, victim);
+    if (std::find(c.begin(), c.end(), src) != c.end()) return n;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E1: packets needed to reconstruct a path of length d");
+  std::cout << "(full-edge PPM on an 8x8 mesh, deterministic XY routes,\n"
+               " marking probability p; simulated = mean over 5 trials)\n";
+
+  topo::Mesh m({8, 8});
+  const auto dor = route::make_router("dor", m);
+  const auto victim = m.id_of(Coord{7, 7});
+
+  for (const double p : {0.04, 0.10, 0.20}) {
+    bench::Table t({"d (hops)", "formula ln(d)/(p(1-p)^(d-1))",
+                    "simulated packets", "converged"});
+    for (int d = 2; d <= 14; d += 2) {
+      // Source at L1 distance d from the victim.
+      const int dx = std::min(d, 7);
+      const int dy = d - dx;
+      const auto src = m.id_of(Coord{7 - dx, 7 - dy});
+      double total = 0;
+      int converged = 0;
+      constexpr int kTrials = 5;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        mark::PpmScheme scheme(m, mark::PpmVariant::kFullEdge, p,
+                               std::uint64_t(trial) * 7 + 1);
+        mark::PpmIdentifier identifier(m, mark::PpmVariant::kFullEdge);
+        const auto used = converge(m, *dor, scheme, identifier, src, victim,
+                                   200000, std::uint64_t(trial));
+        if (used > 0) {
+          total += double(used);
+          ++converged;
+        }
+      }
+      t.row(d, mark::ppm_expected_packets(d, p),
+            converged ? total / converged : 0.0,
+            std::to_string(converged) + "/" + std::to_string(kTrials));
+    }
+    std::cout << "\np = " << p << '\n';
+    t.print();
+  }
+
+  bench::banner("E1b: deterministic vs adaptive routing (p = 0.1, d = 14)");
+  {
+    bench::Table t({"router", "mean packets to converge", "converged"});
+    const auto src = m.id_of(Coord{0, 0});
+    for (const char* router_name : {"dor", "west-first", "adaptive"}) {
+      const auto router = route::make_router(router_name, m);
+      double total = 0;
+      int converged = 0;
+      constexpr int kTrials = 5;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        mark::PpmScheme scheme(m, mark::PpmVariant::kFullEdge, 0.1,
+                               std::uint64_t(trial) * 13 + 5);
+        mark::PpmIdentifier identifier(m, mark::PpmVariant::kFullEdge);
+        const auto used = converge(m, *router, scheme, identifier, src, victim,
+                                   20000, std::uint64_t(trial) + 100);
+        if (used > 0) {
+          total += double(used);
+          ++converged;
+        }
+      }
+      t.row(router_name, converged ? total / converged : 0.0,
+            std::to_string(converged) + "/5");
+    }
+    t.print();
+  }
+
+  bench::banner(
+      "E1d: Savage's k-fragment encoding — fits 16x16 (full-edge cannot), "
+      "costs k ln(kd)/ln(d) more packets");
+  {
+    bench::Table t({"network", "layout", "mean packets (p=0.15)", "converged"});
+    struct Case { const char* spec; int side; };
+    for (const Case c : {Case{"mesh:8x8", 8}, Case{"mesh:16x16", 16}}) {
+      topo::Mesh net({c.side, c.side});
+      const auto router2 = route::make_router("dor", net);
+      const auto src = net.id_of(Coord{0, 0});
+      const auto dst = net.id_of(Coord{topo::Coord::value_type(c.side - 1),
+                                       topo::Coord::value_type(c.side - 1)});
+      // Fragment variant (always fits here).
+      double total = 0;
+      int converged = 0;
+      for (int trial = 0; trial < 3; ++trial) {
+        mark::FragmentPpmScheme scheme(net, 0.15, std::uint64_t(trial) + 1);
+        mark::FragmentPpmIdentifier identifier(net);
+        for (std::uint64_t n = 1; n <= 300000; ++n) {
+          mark::WalkOptions options;
+          options.seed = n * 48271 + std::uint64_t(trial);
+          options.record_path = false;
+          const auto walk =
+              mark::walk_packet(net, *router2, &scheme, src, dst, options);
+          const auto cand = identifier.observe(walk.packet, dst);
+          if (std::find(cand.begin(), cand.end(), src) != cand.end()) {
+            total += double(n);
+            ++converged;
+            break;
+          }
+        }
+      }
+      t.row(c.spec, "fragment k=4", converged ? total / converged : 0.0,
+            std::to_string(converged) + "/3");
+      // Full-edge where it fits.
+      if (mark::PpmLayout::for_topology(mark::PpmVariant::kFullEdge, net).fits) {
+        double ftotal = 0;
+        int fconv = 0;
+        for (int trial = 0; trial < 3; ++trial) {
+          mark::PpmScheme scheme(net, mark::PpmVariant::kFullEdge, 0.15,
+                                 std::uint64_t(trial) + 1);
+          mark::PpmIdentifier identifier(net, mark::PpmVariant::kFullEdge);
+          const auto used = converge(net, *router2, scheme, identifier, src,
+                                     dst, 300000, std::uint64_t(trial) + 50);
+          if (used) {
+            ftotal += double(used);
+            ++fconv;
+          }
+        }
+        t.row(c.spec, "full edge", fconv ? ftotal / fconv : 0.0,
+              std::to_string(fconv) + "/3");
+      } else {
+        t.row(c.spec, "full edge", "DOES NOT FIT (21 bits)", "-");
+      }
+    }
+    t.print();
+  }
+
+  bench::banner("E1c: the diameter wall — formula cost at cluster scale");
+  {
+    bench::Table t({"network", "diameter d", "expected packets (p=0.04)"});
+    struct Net { const char* name; int d; };
+    for (const Net net : {Net{"Internet-ish path", 15}, Net{"mesh:16x16", 30},
+                          Net{"mesh:32x32 (1024 nodes)", 62},
+                          Net{"mesh:128x128", 254}}) {
+      t.row(net.name, net.d, mark::ppm_expected_packets(net.d, 0.04));
+    }
+    t.print();
+    std::cout << "The 1/(1-p)^d blow-up is why PPM cannot serve cluster\n"
+                 "interconnects even before adaptivity is considered.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,166 @@
+// Experiment E4 — switch-side processing overhead (paper §6.2).
+//
+// The paper argues DDPM adds only "simple functions such as addition,
+// subtraction, and XOR" per packet. These google-benchmark measurements put
+// numbers on the per-packet marking cost for each scheme, plus the
+// victim-side identification cost.
+#include <benchmark/benchmark.h>
+
+#include "marking/ddpm.hpp"
+#include "marking/dpm.hpp"
+#include "marking/ppm.hpp"
+#include "marking/ppm_fragment.hpp"
+#include "marking/record_route.hpp"
+#include "marking/ppm_reconstruct.hpp"
+#include "routing/dor.hpp"
+#include "topology/factory.hpp"
+
+namespace {
+
+using namespace ddpm;
+
+std::unique_ptr<topo::Topology> topo_for(const benchmark::State& state) {
+  switch (state.range(0)) {
+    case 0: return topo::make_topology("mesh:8x8");
+    case 1: return topo::make_topology("torus:8x8");
+    default: return topo::make_topology("hypercube:6");
+  }
+}
+
+void args(benchmark::internal::Benchmark* b) {
+  b->Arg(0)->Arg(1)->Arg(2);  // mesh, torus, hypercube
+}
+
+void BM_NoMarking_Baseline(benchmark::State& state) {
+  const auto topo = topo_for(state);
+  pkt::Packet p;
+  p.set_marking_field(0);
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    // The non-marking switch still touches the header (TTL).
+    p.header.set_ttl(64);
+    x += p.header.decrement_ttl();
+    benchmark::DoNotOptimize(p);
+  }
+  benchmark::DoNotOptimize(x);
+}
+BENCHMARK(BM_NoMarking_Baseline)->Apply(args);
+
+void BM_DdpmForward(benchmark::State& state) {
+  const auto topo = topo_for(state);
+  mark::DdpmScheme scheme(*topo);
+  pkt::Packet p;
+  scheme.on_injection(p, 0);
+  const topo::NodeId a = 0;
+  const topo::NodeId b = topo->neighbors(0).front();
+  bool flip = false;
+  for (auto _ : state) {
+    // Alternate directions so the accumulated vector stays bounded.
+    if (flip) {
+      scheme.on_forward(p, b, a);
+    } else {
+      scheme.on_forward(p, a, b);
+    }
+    flip = !flip;
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_DdpmForward)->Apply(args);
+
+void BM_DpmForward(benchmark::State& state) {
+  const auto topo = topo_for(state);
+  mark::DpmScheme scheme;
+  pkt::Packet p;
+  p.header.set_ttl(64);
+  for (auto _ : state) {
+    p.header.set_ttl(p.header.ttl() ? p.header.ttl() - 1 : 64);
+    scheme.on_forward(p, 0, 1);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_DpmForward)->Apply(args);
+
+void BM_PpmForward(benchmark::State& state) {
+  const auto topo = topo_for(state);
+  mark::PpmScheme scheme(*topo, mark::PpmVariant::kFullEdge, 0.04, 1);
+  pkt::Packet p;
+  p.set_marking_field(0);
+  for (auto _ : state) {
+    scheme.on_forward(p, 0, 1);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_PpmForward)->Apply(args);
+
+void BM_FragmentPpmForward(benchmark::State& state) {
+  const auto topo = topo_for(state);
+  mark::FragmentPpmScheme scheme(*topo, 0.04, 1);
+  pkt::Packet p;
+  p.set_marking_field(0);
+  for (auto _ : state) {
+    scheme.on_forward(p, 0, 1);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_FragmentPpmForward)->Apply(args);
+
+void BM_RecordRouteForward(benchmark::State& state) {
+  // The variable-length option write the paper rejects on overhead
+  // grounds; the wire cost dominates, but the per-hop CPU work is here.
+  const auto topo = topo_for(state);
+  mark::RecordRouteScheme scheme;
+  pkt::Packet p;
+  for (auto _ : state) {
+    if (p.route_option.size() >= mark::RecordRouteScheme::kMaxEntries) {
+      p.route_option.clear();
+    }
+    scheme.on_forward(p, 0, 1);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_RecordRouteForward)->Apply(args);
+
+void BM_DdpmIdentify(benchmark::State& state) {
+  const auto topo = topo_for(state);
+  mark::DdpmScheme scheme(*topo);
+  mark::DdpmIdentifier identifier(*topo);
+  pkt::Packet p;
+  scheme.on_injection(p, 0);
+  scheme.on_forward(p, 0, topo->neighbors(0).front());
+  const topo::NodeId victim = topo->neighbors(0).front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(identifier.identify(victim, p.marking_field()));
+  }
+}
+BENCHMARK(BM_DdpmIdentify)->Apply(args);
+
+void BM_DpmSignatureLookup(benchmark::State& state) {
+  const auto topo = topo_for(state);
+  route::DimensionOrderRouter router(*topo);
+  mark::DpmScheme scheme;
+  const topo::NodeId victim = topo->num_nodes() - 1;
+  mark::DpmIdentifier identifier(*topo, router, victim, scheme);
+  pkt::Packet p;
+  p.set_marking_field(identifier.signature_of(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(identifier.observe(p, victim));
+  }
+}
+BENCHMARK(BM_DpmSignatureLookup)->Apply(args);
+
+void BM_HeaderChecksumRewrite(benchmark::State& state) {
+  // The cost a real switch pays to keep the IPv4 checksum valid after
+  // rewriting the identification field.
+  const auto topo = topo_for(state);
+  pkt::IpHeader h(0x0a000001, 0x0a000002, pkt::IpProto::kUdp, 64);
+  std::uint16_t id = 0;
+  for (auto _ : state) {
+    h.set_identification(++id);
+    benchmark::DoNotOptimize(h.serialize());
+  }
+}
+BENCHMARK(BM_HeaderChecksumRewrite)->Apply(args);
+
+}  // namespace
+
+BENCHMARK_MAIN();

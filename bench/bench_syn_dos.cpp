@@ -1,0 +1,110 @@
+// Extension X3 — the SYN flood as an actual denial of service.
+//
+// The paper's §1 description: "TCP SYN flooding attack makes as many TCP
+// half-open connections as the victim host is limited to receive", while
+// "the individual connection has nothing wrong". With the transport model
+// we can measure what the victim's USERS see — connection success rate —
+// through the attack and through DDPM-driven quarantine.
+#include <map>
+
+#include "bench_util.hpp"
+#include "marking/ddpm.hpp"
+#include "transport/tcp.hpp"
+
+namespace {
+
+using namespace ddpm;
+
+struct Timeline {
+  std::map<std::uint64_t, std::uint64_t> attempted, completed;
+  transport::TcpStats final_stats;
+  std::uint64_t blocked_zombies = 0;
+};
+
+Timeline run(bool defend, std::uint64_t window) {
+  cluster::ClusterConfig config;
+  config.topology = "mesh:8x8";
+  config.router = "adaptive";
+  config.scheme = "ddpm";
+  config.benign_rate_per_node = 0.0;
+  config.seed = 1010;
+  cluster::ClusterNetwork net(config);
+
+  attack::AttackConfig attack;
+  attack.kind = attack::AttackKind::kSynFlood;
+  attack.victim = 27;  // the cluster's service node
+  attack.zombies = {3, 12, 33, 48, 59};
+  attack.rate_per_zombie = 0.002;
+  attack.spoof = attack::SpoofStrategy::kRandomCluster;
+  attack.start_time = 200000;
+  net.set_attack(attack);
+
+  transport::TcpConfig tcp;
+  tcp.connection_rate_per_node = 0.00002;
+  tcp.server_backlog = 64;
+  tcp.handshake_timeout = 50000;
+  tcp.fixed_server = attack.victim;
+  transport::TcpWorkload workload(net, tcp);
+
+  Timeline timeline;
+  mark::DdpmIdentifier identifier(net.topology());
+  workload.set_tap([&](const pkt::Packet& p, topo::NodeId at) {
+    if (!defend || at != attack.victim || !p.is_attack()) return;
+    const auto named = identifier.observe(p, at);
+    if (named.size() == 1 && !net.filter().blocks_injection(named.front())) {
+      net.filter().block_source_node(named.front());
+      ++timeline.blocked_zombies;
+    }
+  });
+
+  net.start();
+  workload.start();
+  transport::TcpStats last{};
+  for (std::uint64_t t = window; t <= 1000000; t += window) {
+    net.run_until(t);
+    const auto& s = workload.stats();
+    timeline.attempted[t / window] = s.attempted - last.attempted;
+    timeline.completed[t / window] = s.completed - last.completed;
+    last = s;
+  }
+  timeline.final_stats = workload.stats();
+  return timeline;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kWindow = 100000;
+  const Timeline off = run(false, kWindow);
+  const Timeline on = run(true, kWindow);
+
+  bench::banner("X3: service-level SYN-flood outage and recovery");
+  std::cout << "64-node mesh; every client dials the service node; 5 spoofing\n"
+               "zombies open "
+            << "SYN floods at t=200000; backlog 64, 50k-tick timeout.\n\n";
+  bench::Table t({"window", "success (no defense)", "success (DDPM+quarantine)"});
+  for (std::uint64_t w = 1; w <= 10; ++w) {
+    auto rate = [&](const Timeline& tl) -> std::string {
+      const auto att = tl.attempted.at(w);
+      if (att == 0) return "-";
+      return std::to_string(tl.completed.at(w) * 100 / att) + "%";
+    };
+    t.row(std::to_string((w - 1) * kWindow) + "+", rate(off), rate(on));
+  }
+  t.print();
+
+  std::cout << "\nno defense:   " << off.final_stats.attempted << " attempts, "
+            << off.final_stats.refused << " refused at a full backlog, "
+            << off.final_stats.attack_syns << " attack SYNs absorbed, "
+            << off.final_stats.backscatter << " backscatter SYN+ACKs\n";
+  std::cout << "with defense: " << on.final_stats.attempted << " attempts, "
+            << on.final_stats.refused << " refused, "
+            << on.final_stats.attack_syns << " attack SYNs absorbed, "
+            << on.blocked_zombies << " zombies quarantined\n";
+  std::cout << "\nReading: without identification the service flatlines for\n"
+               "the rest of the run (each spoofed SYN pins a backlog slot\n"
+               "for the full timeout). With DDPM, each zombie is cut off at\n"
+               "its first delivered SYN and service recovers within one\n"
+               "timeout window.\n";
+  return 0;
+}

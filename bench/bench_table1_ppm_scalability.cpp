@@ -1,0 +1,39 @@
+// Table 1 — Scalability of simple (full-edge) PPM.
+//
+// Paper: | n x n mesh, torus | logn^2 + logn^2 + log2n | 8 x 8 nodes |
+//        | n-cube hypercube  | 2log2^n + loglog2^n     | 2^6 nodes   |
+#include "bench_util.hpp"
+#include "marking/scalability.hpp"
+
+int main() {
+  using namespace ddpm;
+  using mark::SchemeKind;
+
+  bench::banner("Table 1: Scalability of simple PPM (full-edge layout)");
+  {
+    bench::Table t({"Topology", "Required Field", "Max Cluster Size"});
+    for (const auto& row : mark::scalability_table(SchemeKind::kSimplePpm)) {
+      t.row(row.topology, row.formula, row.max_cluster);
+    }
+    t.print();
+  }
+
+  bench::banner("Required bits by size (16-bit Marking Field)");
+  {
+    bench::Table t({"mesh side n", "bits needed", "fits?"});
+    for (int n = 4; n <= 256; n *= 2) {
+      const int bits = mark::required_bits_mesh2d(SchemeKind::kSimplePpm, n);
+      t.row(n, bits, bits <= 16 ? "yes" : "NO");
+    }
+    t.print();
+  }
+  {
+    bench::Table t({"hypercube n", "nodes", "bits needed", "fits?"});
+    for (int n = 3; n <= 12; ++n) {
+      const int bits = mark::required_bits_hypercube(SchemeKind::kSimplePpm, n);
+      t.row(n, 1 << n, bits, bits <= 16 ? "yes" : "NO");
+    }
+    t.print();
+  }
+  return 0;
+}

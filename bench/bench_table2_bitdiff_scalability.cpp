@@ -1,0 +1,40 @@
+// Table 2 — Scalability of simple bit-difference PPM.
+//
+// Note: the paper's printed hypercube formula is inconsistent with its own
+// quoted maximum (2^8 nodes); we use the self-consistent reading
+// (one index + bit position + distance). See EXPERIMENTS.md.
+#include "bench_util.hpp"
+#include "marking/scalability.hpp"
+
+int main() {
+  using namespace ddpm;
+  using mark::SchemeKind;
+
+  bench::banner("Table 2: Scalability of simple bit-difference PPM");
+  {
+    bench::Table t({"Topology", "Required Field", "Max Cluster Size"});
+    for (const auto& row : mark::scalability_table(SchemeKind::kBitDiffPpm)) {
+      t.row(row.topology, row.formula, row.max_cluster);
+    }
+    t.print();
+  }
+
+  bench::banner("Required bits by size (16-bit Marking Field)");
+  {
+    bench::Table t({"mesh side n", "bits needed", "fits?"});
+    for (int n = 4; n <= 256; n *= 2) {
+      const int bits = mark::required_bits_mesh2d(SchemeKind::kBitDiffPpm, n);
+      t.row(n, bits, bits <= 16 ? "yes" : "NO");
+    }
+    t.print();
+  }
+  {
+    bench::Table t({"hypercube n", "nodes", "bits needed", "fits?"});
+    for (int n = 4; n <= 12; ++n) {
+      const int bits = mark::required_bits_hypercube(SchemeKind::kBitDiffPpm, n);
+      t.row(n, 1 << n, bits, bits <= 16 ? "yes" : "NO");
+    }
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Table 3 — Scalability of DDPM.
+//
+// Paper: | n x n mesh, torus | 2logn   | 128 x 128 (16384 nodes) |
+//        | n-cube hypercube  | log2^n  | 2^16 nodes              |
+// We additionally validate the analytical limit constructively: the codec
+// must build (and round-trip) at the limit and refuse one step beyond.
+#include "bench_util.hpp"
+#include "marking/ddpm.hpp"
+#include "marking/scalability.hpp"
+#include "topology/factory.hpp"
+
+int main() {
+  using namespace ddpm;
+  using mark::SchemeKind;
+
+  bench::banner("Table 3: Scalability of DDPM");
+  {
+    bench::Table t({"Topology", "Required Field", "Max Cluster Size"});
+    for (const auto& row : mark::scalability_table(SchemeKind::kDdpm)) {
+      t.row(row.topology, row.formula, row.max_cluster);
+    }
+    t.print();
+  }
+
+  bench::banner("Constructive check: codec at and beyond the limit");
+  {
+    bench::Table t({"topology", "required bits", "codec builds?"});
+    for (const char* spec :
+         {"mesh:128x128", "torus:128x128", "hypercube:16", "mesh:16x16x32",
+          "mesh:256x128", "hypercube:16"}) {
+      const auto topo = topo::make_topology(spec);
+      const int bits = mark::DdpmCodec::required_bits(*topo);
+      bool built = true;
+      try {
+        mark::DdpmCodec codec(*topo);
+      } catch (const std::exception&) {
+        built = false;
+      }
+      t.row(spec, bits, built ? "yes" : "refused (over 16)");
+    }
+    t.print();
+  }
+
+  bench::banner("Required bits by size (contrast with Tables 1-2)");
+  {
+    bench::Table t({"mesh side n", "simple PPM", "bit-diff PPM", "DDPM"});
+    for (int n = 4; n <= 256; n *= 2) {
+      t.row(n, mark::required_bits_mesh2d(SchemeKind::kSimplePpm, n),
+            mark::required_bits_mesh2d(SchemeKind::kBitDiffPpm, n),
+            mark::required_bits_mesh2d(SchemeKind::kDdpm, n));
+    }
+    t.print();
+  }
+  return 0;
+}

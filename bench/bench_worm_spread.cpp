@@ -1,0 +1,92 @@
+// Experiment E6 (motivation, paper §1) — second-generation DDoS: a
+// random-scanning worm inside the cluster. Infection count and scan traffic
+// grow with the infected population until the cluster saturates; DDPM still
+// names every scanner from single packets, enabling progressive quarantine.
+#include "bench_util.hpp"
+#include "cluster/network.hpp"
+#include "marking/ddpm.hpp"
+
+namespace {
+
+using namespace ddpm;
+
+void spread_timeline() {
+  bench::banner("E6a: worm infection growth (16x16 torus, patient zero)");
+  cluster::ClusterConfig config;
+  config.topology = "torus:16x16";
+  config.router = "adaptive";
+  config.scheme = "ddpm";
+  config.benign_rate_per_node = 0.0;
+  config.seed = 4242;
+  cluster::ClusterNetwork net(config);
+  attack::AttackConfig attack;
+  attack.kind = attack::AttackKind::kWorm;
+  attack.zombies = {0};
+  attack.worm_scan_rate = 0.0003;
+  attack.worm_incubation = 5000;
+  net.set_attack(attack);
+  net.start();
+
+  bench::Table t({"time", "infected nodes", "worm packets injected"});
+  for (netsim::SimTime when = 0; when <= 600000; when += 40000) {
+    net.run_until(when);
+    t.row(when, net.infected_count(), net.metrics().injected_attack);
+  }
+  t.print();
+  std::cout << "Traffic grows with the infected population — the paper's\n"
+               "'total traffic increases exponentially' second-generation\n"
+               "attack, reproduced inside the interconnect.\n";
+}
+
+void quarantine() {
+  bench::banner("E6b: DDPM-driven quarantine of scanners");
+  cluster::ClusterConfig config;
+  config.topology = "torus:16x16";
+  config.router = "adaptive";
+  config.scheme = "ddpm";
+  config.benign_rate_per_node = 0.0;
+  config.seed = 4242;
+  cluster::ClusterNetwork net(config);
+  attack::AttackConfig attack;
+  attack.kind = attack::AttackKind::kWorm;
+  attack.zombies = {0};
+  attack.worm_scan_rate = 0.0003;
+  attack.worm_incubation = 5000;
+  net.set_attack(attack);
+
+  // Every node quarantines scanners: any TCP scan delivered anywhere is
+  // traced with DDPM and the true origin is blocked at its source switch.
+  mark::DdpmIdentifier identifier(net.topology());
+  std::uint64_t quarantined = 0;
+  net.set_delivery_hook([&](const pkt::Packet& p, topo::NodeId at) {
+    if (p.traffic != pkt::TrafficClass::kAttackWorm) return;
+    const auto candidates = identifier.observe(p, at);
+    if (candidates.size() == 1 &&
+        !net.filter().blocks_injection(candidates.front())) {
+      net.filter().block_source_node(candidates.front());
+      ++quarantined;
+    }
+  });
+  net.start();
+
+  bench::Table t({"time", "infected", "quarantined", "scan packets delivered"});
+  std::uint64_t last_delivered = 0;
+  for (netsim::SimTime when = 0; when <= 600000; when += 40000) {
+    net.run_until(when);
+    const auto delivered = net.metrics().delivered_attack;
+    t.row(when, net.infected_count(), quarantined, delivered - last_delivered);
+    last_delivered = delivered;
+  }
+  t.print();
+  std::cout << "Each scanner is cut off after its first delivered scan —\n"
+               "infection still spreads through packets already in flight,\n"
+               "but scan traffic collapses instead of growing.\n";
+}
+
+}  // namespace
+
+int main() {
+  spread_timeline();
+  quarantine();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Attack forensics: what each traceback scheme can tell a victim about one
+// spoofed packet — and what it cannot.
+//
+// Replays the same attack episode (random zombies, adaptive routing,
+// spoofed source addresses) three times, once per scheme, and prints a
+// per-packet forensic comparison: the address the header *claims*, against
+// what the Marking Field *proves*.
+//
+//   $ ./attack_forensics [topology-spec]     (default mesh:8x8)
+#include <iomanip>
+#include <iostream>
+
+#include "attack/attacker.hpp"
+#include "core/sis.hpp"
+#include "marking/factory.hpp"
+#include "marking/walk.hpp"
+#include "packet/address_map.hpp"
+#include "routing/router.hpp"
+#include "topology/factory.hpp"
+
+namespace {
+
+using namespace ddpm;
+
+void forensics_for(const topo::Topology& topo, const std::string& scheme_name,
+                   const std::vector<topo::NodeId>& zombies,
+                   topo::NodeId victim) {
+  std::cout << "\n--- scheme: " << scheme_name << " ---\n";
+  const auto router = route::make_router("adaptive", topo);
+  const auto scheme = mark::make_scheme(scheme_name, topo, 0.2, 99);
+  const auto identifier = core::make_identifier(scheme_name, topo, victim, 64);
+  pkt::AddressMap addresses(topo.num_nodes());
+  netsim::Rng rng(2718);
+
+  std::cout << std::left << std::setw(8) << "packet" << std::setw(10)
+            << "zombie" << std::setw(18) << "claimed source" << std::setw(26)
+            << "scheme's verdict" << "note\n";
+  int shown = 0;
+  for (int n = 0; n < 400; ++n) {
+    const auto zombie = zombies[std::size_t(n) % zombies.size()];
+    mark::WalkOptions options;
+    options.seed = rng.next_u64();
+    options.record_path = false;
+    auto walk = mark::walk_packet(topo, *router, scheme.get(), zombie, victim,
+                                  options);
+    if (!walk.delivered()) continue;
+    // Spoof AFTER marking, like a zombie forging its header; the marking
+    // field was written by switches and is beyond the attacker's reach.
+    attack::apply_spoof(walk.packet, attack::SpoofStrategy::kRandomCluster,
+                        addresses, zombie, victim, rng);
+    const auto candidates = identifier->observe(walk.packet, victim);
+    if (shown < 6 || (n + 1) % 100 == 0) {
+      std::string verdict;
+      if (candidates.empty()) {
+        verdict = "(nothing yet)";
+      } else if (candidates.size() == 1) {
+        verdict = "node " + std::to_string(candidates.front());
+      } else {
+        verdict = std::to_string(candidates.size()) + " candidates";
+      }
+      std::string note;
+      if (candidates.size() == 1) {
+        note = candidates.front() == zombie ? "correct!" : "WRONG";
+      }
+      std::cout << std::setw(8) << n + 1 << std::setw(10) << zombie
+                << std::setw(18)
+                << pkt::address_to_string(walk.packet.header.source())
+                << std::setw(26) << verdict << note << '\n';
+      ++shown;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string spec = argc > 1 ? argv[1] : "mesh:8x8";
+  const auto topo = topo::make_topology(spec);
+  std::cout << "=== attack forensics on " << spec << " ===\n"
+            << "Zombies flood the victim with spoofed source addresses over\n"
+            << "adaptive routes; each scheme's victim-side identifier reads\n"
+            << "only the 16-bit Marking Field.\n";
+
+  netsim::Rng rng(7);
+  const topo::NodeId victim = topo->num_nodes() - 1;
+  const auto zombies = attack::pick_zombies(*topo, 3, victim, rng);
+  std::cout << "victim: node " << victim << ", zombies:";
+  for (auto z : zombies) std::cout << ' ' << z;
+  std::cout << '\n';
+
+  for (const char* scheme : {"ddpm", "dpm", "ppm-full"}) {
+    forensics_for(*topo, scheme, zombies, victim);
+  }
+
+  std::cout << "\nTakeaway: the claimed source address is worthless under\n"
+               "spoofing. DDPM's distance vector names the true origin from\n"
+               "the first packet; DPM needs its trained (stable-route)\n"
+               "signatures and misfires under adaptive routing; PPM slowly\n"
+               "assembles paths from many packets.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Beyond direct networks — the paper's §6.3 future work, demonstrated.
+//
+// Three stops:
+//  1. a butterfly MIN, where DDPM has no coordinates but Port-Stamp
+//     Marking identifies the source terminal from one packet;
+//  2. a random irregular switch network with up*/down* routing, where
+//     Ingress-Stamp Marking does the same;
+//  3. the honest comparison: what each scheme assumes and what it costs.
+//
+//   $ ./beyond_direct_networks
+#include <iomanip>
+#include <iostream>
+
+#include "indirect/port_stamp.hpp"
+#include "irregular/irregular.hpp"
+#include "marking/ingress.hpp"
+#include "netsim/rng.hpp"
+
+int main() {
+  using namespace ddpm;
+
+  std::cout << "=== 1. Butterfly MIN: Port-Stamp Marking ===\n";
+  {
+    indirect::Butterfly net(4, 4);  // 4-ary 4-fly: 256 terminals
+    indirect::PortStampScheme scheme(net);
+    std::cout << net.spec() << ": " << net.num_terminals()
+              << " terminals, " << net.num_switches() << " switches, "
+              << indirect::PortStampScheme::required_bits(net)
+              << " Marking Field bits\n";
+    const indirect::TerminalId src = 173, dst = 9;
+    std::cout << "packet " << src << " -> " << dst << ":\n";
+    std::uint16_t field = 0xffff;  // attacker pre-load
+    for (const auto& hop : net.route(src, dst)) {
+      field = scheme.mark(field, hop.stage, hop.in_port);
+      std::cout << "  stage " << hop.stage << ": switch " << hop.switch_index
+                << " stamps in-port " << hop.in_port << " -> MF=0x"
+                << std::hex << std::setw(4) << std::setfill('0') << field
+                << std::dec << '\n';
+    }
+    std::cout << "  victim decodes source terminal "
+              << *scheme.identify(field) << " (true: " << src << ")\n\n";
+  }
+
+  std::cout << "=== 2. Irregular network: Ingress-Stamp Marking ===\n";
+  {
+    irregular::IrregularTopology topo(48, 20, 2024);
+    irregular::UpDownRouter router(topo);
+    mark::IngressStampScheme scheme(topo.num_nodes());
+    mark::IngressStampIdentifier identifier(topo.num_nodes());
+    std::cout << topo.spec() << ": " << topo.num_edges()
+              << " links, up*/down* path inflation "
+              << router.path_inflation() << "x\n";
+    netsim::Rng rng(5);
+    for (int i = 0; i < 3; ++i) {
+      const auto s = irregular::NodeId(rng.next_below(topo.num_nodes()));
+      auto d = irregular::NodeId(rng.next_below(topo.num_nodes()));
+      if (d == s) d = (d + 1) % topo.num_nodes();
+      const auto path = walk_updown(topo, router, s, d, rng);
+      pkt::Packet p;
+      p.set_marking_field(0xbeef);  // attacker pre-load
+      scheme.on_injection(p, s);
+      for (std::size_t h = 1; h < path.size(); ++h) {
+        scheme.on_forward(p, path[h - 1], path[h]);
+      }
+      std::cout << "  " << s << " -> " << d << " via " << path.size() - 1
+                << " hops: victim names "
+                << identifier.observe(p, d).front() << '\n';
+    }
+    std::cout << '\n';
+  }
+
+  std::cout <<
+      "=== 3. The honest comparison ===\n"
+      "All three schemes rest on the same two assumptions the paper makes\n"
+      "for DDPM: switches are trusted, and the source's switch knows the\n"
+      "packet came from its compute node. Given those, the identification\n"
+      "budget is ceil(log2 N) bits everywhere:\n"
+      "  DDPM          direct networks, per-hop arithmetic, Table 3 limits\n"
+      "  Port-Stamp    unique-path MINs, per-stage stamps, 65536 terminals\n"
+      "  Ingress-Stamp any topology, one stamp at injection, 65536 nodes\n"
+      "DDPM's edge: interior switches need no 'first hop' knowledge and a\n"
+      "lost interior mark only shifts attribution locally (see the\n"
+      "partial-deployment ablation).\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Mitigation pipeline: the closed loop the paper motivates, narrated.
+//
+// A SYN flood opens against one node of a 16x16 torus. The victim's
+// half-open-connection detector raises the alarm; DDPM names each zombie
+// from its first traced packet; the filter cuts them off at their own
+// switches; the victim's half-open table drains.
+//
+//   $ ./mitigation_pipeline
+#include <iostream>
+
+#include "cluster/network.hpp"
+#include "detect/detector.hpp"
+#include "marking/ddpm.hpp"
+
+int main() {
+  using namespace ddpm;
+
+  cluster::ClusterConfig config;
+  config.topology = "torus:16x16";
+  config.router = "adaptive";
+  config.scheme = "ddpm";
+  config.benign_rate_per_node = 0.0001;
+  config.seed = 99;
+  cluster::ClusterNetwork net(config);
+
+  attack::AttackConfig attack;
+  attack.kind = attack::AttackKind::kSynFlood;
+  attack.victim = 120;
+  {
+    netsim::Rng rng(5);
+    attack.zombies = attack::pick_zombies(net.topology(), 8, attack.victim, rng);
+  }
+  attack.rate_per_zombie = 0.005;
+  attack.spoof = attack::SpoofStrategy::kRandomCluster;
+  attack.start_time = 100000;
+  net.set_attack(attack);
+
+  detect::SynHalfOpenDetector detector(/*max_half_open=*/128,
+                                       /*handshake_timeout=*/50000);
+  mark::DdpmIdentifier identifier(net.topology());
+  std::uint64_t traced = 0;
+
+  net.set_delivery_hook([&](const pkt::Packet& p, topo::NodeId at) {
+    if (at != attack.victim) return;
+    const netsim::SimTime now = net.sim().now();
+    detector.observe(p, now);
+    if (!detector.alarmed()) return;
+    // Alarmed: trace every TCP packet that is not completing a handshake.
+    if (p.header.protocol() != pkt::IpProto::kTcp) return;
+    ++traced;
+    const auto candidates = identifier.observe(p, at);
+    if (candidates.size() == 1 &&
+        !net.filter().blocks_injection(candidates.front())) {
+      net.filter().block_source_node(candidates.front());
+      std::cout << "  t=" << now << "  DDPM names node " << candidates.front()
+                << " -> blocked at its source switch (packet #" << traced
+                << " traced)\n";
+    }
+  });
+
+  std::cout << "=== SYN-flood mitigation pipeline on torus:16x16 ===\n"
+            << "victim: node " << attack.victim << ", zombies:";
+  for (auto z : attack.zombies) std::cout << ' ' << z;
+  std::cout << "\nattack opens at t=" << attack.start_time << "\n\n";
+
+  net.start();
+  std::cout << "timeline (half-open connections at the victim):\n";
+  for (netsim::SimTime t = 50000; t <= 600000; t += 50000) {
+    net.run_until(t);
+    std::cout << "  t=" << t << "  half-open=" << detector.half_open(t)
+              << (detector.alarmed() && detector.alarm_time().value_or(t) <= t
+                      ? "  [ALARMED]"
+                      : "")
+              << "  blocked-injections=" << net.metrics().blocked_at_source
+              << '\n';
+  }
+
+  const bool all_blocked = net.metrics().blocked_at_source > 0 &&
+                           net.filter().rule_count() == attack.zombies.size();
+  std::cout << "\n" << net.metrics().summary() << "\n\nresult: "
+            << (all_blocked
+                    ? "all zombies quarantined; half-open table drained"
+                    : "see timeline above")
+            << '\n';
+  return 0;
+}

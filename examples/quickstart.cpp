@@ -1,0 +1,61 @@
+// Quickstart: the five-minute tour of the library.
+//
+// Builds an 8x8 torus cluster with adaptive routing and DDPM marking,
+// launches a spoofed UDP flood from four compromised nodes, and runs the
+// full pipeline: rate-based detection at the victim, one-packet source
+// identification, and automatic blocking at the attackers' own switches.
+//
+//   $ ./quickstart
+#include <iostream>
+
+#include "core/sis.hpp"
+
+int main() {
+  using namespace ddpm;
+
+  // 1. Describe the cluster (every knob has a sensible default).
+  core::ScenarioConfig config;
+  config.cluster.topology = "torus:8x8";    // paper Figure 1(b) family
+  config.cluster.router = "adaptive";       // paths vary packet-to-packet
+  config.cluster.scheme = "ddpm";           // the paper's contribution
+  config.cluster.benign_rate_per_node = 0.0003;
+  config.cluster.seed = 7;
+
+  // 2. Describe the attack: four zombies flood node 42 with packets whose
+  //    source addresses are random valid cluster addresses (spoofed).
+  config.attack.kind = attack::AttackKind::kUdpFlood;
+  config.attack.victim = 42;
+  config.attack.zombies = {3, 17, 29, 55};
+  config.attack.rate_per_zombie = 0.01;
+  config.attack.spoof = attack::SpoofStrategy::kRandomCluster;
+  config.attack.start_time = 50000;
+
+  // 3. Victim-side policy: DDPM identification, auto-block on success.
+  config.identifier = "ddpm";
+  config.detect_rate_threshold = 0.005;  // packets/tick at the victim
+  config.auto_block = true;
+  config.duration = 400000;
+
+  // 4. Run.
+  core::SourceIdentificationSystem system(config);
+  const core::ScenarioReport report = system.run();
+
+  // 5. Inspect.
+  std::cout << "=== quickstart: DDPM vs a spoofed UDP flood ===\n\n"
+            << report.summary() << "\n\n";
+  std::cout << "identification events:\n";
+  for (const auto& event : report.identifications) {
+    std::cout << "  t=" << event.when << "  named node " << event.identified
+              << (event.correct ? "  (a real zombie)" : "  (INNOCENT!)")
+              << '\n';
+  }
+  const bool all_found =
+      report.identified_sources.size() == config.attack.zombies.size() &&
+      report.false_positives == 0;
+  std::cout << "\nresult: "
+            << (all_found ? "every spoofing zombie identified and blocked "
+                            "from single packets"
+                          : "unexpected outcome — see report above")
+            << '\n';
+  return all_found ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+#include "analysis/attack_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace ddpm::analysis {
+
+void AttackGraph::add_source(topo::NodeId source, std::uint64_t weight) {
+  sources_[source] += weight;
+  total_ += weight;
+}
+
+void AttackGraph::add_path_edge(topo::NodeId from, topo::NodeId to,
+                                std::uint64_t weight) {
+  edges_[{from, to}] += weight;
+}
+
+std::vector<std::pair<topo::NodeId, std::uint64_t>>
+AttackGraph::ranked_sources() const {
+  std::vector<std::pair<topo::NodeId, std::uint64_t>> out(sources_.begin(),
+                                                          sources_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second || (a.second == b.second && a.first < b.first);
+  });
+  return out;
+}
+
+namespace {
+
+std::string label(topo::NodeId node, const topo::Topology* topo) {
+  if (topo != nullptr && topo->contains(node)) {
+    return std::to_string(node) + "\\n" + topo->coord_of(node).to_string();
+  }
+  return std::to_string(node);
+}
+
+double pen_width(std::uint64_t weight, std::uint64_t max_weight) {
+  if (max_weight == 0) return 1.0;
+  return 1.0 + 3.0 * std::sqrt(double(weight) / double(max_weight));
+}
+
+}  // namespace
+
+std::string AttackGraph::to_dot(const topo::Topology* topo) const {
+  std::uint64_t max_source = 0;
+  for (const auto& [node, w] : sources_) max_source = std::max(max_source, w);
+  std::uint64_t max_edge = 0;
+  for (const auto& [edge, w] : edges_) max_edge = std::max(max_edge, w);
+
+  std::ostringstream os;
+  os << "digraph attack {\n"
+     << "  rankdir=LR;\n"
+     << "  node [shape=circle, fontsize=10];\n"
+     << "  n" << victim_ << " [label=\"" << label(victim_, topo)
+     << "\", shape=doublecircle, style=filled, fillcolor=\"#ffd0d0\"];\n";
+  for (const auto& [node, weight] : sources_) {
+    if (node == victim_) continue;
+    os << "  n" << node << " [label=\"" << label(node, topo)
+       << "\", style=filled, fillcolor=\"#ffb0b0\", penwidth="
+       << pen_width(weight, max_source) << "];\n";
+    // Verdict arrow straight to the victim, annotated with packet count.
+    os << "  n" << node << " -> n" << victim_ << " [label=\"" << weight
+       << "\", penwidth=" << pen_width(weight, max_source) << "];\n";
+  }
+  for (const auto& [edge, weight] : edges_) {
+    os << "  n" << edge.first << " -> n" << edge.second
+       << " [style=dashed, penwidth=" << pen_width(weight, max_edge)
+       << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ddpm::analysis

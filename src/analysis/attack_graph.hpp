@@ -1,0 +1,47 @@
+// Attack-graph assembly and Graphviz export.
+//
+// The victim's forensic output is a graph: identified sources weighted by
+// packet counts (DDPM/DPM verdicts) and, for PPM, the reconstructed path
+// edges. This module accumulates both and renders Graphviz DOT, so a run
+// of ddpm_sim --dot can be piped straight into `dot -Tsvg`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace ddpm::analysis {
+
+class AttackGraph {
+ public:
+  explicit AttackGraph(topo::NodeId victim) : victim_(victim) {}
+
+  /// Records a source verdict (one per traced packet).
+  void add_source(topo::NodeId source, std::uint64_t weight = 1);
+
+  /// Records a reconstructed path edge (PPM chains), oriented toward the
+  /// victim.
+  void add_path_edge(topo::NodeId from, topo::NodeId to,
+                     std::uint64_t weight = 1);
+
+  /// Sources ranked by accumulated weight, heaviest first.
+  std::vector<std::pair<topo::NodeId, std::uint64_t>> ranked_sources() const;
+
+  std::uint64_t total_verdicts() const noexcept { return total_; }
+  bool empty() const noexcept { return sources_.empty() && edges_.empty(); }
+
+  /// Graphviz DOT. When `topo` is given, nodes are labeled with their
+  /// coordinates; edge/source pen widths scale with weight.
+  std::string to_dot(const topo::Topology* topo = nullptr) const;
+
+ private:
+  topo::NodeId victim_;
+  std::map<topo::NodeId, std::uint64_t> sources_;
+  std::map<std::pair<topo::NodeId, topo::NodeId>, std::uint64_t> edges_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ddpm::analysis

@@ -1,0 +1,42 @@
+#include "attack/attacker.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ddpm::attack {
+
+std::string to_string(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kNone: return "none";
+    case AttackKind::kUdpFlood: return "udp-flood";
+    case AttackKind::kSynFlood: return "syn-flood";
+    case AttackKind::kWorm: return "worm";
+    case AttackKind::kReflector: return "reflector";
+  }
+  return "unknown";
+}
+
+std::vector<topo::NodeId> pick_zombies(const topo::Topology& topo,
+                                       std::size_t count, topo::NodeId victim,
+                                       netsim::Rng& rng) {
+  const std::size_t available =
+      topo.num_nodes() - (victim < topo.num_nodes() ? 1 : 0);
+  if (count > available) {
+    throw std::invalid_argument("pick_zombies: not enough nodes");
+  }
+  // Partial Fisher-Yates over the candidate list.
+  std::vector<topo::NodeId> pool;
+  pool.reserve(available);
+  for (topo::NodeId n = 0; n < topo.num_nodes(); ++n) {
+    if (n != victim) pool.push_back(n);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + std::size_t(rng.next_below(pool.size() - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(count);
+  std::sort(pool.begin(), pool.end());
+  return pool;
+}
+
+}  // namespace ddpm::attack

@@ -1,0 +1,36 @@
+#include "attack/spoof.hpp"
+
+namespace ddpm::attack {
+
+std::string to_string(SpoofStrategy strategy) {
+  switch (strategy) {
+    case SpoofStrategy::kNone: return "none";
+    case SpoofStrategy::kRandomCluster: return "random-cluster";
+    case SpoofStrategy::kRandomAny: return "random-any";
+    case SpoofStrategy::kVictimReflect: return "victim-reflect";
+  }
+  return "unknown";
+}
+
+void apply_spoof(pkt::Packet& packet, SpoofStrategy strategy,
+                 const pkt::AddressMap& addresses, topo::NodeId attacker,
+                 topo::NodeId victim, netsim::Rng& rng) {
+  switch (strategy) {
+    case SpoofStrategy::kNone:
+      packet.header.set_source(addresses.address_of(attacker));
+      break;
+    case SpoofStrategy::kRandomCluster: {
+      const auto node = topo::NodeId(rng.next_below(addresses.num_nodes()));
+      packet.header.set_source(addresses.address_of(node));
+      break;
+    }
+    case SpoofStrategy::kRandomAny:
+      packet.header.set_source(pkt::Ipv4Address(rng.next_u64()));
+      break;
+    case SpoofStrategy::kVictimReflect:
+      packet.header.set_source(addresses.address_of(victim));
+      break;
+  }
+}
+
+}  // namespace ddpm::attack

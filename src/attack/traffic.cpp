@@ -1,0 +1,71 @@
+#include "attack/traffic.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ddpm::attack {
+
+NodeId UniformPattern::pick_dest(NodeId src, netsim::Rng& rng) const {
+  const NodeId n = topo_.num_nodes();
+  // Sample from the n-1 nodes that are not `src`.
+  const auto draw = NodeId(rng.next_below(n - 1));
+  return draw >= src ? draw + 1 : draw;
+}
+
+TransposePattern::TransposePattern(const topo::Topology& topo)
+    : topo_(topo), fallback_(topo) {
+  for (std::size_t d = 1; d < topo.num_dims(); ++d) {
+    if (topo.dim_size(d) != topo.dim_size(0)) {
+      throw std::invalid_argument(
+          "TransposePattern: all dimension sizes must be equal");
+    }
+  }
+}
+
+NodeId TransposePattern::pick_dest(NodeId src, netsim::Rng& rng) const {
+  const topo::Coord c = topo_.coord_of(src);
+  auto t = topo::Coord(c.size());
+  for (std::size_t d = 0; d < c.size(); ++d) t[d] = c[c.size() - 1 - d];
+  const NodeId dest = topo_.id_of(t);
+  return dest == src ? fallback_.pick_dest(src, rng) : dest;
+}
+
+NodeId ComplementPattern::pick_dest(NodeId src, netsim::Rng& rng) const {
+  const topo::Coord c = topo_.coord_of(src);
+  auto m = topo::Coord(c.size());
+  for (std::size_t d = 0; d < c.size(); ++d) {
+    m[d] = static_cast<topo::Coord::value_type>(topo_.dim_size(d) - 1 - c[d]);
+  }
+  const NodeId dest = topo_.id_of(m);
+  return dest == src ? fallback_.pick_dest(src, rng) : dest;
+}
+
+NodeId BitReversePattern::pick_dest(NodeId src, netsim::Rng& rng) const {
+  const NodeId n = topo_.num_nodes();
+  const int bits = n <= 1 ? 1 : std::bit_width(n - 1);
+  NodeId rev = 0;
+  for (int b = 0; b < bits; ++b) {
+    if (src & (NodeId(1) << b)) rev |= NodeId(1) << (bits - 1 - b);
+  }
+  rev %= n;
+  return rev == src ? fallback_.pick_dest(src, rng) : rev;
+}
+
+NodeId HotspotPattern::pick_dest(NodeId src, netsim::Rng& rng) const {
+  if (src != hotspot_ && rng.next_bool(fraction_)) return hotspot_;
+  return fallback_.pick_dest(src, rng);
+}
+
+std::unique_ptr<TrafficPattern> make_pattern(const std::string& name,
+                                             const topo::Topology& topo) {
+  if (name == "uniform") return std::make_unique<UniformPattern>(topo);
+  if (name == "transpose") return std::make_unique<TransposePattern>(topo);
+  if (name == "complement") return std::make_unique<ComplementPattern>(topo);
+  if (name == "bit-reverse") return std::make_unique<BitReversePattern>(topo);
+  if (name == "hotspot") {
+    return std::make_unique<HotspotPattern>(topo, 0, 0.2);
+  }
+  throw std::invalid_argument("make_pattern: unknown pattern '" + name + "'");
+}
+
+}  // namespace ddpm::attack

@@ -1,0 +1,102 @@
+// Background traffic patterns for cluster interconnects.
+//
+// These are the standard synthetic workloads of the interconnection-network
+// literature (uniform random, transpose, bit-complement, bit-reverse,
+// hotspot). The paper's evaluation needs them as the benign traffic a DDoS
+// attack hides inside (paper §1: "a DDoS attack usually camouflages itself
+// as normal traffic").
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "netsim/rng.hpp"
+#include "topology/topology.hpp"
+
+namespace ddpm::attack {
+
+using topo::NodeId;
+
+/// Picks the destination for a packet injected at `src`. Never returns
+/// `src` itself (self-traffic stays on-node and exercises nothing).
+class TrafficPattern {
+ public:
+  virtual ~TrafficPattern() = default;
+  virtual std::string name() const = 0;
+  virtual NodeId pick_dest(NodeId src, netsim::Rng& rng) const = 0;
+};
+
+/// Uniformly random destination.
+class UniformPattern final : public TrafficPattern {
+ public:
+  explicit UniformPattern(const topo::Topology& topo) : topo_(topo) {}
+  std::string name() const override { return "uniform"; }
+  NodeId pick_dest(NodeId src, netsim::Rng& rng) const override;
+
+ private:
+  const topo::Topology& topo_;
+};
+
+/// Coordinate transpose: (x0,...,xn-1) -> (xn-1,...,x0). Requires all
+/// dimension sizes equal; nodes on the diagonal fall back to uniform.
+class TransposePattern final : public TrafficPattern {
+ public:
+  explicit TransposePattern(const topo::Topology& topo);
+  std::string name() const override { return "transpose"; }
+  NodeId pick_dest(NodeId src, netsim::Rng& rng) const override;
+
+ private:
+  const topo::Topology& topo_;
+  UniformPattern fallback_;
+};
+
+/// Per-dimension mirror: coordinate c -> k-1-c (bit complement on
+/// power-of-two radices and hypercubes). Self-paired nodes fall back to
+/// uniform.
+class ComplementPattern final : public TrafficPattern {
+ public:
+  explicit ComplementPattern(const topo::Topology& topo)
+      : topo_(topo), fallback_(topo) {}
+  std::string name() const override { return "complement"; }
+  NodeId pick_dest(NodeId src, netsim::Rng& rng) const override;
+
+ private:
+  const topo::Topology& topo_;
+  UniformPattern fallback_;
+};
+
+/// Flat-id bit reversal over ceil(log2 N) bits, wrapped into range.
+class BitReversePattern final : public TrafficPattern {
+ public:
+  explicit BitReversePattern(const topo::Topology& topo)
+      : topo_(topo), fallback_(topo) {}
+  std::string name() const override { return "bit-reverse"; }
+  NodeId pick_dest(NodeId src, netsim::Rng& rng) const override;
+
+ private:
+  const topo::Topology& topo_;
+  UniformPattern fallback_;
+};
+
+/// With probability `fraction` the destination is the fixed hotspot;
+/// otherwise uniform.
+class HotspotPattern final : public TrafficPattern {
+ public:
+  HotspotPattern(const topo::Topology& topo, NodeId hotspot, double fraction)
+      : topo_(topo), fallback_(topo), hotspot_(hotspot), fraction_(fraction) {}
+  std::string name() const override { return "hotspot"; }
+  NodeId pick_dest(NodeId src, netsim::Rng& rng) const override;
+
+ private:
+  const topo::Topology& topo_;
+  UniformPattern fallback_;
+  NodeId hotspot_;
+  double fraction_;
+};
+
+/// Builds a pattern by name: "uniform", "transpose", "complement",
+/// "bit-reverse", "hotspot" (hotspot node 0, fraction 0.2).
+std::unique_ptr<TrafficPattern> make_pattern(const std::string& name,
+                                             const topo::Topology& topo);
+
+}  // namespace ddpm::attack

@@ -1,0 +1,23 @@
+#include "cluster/metrics.hpp"
+
+#include <sstream>
+
+namespace ddpm::cluster {
+
+std::string Metrics::summary() const {
+  std::ostringstream os;
+  os << "injected " << injected() << " (benign " << injected_benign
+     << ", attack " << injected_attack << "), delivered " << delivered()
+     << " (benign " << delivered_benign << ", attack " << delivered_attack
+     << "), dropped " << dropped() << " (queue " << dropped_queue_full
+     << ", no-route " << dropped_no_route << ", ttl " << dropped_ttl
+     << "), blocked-at-source " << blocked_at_source
+     << ", ingress-filtered " << dropped_spoofed_ingress << ", filtered "
+     << filtered_at_victim;
+  if (latency_benign.count() > 0) {
+    os << "; benign latency mean " << latency_benign.mean() << " ticks";
+  }
+  return os.str();
+}
+
+}  // namespace ddpm::cluster

@@ -1,0 +1,73 @@
+#include "cluster/switch.hpp"
+
+#include <cmath>
+
+namespace ddpm::cluster {
+
+Switch::Switch(NodeId id, Env* env, netsim::Rng rng)
+    : id_(id),
+      env_(env),
+      rng_(rng),
+      ports_(std::size_t(env->topo->num_ports())) {}
+
+void Switch::inject(pkt::Packet&& packet) {
+  if (env_->scheme != nullptr) env_->scheme->on_injection(packet, id_);
+  handle(std::move(packet), route::kLocalPort);
+}
+
+void Switch::handle(pkt::Packet&& packet, Port arrived_on) {
+  if (packet.dest_node == id_) {
+    packet.delivered_at = env_->sim->now();
+    env_->deliver(std::move(packet), id_);
+    return;
+  }
+  const auto port = env_->router->select_output(id_, packet.dest_node,
+                                                arrived_on, *env_->links, rng_);
+  if (!port) {
+    ++env_->metrics->dropped_no_route;
+    return;
+  }
+  if (packet.header.decrement_ttl() == 0) {
+    ++env_->metrics->dropped_ttl;
+    return;
+  }
+  OutputPort& out = ports_[std::size_t(*port)];
+  if (out.queue.size() >= env_->queue_capacity) {
+    ++env_->metrics->dropped_queue_full;
+    return;
+  }
+  const NodeId next = *env_->topo->neighbor(id_, *port);
+  if (env_->scheme != nullptr) env_->scheme->on_forward(packet, id_, next);
+  ++packet.hops;
+  if (!packet.trace.empty()) packet.trace.push_back(next);
+  out.queue.push_back(std::move(packet));
+  start_transmission(*port);
+}
+
+void Switch::start_transmission(Port port) {
+  OutputPort& out = ports_[std::size_t(port)];
+  if (out.busy || out.queue.empty()) return;
+  out.busy = true;
+  pkt::Packet packet = std::move(out.queue.front());
+  out.queue.pop_front();
+  const auto tx_ticks = netsim::SimTime(
+      std::ceil(double(packet.wire_bytes()) / env_->link_bandwidth));
+  const NodeId next = *env_->topo->neighbor(id_, port);
+  // Link frees up after serialization; the packet lands after propagation.
+  env_->sim->schedule_in(tx_ticks, [this, port]() {
+    ports_[std::size_t(port)].busy = false;
+    start_transmission(port);
+  });
+  env_->sim->schedule_in(
+      tx_ticks + env_->link_latency,
+      [this, packet = std::move(packet), next]() mutable {
+        env_->arrive(std::move(packet), id_, next);
+      });
+}
+
+std::size_t Switch::queue_length(Port port) const {
+  if (port < 0 || std::size_t(port) >= ports_.size()) return 0;
+  return ports_[std::size_t(port)].queue.size();
+}
+
+}  // namespace ddpm::cluster

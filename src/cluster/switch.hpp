@@ -1,0 +1,78 @@
+// Switch model (paper §4.1: "one node consists of a switch and a computing
+// node, but they are separate entities"; switches are trusted and run only
+// the routing + marking fast path).
+//
+// Store-and-forward, output-queued: a packet arriving at a switch is
+// routed, TTL-checked, marked, and appended to the chosen output queue;
+// each output link serializes one packet at a time at the configured
+// bandwidth and delivers it to the neighbor after the link latency.
+//
+// Per-hop processing order matches walk_packet (walk.hpp) and Figure 4:
+// route -> decrement TTL -> mark with (current, next).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "cluster/metrics.hpp"
+#include "marking/scheme.hpp"
+#include "netsim/rng.hpp"
+#include "netsim/simulator.hpp"
+#include "routing/router.hpp"
+
+namespace ddpm::cluster {
+
+using topo::NodeId;
+using topo::Port;
+
+class Switch {
+ public:
+  /// Services the owning network provides. All pointers outlive the switch.
+  struct Env {
+    netsim::Simulator* sim = nullptr;
+    const topo::Topology* topo = nullptr;
+    const route::Router* router = nullptr;
+    mark::MarkingScheme* scheme = nullptr;  // nullable: unmarked network
+    const route::LinkStateView* links = nullptr;
+    Metrics* metrics = nullptr;
+    /// Hands a packet to the local compute node.
+    std::function<void(pkt::Packet&&, NodeId at)> deliver;
+    /// Hands a packet to the neighbor switch (already past the link).
+    std::function<void(pkt::Packet&&, NodeId from, NodeId to)> arrive;
+
+    double link_bandwidth = 1.0;        // bytes per tick
+    netsim::SimTime link_latency = 50;  // ticks of propagation per hop
+    std::size_t queue_capacity = 16;    // packets per output queue
+  };
+
+  Switch(NodeId id, Env* env, netsim::Rng rng);
+
+  /// Packet enters from the attached compute node; runs the scheme's
+  /// injection hook (Figure 4's V := 0) before normal handling.
+  void inject(pkt::Packet&& packet);
+
+  /// Packet enters from a neighbor through `arrived_on` (this switch's
+  /// port toward that neighbor).
+  void handle(pkt::Packet&& packet, Port arrived_on);
+
+  /// Output-queue occupancy, the congestion signal adaptive routing reads.
+  std::size_t queue_length(Port port) const;
+
+  NodeId id() const noexcept { return id_; }
+
+ private:
+  struct OutputPort {
+    std::deque<pkt::Packet> queue;
+    bool busy = false;
+  };
+
+  void start_transmission(Port port);
+
+  NodeId id_;
+  Env* env_;
+  netsim::Rng rng_;
+  std::vector<OutputPort> ports_;
+};
+
+}  // namespace ddpm::cluster

@@ -1,0 +1,58 @@
+#include "core/experiment.hpp"
+
+#include <numeric>
+#include <sstream>
+
+namespace ddpm::core {
+
+ExperimentSummary run_repeated(const ScenarioConfig& config,
+                               const std::vector<std::uint64_t>& seeds) {
+  ExperimentSummary summary;
+  for (const std::uint64_t seed : seeds) {
+    ScenarioConfig run_config = config;
+    run_config.cluster.seed = seed;
+    SourceIdentificationSystem system(run_config);
+    const ScenarioReport report = system.run();
+    ++summary.runs;
+    if (report.detection_time) {
+      ++summary.detected_runs;
+      const auto start = config.attack.start_time;
+      summary.detection_latency.add(
+          double(*report.detection_time >= start
+                     ? *report.detection_time - start
+                     : 0));
+    }
+    summary.true_positives.add(double(report.true_positives));
+    summary.false_positives.add(double(report.false_positives));
+    if (report.packets_to_first_identification > 0) {
+      summary.packets_to_first_identification.add(
+          double(report.packets_to_first_identification));
+    }
+    summary.attack_delivered_after_block.add(
+        double(report.attack_delivered_after_block));
+    summary.benign_latency_mean.add(report.metrics.latency_benign.mean());
+    if (report.true_positives == report.true_sources.size() &&
+        report.false_positives == 0) {
+      ++summary.perfect_runs;
+    }
+  }
+  return summary;
+}
+
+ExperimentSummary run_repeated_n(const ScenarioConfig& config, std::size_t n) {
+  std::vector<std::uint64_t> seeds(n);
+  std::iota(seeds.begin(), seeds.end(), 1);
+  return run_repeated(config, seeds);
+}
+
+std::string ExperimentSummary::to_string() const {
+  std::ostringstream os;
+  os << runs << " runs: detected " << detected_runs << "/" << runs
+     << " (latency " << detection_latency.mean() << " +- "
+     << detection_latency.stddev() << " ticks), TP "
+     << true_positives.mean() << " +- " << true_positives.stddev() << ", FP "
+     << false_positives.mean() << ", perfect " << perfect_runs << "/" << runs;
+  return os.str();
+}
+
+}  // namespace ddpm::core

@@ -1,0 +1,172 @@
+#include "core/report_json.hpp"
+
+#include <sstream>
+
+namespace ddpm::core {
+
+namespace {
+
+/// Minimal JSON builder: tracks nesting/indentation and comma placement.
+class Json {
+ public:
+  std::string str() const { return out_.str(); }
+
+  void open_object(const std::string& key = "") {
+    prefix(key);
+    out_ << "{";
+    first_.push_back(true);
+  }
+  void close_object() {
+    first_.pop_back();
+    newline();
+    out_ << "}";
+  }
+  void open_array(const std::string& key) {
+    prefix(key);
+    out_ << "[";
+    first_.push_back(true);
+  }
+  void close_array() {
+    first_.pop_back();
+    newline();
+    out_ << "]";
+  }
+
+  template <typename T>
+  void field(const std::string& key, const T& value) {
+    prefix(key);
+    write(value);
+  }
+
+ private:
+  void newline() {
+    out_ << '\n' << std::string(2 * first_.size(), ' ');
+  }
+  void prefix(const std::string& key) {
+    if (!first_.empty()) {
+      if (!first_.back()) out_ << ',';
+      first_.back() = false;
+      newline();
+    }
+    if (!key.empty()) out_ << '"' << key << "\": ";
+  }
+  void write(const std::string& value) {
+    out_ << '"';
+    for (char c : value) {
+      switch (c) {
+        case '"': out_ << "\\\""; break;
+        case '\\': out_ << "\\\\"; break;
+        case '\n': out_ << "\\n"; break;
+        default: out_ << c;
+      }
+    }
+    out_ << '"';
+  }
+  void write(const char* value) { write(std::string(value)); }
+  void write(bool value) { out_ << (value ? "true" : "false"); }
+  template <typename T>
+  void write(const T& value) {
+    out_ << value;
+  }
+
+  std::ostringstream out_;
+  std::vector<bool> first_;
+};
+
+void write_metrics(Json& json, const cluster::Metrics& m) {
+  json.open_object("metrics");
+  json.field("injected_benign", m.injected_benign);
+  json.field("injected_attack", m.injected_attack);
+  json.field("delivered_benign", m.delivered_benign);
+  json.field("delivered_attack", m.delivered_attack);
+  json.field("dropped_queue_full", m.dropped_queue_full);
+  json.field("dropped_no_route", m.dropped_no_route);
+  json.field("dropped_ttl", m.dropped_ttl);
+  json.field("blocked_at_source", m.blocked_at_source);
+  json.field("filtered_at_victim", m.filtered_at_victim);
+  json.field("benign_latency_mean", m.latency_benign.mean());
+  json.field("benign_latency_max", m.latency_benign.max());
+  json.field("attack_latency_mean", m.latency_attack.mean());
+  json.field("mean_hops", m.hops.mean());
+  json.close_object();
+}
+
+void write_report_body(Json& json, const ScenarioReport& report) {
+  json.open_object("report");
+  if (report.detection_time) {
+    json.field("detection_time", *report.detection_time);
+  } else {
+    json.field("detection_time", "never");
+  }
+  json.field("true_positives", report.true_positives);
+  json.field("false_positives", report.false_positives);
+  json.field("packets_to_first_identification",
+             report.packets_to_first_identification);
+  json.field("attack_delivered_before_block",
+             report.attack_delivered_before_block);
+  json.field("attack_delivered_after_block",
+             report.attack_delivered_after_block);
+  json.open_array("true_sources");
+  for (auto n : report.true_sources) json.field("", n);
+  json.close_array();
+  json.open_array("identified_sources");
+  for (auto n : report.identified_sources) json.field("", n);
+  json.close_array();
+  json.open_array("blocked_sources");
+  for (auto n : report.blocked_sources) json.field("", n);
+  json.close_array();
+  json.open_array("identifications");
+  for (const auto& e : report.identifications) {
+    json.open_object();
+    json.field("t", e.when);
+    json.field("identified", e.identified);
+    json.field("correct", e.correct);
+    json.close_object();
+  }
+  json.close_array();
+  write_metrics(json, report.metrics);
+  json.close_object();
+}
+
+}  // namespace
+
+std::string to_json(const ScenarioReport& report) {
+  Json json;
+  json.open_object();
+  write_report_body(json, report);
+  json.close_object();
+  return json.str();
+}
+
+std::string to_json(const ScenarioConfig& config,
+                    const ScenarioReport& report) {
+  Json json;
+  json.open_object();
+  json.open_object("config");
+  json.field("topology", config.cluster.topology);
+  json.field("router", config.cluster.router);
+  json.field("scheme", config.cluster.scheme);
+  json.field("pattern", config.cluster.pattern);
+  json.field("benign_rate_per_node", config.cluster.benign_rate_per_node);
+  json.field("seed", config.cluster.seed);
+  json.field("identifier", config.identifier);
+  json.field("detect_rate_threshold", config.detect_rate_threshold);
+  json.field("auto_block", config.auto_block);
+  json.field("duration", config.duration);
+  json.open_object("attack");
+  json.field("kind", attack::to_string(config.attack.kind));
+  json.field("victim", config.attack.victim);
+  json.field("rate_per_zombie", config.attack.rate_per_zombie);
+  json.field("spoof", attack::to_string(config.attack.spoof));
+  json.field("start_time", config.attack.start_time);
+  json.open_array("zombies");
+  for (auto z : config.attack.zombies) json.field("", z);
+  json.close_array();
+  json.close_object();
+  json.close_object();
+  write_report_body(json, report);
+  json.close_object();
+  return json.str();
+}
+
+}  // namespace ddpm::core

@@ -1,0 +1,20 @@
+// JSON serialization of scenario reports — the machine-readable output of
+// ddpm_sim (--json) for downstream sweep/plotting tooling. No third-party
+// dependency: the report is a closed, numeric structure, so a small
+// hand-rolled writer suffices.
+#pragma once
+
+#include <string>
+
+#include "core/sis.hpp"
+
+namespace ddpm::core {
+
+/// Serializes the report (pretty-printed, stable key order).
+std::string to_json(const ScenarioReport& report);
+
+/// Serializes the scenario configuration alongside, so one JSON document
+/// fully describes an experiment: {"config": ..., "report": ...}.
+std::string to_json(const ScenarioConfig& config, const ScenarioReport& report);
+
+}  // namespace ddpm::core

@@ -1,0 +1,93 @@
+#include "detect/detector.hpp"
+
+#include <algorithm>
+
+namespace ddpm::detect {
+
+void RateThresholdDetector::observe(const pkt::Packet&, netsim::SimTime now) {
+  rate_.observe(now);
+  if (rate_.rate(now) > threshold_) latch(now);
+}
+
+void RateThresholdDetector::reset() {
+  alarm_time_.reset();
+  rate_ = netsim::EwmaRate(half_life_);
+}
+
+void EntropyDetector::observe(const pkt::Packet& packet, netsim::SimTime now) {
+  const std::uint32_t src = packet.header.source();
+  recent_.push_back(src);
+  ++counts_[src];
+  if (recent_.size() > window_) {
+    const std::uint32_t old = recent_.front();
+    recent_.pop_front();
+    auto it = counts_.find(old);
+    if (--it->second == 0) counts_.erase(it);
+  }
+  if (recent_.size() < window_) return;
+  const double h = netsim::shannon_entropy(counts_);
+  if (h < low_ || h > high_) latch(now);
+}
+
+void EntropyDetector::reset() {
+  alarm_time_.reset();
+  recent_.clear();
+  counts_.clear();
+}
+
+double EntropyDetector::current_entropy() const {
+  return netsim::shannon_entropy(counts_);
+}
+
+void CusumDetector::advance(netsim::SimTime now) {
+  const std::uint64_t current = now / window_;
+  while (bucket_ < current) {
+    // Close the open window, fold it, and account the empty ones between.
+    s_ = std::max(0.0, s_ + double(in_bucket_) - benign_mean_ - slack_);
+    if (s_ > threshold_) latch((bucket_ + 1) * window_);
+    in_bucket_ = 0;
+    ++bucket_;
+  }
+}
+
+void CusumDetector::observe(const pkt::Packet&, netsim::SimTime now) {
+  advance(now);
+  ++in_bucket_;
+  // Intra-window early alarm: the open bucket alone may already prove it.
+  if (s_ + double(in_bucket_) - benign_mean_ - slack_ > threshold_) {
+    latch(now);
+  }
+}
+
+void CusumDetector::reset() {
+  alarm_time_.reset();
+  s_ = 0.0;
+  bucket_ = 0;
+  in_bucket_ = 0;
+}
+
+void SynHalfOpenDetector::expire(netsim::SimTime now) const {
+  while (!pending_.empty() && pending_.front() + timeout_ <= now) {
+    pending_.pop_front();
+  }
+}
+
+void SynHalfOpenDetector::observe(const pkt::Packet& packet,
+                                  netsim::SimTime now) {
+  if (packet.header.protocol() != pkt::IpProto::kTcp) return;
+  expire(now);
+  pending_.push_back(now);
+  if (pending_.size() > max_half_open_) latch(now);
+}
+
+void SynHalfOpenDetector::reset() {
+  alarm_time_.reset();
+  pending_.clear();
+}
+
+std::size_t SynHalfOpenDetector::half_open(netsim::SimTime now) const {
+  expire(now);
+  return pending_.size();
+}
+
+}  // namespace ddpm::detect

@@ -1,0 +1,65 @@
+// Blocking filters — the mitigation step (paper §2: "Once a source or a
+// path is identified, we can protect our system by blocking packets from
+// that source or that path").
+//
+// Three rule kinds, one per identification scheme:
+//   * by true source node — installable at the offender's own switch once
+//     DDPM names it, cutting the attack at its origin;
+//   * by DPM signature — the victim drops everything whose Marking Field
+//     matches a known-bad signature ("without additional computing
+//     complexity", §2), at the cost of collateral damage on colliding
+//     signatures;
+//   * by claimed source address — the naive filter spoofing defeats,
+//     included as the baseline.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "packet/packet.hpp"
+#include "topology/topology.hpp"
+
+namespace ddpm::detect {
+
+class BlockingFilter {
+ public:
+  /// Block packets injected at this node (requires source-switch
+  /// enforcement; DDPM makes the node identifiable).
+  void block_source_node(topo::NodeId node) { nodes_.insert(node); }
+
+  /// Block packets whose final Marking Field equals this DPM signature
+  /// (victim-side enforcement).
+  void block_signature(std::uint16_t signature) { signatures_.insert(signature); }
+
+  /// Block packets claiming this source address (victim-side; defeated by
+  /// spoofing).
+  void block_address(pkt::Ipv4Address address) { addresses_.insert(address); }
+
+  /// Source-switch check: is traffic injected by `injector` blocked?
+  bool blocks_injection(topo::NodeId injector) const {
+    return nodes_.count(injector) != 0;
+  }
+
+  /// Victim-side check on a delivered packet.
+  bool blocks_delivery(const pkt::Packet& packet) const {
+    return signatures_.count(packet.marking_field()) != 0 ||
+           addresses_.count(packet.header.source()) != 0;
+  }
+
+  void clear() {
+    nodes_.clear();
+    signatures_.clear();
+    addresses_.clear();
+  }
+
+  std::size_t rule_count() const noexcept {
+    return nodes_.size() + signatures_.size() + addresses_.size();
+  }
+
+ private:
+  std::unordered_set<topo::NodeId> nodes_;
+  std::unordered_set<std::uint16_t> signatures_;
+  std::unordered_set<pkt::Ipv4Address> addresses_;
+};
+
+}  // namespace ddpm::detect

@@ -1,0 +1,92 @@
+#include "hybrid/hybrid.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ddpm::hybrid {
+
+namespace {
+
+int ceil_log2(unsigned v) { return v <= 1 ? 0 : std::bit_width(v - 1); }
+
+}  // namespace
+
+HybridTopology::HybridTopology(int side, int hosts_per_switch)
+    : mesh_({side, side}), hosts_(hosts_per_switch) {
+  if (hosts_per_switch < 1) {
+    throw std::invalid_argument("HybridTopology: need >= 1 host per switch");
+  }
+}
+
+int HierarchicalDdpmCodec::required_bits(const HybridTopology& topo) {
+  const int local = std::max(1, ceil_log2(unsigned(topo.hosts_per_switch())));
+  const int per_dim = ceil_log2(unsigned(topo.mesh().dim_size(0))) + 1;
+  return local + 2 * per_dim;
+}
+
+HierarchicalDdpmCodec::HierarchicalDdpmCodec(const HybridTopology& topo)
+    : topo_(topo) {
+  const int total = required_bits(topo);
+  if (total > 16) {
+    throw std::invalid_argument("HierarchicalDdpmCodec: needs " +
+                                std::to_string(total) + " bits");
+  }
+  const unsigned per_dim =
+      unsigned(ceil_log2(unsigned(topo.mesh().dim_size(0))) + 1);
+  vector_slices_[0] = {0, per_dim};
+  vector_slices_[1] = {per_dim, per_dim};
+  local_bits_ =
+      unsigned(std::max(1, ceil_log2(unsigned(topo.hosts_per_switch()))));
+  local_slice_ = {2 * per_dim, local_bits_};
+}
+
+std::uint16_t HierarchicalDdpmCodec::encode(int local,
+                                            const topo::Coord& v) const {
+  std::uint16_t field = 0;
+  field = pkt::write_unsigned(field, local_slice_, std::uint16_t(local));
+  field = pkt::write_signed(field, vector_slices_[0], v[0]);
+  field = pkt::write_signed(field, vector_slices_[1], v[1]);
+  return field;
+}
+
+int HierarchicalDdpmCodec::decode_local(std::uint16_t field) const {
+  return int(pkt::read_unsigned(field, local_slice_));
+}
+
+topo::Coord HierarchicalDdpmCodec::decode_vector(std::uint16_t field) const {
+  topo::Coord v{0, 0};
+  v[0] = topo::Coord::value_type(pkt::read_signed(field, vector_slices_[0]));
+  v[1] = topo::Coord::value_type(pkt::read_signed(field, vector_slices_[1]));
+  return v;
+}
+
+void HierarchicalDdpmScheme::mark_injection(pkt::Packet& packet,
+                                            topo::NodeId /*sw*/,
+                                            int local) const {
+  packet.set_marking_field(codec_.encode(local, topo::Coord{0, 0}));
+}
+
+void HierarchicalDdpmScheme::mark_forward(pkt::Packet& packet,
+                                          topo::NodeId current,
+                                          topo::NodeId next) const {
+  const std::uint16_t field = packet.marking_field();
+  const topo::Coord v = codec_.decode_vector(field);
+  const topo::Coord updated =
+      v + (topo_.mesh().coord_of(next) - topo_.mesh().coord_of(current));
+  packet.set_marking_field(
+      codec_.encode(codec_.decode_local(field), updated));
+}
+
+std::optional<HostId> HierarchicalDdpmIdentifier::identify(
+    topo::NodeId victim_switch, std::uint16_t field) const {
+  const topo::Coord v = codec_.decode_vector(field);
+  const topo::Coord s = topo_.mesh().coord_of(victim_switch) - v;
+  for (std::size_t d = 0; d < 2; ++d) {
+    if (s[d] < 0 || s[d] >= topo_.mesh().dim_size(d)) return std::nullopt;
+  }
+  const int local = codec_.decode_local(field);
+  if (local >= topo_.hosts_per_switch()) return std::nullopt;
+  return topo_.host_of(topo_.mesh().id_of(s), local);
+}
+
+}  // namespace ddpm::hybrid

@@ -1,0 +1,72 @@
+#include "indirect/butterfly.hpp"
+
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace ddpm::indirect {
+
+Butterfly::Butterfly(int radix, int stages) : k_(radix), n_(stages) {
+  if (radix < 2) throw std::invalid_argument("Butterfly: radix must be >= 2");
+  if (stages < 1) throw std::invalid_argument("Butterfly: need >= 1 stage");
+  std::uint64_t total = 1;
+  for (int i = 0; i < stages; ++i) {
+    total *= std::uint64_t(radix);
+    if (total > std::numeric_limits<TerminalId>::max()) {
+      throw std::invalid_argument("Butterfly: terminal count overflow");
+    }
+  }
+  terminals_ = TerminalId(total);
+  digit_weight_.resize(std::size_t(n_));
+  std::uint32_t w = 1;
+  for (int i = n_ - 1; i >= 0; --i) {
+    digit_weight_[std::size_t(i)] = w;
+    w *= std::uint32_t(k_);
+  }
+}
+
+int Butterfly::digit(TerminalId id, int i) const noexcept {
+  return int((id / digit_weight_[std::size_t(i)]) % std::uint32_t(k_));
+}
+
+TerminalId Butterfly::with_digit(TerminalId id, int i, int value) const noexcept {
+  const std::uint32_t w = digit_weight_[std::size_t(i)];
+  const int old = digit(id, i);
+  return id + std::uint32_t(value - old) * w;
+}
+
+std::uint32_t Butterfly::switch_index(int stage, TerminalId address) const noexcept {
+  // Delete digit `stage`: high digits keep their weight / k, low digits
+  // keep theirs.
+  const std::uint32_t w = digit_weight_[std::size_t(stage)];
+  const std::uint32_t high = address / (w * std::uint32_t(k_));
+  const std::uint32_t low = address % w;
+  return high * w + low;
+}
+
+std::vector<Butterfly::Hop> Butterfly::route(TerminalId src, TerminalId dst) const {
+  if (src >= terminals_ || dst >= terminals_) {
+    throw std::out_of_range("Butterfly::route: bad terminal id");
+  }
+  std::vector<Hop> hops;
+  hops.reserve(std::size_t(n_));
+  TerminalId address = src;
+  for (int stage = 0; stage < n_; ++stage) {
+    Hop hop;
+    hop.stage = stage;
+    hop.switch_index = switch_index(stage, address);
+    hop.in_port = digit(address, stage);   // still the source's digit
+    hop.out_port = digit(dst, stage);
+    address = with_digit(address, stage, hop.out_port);
+    hops.push_back(hop);
+  }
+  return hops;
+}
+
+std::string Butterfly::spec() const {
+  std::ostringstream os;
+  os << "butterfly:" << k_ << "-ary-" << n_ << "-fly";
+  return os.str();
+}
+
+}  // namespace ddpm::indirect

@@ -1,0 +1,74 @@
+// k-ary n-fly butterfly — a Multistage Interconnection Network (MIN).
+//
+// Paper §6.3: "Our approach is limited to direct networks. A lot of
+// cluster systems employ indirect networks ... a new approach may be
+// necessary to solve the source identification problem in such networks."
+// This module is that new approach's substrate: the canonical indirect
+// topology (paper §3 names crossbars and MINs as the indirect family).
+//
+// Structure: k^n terminal nodes on each side, n switch stages of k^(n-1)
+// k-by-k switches. We use the digit-replacement formulation: a packet's
+// "current address" starts as the source terminal id (n k-ary digits,
+// digit 0 most significant); the stage-i switch replaces digit i with the
+// destination's digit i. Hence
+//   * destination-tag routing is unique-path: output port at stage i is
+//     digit i of the destination;
+//   * the INPUT port at stage i is digit i of the SOURCE (it has not been
+//     replaced yet when the packet arrives) — the fact the port-stamp
+//     identification scheme (port_stamp.hpp) rests on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ddpm::indirect {
+
+/// Terminal (host) identifier: 0 .. k^n - 1.
+using TerminalId = std::uint32_t;
+
+class Butterfly {
+ public:
+  /// A k-ary n-fly. Throws unless k >= 2, n >= 1 and k^n fits 32 bits.
+  Butterfly(int radix, int stages);
+
+  int radix() const noexcept { return k_; }
+  int stages() const noexcept { return n_; }
+  TerminalId num_terminals() const noexcept { return terminals_; }
+  std::uint32_t switches_per_stage() const noexcept { return terminals_ / std::uint32_t(k_); }
+  std::uint32_t num_switches() const noexcept {
+    return switches_per_stage() * std::uint32_t(n_);
+  }
+
+  /// k-ary digit i (0 = most significant) of a terminal id.
+  int digit(TerminalId id, int i) const noexcept;
+
+  /// Terminal id with digit i replaced.
+  TerminalId with_digit(TerminalId id, int i, int value) const noexcept;
+
+  /// One hop of the unique destination-tag path.
+  struct Hop {
+    int stage;                 // 0 .. n-1
+    std::uint32_t switch_index;  // within the stage, 0 .. k^(n-1)-1
+    int in_port;               // == digit(source, stage)
+    int out_port;              // == digit(dest, stage)
+  };
+
+  /// The unique path from src to dst under destination-tag routing.
+  std::vector<Hop> route(TerminalId src, TerminalId dst) const;
+
+  /// Switch index at `stage` handling a packet whose current address is
+  /// `address` (the address with digit `stage` deleted, read as a k-ary
+  /// number of n-1 digits).
+  std::uint32_t switch_index(int stage, TerminalId address) const noexcept;
+
+  std::string spec() const;
+
+ private:
+  int k_;
+  int n_;
+  TerminalId terminals_;
+  std::vector<std::uint32_t> digit_weight_;  // k^(n-1-i) for digit i
+};
+
+}  // namespace ddpm::indirect

@@ -1,0 +1,60 @@
+#include "indirect/port_stamp.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ddpm::indirect {
+
+namespace {
+
+int ceil_log2(unsigned v) { return v <= 1 ? 0 : std::bit_width(v - 1); }
+
+}  // namespace
+
+int PortStampScheme::required_bits(const Butterfly& net) {
+  return net.stages() * std::max(1, ceil_log2(unsigned(net.radix())));
+}
+
+PortStampScheme::PortStampScheme(const Butterfly& net)
+    : net_(net),
+      bits_per_digit_(std::max(1, ceil_log2(unsigned(net.radix())))) {
+  if (required_bits(net) > 16) {
+    throw std::invalid_argument("PortStampScheme: " +
+                                std::to_string(required_bits(net)) +
+                                " bits needed, Marking Field has 16 (" +
+                                net.spec() + ")");
+  }
+}
+
+std::uint16_t PortStampScheme::mark(std::uint16_t field, int stage,
+                                    int in_port) const {
+  const unsigned shift =
+      unsigned(net_.stages() - 1 - stage) * unsigned(bits_per_digit_);
+  const std::uint16_t mask =
+      std::uint16_t(((1u << bits_per_digit_) - 1u) << shift);
+  return std::uint16_t((field & ~mask) |
+                       (std::uint16_t(in_port << shift) & mask));
+}
+
+std::uint16_t PortStampScheme::mark_along(TerminalId src, TerminalId dst,
+                                          std::uint16_t seed_field) const {
+  std::uint16_t field = seed_field;
+  for (const Butterfly::Hop& hop : net_.route(src, dst)) {
+    field = mark(field, hop.stage, hop.in_port);
+  }
+  return field;
+}
+
+std::optional<TerminalId> PortStampScheme::identify(std::uint16_t field) const {
+  TerminalId id = 0;
+  for (int stage = 0; stage < net_.stages(); ++stage) {
+    const unsigned shift =
+        unsigned(net_.stages() - 1 - stage) * unsigned(bits_per_digit_);
+    const int digit = int((field >> shift) & ((1u << bits_per_digit_) - 1u));
+    if (digit >= net_.radix()) return std::nullopt;  // dead code point
+    id = id * TerminalId(net_.radix()) + TerminalId(digit);
+  }
+  return id;
+}
+
+}  // namespace ddpm::indirect

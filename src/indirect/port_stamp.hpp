@@ -1,0 +1,58 @@
+// Port-Stamp Marking — DDPM's counterpart for indirect networks
+// (our answer to the paper's §6.3 future work).
+//
+// DDPM records relative position instead of a path; in a butterfly the
+// analogous switch-local, route-covering fact is the INPUT PORT: under
+// destination-tag routing, the input port at stage i equals k-ary digit i
+// of the source terminal (butterfly.hpp explains why). So if every
+// stage-i switch stamps its input port into digit slot i of the 16-bit
+// Marking Field, the delivered field *is* the source terminal id:
+//   * one packet identifies the source — same headline as DDPM;
+//   * every digit slot is overwritten by some switch on every path, so an
+//     attacker-seeded field cannot deflect identification (bits beyond the
+//     n*ceil(log2 k) used ones are simply never read) — stronger than
+//     DDPM's injection reset, it needs no first-switch special case;
+//   * the scheme needs n*ceil(log2 k) = ceil(log2 N) bits: 16 bits cover
+//     65536 terminals, matching DDPM's hypercube bound (Table 3).
+//
+// Limitation (documented, tested): the input-port = source-digit identity
+// requires the unique destination-tag path. Multipath MINs (Benes, fat
+// trees) break it; that is the honest boundary of this extension.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "indirect/butterfly.hpp"
+
+namespace ddpm::indirect {
+
+class PortStampScheme {
+ public:
+  /// Throws if n*ceil(log2 k) exceeds the 16-bit Marking Field.
+  explicit PortStampScheme(const Butterfly& net);
+
+  /// Bits the scheme needs on `net` (probe without constructing).
+  static int required_bits(const Butterfly& net);
+  static bool fits(const Butterfly& net) { return required_bits(net) <= 16; }
+
+  /// Stage-i switch hook: stamp the arrival port into digit slot i.
+  std::uint16_t mark(std::uint16_t field, int stage, int in_port) const;
+
+  /// Runs a packet's whole unique path through the stamps; returns the
+  /// final Marking Field given the attacker-chosen initial one.
+  std::uint16_t mark_along(TerminalId src, TerminalId dst,
+                           std::uint16_t seed_field) const;
+
+  /// Victim-side: decode the source terminal. Returns nullopt if any digit
+  /// decodes out of range (k not a power of two leaves dead code points).
+  std::optional<TerminalId> identify(std::uint16_t field) const;
+
+  int bits_per_digit() const noexcept { return bits_per_digit_; }
+
+ private:
+  const Butterfly& net_;
+  int bits_per_digit_;
+};
+
+}  // namespace ddpm::indirect

@@ -1,0 +1,205 @@
+#include "irregular/irregular.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace ddpm::irregular {
+
+IrregularTopology::IrregularTopology(NodeId num_nodes, std::size_t extra_edges,
+                                     std::uint64_t seed)
+    : seed_(seed), extra_(extra_edges) {
+  if (num_nodes < 2) {
+    throw std::invalid_argument("IrregularTopology: need at least 2 nodes");
+  }
+  const std::size_t max_extra =
+      std::size_t(num_nodes) * (num_nodes - 1) / 2 - (num_nodes - 1);
+  if (extra_edges > max_extra) {
+    throw std::invalid_argument("IrregularTopology: too many extra edges");
+  }
+  adjacency_.resize(num_nodes);
+  netsim::Rng rng(seed);
+  std::set<std::pair<NodeId, NodeId>> used;
+  auto add_edge = [&](NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    if (!used.insert({a, b}).second) return false;
+    adjacency_[a].push_back(b);
+    adjacency_[b].push_back(a);
+    ++edges_;
+    return true;
+  };
+  // Random spanning tree: attach each node to a random earlier node (a
+  // random recursive tree — connected by construction).
+  for (NodeId n = 1; n < num_nodes; ++n) {
+    add_edge(n, NodeId(rng.next_below(n)));
+  }
+  // Extra cross edges.
+  std::size_t added = 0;
+  while (added < extra_edges) {
+    const auto a = NodeId(rng.next_below(num_nodes));
+    const auto b = NodeId(rng.next_below(num_nodes));
+    if (a == b) continue;
+    if (add_edge(a, b)) ++added;
+  }
+  for (auto& list : adjacency_) std::sort(list.begin(), list.end());
+
+  // BFS levels from root 0 for the up/down orientation.
+  levels_.assign(num_nodes, -1);
+  levels_[0] = 0;
+  std::deque<NodeId> frontier{0};
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (NodeId v : adjacency_[u]) {
+      if (levels_[v] < 0) {
+        levels_[v] = levels_[u] + 1;
+        frontier.push_back(v);
+      }
+    }
+  }
+}
+
+bool IrregularTopology::adjacent(NodeId a, NodeId b) const {
+  const auto& list = adjacency_.at(a);
+  return std::binary_search(list.begin(), list.end(), b);
+}
+
+bool IrregularTopology::is_up(NodeId a, NodeId b) const {
+  const int la = levels_.at(a);
+  const int lb = levels_.at(b);
+  if (la != lb) return lb < la;
+  return b < a;  // ties: smaller id is "higher"
+}
+
+std::string IrregularTopology::spec() const {
+  std::ostringstream os;
+  os << "irregular:" << num_nodes() << "n+" << extra_ << "e@" << seed_;
+  return os.str();
+}
+
+UpDownRouter::UpDownRouter(const IrregularTopology& topo) : topo_(topo) {
+  const NodeId n = topo.num_nodes();
+  dist_.assign(n, std::vector<int>(std::size_t(n) * 2, -1));
+  plain_.assign(n, std::vector<int>(n, -1));
+
+  for (NodeId dest = 0; dest < n; ++dest) {
+    // Plain BFS.
+    auto& pd = plain_[dest];
+    pd[dest] = 0;
+    std::deque<NodeId> frontier{dest};
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop_front();
+      for (NodeId v : topo.neighbors(u)) {
+        if (pd[v] < 0) {
+          pd[v] = pd[u] + 1;
+          frontier.push_back(v);
+        }
+      }
+    }
+    // Legal-path BFS over (node, gone_down) states, searched backward from
+    // the destination. Forward legality: an up hop is allowed only while
+    // gone_down == false; a down hop sets gone_down = true. Backward, from
+    // state (v, gd_v) we may have arrived from (u, gd_u) iff hop u->v is
+    // legal and gd transitions match.
+    auto& dd = dist_[dest];
+    std::deque<std::uint32_t> states;
+    // Arriving at dest with either phase ends the path.
+    dd[std::size_t(dest) * 2 + 0] = 0;
+    dd[std::size_t(dest) * 2 + 1] = 0;
+    states.push_back(dest * 2 + 0);
+    states.push_back(dest * 2 + 1);
+    while (!states.empty()) {
+      const std::uint32_t s = states.front();
+      states.pop_front();
+      const NodeId v = s / 2;
+      const bool gd_v = s % 2;
+      for (NodeId u : topo.neighbors(v)) {
+        const bool up_hop = topo.is_up(u, v);
+        // Predecessor phase options: the hop u->v requires
+        //   up:   gd_u == false and gd_v == false
+        //   down: gd_v == true (gd_u may be false or true)
+        if (up_hop) {
+          if (gd_v) continue;
+          auto& cell = dd[std::size_t(u) * 2 + 0];
+          if (cell < 0) {
+            cell = dd[s] + 1;
+            states.push_back(u * 2 + 0);
+          }
+        } else {
+          if (!gd_v) continue;
+          for (int gd_u = 0; gd_u < 2; ++gd_u) {
+            auto& cell = dd[std::size_t(u) * 2 + std::size_t(gd_u)];
+            if (cell < 0) {
+              cell = dd[s] + 1;
+              states.push_back(u * 2 + std::uint32_t(gd_u));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<NodeId> UpDownRouter::next_hops(NodeId current, NodeId dest,
+                                            bool gone_down) const {
+  std::vector<NodeId> out;
+  if (current == dest) return out;
+  const auto& dd = dist_[dest];
+  const int here = dd[std::size_t(current) * 2 + std::size_t(gone_down)];
+  if (here < 0) return out;
+  for (NodeId v : topo_.neighbors(current)) {
+    const bool up_hop = topo_.is_up(current, v);
+    if (up_hop && gone_down) continue;  // illegal: up after down
+    const bool gd_next = gone_down || !up_hop;
+    if (dd[std::size_t(v) * 2 + std::size_t(gd_next)] == here - 1) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+int UpDownRouter::legal_distance(NodeId src, NodeId dst) const {
+  return dist_[dst][std::size_t(src) * 2 + 0];
+}
+
+int UpDownRouter::graph_distance(NodeId src, NodeId dst) const {
+  return plain_[dst][src];
+}
+
+double UpDownRouter::path_inflation() const {
+  double total = 0;
+  std::uint64_t pairs = 0;
+  const NodeId n = topo_.num_nodes();
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (s == d) continue;
+      total += double(legal_distance(s, d)) / double(graph_distance(s, d));
+      ++pairs;
+    }
+  }
+  return total / double(pairs);
+}
+
+std::vector<NodeId> walk_updown(const IrregularTopology& topo,
+                                const UpDownRouter& router, NodeId src,
+                                NodeId dst, netsim::Rng& rng) {
+  std::vector<NodeId> path;
+  if (src == dst) return path;
+  path.push_back(src);
+  NodeId current = src;
+  bool gone_down = false;
+  while (current != dst) {
+    const auto hops = router.next_hops(current, dst, gone_down);
+    if (hops.empty()) return path;  // unreachable (cannot happen: connected)
+    const NodeId next = hops[rng.next_below(hops.size())];
+    gone_down = gone_down || !topo.is_up(current, next);
+    current = next;
+    path.push_back(current);
+  }
+  return path;
+}
+
+}  // namespace ddpm::irregular

@@ -1,0 +1,94 @@
+// Irregular switch networks with up*/down* routing (paper §6.3: "hybrid
+// networks and irregular networks do not have a universal regularity and
+// it may need a completely different approach").
+//
+// IrregularTopology is a random connected graph (spanning tree plus extra
+// cross edges), the standard model for switch networks grown ad hoc
+// (Autonet/Myrinet style). Routing is up*/down*: orient every link by BFS
+// level from a root (ties by id); a legal path takes zero or more "up"
+// links followed by zero or more "down" links, which provably breaks every
+// channel-dependency cycle. Routes are precomputed by BFS over the
+// (node, phase) state graph, so the router always takes a shortest LEGAL
+// path (which may exceed the graph distance — the classic up*/down*
+// inflation, reported by path_inflation()).
+//
+// DDPM cannot run here — there is no coordinate system to take differences
+// in. Ingress-Stamp Marking (marking/ingress.hpp) can, which is exactly
+// the §6.3 comparison bench_irregular makes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netsim/rng.hpp"
+
+namespace ddpm::irregular {
+
+using NodeId = std::uint32_t;
+
+class IrregularTopology {
+ public:
+  /// Random connected graph: a uniform spanning tree over `num_nodes`
+  /// nodes plus `extra_edges` distinct non-tree edges.
+  IrregularTopology(NodeId num_nodes, std::size_t extra_edges,
+                    std::uint64_t seed);
+
+  NodeId num_nodes() const noexcept { return NodeId(adjacency_.size()); }
+  std::size_t num_edges() const noexcept { return edges_; }
+  const std::vector<NodeId>& neighbors(NodeId node) const {
+    return adjacency_.at(node);
+  }
+  bool adjacent(NodeId a, NodeId b) const;
+
+  /// BFS level used for the up/down orientation (root has level 0).
+  int level(NodeId node) const { return levels_.at(node); }
+
+  /// True iff the a->b traversal goes "up" (toward the root): lower level
+  /// wins, ties broken by smaller id.
+  bool is_up(NodeId a, NodeId b) const;
+
+  std::string spec() const;
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::vector<int> levels_;
+  std::size_t edges_ = 0;
+  std::uint64_t seed_;
+  std::size_t extra_;
+};
+
+/// Precomputed up*/down* routing: next hops along shortest legal paths.
+class UpDownRouter {
+ public:
+  explicit UpDownRouter(const IrregularTopology& topo);
+
+  /// Next-hop choices from `current` toward `dest`, given whether the path
+  /// so far has already taken a down link (phase). All returned hops lie
+  /// on shortest legal completions. Empty only when current == dest.
+  std::vector<NodeId> next_hops(NodeId current, NodeId dest,
+                                bool gone_down) const;
+
+  /// Length of the shortest legal path (>= graph distance).
+  int legal_distance(NodeId src, NodeId dst) const;
+  /// Plain BFS distance, for measuring up*/down* inflation.
+  int graph_distance(NodeId src, NodeId dst) const;
+  /// Mean legal/graph distance ratio over all pairs.
+  double path_inflation() const;
+
+ private:
+  // dist_[dest][state] with state = node * 2 + (gone_down ? 1 : 0):
+  // remaining legal hops from that state to dest.
+  std::vector<std::vector<int>> dist_;
+  std::vector<std::vector<int>> plain_;
+  const IrregularTopology& topo_;
+};
+
+/// Walks one packet with a random choice among legal next hops; returns
+/// the visited node sequence (empty if src == dst).
+std::vector<NodeId> walk_updown(const IrregularTopology& topo,
+                                const UpDownRouter& router, NodeId src,
+                                NodeId dst, netsim::Rng& rng);
+
+}  // namespace ddpm::irregular

@@ -1,0 +1,67 @@
+#include "marking/authenticated.hpp"
+
+namespace ddpm::mark {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+int ceil_log2_count(std::uint64_t v) {
+  return v <= 1 ? 0 : int(std::bit_width(v - 1));
+}
+
+}  // namespace
+
+std::uint64_t stamp_prf(std::uint64_t key, std::uint64_t flow) {
+  return mix64(key ^ mix64(flow ^ 0x9e3779b97f4a7c15ULL));
+}
+
+std::uint64_t switch_key(std::uint64_t master_secret, NodeId node) {
+  return mix64(master_secret ^ (std::uint64_t(node) << 32) ^ 0xa5c3ULL);
+}
+
+AuthenticatedStampScheme::AuthenticatedStampScheme(std::uint64_t num_nodes,
+                                                   std::uint64_t master_secret)
+    : num_nodes_(num_nodes),
+      master_(master_secret),
+      index_bits_(unsigned(std::max(1, ceil_log2_count(num_nodes)))) {
+  if (index_bits_ > 12) {
+    throw std::invalid_argument(
+        "AuthenticatedStampScheme: fewer than 4 MAC bits would remain");
+  }
+}
+
+std::uint16_t AuthenticatedStampScheme::stamp(NodeId source,
+                                              std::uint64_t flow) const {
+  const pkt::FieldSlice index_slice{mac_bits(), index_bits_};
+  const pkt::FieldSlice mac_slice{0, mac_bits()};
+  const auto mac = std::uint16_t(stamp_prf(switch_key(master_, source), flow) &
+                                 ((1u << mac_bits()) - 1u));
+  std::uint16_t field = 0;
+  field = pkt::write_unsigned(field, index_slice, std::uint16_t(source));
+  field = pkt::write_unsigned(field, mac_slice, mac);
+  return field;
+}
+
+void AuthenticatedStampScheme::on_injection(pkt::Packet& packet, NodeId at) {
+  packet.set_marking_field(stamp(at, packet.flow));
+}
+
+std::vector<NodeId> AuthenticatedStampIdentifier::observe(
+    const pkt::Packet& packet, NodeId) {
+  const pkt::FieldSlice index_slice{scheme_.mac_bits(), scheme_.index_bits()};
+  const NodeId claimed =
+      pkt::read_unsigned(packet.marking_field(), index_slice);
+  if (claimed >= num_nodes_ ||
+      scheme_.stamp(claimed, packet.flow) != packet.marking_field()) {
+    ++rejected_;
+    return {};
+  }
+  return {claimed};
+}
+
+}  // namespace ddpm::mark

@@ -1,0 +1,91 @@
+// Authenticated Stamp Marking — the §6.2 future-work direction, built.
+//
+// Paper §6.2: "To prevent even the small probability of compromising
+// switch, we should add an authentication function working on the
+// switching layer. Before putting this function into a switch, rigorous
+// research is required..." This scheme is that function for the
+// stamp-style identification family:
+//
+//   field = [ source index : idx bits | MAC : 16 - idx bits ]
+//   MAC   = PRF(k_source, flow) truncated
+//
+// Each switch holds a secret key; the SOURCE switch stamps its index plus
+// a MAC over the packet's flow id under ITS key. The victim (which, per
+// the Song-Perrig assumption the paper already uses, knows the network
+// map — here extended to the key table) recomputes the MAC under the
+// claimed index's key; a mismatch proves tampering.
+//
+// Security properties (measured in bench_authenticated / tests):
+//   * an honest stamp always verifies;
+//   * a compromised NON-SOURCE switch that frames node X must forge
+//     PRF(k_X, flow) blind — per-packet success 2^-(16-idx), e.g. 1/1024
+//     on a 64-node cluster (6-bit index, 10-bit MAC);
+//   * the MAC covers the flow id, so a captured valid stamp replays only
+//     within its own flow.
+// Cost: the index budget shrinks — idx + mac = 16 caps the cluster at
+// 2^idx nodes with a 2^-(16-idx) forgery floor; the knob is explicit.
+#pragma once
+
+#include <bit>
+#include <stdexcept>
+
+#include "marking/scheme.hpp"
+#include "packet/marking_field.hpp"
+
+namespace ddpm::mark {
+
+/// PRF used for the MACs: SplitMix64 finalizer over (key, flow). Stands in
+/// for a real keyed PRF; the structure, not the cryptography, is under
+/// study here.
+std::uint64_t stamp_prf(std::uint64_t key, std::uint64_t flow);
+
+/// Derives switch k's secret from a master secret (the deployment would
+/// provision these out of band).
+std::uint64_t switch_key(std::uint64_t master_secret, NodeId node);
+
+class AuthenticatedStampScheme final : public MarkingScheme {
+ public:
+  /// `num_nodes` fixes the index width; the rest of the field is MAC.
+  /// Throws if fewer than 4 MAC bits would remain.
+  AuthenticatedStampScheme(std::uint64_t num_nodes,
+                           std::uint64_t master_secret);
+
+  std::string name() const override { return "auth-stamp"; }
+
+  void on_injection(pkt::Packet& packet, NodeId at) override;
+  void on_forward(pkt::Packet&, NodeId, NodeId) override {}
+
+  unsigned index_bits() const noexcept { return index_bits_; }
+  unsigned mac_bits() const noexcept { return 16 - index_bits_; }
+
+  /// The field an honest source switch writes (exposed for the verifier
+  /// and for forgery experiments).
+  std::uint16_t stamp(NodeId source, std::uint64_t flow) const;
+
+ private:
+  std::uint64_t num_nodes_;
+  std::uint64_t master_;
+  unsigned index_bits_;
+};
+
+class AuthenticatedStampIdentifier final : public SourceIdentifier {
+ public:
+  AuthenticatedStampIdentifier(std::uint64_t num_nodes,
+                               std::uint64_t master_secret)
+      : scheme_(num_nodes, master_secret), num_nodes_(num_nodes) {}
+
+  std::string name() const override { return "auth-stamp-id"; }
+
+  /// One candidate when the MAC verifies under the claimed index's key;
+  /// empty (tampering detected) otherwise.
+  std::vector<NodeId> observe(const pkt::Packet& packet, NodeId) override;
+
+  std::uint64_t rejected() const noexcept { return rejected_; }
+
+ private:
+  AuthenticatedStampScheme scheme_;
+  std::uint64_t num_nodes_;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace ddpm::mark

@@ -1,0 +1,90 @@
+#include "marking/dpm.hpp"
+
+#include <stdexcept>
+
+#include "marking/walk.hpp"
+#include "packet/marking_field.hpp"
+
+namespace ddpm::mark {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t z) noexcept {
+  // SplitMix64 finalizer: a cheap, well-distributed hash.
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+DpmScheme::DpmScheme(HashInput input, int bits_per_hop)
+    : input_(input), bits_per_hop_(bits_per_hop) {
+  if (bits_per_hop < 1 || 16 % bits_per_hop != 0) {
+    throw std::invalid_argument("DpmScheme: bits_per_hop must divide 16");
+  }
+}
+
+std::uint16_t DpmScheme::mark_value(NodeId current, NodeId next) const noexcept {
+  const std::uint64_t key =
+      input_ == HashInput::kSwitchIndex
+          ? std::uint64_t(current)
+          : (std::uint64_t(current) << 32) | std::uint64_t(next);
+  return std::uint16_t(mix64(key) & ((1u << bits_per_hop_) - 1u));
+}
+
+bool DpmScheme::mark_bit(NodeId current, NodeId next) const noexcept {
+  return mark_value(current, next) & 1u;
+}
+
+void DpmScheme::on_forward(pkt::Packet& packet, NodeId current, NodeId next) {
+  // The switch decremented TTL just before this hook (see walk.hpp and the
+  // cluster Switch), so consecutive switches see consecutive TTL values and
+  // write consecutive (b-bit) field positions.
+  const unsigned slots = 16u / unsigned(bits_per_hop_);
+  const unsigned position =
+      (packet.header.ttl() % slots) * unsigned(bits_per_hop_);
+  const pkt::FieldSlice slice{position, unsigned(bits_per_hop_)};
+  packet.set_marking_field(pkt::write_unsigned(
+      packet.marking_field(), slice, mark_value(current, next)));
+}
+
+DpmIdentifier::DpmIdentifier(const topo::Topology& topo,
+                             const route::Router& trained_route, NodeId victim,
+                             const DpmScheme& scheme, std::uint8_t initial_ttl)
+    : victim_(victim), signature_by_source_(topo.num_nodes(), 0) {
+  if (!trained_route.is_deterministic()) {
+    throw std::invalid_argument(
+        "DpmIdentifier: training requires a deterministic route (the "
+        "stable-route assumption DPM rests on)");
+  }
+  // Training pass: walk every candidate source's deterministic path and
+  // record the signature it produces.
+  DpmScheme trainer(scheme.hash_input(), scheme.bits_per_hop());
+  WalkOptions options;
+  options.initial_ttl = initial_ttl;
+  options.record_path = false;
+  for (NodeId s = 0; s < topo.num_nodes(); ++s) {
+    if (s == victim) continue;
+    const WalkResult walk =
+        walk_packet(topo, trained_route, &trainer, s, victim, options);
+    if (!walk.delivered()) continue;
+    const std::uint16_t sig = walk.packet.marking_field();
+    signature_by_source_[s] = sig;
+    table_[sig].push_back(s);
+  }
+}
+
+std::vector<NodeId> DpmIdentifier::observe(const pkt::Packet& packet,
+                                           NodeId victim) {
+  if (victim != victim_) return {};
+  const auto it = table_.find(packet.marking_field());
+  if (it == table_.end()) return {};
+  return it->second;
+}
+
+std::uint16_t DpmIdentifier::signature_of(NodeId source) const {
+  return signature_by_source_.at(source);
+}
+
+}  // namespace ddpm::mark

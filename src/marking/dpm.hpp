@@ -1,0 +1,99 @@
+// Deterministic Packet Marking adapted to cluster interconnects
+// (paper §2 and §4.3, after Yaar et al.'s Pi).
+//
+// Every forwarding switch writes one bit — the low bit of a hash of its
+// index (or of the (current, next) edge pair) — into the Marking Field at
+// position TTL mod 16. Since every switch decrements TTL, consecutive
+// switches write consecutive positions and a stable path leaves an
+// (almost) unique 16-bit signature. The victim blocks traffic by signature.
+//
+// The paper's two criticisms are both reproduced faithfully:
+//   * paths longer than 16 hops wrap around and overwrite the bits written
+//     near the source, destroying exactly the information that identifies
+//     it (§4.3);
+//   * roughly half of a node's neighbors share its hash bit, and adaptive
+//     routing gives one source many signatures, so the signature->source
+//     map is ambiguous in both directions.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "marking/scheme.hpp"
+#include "routing/router.hpp"
+
+namespace ddpm::mark {
+
+class DpmScheme final : public MarkingScheme {
+ public:
+  enum class HashInput {
+    kSwitchIndex,  // the paper's running example: hash of the node index
+    kEdgePair,     // Yaar's variant: hash of both endpoints of the edge
+  };
+
+  /// `bits_per_hop` generalizes to Yaar et al.'s Pi scheme (paper ref
+  /// [20]): each switch writes b hash bits at position (TTL mod 16/b)*b.
+  /// b = 1 is the paper's §4.3 description (16-hop window); b = 2 halves
+  /// the window to 8 hops but quarters the per-hop collision probability.
+  /// Must divide 16.
+  explicit DpmScheme(HashInput input = HashInput::kSwitchIndex,
+                     int bits_per_hop = 1);
+
+  std::string name() const override {
+    return bits_per_hop_ == 1 ? "dpm" : "pi-" + std::to_string(bits_per_hop_);
+  }
+
+  /// Hops before the marks wrap and overwrite: 16 / bits_per_hop.
+  int window_hops() const noexcept { return 16 / bits_per_hop_; }
+
+  // No injection behaviour: like PPM, DPM routers never reset the field,
+  // so attacker-seeded bits in positions the path does not overwrite
+  // survive to the victim.
+
+  void on_forward(pkt::Packet& packet, NodeId current, NodeId next) override;
+
+  /// The bit a switch writes (exposed for the signature trainer and tests).
+  bool mark_bit(NodeId current, NodeId next) const noexcept;
+  /// The b-bit value a switch writes (low bits of the hash).
+  std::uint16_t mark_value(NodeId current, NodeId next) const noexcept;
+
+  HashInput hash_input() const noexcept { return input_; }
+  int bits_per_hop() const noexcept { return bits_per_hop_; }
+
+ private:
+  HashInput input_;
+  int bits_per_hop_;
+};
+
+/// Victim-side DPM. The victim is assumed to know the interconnect map and
+/// the deterministic routing function (the Song-Perrig assumption the paper
+/// cites), so it can precompute each candidate source's signature by
+/// walking the deterministic route — that is the constructor's training
+/// pass. `observe` then returns every source whose trained signature
+/// matches the packet's Marking Field: one node when unique, several when
+/// signatures collide, none when adaptive routing produced a signature the
+/// training never saw.
+class DpmIdentifier final : public SourceIdentifier {
+ public:
+  DpmIdentifier(const topo::Topology& topo, const route::Router& trained_route,
+                NodeId victim, const DpmScheme& scheme,
+                std::uint8_t initial_ttl = 64);
+
+  std::string name() const override { return "dpm-id"; }
+
+  std::vector<NodeId> observe(const pkt::Packet& packet, NodeId victim) override;
+
+  /// Trained signature of a source (tests / ambiguity bench).
+  std::uint16_t signature_of(NodeId source) const;
+
+  /// Number of distinct trained signatures (diagnostic: collisions shrink
+  /// this below num_nodes - 1).
+  std::size_t distinct_signatures() const noexcept { return table_.size(); }
+
+ private:
+  NodeId victim_;
+  std::unordered_map<std::uint16_t, std::vector<NodeId>> table_;
+  std::vector<std::uint16_t> signature_by_source_;
+};
+
+}  // namespace ddpm::mark

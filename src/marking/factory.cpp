@@ -1,0 +1,37 @@
+#include "marking/factory.hpp"
+
+#include <stdexcept>
+
+#include "marking/ddpm.hpp"
+#include "marking/dpm.hpp"
+#include "marking/ppm.hpp"
+#include "marking/ppm_fragment.hpp"
+
+namespace ddpm::mark {
+
+std::unique_ptr<MarkingScheme> make_scheme(const std::string& name,
+                                           const topo::Topology& topo,
+                                           double ppm_probability,
+                                           std::uint64_t seed) {
+  if (name == "none") return nullptr;
+  if (name == "ddpm") return std::make_unique<DdpmScheme>(topo);
+  if (name == "dpm") return std::make_unique<DpmScheme>();
+  if (name == "ppm-full") {
+    return std::make_unique<PpmScheme>(topo, PpmVariant::kFullEdge,
+                                       ppm_probability, seed);
+  }
+  if (name == "ppm-xor") {
+    return std::make_unique<PpmScheme>(topo, PpmVariant::kXor, ppm_probability,
+                                       seed);
+  }
+  if (name == "ppm-fragment") {
+    return std::make_unique<FragmentPpmScheme>(topo, ppm_probability, seed);
+  }
+  if (name == "ppm-bitdiff") {
+    return std::make_unique<PpmScheme>(topo, PpmVariant::kBitDiff,
+                                       ppm_probability, seed);
+  }
+  throw std::invalid_argument("make_scheme: unknown scheme '" + name + "'");
+}
+
+}  // namespace ddpm::mark

@@ -1,0 +1,24 @@
+// Convenience constructors for marking schemes by name, used by the
+// examples and the experiment configs:
+//   "ddpm", "ppm-full", "ppm-xor", "ppm-bitdiff", "ppm-fragment", "dpm", "none"
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "marking/scheme.hpp"
+#include "topology/topology.hpp"
+
+namespace ddpm::mark {
+
+/// Default Savage marking probability (1/25, the value his analysis uses).
+inline constexpr double kDefaultPpmProbability = 0.04;
+
+/// Builds a scheme by name; returns nullptr for "none". Throws
+/// std::invalid_argument for unknown names or when the scheme cannot fit
+/// its record into the 16-bit field on this topology.
+std::unique_ptr<MarkingScheme> make_scheme(
+    const std::string& name, const topo::Topology& topo,
+    double ppm_probability = kDefaultPpmProbability, std::uint64_t seed = 1);
+
+}  // namespace ddpm::mark

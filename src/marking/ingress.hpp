@@ -1,0 +1,64 @@
+// Ingress-Stamp Marking — the degenerate-but-powerful baseline.
+//
+// DDPM's Figure 4 gives the source's own switch a special role: it zeroes
+// V when the packet "first enters a switch from a computing node". But a
+// switch that knows it is first can do something much simpler: write its
+// own index into the Marking Field and have every other switch leave it
+// alone. Under the paper's trust model (switches cannot be compromised,
+// §4.1) this identifies the source from one packet in ANY topology —
+// direct, indirect, or irregular — using ceil(log2 N) <= 16 bits for up
+// to 65536 nodes, beating DDPM's own Table 3 on the mesh.
+//
+// We implement it as an honest baseline and compare failure modes in
+// bench_irregular and EXPERIMENTS.md: both schemes stand or fall with the
+// same two assumptions (trusted switches; the source switch marks), so
+// DDPM's real contribution is the coordinate arithmetic that *survives a
+// missing ingress reset for in-network hops* — not extra security.
+#pragma once
+
+#include <bit>
+#include <stdexcept>
+
+#include "marking/scheme.hpp"
+
+namespace ddpm::mark {
+
+class IngressStampScheme final : public MarkingScheme {
+ public:
+  /// `num_nodes` only bounds the index width; throws if it needs > 16 bits.
+  explicit IngressStampScheme(std::uint64_t num_nodes) {
+    if (num_nodes > (1ull << 16)) {
+      throw std::invalid_argument(
+          "IngressStampScheme: node index needs more than 16 bits");
+    }
+  }
+
+  std::string name() const override { return "ingress-stamp"; }
+
+  /// The source switch stamps its index — the only marking action.
+  void on_injection(pkt::Packet& packet, NodeId at) override {
+    packet.set_marking_field(std::uint16_t(at));
+  }
+
+  /// In-network switches do not touch the field.
+  void on_forward(pkt::Packet&, NodeId, NodeId) override {}
+};
+
+class IngressStampIdentifier final : public SourceIdentifier {
+ public:
+  explicit IngressStampIdentifier(std::uint64_t num_nodes)
+      : num_nodes_(num_nodes) {}
+
+  std::string name() const override { return "ingress-stamp-id"; }
+
+  std::vector<NodeId> observe(const pkt::Packet& packet, NodeId) override {
+    const NodeId named = packet.marking_field();
+    if (named >= num_nodes_) return {};
+    return {named};
+  }
+
+ private:
+  std::uint64_t num_nodes_;
+};
+
+}  // namespace ddpm::mark

@@ -1,0 +1,147 @@
+#include "marking/ppm.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace ddpm::mark {
+
+namespace {
+
+int ceil_log2_count(std::uint64_t v) {
+  // Bits needed to index v distinct values (v >= 1).
+  return v <= 1 ? 0 : int(std::bit_width(v - 1));
+}
+
+}  // namespace
+
+std::string to_string(PpmVariant variant) {
+  switch (variant) {
+    case PpmVariant::kFullEdge: return "ppm-full";
+    case PpmVariant::kXor: return "ppm-xor";
+    case PpmVariant::kBitDiff: return "ppm-bitdiff";
+  }
+  return "ppm-unknown";
+}
+
+int PpmLayout::required_bits(PpmVariant variant, std::uint64_t num_nodes,
+                             int diameter) {
+  const int idx = ceil_log2_count(num_nodes);
+  const int dist = ceil_log2_count(std::uint64_t(diameter) + 1);
+  switch (variant) {
+    case PpmVariant::kFullEdge:
+      return 2 * idx + dist;
+    case PpmVariant::kXor:
+      return idx + dist;
+    case PpmVariant::kBitDiff:
+      return idx + ceil_log2_count(std::uint64_t(idx)) + dist;
+  }
+  return 0;
+}
+
+PpmLayout PpmLayout::for_topology(PpmVariant variant, const topo::Topology& topo) {
+  PpmLayout l;
+  l.variant = variant;
+  const unsigned idx = unsigned(ceil_log2_count(topo.num_nodes()));
+  const unsigned dist = unsigned(ceil_log2_count(std::uint64_t(topo.diameter()) + 1));
+  unsigned offset = 0;
+  auto put = [&offset](pkt::FieldSlice& s, unsigned width) {
+    s = {offset, width};
+    offset += width;
+  };
+  switch (variant) {
+    case PpmVariant::kFullEdge:
+      put(l.start, idx);
+      put(l.end, idx);
+      break;
+    case PpmVariant::kXor:
+      put(l.start, idx);
+      break;
+    case PpmVariant::kBitDiff:
+      put(l.start, idx);
+      put(l.bitpos, unsigned(ceil_log2_count(std::uint64_t(idx))));
+      break;
+  }
+  put(l.distance, dist);
+  l.total_bits = int(offset);
+  l.fits = offset <= 16;
+  return l;
+}
+
+PpmScheme::PpmScheme(const topo::Topology& topo, PpmVariant variant,
+                     double marking_probability, std::uint64_t seed)
+    : topo_(topo),
+      layout_(PpmLayout::for_topology(variant, topo)),
+      p_(marking_probability),
+      rng_(seed) {
+  if (!layout_.fits) {
+    throw std::invalid_argument("PpmScheme: " + to_string(variant) +
+                                " needs " + std::to_string(layout_.total_bits) +
+                                " bits on " + topo.spec() +
+                                ", Marking Field has 16");
+  }
+  if (p_ <= 0.0 || p_ > 1.0) {
+    throw std::invalid_argument("PpmScheme: marking probability must be in (0,1]");
+  }
+}
+
+std::string PpmScheme::name() const { return to_string(layout_.variant); }
+
+void PpmScheme::on_forward(pkt::Packet& packet, NodeId current, NodeId /*next*/) {
+  std::uint16_t field = packet.marking_field();
+  if (rng_.next_bool(p_)) {
+    // Fresh mark: this switch becomes the edge start, distance resets.
+    // Whatever end/bitpos bits were there become stale; they are only
+    // meaningful again once the next switch completes the edge.
+    field = pkt::write_unsigned(field, layout_.start,
+                                std::uint16_t(current));
+    field = pkt::write_unsigned(field, layout_.distance, 0);
+  } else {
+    const int d = int(pkt::read_unsigned(field, layout_.distance));
+    if (d == 0) {
+      // Complete the half-written edge.
+      switch (layout_.variant) {
+        case PpmVariant::kFullEdge:
+          field = pkt::write_unsigned(field, layout_.end,
+                                      std::uint16_t(current));
+          break;
+        case PpmVariant::kXor:
+          field = pkt::write_unsigned(
+              field, layout_.start,
+              std::uint16_t(pkt::read_unsigned(field, layout_.start) ^
+                            std::uint16_t(current)));
+          break;
+        case PpmVariant::kBitDiff: {
+          const auto start = pkt::read_unsigned(field, layout_.start);
+          const std::uint16_t diff =
+              std::uint16_t(start ^ std::uint16_t(current));
+          const unsigned pos =
+              diff == 0 ? 0u : unsigned(std::countr_zero(diff));
+          if (layout_.bitpos.width > 0) {
+            field = pkt::write_unsigned(
+                field, layout_.bitpos,
+                std::uint16_t(pos & ((1u << layout_.bitpos.width) - 1u)));
+          }
+          break;
+        }
+      }
+    }
+    if (d < layout_.max_distance()) {
+      field = pkt::write_unsigned(field, layout_.distance, std::uint16_t(d + 1));
+    }
+  }
+  packet.set_marking_field(field);
+}
+
+double ppm_expected_packets(int path_length, double p) {
+  const double d = double(path_length);
+  return std::log(d) / (p * std::pow(1.0 - p, d - 1.0));
+}
+
+double ppm_expected_packets_fragmented(int path_length, double p, int fragments) {
+  const double d = double(path_length);
+  const double k = double(fragments);
+  return k * std::log(k * d) / (p * std::pow(1.0 - p, d - 1.0));
+}
+
+}  // namespace ddpm::mark

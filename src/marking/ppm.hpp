@@ -1,0 +1,92 @@
+// Probabilistic Packet Marking adapted to cluster interconnects
+// (paper §2 and §4.2).
+//
+// Savage-style edge sampling: each forwarding switch, with probability p,
+// overwrites the Marking Field with its own index and distance 0;
+// otherwise, if the distance is 0 it completes the half-written edge and in
+// any case increments the distance. A mark that survives to the victim
+// therefore names an edge (start, start's successor) together with the hop
+// count from the start switch, and the victim can stitch edges of adjacent
+// distances into the attack path.
+//
+// Three field layouts, matching the paper's scalability discussion:
+//   * full edge   [start | end | distance]        — Table 1 limits
+//   * XOR         [start XOR end | distance]      — ambiguous (§4.2)
+//   * bit-diff    [start | bitpos | distance]     — Table 2 limits
+//
+// Distance semantics in this implementation: a delivered mark's distance is
+// the number of forwarding switches the packet traversed *after* the start
+// switch (the destination's own switch delivers locally and does not mark).
+// So distance 0 means "start is the last switch before the victim" and the
+// end field of a distance-0 mark is stale and must be ignored.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "marking/scheme.hpp"
+#include "netsim/rng.hpp"
+#include "packet/marking_field.hpp"
+
+namespace ddpm::mark {
+
+enum class PpmVariant { kFullEdge, kXor, kBitDiff };
+
+std::string to_string(PpmVariant variant);
+
+/// Bit layout of one PPM variant over a given topology. `fits` is false
+/// when the 16-bit field cannot hold the variant's record — the condition
+/// Tables 1 and 2 tabulate.
+struct PpmLayout {
+  PpmVariant variant;
+  pkt::FieldSlice start{};    // full-edge & bit-diff: start index; XOR: a XOR b
+  pkt::FieldSlice end{};      // full-edge only
+  pkt::FieldSlice bitpos{};   // bit-diff only
+  pkt::FieldSlice distance{};
+  int total_bits = 0;
+  bool fits = false;
+
+  static PpmLayout for_topology(PpmVariant variant, const topo::Topology& topo);
+
+  /// Required bits as a pure function of node count and diameter, for the
+  /// scalability tables.
+  static int required_bits(PpmVariant variant, std::uint64_t num_nodes,
+                           int diameter);
+
+  int max_distance() const noexcept { return int(1u << distance.width) - 1; }
+};
+
+class PpmScheme final : public MarkingScheme {
+ public:
+  /// Throws std::invalid_argument if the layout does not fit in 16 bits
+  /// (use PpmLayout::for_topology to probe first).
+  PpmScheme(const topo::Topology& topo, PpmVariant variant,
+            double marking_probability, std::uint64_t seed);
+
+  std::string name() const override;
+
+  // PPM has no injection behaviour: an Internet router never knows it is
+  // the first hop, so the inherited no-op is the faithful choice. This also
+  // means an attacker-seeded Marking Field survives until some switch
+  // happens to re-mark — the known mark-spoofing weakness.
+
+  void on_forward(pkt::Packet& packet, NodeId current, NodeId next) override;
+
+  const PpmLayout& layout() const noexcept { return layout_; }
+  double marking_probability() const noexcept { return p_; }
+
+ private:
+  const topo::Topology& topo_;
+  PpmLayout layout_;
+  double p_;
+  netsim::Rng rng_;
+};
+
+/// Expected packets the victim must receive to reconstruct a path of
+/// length d when each switch marks with probability p (paper §2, citing
+/// Savage): ln(d) / (p (1-p)^{d-1}). The k-fragment form of the same bound
+/// is k ln(kd) / (p (1-p)^{d-1}).
+double ppm_expected_packets(int path_length, double p);
+double ppm_expected_packets_fragmented(int path_length, double p, int fragments);
+
+}  // namespace ddpm::mark

@@ -1,0 +1,63 @@
+// Record-route marking — the IP-option alternative the paper weighs and
+// rejects (§4.2): "It would be possible to store the edge information in
+// the IP additional option ... switches would have to check the IP option
+// of every packet and then write marking information in the appropriate
+// position. This large overhead is not preferable to high performance
+// clusters."
+//
+// We implement it as a baseline so the rejection becomes a measurement:
+// every switch appends its index to the packet's IPv4 record-route option.
+// Identification is trivial (the first recorded entry IS the source
+// switch) and exact — but each hop adds 4 wire bytes to every packet, the
+// option space caps at 9 entries (RFC 791), and the per-hop work is a
+// memory write into a variable-length structure instead of fixed-field
+// arithmetic. bench_record_route quantifies the bandwidth/latency price;
+// bench_switch_overhead has the per-operation cost.
+#pragma once
+
+#include "marking/scheme.hpp"
+
+namespace ddpm::mark {
+
+class RecordRouteScheme final : public MarkingScheme {
+ public:
+  /// RFC 791: the 40-byte option area holds at most 9 IPv4 addresses.
+  static constexpr std::size_t kMaxEntries = 9;
+
+  std::string name() const override { return "record-route"; }
+
+  /// The source switch starts a fresh list (an attacker-seeded option is
+  /// discarded, same trust model as DDPM's injection reset).
+  void on_injection(pkt::Packet& packet, NodeId at) override {
+    packet.route_option.clear();
+    (void)at;
+  }
+
+  void on_forward(pkt::Packet& packet, NodeId current, NodeId) override {
+    if (packet.route_option.size() < kMaxEntries) {
+      packet.route_option.push_back(current);
+    }
+  }
+};
+
+/// Victim-side: the first recorded switch is the source. Exact whenever
+/// the option was not attacker-seeded past the source switch, i.e. under
+/// the same assumptions as every other scheme here.
+class RecordRouteIdentifier final : public SourceIdentifier {
+ public:
+  explicit RecordRouteIdentifier(const topo::Topology& topo) : topo_(topo) {}
+
+  std::string name() const override { return "record-route-id"; }
+
+  std::vector<NodeId> observe(const pkt::Packet& packet, NodeId) override {
+    if (packet.route_option.empty()) return {};
+    const NodeId first = packet.route_option.front();
+    if (!topo_.contains(first)) return {};
+    return {first};
+  }
+
+ private:
+  const topo::Topology& topo_;
+};
+
+}  // namespace ddpm::mark

@@ -1,0 +1,127 @@
+#include "marking/scalability.hpp"
+
+#include <bit>
+#include <sstream>
+
+namespace ddpm::mark {
+
+namespace {
+
+int ceil_log2_count(std::uint64_t v) {
+  return v <= 1 ? 0 : int(std::bit_width(v - 1));
+}
+
+constexpr int kFieldBits = 16;
+
+}  // namespace
+
+std::string to_string(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kSimplePpm: return "simple PPM";
+    case SchemeKind::kBitDiffPpm: return "bit-difference PPM";
+    case SchemeKind::kDdpm: return "DDPM";
+  }
+  return "unknown";
+}
+
+int required_bits_mesh2d(SchemeKind scheme, int n) {
+  const std::uint64_t nodes = std::uint64_t(n) * std::uint64_t(n);
+  const int idx = ceil_log2_count(nodes);                // log n^2
+  const int dist = ceil_log2_count(std::uint64_t(2 * n) - 1);  // log 2n (diam 2n-2)
+  switch (scheme) {
+    case SchemeKind::kSimplePpm:
+      return 2 * idx + dist;  // Table 1: logn^2 + logn^2 + log2n
+    case SchemeKind::kBitDiffPpm:
+      return idx + ceil_log2_count(std::uint64_t(idx)) + dist;  // Table 2
+    case SchemeKind::kDdpm:
+      // Table 3: one signed per-dimension offset each; the sign bit is why
+      // "half of MF can represent 2^7 nodes in one dimension".
+      return 2 * (ceil_log2_count(std::uint64_t(n)) + 1);
+  }
+  return 0;
+}
+
+int required_bits_hypercube(SchemeKind scheme, int n) {
+  switch (scheme) {
+    case SchemeKind::kSimplePpm:
+      return 2 * n + ceil_log2_count(std::uint64_t(n));  // Table 1: 2log2^n + loglog2^n
+    case SchemeKind::kBitDiffPpm:
+      return n + 2 * ceil_log2_count(std::uint64_t(n));  // Table 2 (see header note)
+    case SchemeKind::kDdpm:
+      return n;  // Table 3: log 2^n
+  }
+  return 0;
+}
+
+int max_mesh2d_side(SchemeKind scheme) {
+  int best = 0;
+  for (int n = 2; n <= (1 << 14); n *= 2) {
+    if (required_bits_mesh2d(scheme, n) <= kFieldBits) best = n;
+  }
+  return best;
+}
+
+int max_mesh2d_side_exact(SchemeKind scheme) {
+  int best = 0;
+  for (int n = 2; n <= (1 << 14); ++n) {
+    if (required_bits_mesh2d(scheme, n) <= kFieldBits) best = n;
+  }
+  return best;
+}
+
+int max_hypercube_dim(SchemeKind scheme) {
+  int best = 0;
+  for (int n = 1; n <= 16; ++n) {
+    if (required_bits_hypercube(scheme, n) <= kFieldBits) best = n;
+  }
+  return best;
+}
+
+std::vector<ScalabilityRow> scalability_table(SchemeKind scheme) {
+  std::vector<ScalabilityRow> rows;
+  {
+    ScalabilityRow row;
+    row.topology = "n x n mesh, torus";
+    switch (scheme) {
+      case SchemeKind::kSimplePpm:
+        row.formula = "logn^2 + logn^2 + log2n";
+        break;
+      case SchemeKind::kBitDiffPpm:
+        row.formula = "logn^2 + loglogn^2 + log2n";
+        break;
+      case SchemeKind::kDdpm:
+        row.formula = "2(logn + 1)";
+        break;
+    }
+    const int n = max_mesh2d_side(scheme);
+    row.max_nodes = std::uint64_t(n) * std::uint64_t(n);
+    std::ostringstream os;
+    os << n << " x " << n << " (" << row.max_nodes << " nodes)";
+    row.max_cluster = os.str();
+    rows.push_back(row);
+  }
+  {
+    ScalabilityRow row;
+    row.topology = "n-cube hypercube";
+    switch (scheme) {
+      case SchemeKind::kSimplePpm:
+        row.formula = "2log2^n + loglog2^n";
+        break;
+      case SchemeKind::kBitDiffPpm:
+        row.formula = "log2^n + 2loglog2^n";
+        break;
+      case SchemeKind::kDdpm:
+        row.formula = "log2^n";
+        break;
+    }
+    const int n = max_hypercube_dim(scheme);
+    row.max_nodes = std::uint64_t(1) << n;
+    std::ostringstream os;
+    os << n << "-cube (" << row.max_nodes << " nodes)";
+    row.max_cluster = os.str();
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace ddpm::mark

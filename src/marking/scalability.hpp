@@ -1,0 +1,55 @@
+// Analytical field-width requirements — the paper's Tables 1, 2 and 3.
+//
+// Each function answers: how many Marking Field bits does scheme X need on
+// topology Y of a given size, and what is the largest cluster that fits in
+// the 16-bit field? Widths use ceilings of logs (a field holds whole bits),
+// which reproduces the paper's numbers at every power-of-two size.
+//
+// Note on Table 2: the paper's printed formula for the hypercube row
+// ("2log2^n + ...") is inconsistent with its own maximum (2^8 nodes); the
+// self-consistent reading — one node index + bit position + distance =
+// n + 2*ceil(log2 n) bits — reproduces that maximum and is what we
+// implement. See EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ddpm::mark {
+
+enum class SchemeKind { kSimplePpm, kBitDiffPpm, kDdpm };
+
+std::string to_string(SchemeKind kind);
+
+/// Bits required on an n x n 2-D mesh or torus (their index and distance
+/// widths coincide at the sizes the paper tabulates; we use the mesh
+/// diameter 2n-2 for PPM distance fields, matching Table 1 at n = 8).
+int required_bits_mesh2d(SchemeKind scheme, int n);
+
+/// Bits required on an n-cube hypercube (2^n nodes).
+int required_bits_hypercube(SchemeKind scheme, int n);
+
+/// Largest power-of-two side n such that an n x n mesh/torus fits the
+/// 16-bit Marking Field (the paper quotes powers of two).
+int max_mesh2d_side(SchemeKind scheme);
+
+/// Largest (not necessarily power-of-two) side that fits.
+int max_mesh2d_side_exact(SchemeKind scheme);
+
+/// Largest hypercube dimension n that fits.
+int max_hypercube_dim(SchemeKind scheme);
+
+/// One row of a scalability table, ready for printing.
+struct ScalabilityRow {
+  std::string topology;
+  std::string formula;       // paper notation
+  std::string max_cluster;   // e.g. "128 x 128 (16384 nodes)"
+  std::uint64_t max_nodes;
+};
+
+/// The full table for a scheme: one mesh/torus row, one hypercube row —
+/// the shape of the paper's Tables 1-3.
+std::vector<ScalabilityRow> scalability_table(SchemeKind scheme);
+
+}  // namespace ddpm::mark

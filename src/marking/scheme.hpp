@@ -1,0 +1,62 @@
+// Packet-marking scheme interfaces (paper §2, §4, §5).
+//
+// A MarkingScheme is the switch-side half: it rewrites the 16-bit Marking
+// Field as packets flow. A SourceIdentifier is the victim-side half: it
+// consumes delivered packets and produces candidate source nodes. The two
+// halves communicate only through the Marking Field — identifiers never see
+// `Packet::true_source`, which exists purely so the evaluation harness can
+// score them.
+//
+// on_injection runs at the source switch when a packet first arrives from
+// the attached computing node; on_forward runs at every switch after the
+// routing decision, with the chosen next hop — the ordering Figure 4
+// prescribes, and the reason DDPM is agnostic to the routing algorithm.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "packet/packet.hpp"
+#include "topology/topology.hpp"
+
+namespace ddpm::mark {
+
+using topo::NodeId;
+
+class MarkingScheme {
+ public:
+  virtual ~MarkingScheme() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Source-switch hook. The default does nothing — faithful to the
+  /// Internet schemes (PPM/DPM), where no router knows it is first on the
+  /// path, which leaves them open to attacker-seeded marks. DDPM overrides
+  /// this to zero the distance vector (Figure 4: "V is set to a zero vector
+  /// when the packet first enters a switch from a computing node").
+  virtual void on_injection(pkt::Packet&, NodeId) {}
+
+  /// Per-hop hook, called after routing chose `next`.
+  virtual void on_forward(pkt::Packet& packet, NodeId current, NodeId next) = 0;
+};
+
+/// Victim-side analysis. `observe` ingests one delivered packet and returns
+/// the scheme's current belief about that packet's origin:
+///   * empty vector: no identification yet (PPM needs many packets)
+///   * one node: unambiguous identification
+///   * several nodes: ambiguous identification (DPM signature collisions)
+class SourceIdentifier {
+ public:
+  virtual ~SourceIdentifier() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual std::vector<NodeId> observe(const pkt::Packet& packet, NodeId victim) = 0;
+
+  /// Drops accumulated state (new detection episode).
+  virtual void reset() {}
+};
+
+}  // namespace ddpm::mark

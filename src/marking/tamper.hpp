@@ -1,0 +1,110 @@
+// Adversarial deployments of a marking scheme.
+//
+// The paper assumes "switches cannot be compromised" (§4.1) and defers
+// incremental deployment ("a minimal set of trusted switches", §6.1) to
+// future work. These decorators make both assumptions testable:
+//
+//   TamperingScheme    — a configured set of compromised switches corrupts
+//                        the Marking Field after honest marking (random
+//                        garbage, zeroing, or a fixed frame-up value).
+//   PartialDeployment  — only a configured subset of switches runs the
+//                        scheme at all; the rest forward untouched.
+//
+// Both wrap any MarkingScheme, so the same experiments run against DDPM,
+// DPM and PPM (bench_compromised_switch, bench_partial_deployment).
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+
+#include "marking/scheme.hpp"
+#include "netsim/rng.hpp"
+
+namespace ddpm::mark {
+
+class TamperingScheme final : public MarkingScheme {
+ public:
+  enum class Action {
+    kRandomize,  // overwrite the field with random bits
+    kZero,       // clear the field
+    kFrameUp,    // write a fixed value (e.g. an innocent node's signature)
+  };
+
+  TamperingScheme(std::unique_ptr<MarkingScheme> inner,
+                  std::unordered_set<NodeId> compromised, Action action,
+                  std::uint16_t frame_value = 0, std::uint64_t seed = 13)
+      : inner_(std::move(inner)),
+        compromised_(std::move(compromised)),
+        action_(action),
+        frame_value_(frame_value),
+        rng_(seed) {}
+
+  std::string name() const override {
+    return (inner_ ? inner_->name() : std::string("none")) + "+tamper";
+  }
+
+  void on_injection(pkt::Packet& packet, NodeId at) override {
+    if (inner_) inner_->on_injection(packet, at);
+    tamper_if_compromised(packet, at);
+  }
+
+  void on_forward(pkt::Packet& packet, NodeId current, NodeId next) override {
+    if (inner_) inner_->on_forward(packet, current, next);
+    tamper_if_compromised(packet, current);
+  }
+
+  std::uint64_t tamper_count() const noexcept { return tampered_; }
+
+ private:
+  void tamper_if_compromised(pkt::Packet& packet, NodeId at) {
+    if (compromised_.count(at) == 0) return;
+    ++tampered_;
+    switch (action_) {
+      case Action::kRandomize:
+        packet.set_marking_field(std::uint16_t(rng_.next_u64()));
+        break;
+      case Action::kZero:
+        packet.set_marking_field(0);
+        break;
+      case Action::kFrameUp:
+        packet.set_marking_field(frame_value_);
+        break;
+    }
+  }
+
+  std::unique_ptr<MarkingScheme> inner_;
+  std::unordered_set<NodeId> compromised_;
+  Action action_;
+  std::uint16_t frame_value_;
+  netsim::Rng rng_;
+  std::uint64_t tampered_ = 0;
+};
+
+class PartialDeploymentScheme final : public MarkingScheme {
+ public:
+  PartialDeploymentScheme(std::unique_ptr<MarkingScheme> inner,
+                          std::unordered_set<NodeId> deployed)
+      : inner_(std::move(inner)), deployed_(std::move(deployed)) {}
+
+  std::string name() const override {
+    return (inner_ ? inner_->name() : std::string("none")) + "+partial";
+  }
+
+  void on_injection(pkt::Packet& packet, NodeId at) override {
+    if (inner_ && deployed_.count(at)) inner_->on_injection(packet, at);
+  }
+
+  void on_forward(pkt::Packet& packet, NodeId current, NodeId next) override {
+    if (inner_ && deployed_.count(current)) {
+      inner_->on_forward(packet, current, next);
+    }
+  }
+
+  bool is_deployed(NodeId node) const { return deployed_.count(node) != 0; }
+
+ private:
+  std::unique_ptr<MarkingScheme> inner_;
+  std::unordered_set<NodeId> deployed_;
+};
+
+}  // namespace ddpm::mark

@@ -1,0 +1,47 @@
+#include "marking/walk.hpp"
+
+namespace ddpm::mark {
+
+WalkResult walk_packet(const topo::Topology& topo, const route::Router& router,
+                       MarkingScheme* scheme, NodeId src, NodeId dst,
+                       const WalkOptions& options,
+                       std::uint16_t seed_marking_field) {
+  WalkResult result;
+  pkt::Packet& packet = result.packet;
+  packet.true_source = src;
+  packet.dest_node = dst;
+  packet.header.set_ttl(options.initial_ttl);
+  packet.set_marking_field(seed_marking_field);
+
+  netsim::Rng rng(options.seed);
+  route::StaticLinkState links(topo, options.failures);
+
+  if (scheme != nullptr) scheme->on_injection(packet, src);
+
+  NodeId current = src;
+  route::Port arrived_on = route::kLocalPort;
+  if (options.record_path) result.path.push_back(current);
+
+  while (current != dst) {
+    const auto port = router.select_output(current, dst, arrived_on, links, rng);
+    if (!port) {
+      result.outcome = WalkOutcome::kBlocked;
+      return result;
+    }
+    if (packet.header.decrement_ttl() == 0) {
+      result.outcome = WalkOutcome::kTtlExpired;
+      return result;
+    }
+    const NodeId next = *topo.neighbor(current, *port);
+    if (scheme != nullptr) scheme->on_forward(packet, current, next);
+    ++result.hops;
+    ++packet.hops;
+    arrived_on = *topo.port_to(next, current);
+    current = next;
+    if (options.record_path) result.path.push_back(current);
+  }
+  result.outcome = WalkOutcome::kDelivered;
+  return result;
+}
+
+}  // namespace ddpm::mark

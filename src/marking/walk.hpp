@@ -1,0 +1,49 @@
+// Lightweight packet walker: drives one packet from source to destination
+// through (topology, router, marking scheme) without the full cluster
+// simulator. Used by the DPM identifier's training pass, the Figure 3
+// walk-through bench, and the routing/marking test suites.
+//
+// Per hop, in order (matching the cluster Switch):
+//   1. the router picks the output port (blocked -> packet dies),
+//   2. the switch decrements TTL (0 -> packet dies: livelock bound),
+//   3. the marking scheme's on_forward runs with (current, next).
+// The destination's switch delivers locally and neither decrements TTL nor
+// marks.
+#pragma once
+
+#include <vector>
+
+#include "marking/scheme.hpp"
+#include "netsim/rng.hpp"
+#include "routing/router.hpp"
+
+namespace ddpm::mark {
+
+struct WalkOptions {
+  std::uint8_t initial_ttl = 64;
+  const topo::LinkFailureSet* failures = nullptr;
+  std::uint64_t seed = 1;
+  bool record_path = true;
+};
+
+enum class WalkOutcome { kDelivered, kBlocked, kTtlExpired };
+
+struct WalkResult {
+  WalkOutcome outcome = WalkOutcome::kBlocked;
+  pkt::Packet packet;
+  std::vector<NodeId> path;  // visited nodes incl. endpoints (if recorded)
+  int hops = 0;
+
+  bool delivered() const noexcept { return outcome == WalkOutcome::kDelivered; }
+};
+
+/// Walks a fresh packet from `src` to `dst`. `scheme` may be null (pure
+/// routing experiments). The packet's marking field starts at
+/// `seed_marking_field` before injection, which lets tests model attackers
+/// that pre-load the field.
+WalkResult walk_packet(const topo::Topology& topo, const route::Router& router,
+                       MarkingScheme* scheme, NodeId src, NodeId dst,
+                       const WalkOptions& options = {},
+                       std::uint16_t seed_marking_field = 0);
+
+}  // namespace ddpm::mark

@@ -1,0 +1,90 @@
+#include "netsim/event_queue.hpp"
+
+#include <utility>
+
+namespace ddpm::netsim {
+
+EventId EventQueue::schedule(SimTime when, Action action) {
+  const EventId id = next_id_++;
+  Entry e{when, next_seq_++, id, std::move(action)};
+  heap_.push_back(std::move(e));
+  index_[id] = heap_.size() - 1;
+  sift_up(heap_.size() - 1);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  const std::size_t slot = it->second;
+  index_.erase(it);
+  const std::size_t last = heap_.size() - 1;
+  if (slot != last) {
+    Entry moved = std::move(heap_[last]);
+    heap_.pop_back();
+    const bool goes_up = earlier(moved, heap_[slot]);
+    place(slot, std::move(moved));
+    if (goes_up) {
+      sift_up(slot);
+    } else {
+      sift_down(slot);
+    }
+  } else {
+    heap_.pop_back();
+  }
+  return true;
+}
+
+std::pair<SimTime, EventQueue::Action> EventQueue::pop() {
+  Entry top = std::move(heap_.front());
+  index_.erase(top.id);
+  const std::size_t last = heap_.size() - 1;
+  if (last > 0) {
+    Entry moved = std::move(heap_[last]);
+    heap_.pop_back();
+    place(0, std::move(moved));
+    sift_down(0);
+  } else {
+    heap_.pop_back();
+  }
+  return {top.when, std::move(top.action)};
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  index_.clear();
+}
+
+void EventQueue::place(std::size_t i, Entry&& e) {
+  index_[e.id] = i;
+  heap_[i] = std::move(e);
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!earlier(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    index_[heap_[i].id] = i;
+    index_[heap_[parent].id] = parent;
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t smallest = i;
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = 2 * i + 2;
+    if (left < n && earlier(heap_[left], heap_[smallest])) smallest = left;
+    if (right < n && earlier(heap_[right], heap_[smallest])) smallest = right;
+    if (smallest == i) break;
+    std::swap(heap_[i], heap_[smallest]);
+    index_[heap_[i].id] = i;
+    index_[heap_[smallest].id] = smallest;
+    i = smallest;
+  }
+}
+
+}  // namespace ddpm::netsim

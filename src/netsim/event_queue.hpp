@@ -1,0 +1,72 @@
+// Discrete-event priority queue with stable FIFO ordering among
+// simultaneous events and O(log n) cancellation.
+//
+// The queue is a binary min-heap ordered by (time, sequence). The sequence
+// number is assigned at scheduling time, which guarantees that two events
+// scheduled for the same instant fire in scheduling order — essential for
+// deterministic simulations. Cancellation is supported through opaque
+// handles backed by an index map maintained during sift operations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace ddpm::netsim {
+
+/// Simulation time in abstract ticks. One tick is whatever the model says it
+/// is; the cluster model uses nanoseconds.
+using SimTime = std::uint64_t;
+
+/// Identifies a scheduled event for cancellation. Ids are never reused.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` to fire at absolute time `when`.
+  EventId schedule(SimTime when, Action action);
+
+  /// Cancels a pending event. Returns false if the event already fired or
+  /// was cancelled. O(log n).
+  bool cancel(EventId id);
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Time of the earliest pending event. Precondition: !empty().
+  SimTime next_time() const noexcept { return heap_.front().when; }
+
+  /// Removes the earliest event and returns (time, action). Precondition:
+  /// !empty(). The action is moved out; run it after popping so that the
+  /// action may itself schedule or cancel events.
+  std::pair<SimTime, Action> pop();
+
+  /// Discards all pending events.
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    EventId id;
+    Action action;
+  };
+
+  static bool earlier(const Entry& a, const Entry& b) noexcept {
+    return a.when < b.when || (a.when == b.when && a.seq < b.seq);
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void place(std::size_t i, Entry&& e);
+
+  std::vector<Entry> heap_;
+  std::unordered_map<EventId, std::size_t> index_;  // id -> heap slot
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace ddpm::netsim

@@ -1,0 +1,83 @@
+#include "netsim/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ddpm::netsim {
+
+void P2Quantile::add(double x) noexcept {
+  if (count_ < 5) {
+    heights_[count_] = x;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (int i = 0; i < 5; ++i) positions_[i] = i + 1;
+      desired_ = {1, 1 + 2 * p_, 1 + 4 * p_, 3 + 2 * p_, 5};
+      increments_ = {0, p_ / 2, p_, (1 + p_) / 2, 1};
+    }
+    return;
+  }
+
+  // Locate the cell k containing x and update the extreme markers.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], x);
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+  ++count_;
+
+  // Adjust the three interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    if ((d >= 1 && positions_[i + 1] - positions_[i] > 1) ||
+        (d <= -1 && positions_[i - 1] - positions_[i] < -1)) {
+      const int dir = d >= 0 ? 1 : -1;
+      const double candidate = parabolic(i, dir);
+      if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+        heights_[i] = candidate;
+      } else {
+        heights_[i] = linear(i, dir);
+      }
+      positions_[i] += dir;
+    }
+  }
+}
+
+double P2Quantile::parabolic(int i, int d) const noexcept {
+  const double np = positions_[i + 1];
+  const double nm = positions_[i - 1];
+  const double n = positions_[i];
+  return heights_[i] +
+         double(d) / (np - nm) *
+             ((n - nm + d) * (heights_[i + 1] - heights_[i]) / (np - n) +
+              (np - n - d) * (heights_[i] - heights_[i - 1]) / (n - nm));
+}
+
+double P2Quantile::linear(int i, int d) const noexcept {
+  return heights_[i] + double(d) * (heights_[i + d] - heights_[i]) /
+                           (positions_[i + d] - positions_[i]);
+}
+
+double P2Quantile::value() const noexcept {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact small-sample quantile (nearest rank on the sorted prefix).
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + long(count_));
+    const auto rank = std::min<std::uint64_t>(
+        count_ - 1, std::uint64_t(p_ * double(count_)));
+    return sorted[rank];
+  }
+  return heights_[2];
+}
+
+}  // namespace ddpm::netsim

@@ -1,0 +1,36 @@
+// P² (piecewise-parabolic) streaming quantile estimator — Jain & Chlamtac
+// (1985). Tracks a single quantile with five markers and O(1) memory,
+// which lets Metrics report tail latencies (p99) over millions of packets
+// without storing samples.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ddpm::netsim {
+
+class P2Quantile {
+ public:
+  /// Tracks the `p` quantile, p in (0, 1).
+  explicit P2Quantile(double p) noexcept : p_(p) {}
+
+  void add(double x) noexcept;
+
+  /// Current estimate; exact while fewer than five samples were seen.
+  double value() const noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  double parabolic(int i, int d) const noexcept;
+  double linear(int i, int d) const noexcept;
+
+  double p_;
+  std::uint64_t count_ = 0;
+  std::array<double, 5> heights_{};    // marker heights (q_i)
+  std::array<double, 5> positions_{};  // actual marker positions (n_i)
+  std::array<double, 5> desired_{};    // desired positions (n'_i)
+  std::array<double, 5> increments_{}; // dn'_i per observation
+};
+
+}  // namespace ddpm::netsim

@@ -1,0 +1,26 @@
+#include "netsim/rng.hpp"
+
+#include <cmath>
+
+namespace ddpm::netsim {
+
+double Rng::next_exponential(double rate) noexcept {
+  // Inverse-CDF sampling; clamp away from 0 so log() stays finite.
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / rate;
+}
+
+double Rng::next_normal() noexcept {
+  // Marsaglia polar method: rejection-sample a point in the unit disc.
+  for (;;) {
+    const double u = 2.0 * next_double() - 1.0;
+    const double v = 2.0 * next_double() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+}  // namespace ddpm::netsim

@@ -1,0 +1,118 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Every stochastic component in the library takes an explicit seed so that
+// experiments are reproducible run-to-run and machine-to-machine. We use
+// xoshiro256** (Blackman & Vigna) seeded through SplitMix64, which is the
+// recommended seeding procedure for the xoshiro family. The generator
+// satisfies the C++ UniformRandomBitGenerator concept, so it can also be
+// plugged into <random> distributions, but the convenience members below
+// avoid libstdc++'s distribution objects on hot paths.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ddpm::netsim {
+
+/// SplitMix64: a tiny, fast 64-bit generator used here to expand a single
+/// 64-bit seed into the 256-bit state xoshiro256** requires.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG with 2^256-1 period.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Constructs a generator whose full 256-bit state is derived from `seed`.
+  explicit constexpr Rng(std::uint64_t seed = 0x9d2c5680c0ffee42ULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept { return next_u64(); }
+
+  constexpr std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be nonzero. Uses Lemire's
+  /// multiply-shift rejection method to avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    // 128-bit multiply: high word is an unbiased sample after rejection.
+    auto mul = [](std::uint64_t a, std::uint64_t b) {
+      return static_cast<unsigned __int128>(a) * b;
+    };
+    std::uint64_t x = next_u64();
+    unsigned __int128 m = mul(x, bound);
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = next_u64();
+        m = mul(x, bound);
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    // 53 high-quality mantissa bits.
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability `p`.
+  bool next_bool(double p) noexcept { return next_double() < p; }
+
+  /// Exponentially distributed value with the given rate (mean 1/rate).
+  double next_exponential(double rate) noexcept;
+
+  /// Standard normal via Marsaglia polar method.
+  double next_normal() noexcept;
+
+  /// Derives an independent child generator; convenient for giving each
+  /// simulated entity its own stream without correlated sequences.
+  Rng fork() noexcept { return Rng(next_u64() ^ 0xa5a5a5a55a5a5a5aULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace ddpm::netsim

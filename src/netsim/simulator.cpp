@@ -1,0 +1,33 @@
+#include "netsim/simulator.hpp"
+
+namespace ddpm::netsim {
+
+std::uint64_t Simulator::run(SimTime until) {
+  std::uint64_t count = 0;
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    auto [when, action] = queue_.pop();
+    now_ = when;
+    action();
+    ++executed_;
+    ++count;
+  }
+  if (queue_.empty() || queue_.next_time() > until) {
+    // Advance the clock to the horizon so back-to-back run() calls with
+    // increasing horizons behave like one continuous run.
+    if (until != std::numeric_limits<SimTime>::max() && until > now_) {
+      now_ = until;
+    }
+  }
+  return count;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto [when, action] = queue_.pop();
+  now_ = when;
+  action();
+  ++executed_;
+  return true;
+}
+
+}  // namespace ddpm::netsim

@@ -1,0 +1,54 @@
+// Simulation kernel: owns the clock and the event queue, and drives the
+// model by firing events in timestamp order.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "netsim/event_queue.hpp"
+
+namespace ddpm::netsim {
+
+class Simulator {
+ public:
+  /// Current simulation time. Monotonically non-decreasing.
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedules `action` to fire `delay` ticks from now.
+  EventId schedule_in(SimTime delay, EventQueue::Action action) {
+    return queue_.schedule(now_ + delay, std::move(action));
+  }
+
+  /// Schedules `action` at absolute time `when`. `when` must not be in the
+  /// past; a past timestamp is clamped to `now()` so the event still fires
+  /// (in scheduling order) rather than corrupting the clock.
+  EventId schedule_at(SimTime when, EventQueue::Action action) {
+    return queue_.schedule(when < now_ ? now_ : when, std::move(action));
+  }
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the queue drains or the clock passes `until`, whichever
+  /// comes first. Events stamped exactly `until` still fire. Returns the
+  /// number of events executed.
+  std::uint64_t run(SimTime until = std::numeric_limits<SimTime>::max());
+
+  /// Executes at most one pending event. Returns false if none was pending.
+  bool step();
+
+  /// Number of events executed since construction.
+  std::uint64_t events_executed() const noexcept { return executed_; }
+
+  bool pending() const noexcept { return !queue_.empty(); }
+  std::size_t pending_count() const noexcept { return queue_.size(); }
+
+  /// Drops all pending events; the clock is left where it is.
+  void clear_pending() { queue_.clear(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace ddpm::netsim

@@ -1,0 +1,124 @@
+#include "netsim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace ddpm::netsim {
+
+void RunningStat::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / double(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStat::merge(const RunningStat& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = double(n_ + other.n_);
+  m2_ += other.m2_ + delta * delta * double(n_) * double(other.n_) / n;
+  mean_ = (mean_ * double(n_) + other.mean_ * double(other.n_)) / n;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / double(bins)), counts_(bins, 0) {}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    ++counts_[static_cast<std::size_t>((x - lo_) / width_)];
+  }
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return lo_;
+  const double target = q * double(total_);
+  double cum = double(underflow_);
+  if (cum >= target) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + double(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double frac = (target - cum) / double(counts_[i]);
+      return bin_low(i) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::to_string(std::size_t max_rows) const {
+  std::ostringstream os;
+  const std::size_t step = std::max<std::size_t>(1, counts_.size() / max_rows);
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  for (std::size_t i = 0; i < counts_.size(); i += step) {
+    std::uint64_t row = 0;
+    for (std::size_t j = i; j < std::min(i + step, counts_.size()); ++j) {
+      row += counts_[j];
+    }
+    os << "[" << bin_low(i) << ", " << bin_low(i) + width_ * double(step) << ") ";
+    const auto bar = static_cast<std::size_t>(40.0 * double(row) / double(peak));
+    for (std::size_t b = 0; b < bar; ++b) os << '#';
+    os << ' ' << row << '\n';
+  }
+  return os.str();
+}
+
+EwmaRate::EwmaRate(double half_life) noexcept
+    : decay_per_tick_(std::log(2.0) / half_life) {}
+
+void EwmaRate::observe(std::uint64_t now, double weight) noexcept {
+  if (!seen_) {
+    seen_ = true;
+    last_ = now;
+    value_ = weight * decay_per_tick_;
+    return;
+  }
+  const double dt = double(now - last_);
+  value_ = value_ * std::exp(-decay_per_tick_ * dt) + weight * decay_per_tick_;
+  last_ = now;
+}
+
+double EwmaRate::rate(std::uint64_t now) const noexcept {
+  if (!seen_) return 0.0;
+  const double dt = now >= last_ ? double(now - last_) : 0.0;
+  return value_ * std::exp(-decay_per_tick_ * dt);
+}
+
+double shannon_entropy(
+    const std::unordered_map<std::uint32_t, std::uint64_t>& counts) {
+  std::uint64_t total = 0;
+  for (const auto& [key, c] : counts) total += c;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (const auto& [key, c] : counts) {
+    if (c == 0) continue;
+    const double p = double(c) / double(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace ddpm::netsim

@@ -1,0 +1,51 @@
+// Bijection between topology node indices and private IPv4 addresses.
+//
+// Paper §4.1: "After establishing a mapping table between IP addresses and
+// indexes, switches look for this index alone. But every packet still
+// contains [an] IP header." This class is that mapping table. Cluster nodes
+// live in 10.0.0.0/8; the node index is embedded in the low 24 bits, which
+// caps the cluster at 2^24 nodes — far beyond every topology in the paper.
+#pragma once
+
+#include <optional>
+
+#include "packet/ip_header.hpp"
+#include "topology/topology.hpp"
+
+namespace ddpm::pkt {
+
+class AddressMap {
+ public:
+  static constexpr Ipv4Address kClusterBase = 0x0a000000u;  // 10.0.0.0
+  static constexpr Ipv4Address kClusterMask = 0xff000000u;  // /8
+
+  explicit AddressMap(topo::NodeId num_nodes) : num_nodes_(num_nodes) {}
+
+  topo::NodeId num_nodes() const noexcept { return num_nodes_; }
+
+  /// The canonical address of a node index.
+  Ipv4Address address_of(topo::NodeId node) const {
+    if (node >= num_nodes_) throw std::out_of_range("AddressMap: bad node id");
+    return kClusterBase | (node + 1);  // +1 keeps 10.0.0.0 unused
+  }
+
+  /// The node index an address claims to come from; nullopt for addresses
+  /// outside the cluster range or not assigned to any node — exactly the
+  /// signature of a spoofed source.
+  std::optional<topo::NodeId> node_of(Ipv4Address addr) const noexcept {
+    if ((addr & kClusterMask) != kClusterBase) return std::nullopt;
+    const Ipv4Address host = addr & ~kClusterMask;
+    if (host == 0 || host > num_nodes_) return std::nullopt;
+    return host - 1;
+  }
+
+  /// True iff the address is a valid cluster-node address.
+  bool is_cluster_address(Ipv4Address addr) const noexcept {
+    return node_of(addr).has_value();
+  }
+
+ private:
+  topo::NodeId num_nodes_;
+};
+
+}  // namespace ddpm::pkt

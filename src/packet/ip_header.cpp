@@ -1,0 +1,102 @@
+#include "packet/ip_header.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ddpm::pkt {
+
+std::string address_to_string(Ipv4Address addr) {
+  std::ostringstream os;
+  os << ((addr >> 24) & 0xff) << '.' << ((addr >> 16) & 0xff) << '.'
+     << ((addr >> 8) & 0xff) << '.' << (addr & 0xff);
+  return os.str();
+}
+
+IpHeader::IpHeader(Ipv4Address src, Ipv4Address dst, IpProto proto,
+                   std::uint16_t payload_bytes)
+    : src_(src),
+      dst_(dst),
+      proto_(proto),
+      total_length_(static_cast<std::uint16_t>(kWireSize + payload_bytes)) {}
+
+namespace {
+
+void put16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+void put32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>((v >> 16) & 0xff);
+  p[2] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+  p[3] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+std::uint16_t get16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((std::uint16_t(p[0]) << 8) | p[1]);
+}
+
+std::uint32_t get32(const std::uint8_t* p) {
+  return (std::uint32_t(p[0]) << 24) | (std::uint32_t(p[1]) << 16) |
+         (std::uint32_t(p[2]) << 8) | std::uint32_t(p[3]);
+}
+
+std::uint16_t rfc1071_checksum(const std::uint8_t* data, std::size_t len) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 1 < len; i += 2) {
+    sum += get16(data + i);
+  }
+  if (len % 2) sum += std::uint16_t(data[len - 1]) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+}  // namespace
+
+std::array<std::uint8_t, IpHeader::kWireSize> IpHeader::serialize() const {
+  std::array<std::uint8_t, kWireSize> w{};
+  w[0] = 0x45;  // version 4, IHL 5
+  w[1] = tos_;
+  put16(&w[2], total_length_);
+  put16(&w[4], identification_);
+  put16(&w[6], flags_fragment_);
+  w[8] = ttl_;
+  w[9] = static_cast<std::uint8_t>(proto_);
+  put16(&w[10], 0);  // checksum placeholder
+  put32(&w[12], src_);
+  put32(&w[16], dst_);
+  put16(&w[10], rfc1071_checksum(w.data(), kWireSize));
+  return w;
+}
+
+std::uint16_t IpHeader::compute_checksum() const {
+  auto w = serialize();
+  return get16(&w[10]);
+}
+
+IpHeader IpHeader::parse(const std::array<std::uint8_t, kWireSize>& wire) {
+  if (wire[0] != 0x45) {
+    throw std::invalid_argument("IpHeader::parse: not an option-less IPv4 header");
+  }
+  // Checksum over the header including the stored checksum must be zero
+  // (i.e., ~sum == 0 <=> recomputed == stored).
+  auto copy = wire;
+  const std::uint16_t stored = get16(&copy[10]);
+  put16(&copy[10], 0);
+  if (rfc1071_checksum(copy.data(), kWireSize) != stored) {
+    throw std::invalid_argument("IpHeader::parse: bad checksum");
+  }
+  IpHeader h;
+  h.tos_ = wire[1];
+  h.total_length_ = get16(&wire[2]);
+  h.identification_ = get16(&wire[4]);
+  h.flags_fragment_ = get16(&wire[6]);
+  h.ttl_ = wire[8];
+  h.proto_ = static_cast<IpProto>(wire[9]);
+  h.src_ = get32(&wire[12]);
+  h.dst_ = get32(&wire[16]);
+  return h;
+}
+
+}  // namespace ddpm::pkt

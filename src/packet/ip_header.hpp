@@ -1,0 +1,79 @@
+// IPv4-style header model (paper §4.1, second assumption: cluster nodes
+// speak IP even behind a front-end, so the 16-bit identification field is
+// available as the Marking Field).
+//
+// The header is a faithful 20-byte IPv4 header: it serializes to wire
+// format and carries a real RFC 1071 checksum, so tests can verify that
+// marking updates — which rewrite the identification field in flight —
+// keep the checksum consistent exactly the way a real switch would have to.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace ddpm::pkt {
+
+/// 32-bit IPv4 address in host byte order.
+using Ipv4Address = std::uint32_t;
+
+std::string address_to_string(Ipv4Address addr);
+
+/// IP protocol numbers used by the traffic models.
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+class IpHeader {
+ public:
+  static constexpr std::size_t kWireSize = 20;  // no options
+
+  IpHeader() = default;
+  IpHeader(Ipv4Address src, Ipv4Address dst, IpProto proto,
+           std::uint16_t payload_bytes);
+
+  Ipv4Address source() const noexcept { return src_; }
+  Ipv4Address destination() const noexcept { return dst_; }
+  IpProto protocol() const noexcept { return proto_; }
+  std::uint8_t ttl() const noexcept { return ttl_; }
+  std::uint16_t total_length() const noexcept { return total_length_; }
+
+  /// The 16-bit identification field doubling as the Marking Field (MF).
+  std::uint16_t identification() const noexcept { return identification_; }
+  void set_identification(std::uint16_t v) noexcept { identification_ = v; }
+
+  /// Spoofing: attackers overwrite the source address (paper §4.1).
+  void set_source(Ipv4Address src) noexcept { src_ = src; }
+
+  void set_ttl(std::uint8_t ttl) noexcept { ttl_ = ttl; }
+  /// Decrements TTL, saturating at zero. Returns the new value.
+  std::uint8_t decrement_ttl() noexcept {
+    if (ttl_ > 0) --ttl_;
+    return ttl_;
+  }
+
+  /// Serializes to 20 bytes of wire format with a freshly computed checksum.
+  std::array<std::uint8_t, kWireSize> serialize() const;
+
+  /// Parses a wire-format header. Throws std::invalid_argument if the
+  /// checksum or version is wrong.
+  static IpHeader parse(const std::array<std::uint8_t, kWireSize>& wire);
+
+  /// RFC 1071 one's-complement checksum of the serialized header with the
+  /// checksum field zeroed.
+  std::uint16_t compute_checksum() const;
+
+ private:
+  Ipv4Address src_ = 0;
+  Ipv4Address dst_ = 0;
+  IpProto proto_ = IpProto::kUdp;
+  std::uint16_t total_length_ = kWireSize;
+  std::uint16_t identification_ = 0;
+  std::uint8_t ttl_ = 64;
+  std::uint8_t tos_ = 0;
+  std::uint16_t flags_fragment_ = 0;
+};
+
+}  // namespace ddpm::pkt

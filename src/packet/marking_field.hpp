@@ -1,0 +1,76 @@
+// Bit-level accessors for the 16-bit Marking Field.
+//
+// Every marking scheme in the paper packs structured data into the IPv4
+// identification field. These helpers implement the packing: unsigned and
+// signed (two's-complement) sub-fields at arbitrary bit offsets, with
+// range checking so codec bugs fail loudly in tests instead of silently
+// corrupting marks.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace ddpm::pkt {
+
+/// A [offset, offset+width) slice of the 16-bit field. Bit 0 is the LSB.
+struct FieldSlice {
+  unsigned offset;
+  unsigned width;
+
+  constexpr std::uint16_t mask() const noexcept {
+    return static_cast<std::uint16_t>(((1u << width) - 1u) << offset);
+  }
+};
+
+/// Reads an unsigned sub-field.
+constexpr std::uint16_t read_unsigned(std::uint16_t field, FieldSlice s) noexcept {
+  return static_cast<std::uint16_t>((field >> s.offset) & ((1u << s.width) - 1u));
+}
+
+/// Writes an unsigned sub-field. Throws std::range_error if the value does
+/// not fit in `s.width` bits.
+inline std::uint16_t write_unsigned(std::uint16_t field, FieldSlice s,
+                                    std::uint16_t value) {
+  if (value >= (1u << s.width)) {
+    throw std::range_error("marking field: unsigned value out of range");
+  }
+  return static_cast<std::uint16_t>((field & ~s.mask()) |
+                                    (std::uint16_t(value << s.offset) & s.mask()));
+}
+
+/// Reads a signed (two's-complement) sub-field into a plain int.
+constexpr int read_signed(std::uint16_t field, FieldSlice s) noexcept {
+  const auto raw = read_unsigned(field, s);
+  const std::uint16_t sign_bit = std::uint16_t(1u << (s.width - 1));
+  if (raw & sign_bit) {
+    return int(raw) - int(1u << s.width);
+  }
+  return int(raw);
+}
+
+/// Writes a signed sub-field. Throws std::range_error if `value` is outside
+/// [-2^(w-1), 2^(w-1) - 1].
+inline std::uint16_t write_signed(std::uint16_t field, FieldSlice s, int value) {
+  const int lo = -int(1u << (s.width - 1));
+  const int hi = int(1u << (s.width - 1)) - 1;
+  if (value < lo || value > hi) {
+    throw std::range_error("marking field: signed value out of range");
+  }
+  const auto raw = static_cast<std::uint16_t>(value & int((1u << s.width) - 1u));
+  return static_cast<std::uint16_t>((field & ~s.mask()) |
+                                    (std::uint16_t(raw << s.offset) & s.mask()));
+}
+
+/// Reads a single bit.
+constexpr bool read_bit(std::uint16_t field, unsigned bit) noexcept {
+  return (field >> bit) & 1u;
+}
+
+/// Writes a single bit.
+constexpr std::uint16_t write_bit(std::uint16_t field, unsigned bit,
+                                  bool value) noexcept {
+  const auto mask = std::uint16_t(1u << bit);
+  return value ? std::uint16_t(field | mask) : std::uint16_t(field & ~mask);
+}
+
+}  // namespace ddpm::pkt

@@ -1,0 +1,43 @@
+#include "routing/adaptive.hpp"
+
+#include <algorithm>
+
+#include "routing/dor.hpp"
+
+namespace ddpm::route {
+
+std::vector<Port> AdaptiveRouter::candidates(NodeId current, NodeId dest,
+                                             Port /*arrived_on*/) const {
+  std::vector<Port> out;
+  if (current == dest) return out;
+  if (topo_.kind() == topo::TopologyKind::kHypercube) {
+    const NodeId diff = current ^ dest;
+    for (Port p = 0; p < topo_.num_ports(); ++p) {
+      if (diff & (NodeId(1) << p)) out.push_back(p);
+    }
+    return out;
+  }
+  const topo::Coord a = topo_.coord_of(current);
+  const topo::Coord b = topo_.coord_of(dest);
+  for (std::size_t d = 0; d < topo_.num_dims(); ++d) {
+    const int dir = productive_direction(topo_, d, a[d], b[d]);
+    if (dir != 0) out.push_back(static_cast<Port>(2 * d + (dir > 0 ? 1 : 0)));
+  }
+  return out;
+}
+
+std::vector<Port> MisroutingAdaptiveRouter::fallback_candidates(
+    NodeId current, NodeId dest, Port arrived_on) const {
+  const auto productive = candidates(current, dest, arrived_on);
+  std::vector<Port> out;
+  for (Port p = 0; p < topo_.num_ports(); ++p) {
+    if (p == arrived_on) continue;  // no 180-degree reversal
+    if (std::find(productive.begin(), productive.end(), p) != productive.end()) {
+      continue;
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace ddpm::route

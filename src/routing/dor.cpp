@@ -1,0 +1,43 @@
+#include "routing/dor.hpp"
+
+namespace ddpm::route {
+
+namespace {
+
+constexpr Port cartesian_port(std::size_t dim, int dir) noexcept {
+  return static_cast<Port>(2 * dim + (dir > 0 ? 1 : 0));
+}
+
+}  // namespace
+
+int productive_direction(const topo::Topology& topo, std::size_t d, int a, int b) {
+  if (a == b) return 0;
+  if (topo.kind() == topo::TopologyKind::kTorus) {
+    const int k = topo.dim_size(d);
+    int delta = ((b - a) % k + k) % k;  // in (0, k)
+    return (delta <= k / 2) ? +1 : -1;  // shorter way round; ties go positive
+  }
+  return b > a ? +1 : -1;
+}
+
+std::vector<Port> DimensionOrderRouter::candidates(NodeId current, NodeId dest,
+                                                   Port /*arrived_on*/) const {
+  if (current == dest) return {};
+  if (topo_.kind() == topo::TopologyKind::kHypercube) {
+    // e-cube: flip the lowest-order differing bit.
+    const NodeId diff = current ^ dest;
+    for (Port p = 0; p < topo_.num_ports(); ++p) {
+      if (diff & (NodeId(1) << p)) return {p};
+    }
+    return {};
+  }
+  const topo::Coord a = topo_.coord_of(current);
+  const topo::Coord b = topo_.coord_of(dest);
+  for (std::size_t d = 0; d < topo_.num_dims(); ++d) {
+    const int dir = productive_direction(topo_, d, a[d], b[d]);
+    if (dir != 0) return {cartesian_port(d, dir)};
+  }
+  return {};
+}
+
+}  // namespace ddpm::route

@@ -1,0 +1,30 @@
+// Dimension-order routing (deterministic; paper §3 "XY routing" on the
+// 2-D mesh, e-cube on the hypercube).
+//
+// The packet corrects dimensions in ascending order: all dimension-0 hops,
+// then dimension 1, and so on. On the torus each dimension takes the
+// shorter ring direction. There is exactly one permitted port per hop, so
+// a blocked link blocks the packet — the behaviour Figure 2(b) shows.
+#pragma once
+
+#include "routing/router.hpp"
+
+namespace ddpm::route {
+
+class DimensionOrderRouter final : public Router {
+ public:
+  explicit DimensionOrderRouter(const topo::Topology& topo) : Router(topo) {}
+
+  std::string name() const override { return "dor"; }
+  bool is_deterministic() const noexcept override { return true; }
+
+  std::vector<Port> candidates(NodeId current, NodeId dest,
+                               Port arrived_on) const override;
+};
+
+/// Signed step direction (-1 or +1) that dimension-order routing takes in
+/// dimension `d` from coordinate `a` toward `b`, or 0 if already aligned.
+/// Exposed for reuse by the adaptive routers.
+int productive_direction(const topo::Topology& topo, std::size_t d, int a, int b);
+
+}  // namespace ddpm::route

@@ -1,0 +1,41 @@
+#include <stdexcept>
+
+#include "routing/adaptive.hpp"
+#include "routing/dor.hpp"
+#include "routing/oracle.hpp"
+#include "routing/router.hpp"
+#include "routing/turn_model.hpp"
+#include "routing/valiant.hpp"
+
+namespace ddpm::route {
+
+std::unique_ptr<Router> make_router(const std::string& name,
+                                    const topo::Topology& topo) {
+  if (name == "dor" || name == "xy" || name == "ecube") {
+    return std::make_unique<DimensionOrderRouter>(topo);
+  }
+  if (name == "west-first") {
+    return std::make_unique<TurnModelRouter>(topo, TurnModel::kWestFirst);
+  }
+  if (name == "north-last") {
+    return std::make_unique<TurnModelRouter>(topo, TurnModel::kNorthLast);
+  }
+  if (name == "negative-first") {
+    return std::make_unique<TurnModelRouter>(topo, TurnModel::kNegativeFirst);
+  }
+  if (name == "adaptive") {
+    return std::make_unique<AdaptiveRouter>(topo);
+  }
+  if (name == "adaptive-misroute") {
+    return std::make_unique<MisroutingAdaptiveRouter>(topo);
+  }
+  if (name == "oracle") {
+    return std::make_unique<OracleRouter>(topo);
+  }
+  if (name == "valiant") {
+    return std::make_unique<ValiantRouter>(topo);
+  }
+  throw std::invalid_argument("make_router: unknown router '" + name + "'");
+}
+
+}  // namespace ddpm::route

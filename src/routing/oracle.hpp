@@ -1,0 +1,39 @@
+// Fault-aware shortest-path "oracle" router.
+//
+// Recomputes BFS distances to the destination over the currently usable
+// links on every hop, then offers every port that lies on some shortest
+// usable path. This is not implementable in real switch hardware (it needs
+// global link state); it serves as the upper bound on routing adaptivity in
+// the Figure 2 experiments and as a deterministic fully-adaptive reference
+// for correctness tests.
+#pragma once
+
+#include "routing/router.hpp"
+
+namespace ddpm::route {
+
+class OracleRouter final : public Router {
+ public:
+  explicit OracleRouter(const topo::Topology& topo) : Router(topo) {}
+
+  std::string name() const override { return "oracle"; }
+  bool is_deterministic() const noexcept override { return false; }
+
+  /// Ports on a shortest usable path; empty if `dest` is unreachable. Link
+  /// usability is treated as symmetric (bidirectional links), matching the
+  /// cluster model.
+  std::vector<Port> candidates(NodeId current, NodeId dest,
+                               Port arrived_on) const override;
+
+  /// Oracle candidates need the link state, which the base signature does
+  /// not carry; select_output injects it via this hook before delegating.
+  std::optional<Port> select_output(NodeId current, NodeId dest,
+                                    Port arrived_on, const LinkStateView& links,
+                                    netsim::Rng& rng) const override;
+
+ private:
+  std::vector<Port> usable_shortest_ports(NodeId current, NodeId dest,
+                                          const LinkStateView& links) const;
+};
+
+}  // namespace ddpm::route

@@ -1,0 +1,42 @@
+#include "routing/router.hpp"
+
+#include <limits>
+
+namespace ddpm::route {
+
+namespace {
+
+/// Least-congested usable port from `ports`, random tie-break; nullopt if
+/// none is usable.
+std::optional<Port> pick(const std::vector<Port>& ports, NodeId current,
+                         const LinkStateView& links, netsim::Rng& rng) {
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<Port> best_ports;
+  for (Port p : ports) {
+    if (!links.link_usable(current, p)) continue;
+    const double c = links.congestion(current, p);
+    if (c < best) {
+      best = c;
+      best_ports.assign(1, p);
+    } else if (c == best) {
+      best_ports.push_back(p);
+    }
+  }
+  if (best_ports.empty()) return std::nullopt;
+  if (best_ports.size() == 1) return best_ports.front();
+  return best_ports[rng.next_below(best_ports.size())];
+}
+
+}  // namespace
+
+std::optional<Port> Router::select_output(NodeId current, NodeId dest,
+                                          Port arrived_on,
+                                          const LinkStateView& links,
+                                          netsim::Rng& rng) const {
+  if (auto p = pick(candidates(current, dest, arrived_on), current, links, rng)) {
+    return p;
+  }
+  return pick(fallback_candidates(current, dest, arrived_on), current, links, rng);
+}
+
+}  // namespace ddpm::route

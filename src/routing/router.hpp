@@ -1,0 +1,117 @@
+// Routing interfaces (paper §3).
+//
+// A Router is a pure policy object: given the current node, the
+// destination, and a view of link state (failures + congestion), it picks
+// an output port. Switch mechanics (queues, latency) live in the cluster
+// model; routing tests drive routers directly.
+//
+// The split between `candidates` and `select_output` mirrors the paper's
+// adaptivity taxonomy: deterministic routers return one candidate,
+// partially adaptive routers return the subset their turn rules allow, and
+// fully adaptive routers return every productive port (plus misroutes when
+// blocked). Selection then applies congestion-awareness uniformly.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netsim/rng.hpp"
+#include "topology/topology.hpp"
+
+namespace ddpm::route {
+
+using topo::NodeId;
+using topo::Port;
+
+/// Sentinel for "injected locally, did not arrive through a port".
+inline constexpr Port kLocalPort = -1;
+
+/// Dynamic link state the router may consult. Implemented over static
+/// failure sets in tests and over live output-queue occupancy in the
+/// cluster model.
+class LinkStateView {
+ public:
+  virtual ~LinkStateView() = default;
+
+  /// True iff the port exists at `node` and its link is operational.
+  virtual bool link_usable(NodeId node, Port port) const = 0;
+
+  /// Congestion metric for the link; larger is worse. Adaptive routers
+  /// prefer smaller values. The default (0 everywhere) makes congestion
+  /// selection degrade to first-candidate order.
+  virtual double congestion(NodeId, Port) const { return 0.0; }
+};
+
+/// LinkStateView over topology geometry plus an optional failure set;
+/// reports zero congestion.
+class StaticLinkState final : public LinkStateView {
+ public:
+  explicit StaticLinkState(const topo::Topology& topo,
+                           const topo::LinkFailureSet* failures = nullptr)
+      : topo_(topo), failures_(failures) {}
+
+  bool link_usable(NodeId node, Port port) const override {
+    const auto next = topo_.neighbor(node, port);
+    if (!next) return false;
+    return failures_ == nullptr || !failures_->is_failed(node, *next);
+  }
+
+ private:
+  const topo::Topology& topo_;
+  const topo::LinkFailureSet* failures_;
+};
+
+class Router {
+ public:
+  explicit Router(const topo::Topology& topo) : topo_(topo) {}
+  virtual ~Router() = default;
+
+  virtual std::string name() const = 0;
+
+  /// True for routers whose path between a fixed (src, dst) pair never
+  /// varies (paper §3: "deterministic" vs "adaptive").
+  virtual bool is_deterministic() const noexcept = 0;
+
+  /// Preferred (productive) ports this algorithm permits at `current`
+  /// toward `dest`. Does NOT filter by link state; `select_output` does.
+  virtual std::vector<Port> candidates(NodeId current, NodeId dest,
+                                       Port arrived_on) const = 0;
+
+  /// Permitted misroute ports, consulted only when every preferred port is
+  /// unusable. Empty for minimal algorithms.
+  virtual std::vector<Port> fallback_candidates(NodeId, NodeId, Port) const {
+    return {};
+  }
+
+  /// Picks the output port: the usable preferred candidate with the lowest
+  /// congestion (random tie-break), falling back to misroute candidates
+  /// when all preferred ports are unusable. Returns nullopt when every
+  /// permitted port is unusable (the packet is blocked, as XY routing is in
+  /// Figure 2(b)).
+  virtual std::optional<Port> select_output(NodeId current, NodeId dest,
+                                            Port arrived_on,
+                                            const LinkStateView& links,
+                                            netsim::Rng& rng) const;
+
+  const topo::Topology& topology() const noexcept { return topo_; }
+
+ protected:
+  const topo::Topology& topo_;
+};
+
+/// Constructs a router by name. Accepted names:
+///   "dor" / "xy"      dimension-order (XY on 2-D mesh; e-cube on hypercube)
+///   "west-first"      turn-model, 2-D mesh only
+///   "north-last"      turn-model, 2-D mesh only
+///   "negative-first"  turn-model, 2-D mesh only
+///   "adaptive"        fully adaptive minimal, congestion-aware
+///   "adaptive-misroute"  fully adaptive; misroutes when all minimal blocked
+///   "oracle"          fault-aware shortest-path (upper bound; uses BFS)
+///   "valiant"         randomized two-phase (non-minimal by design)
+/// Throws std::invalid_argument for unknown names or incompatible topology.
+std::unique_ptr<Router> make_router(const std::string& name,
+                                    const topo::Topology& topo);
+
+}  // namespace ddpm::route

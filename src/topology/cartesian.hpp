@@ -1,0 +1,46 @@
+// Shared machinery for coordinate-indexed (Cartesian) topologies: the
+// row-major id<->coordinate bijection used by both the mesh and the torus.
+#pragma once
+
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace ddpm::topo {
+
+class CartesianTopology : public Topology {
+ public:
+  /// `dims` lists the radix of each dimension, innermost last (row-major):
+  /// {k0, k1, ..., kn-1} has strides so that the last coordinate varies
+  /// fastest. Throws if dims is empty, has > Coord::kMaxDims entries, any
+  /// radix < `min_radix`, or the node count overflows NodeId.
+  CartesianTopology(std::vector<int> dims, int min_radix);
+
+  NodeId num_nodes() const noexcept override { return num_nodes_; }
+  std::size_t num_dims() const noexcept override { return dims_.size(); }
+  int dim_size(std::size_t d) const noexcept override { return dims_[d]; }
+  int num_ports() const noexcept override { return int(2 * dims_.size()); }
+  int degree() const noexcept override { return int(2 * dims_.size()); }
+
+  Coord coord_of(NodeId id) const override;
+  NodeId id_of(const Coord& c) const override;
+
+ protected:
+  /// Decomposes a port into (dimension, direction): direction -1 for even
+  /// ports, +1 for odd ports, matching the convention in topology.hpp.
+  static std::pair<std::size_t, int> port_dim_dir(Port port) noexcept {
+    return {static_cast<std::size_t>(port / 2), (port % 2 == 0) ? -1 : +1};
+  }
+  static Port make_port(std::size_t dim, int dir) noexcept {
+    return static_cast<Port>(2 * dim + (dir > 0 ? 1 : 0));
+  }
+
+  const std::vector<int>& dims() const noexcept { return dims_; }
+
+ private:
+  std::vector<int> dims_;
+  std::vector<NodeId> strides_;
+  NodeId num_nodes_ = 0;
+};
+
+}  // namespace ddpm::topo

@@ -1,0 +1,79 @@
+#include "topology/coord.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace ddpm::topo {
+
+namespace {
+void require_same_dims(const Coord& a, const Coord& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("Coord arithmetic: dimensionality mismatch");
+  }
+}
+}  // namespace
+
+Coord Coord::operator+(const Coord& other) const {
+  require_same_dims(*this, other);
+  Coord out(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out[i] = static_cast<value_type>(data_[i] + other.data_[i]);
+  }
+  return out;
+}
+
+Coord Coord::operator-(const Coord& other) const {
+  require_same_dims(*this, other);
+  Coord out(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out[i] = static_cast<value_type>(data_[i] - other.data_[i]);
+  }
+  return out;
+}
+
+Coord Coord::operator^(const Coord& other) const {
+  require_same_dims(*this, other);
+  Coord out(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out[i] = static_cast<value_type>(data_[i] ^ other.data_[i]);
+  }
+  return out;
+}
+
+int Coord::l1_norm() const noexcept {
+  int sum = 0;
+  for (std::size_t i = 0; i < size_; ++i) sum += std::abs(int(data_[i]));
+  return sum;
+}
+
+int Coord::nonzero_count() const noexcept {
+  int count = 0;
+  for (std::size_t i = 0; i < size_; ++i) count += (data_[i] != 0);
+  return count;
+}
+
+std::string Coord::to_string() const {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (i) os << ',';
+    os << data_[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+std::size_t Coord::hash() const noexcept {
+  std::size_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::size_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    mix(static_cast<std::size_t>(static_cast<std::uint16_t>(data_[i])));
+  }
+  return h;
+}
+
+}  // namespace ddpm::topo

@@ -1,0 +1,89 @@
+// Fixed-capacity coordinate vector for regular direct networks.
+//
+// A Coord holds one signed integer per dimension. The capacity (16) covers
+// every topology in the paper, including the 16-cube hypercube of Table 3.
+// Signed elements let the same type represent both node positions and the
+// per-dimension displacement vectors DDPM accumulates.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+
+namespace ddpm::topo {
+
+class Coord {
+ public:
+  static constexpr std::size_t kMaxDims = 16;
+  using value_type = std::int16_t;
+
+  constexpr Coord() noexcept = default;
+
+  /// Zero vector with `dims` dimensions.
+  explicit constexpr Coord(std::size_t dims) : size_(check_dims(dims)) {}
+
+  constexpr Coord(std::initializer_list<int> values)
+      : size_(check_dims(values.size())) {
+    std::size_t i = 0;
+    for (int v : values) data_[i++] = static_cast<value_type>(v);
+  }
+
+  constexpr std::size_t size() const noexcept { return size_; }
+  constexpr bool empty() const noexcept { return size_ == 0; }
+
+  constexpr value_type operator[](std::size_t i) const noexcept { return data_[i]; }
+  constexpr value_type& operator[](std::size_t i) noexcept { return data_[i]; }
+
+  value_type at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("Coord::at");
+    return data_[i];
+  }
+
+  constexpr bool operator==(const Coord& other) const noexcept {
+    if (size_ != other.size_) return false;
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (data_[i] != other.data_[i]) return false;
+    }
+    return true;
+  }
+  constexpr bool operator!=(const Coord& other) const noexcept {
+    return !(*this == other);
+  }
+
+  /// Element-wise sum. Both operands must have the same dimensionality.
+  Coord operator+(const Coord& other) const;
+  /// Element-wise difference (this - other).
+  Coord operator-(const Coord& other) const;
+  /// Element-wise XOR, used by the hypercube variant of DDPM.
+  Coord operator^(const Coord& other) const;
+
+  /// Sum of absolute element values (L1 norm) — the minimal hop count in a
+  /// mesh when applied to a displacement vector.
+  int l1_norm() const noexcept;
+
+  /// Number of nonzero elements — the minimal hop count in a hypercube when
+  /// applied to a (0/1-valued) displacement vector.
+  int nonzero_count() const noexcept;
+
+  std::string to_string() const;
+
+  /// FNV-1a over the active elements, for hashing.
+  std::size_t hash() const noexcept;
+
+ private:
+  static constexpr std::size_t check_dims(std::size_t dims) {
+    if (dims > kMaxDims) throw std::invalid_argument("Coord: too many dimensions");
+    return dims;
+  }
+
+  std::array<value_type, kMaxDims> data_{};
+  std::size_t size_ = 0;
+};
+
+struct CoordHash {
+  std::size_t operator()(const Coord& c) const noexcept { return c.hash(); }
+};
+
+}  // namespace ddpm::topo

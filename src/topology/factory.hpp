@@ -1,0 +1,20 @@
+// Builds topologies from compact string specs, the format used by every
+// example and benchmark:
+//   "mesh:4x4"        2-D 4x4 mesh
+//   "mesh:8x8x8"      3-D mesh
+//   "torus:16x16"     4-ary style torus (k-ary n-cube)
+//   "hypercube:10"    10-cube, 1024 nodes
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "topology/topology.hpp"
+
+namespace ddpm::topo {
+
+/// Parses `spec` and constructs the topology. Throws std::invalid_argument
+/// on malformed specs or out-of-range parameters.
+std::unique_ptr<Topology> make_topology(const std::string& spec);
+
+}  // namespace ddpm::topo

@@ -1,0 +1,73 @@
+#include "topology/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace ddpm::topo {
+
+namespace {
+
+bool usable(const LinkFailureSet* failures, NodeId a, NodeId b) {
+  return failures == nullptr || !failures->is_failed(a, b);
+}
+
+}  // namespace
+
+std::vector<int> bfs_distances(const Topology& topo, NodeId src,
+                               const LinkFailureSet* failures) {
+  std::vector<int> dist(topo.num_nodes(), -1);
+  dist[src] = 0;
+  std::deque<NodeId> frontier{src};
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (Port p = 0; p < topo.num_ports(); ++p) {
+      const auto v = topo.neighbor(u, p);
+      if (!v || dist[*v] >= 0 || !usable(failures, u, *v)) continue;
+      dist[*v] = dist[u] + 1;
+      frontier.push_back(*v);
+    }
+  }
+  return dist;
+}
+
+std::optional<std::vector<NodeId>> shortest_path(const Topology& topo,
+                                                 NodeId src, NodeId dst,
+                                                 const LinkFailureSet* failures) {
+  std::vector<NodeId> parent(topo.num_nodes(), kInvalidNode);
+  std::vector<int> dist(topo.num_nodes(), -1);
+  dist[src] = 0;
+  std::deque<NodeId> frontier{src};
+  while (!frontier.empty() && dist[dst] < 0) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (Port p = 0; p < topo.num_ports(); ++p) {
+      const auto v = topo.neighbor(u, p);
+      if (!v || dist[*v] >= 0 || !usable(failures, u, *v)) continue;
+      dist[*v] = dist[u] + 1;
+      parent[*v] = u;
+      frontier.push_back(*v);
+    }
+  }
+  if (dist[dst] < 0) return std::nullopt;
+  std::vector<NodeId> path;
+  for (NodeId at = dst; at != kInvalidNode; at = parent[at]) {
+    path.push_back(at);
+    if (at == src) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+bool is_connected(const Topology& topo, const LinkFailureSet* failures) {
+  if (topo.num_nodes() == 0) return true;
+  const auto dist = bfs_distances(topo, 0, failures);
+  return std::all_of(dist.begin(), dist.end(), [](int d) { return d >= 0; });
+}
+
+int hop_distance(const Topology& topo, NodeId src, NodeId dst,
+                 const LinkFailureSet* failures) {
+  return bfs_distances(topo, src, failures)[dst];
+}
+
+}  // namespace ddpm::topo

@@ -1,0 +1,32 @@
+// Graph algorithms over a Topology with optional link failures: BFS hop
+// distances, shortest paths, and connectivity. Used by routing tests (to
+// check minimality), by the PPM reconstruction engine (candidate-path
+// enumeration) and by the Figure 2 experiments.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace ddpm::topo {
+
+/// Hop distance from `src` to every node, honoring failed links.
+/// Unreachable nodes get -1.
+std::vector<int> bfs_distances(const Topology& topo, NodeId src,
+                               const LinkFailureSet* failures = nullptr);
+
+/// One shortest path (node sequence, inclusive of endpoints) from `src` to
+/// `dst`, honoring failed links; nullopt if unreachable.
+std::optional<std::vector<NodeId>> shortest_path(
+    const Topology& topo, NodeId src, NodeId dst,
+    const LinkFailureSet* failures = nullptr);
+
+/// True iff every node can reach every other given the failures.
+bool is_connected(const Topology& topo, const LinkFailureSet* failures = nullptr);
+
+/// Hop distance between two nodes honoring failures; -1 if unreachable.
+int hop_distance(const Topology& topo, NodeId src, NodeId dst,
+                 const LinkFailureSet* failures = nullptr);
+
+}  // namespace ddpm::topo

@@ -1,0 +1,35 @@
+#include "topology/topology.hpp"
+
+namespace ddpm::topo {
+
+std::string to_string(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kMesh: return "mesh";
+    case TopologyKind::kTorus: return "torus";
+    case TopologyKind::kHypercube: return "hypercube";
+  }
+  return "unknown";
+}
+
+std::vector<NodeId> Topology::neighbors(NodeId node) const {
+  std::vector<NodeId> out;
+  out.reserve(static_cast<std::size_t>(num_ports()));
+  for (Port p = 0; p < num_ports(); ++p) {
+    if (auto n = neighbor(node, p)) out.push_back(*n);
+  }
+  return out;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Topology::links() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  for (NodeId a = 0; a < num_nodes(); ++a) {
+    for (Port p = 0; p < num_ports(); ++p) {
+      if (auto b = neighbor(a, p)) {
+        if (a < *b) out.emplace_back(a, *b);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ddpm::topo

@@ -1,0 +1,72 @@
+#include "topology/torus.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace ddpm::topo {
+
+Torus::Torus(std::vector<int> dims) : CartesianTopology(std::move(dims), 3) {
+  for (std::size_t d = 0; d < num_dims(); ++d) diameter_ += dim_size(d) / 2;
+}
+
+std::optional<NodeId> Torus::neighbor(NodeId node, Port port) const {
+  if (port < 0 || port >= num_ports()) return std::nullopt;
+  const auto [dim, dir] = port_dim_dir(port);
+  Coord c = coord_of(node);
+  const int k = dim_size(dim);
+  c[dim] = static_cast<Coord::value_type>(((int(c[dim]) + dir) % k + k) % k);
+  return id_of(c);
+}
+
+std::optional<Port> Torus::port_to(NodeId from, NodeId to) const {
+  const Coord a = coord_of(from);
+  const Coord b = coord_of(to);
+  std::optional<Port> port;
+  for (std::size_t d = 0; d < num_dims(); ++d) {
+    if (a[d] == b[d]) continue;
+    const int k = dim_size(d);
+    const int plus = (int(a[d]) + 1) % k;
+    const int minus = (int(a[d]) - 1 + k) % k;
+    int dir;
+    if (int(b[d]) == plus) {
+      dir = +1;
+    } else if (int(b[d]) == minus) {
+      dir = -1;
+    } else {
+      return std::nullopt;
+    }
+    if (port.has_value()) return std::nullopt;  // differs in two dimensions
+    port = make_port(d, dir);
+  }
+  return port;
+}
+
+int Torus::ring_delta(int a, int b, std::size_t d) const noexcept {
+  const int k = dim_size(d);
+  int delta = ((b - a) % k + k) % k;  // in [0, k)
+  if (delta > k / 2) delta -= k;
+  // k even and delta == k/2: keep +k/2 (positive direction), per contract.
+  return delta;
+}
+
+int Torus::min_hops(NodeId a, NodeId b) const {
+  const Coord ca = coord_of(a);
+  const Coord cb = coord_of(b);
+  int hops = 0;
+  for (std::size_t d = 0; d < num_dims(); ++d) {
+    hops += std::abs(ring_delta(ca[d], cb[d], d));
+  }
+  return hops;
+}
+
+std::string Torus::spec() const {
+  std::ostringstream os;
+  os << "torus:";
+  for (std::size_t d = 0; d < num_dims(); ++d) {
+    if (d) os << 'x';
+    os << dim_size(d);
+  }
+  return os.str();
+}
+
+}  // namespace ddpm::topo

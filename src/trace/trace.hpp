@@ -1,0 +1,75 @@
+// Packet trace capture and offline replay.
+//
+// Operationally, source identification is a forensic activity: the victim
+// records what it received and analysts re-run identification later,
+// possibly with a different scheme's decoder. This module provides that
+// workflow: a CSV trace writer that hooks any delivery stream, a reader,
+// and replay of a trace into any victim-side SourceIdentifier.
+//
+// The format is line-oriented CSV with a fixed header; all fields are
+// numeric, so no quoting is needed. `true_source` is recorded so replays
+// can be SCORED — a field an analyst would not have, clearly marked.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "marking/scheme.hpp"
+#include "packet/packet.hpp"
+
+namespace ddpm::trace {
+
+struct TraceRecord {
+  std::uint64_t time = 0;           // delivery time (ticks)
+  topo::NodeId delivered_at = 0;    // consuming node
+  std::uint32_t claimed_source = 0; // header source address (spoofable)
+  std::uint32_t dest_address = 0;
+  std::uint16_t marking_field = 0;
+  std::uint8_t protocol = 0;
+  std::uint8_t tcp_flags = 0;
+  std::uint8_t traffic_class = 0;   // ground truth, for scoring only
+  std::uint32_t hops = 0;
+  std::uint64_t flow = 0;
+  topo::NodeId true_source = 0;     // ground truth, for scoring only
+
+  static TraceRecord from_packet(const pkt::Packet& packet,
+                                 topo::NodeId at);
+};
+
+/// Streams records to CSV. The header row is written on construction.
+class TraceWriter {
+ public:
+  explicit TraceWriter(std::ostream& out);
+
+  void record(const pkt::Packet& packet, topo::NodeId at);
+  void record(const TraceRecord& record);
+  std::uint64_t records_written() const noexcept { return count_; }
+
+  static const char* header();
+
+ private:
+  std::ostream& out_;
+  std::uint64_t count_ = 0;
+};
+
+/// Parses a full CSV trace. Throws std::invalid_argument on a malformed
+/// header or row.
+std::vector<TraceRecord> read_trace(std::istream& in);
+
+/// Replay outcome of one trace through an identifier.
+struct ReplayResult {
+  std::uint64_t packets = 0;
+  std::uint64_t identified = 0;        // single-candidate verdicts
+  std::uint64_t correct = 0;           // ... that matched true_source
+  std::uint64_t misattributed = 0;     // ... that did not
+  std::vector<topo::NodeId> named;     // unique single-candidate names
+};
+
+/// Feeds every record delivered at `victim` into the identifier, in trace
+/// order, and scores against the recorded ground truth.
+ReplayResult replay(const std::vector<TraceRecord>& records,
+                    mark::SourceIdentifier& identifier, topo::NodeId victim);
+
+}  // namespace ddpm::trace

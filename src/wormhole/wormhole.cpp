@@ -1,0 +1,274 @@
+#include "wormhole/wormhole.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ddpm::wormhole {
+
+WormholeNetwork::WormholeNetwork(const topo::Topology& topo,
+                                 const route::Router& router,
+                                 mark::MarkingScheme* scheme,
+                                 WormholeConfig config)
+    : topo_(topo),
+      router_(router),
+      escape_router_(topo),
+      scheme_(scheme),
+      config_(config),
+      escape_vcs_(config.disable_escape
+                      ? 0
+                      : (topo.kind() == topo::TopologyKind::kTorus ? 2 : 1)),
+      rng_(config.seed) {
+  const int V = total_vcs();
+  nodes_.resize(topo.num_nodes());
+  for (NodeState& node : nodes_) {
+    node.in.resize(std::size_t(topo.num_ports() + 1) * std::size_t(V));
+    node.out.resize(std::size_t(topo.num_ports()) * std::size_t(V));
+    for (OutputVc& out : node.out) out.credits = config_.buffer_flits;
+    node.rr.assign(std::size_t(topo.num_ports()), 0);
+  }
+}
+
+void WormholeNetwork::inject(pkt::Packet&& packet, NodeId src) {
+  if (scheme_ != nullptr) scheme_->on_injection(packet, src);
+  packet.header.set_ttl(config_.initial_ttl);
+  auto shared = std::make_shared<pkt::Packet>(std::move(packet));
+  const std::uint32_t flits = std::max<std::uint32_t>(
+      1, (shared->wire_bytes() + config_.flit_bytes - 1) / config_.flit_bytes);
+  InputVc& vc = input_vc(src, injection_port(), 0);
+  for (std::uint32_t i = 0; i < flits; ++i) {
+    Flit flit;
+    flit.head = (i == 0);
+    flit.tail = (i + 1 == flits);
+    flit.packet = shared;
+    vc.buffer.push_back(std::move(flit));
+  }
+  flits_in_flight_ += flits;
+}
+
+std::uint64_t WormholeNetwork::injection_backlog() const {
+  std::uint64_t total = 0;
+  const int V = total_vcs();
+  for (const NodeState& node : nodes_) {
+    for (int vc = 0; vc < V; ++vc) {
+      total += node.in[std::size_t(topo_.num_ports()) * std::size_t(V) +
+                       std::size_t(vc)]
+                   .buffer.size();
+    }
+  }
+  return total;
+}
+
+void WormholeNetwork::return_credit(NodeId node, int in_port, int vc) {
+  if (in_port == injection_port()) return;  // injection queue is unbounded
+  const NodeId upstream = *topo_.neighbor(node, in_port);
+  const Port up_port = *topo_.port_to(upstream, node);
+  OutputVc& out = output_vc(upstream, up_port, vc);
+  if (out.credits < config_.buffer_flits) ++out.credits;
+}
+
+bool WormholeNetwork::allocate(NodeId node, int in_port, InputVc& vc) {
+  const Flit& head = vc.buffer.front();
+  pkt::Packet& packet = *head.packet;
+  const Port arrived_on =
+      in_port == injection_port() ? route::kLocalPort : Port(in_port);
+
+  // Hop budget: a packet whose TTL expires is consumed silently (the
+  // discard path in switch_allocation). With minimal adaptive candidates
+  // this cannot trigger; it is the safety net the walker and the
+  // store-and-forward switch also have.
+  if (packet.header.ttl() == 0) {
+    vc.active = true;
+    vc.out_port = -2;  // discard sink
+    vc.out_vc = -1;
+    return true;
+  }
+
+  // 1. Adaptive VCs on any productive port: pick the (port, vc) with the
+  //    most downstream credits (congestion-aware), first-wins on ties.
+  const auto candidates =
+      router_.candidates(node, packet.dest_node, arrived_on);
+  Port best_port = -1;
+  int best_vc = -1;
+  int best_credits = 0;
+  for (Port p : candidates) {
+    for (int v = escape_vcs_; v < total_vcs(); ++v) {
+      const OutputVc& out = output_vc(node, p, v);
+      if (!out.allocated && out.credits > best_credits) {
+        best_credits = out.credits;
+        best_port = p;
+        best_vc = v;
+      }
+    }
+  }
+
+  // 2. Escape layer: dimension-order port, dateline-disciplined VC class.
+  std::uint8_t next_class = head.escape_class;
+  if (best_port < 0 && config_.disable_escape) {
+    return false;  // no escape lanes: wait (possibly forever — deadlock)
+  }
+  if (best_port < 0) {
+    const auto escape = escape_router_.candidates(node, packet.dest_node,
+                                                  arrived_on);
+    if (escape.empty()) return false;  // only possible if already at dest
+    const Port p = escape.front();
+    const NodeId next = *topo_.neighbor(node, p);
+    if (escape_vcs_ > 1) {
+      // Torus dateline: entering a new dimension resets the class; taking
+      // the wraparound link promotes it.
+      const std::size_t dim = std::size_t(p / 2);
+      const topo::Coord here = topo_.coord_of(node);
+      const topo::Coord there = topo_.coord_of(next);
+      bool same_dim_as_arrival = false;
+      if (arrived_on != route::kLocalPort) {
+        same_dim_as_arrival = (std::size_t(arrived_on / 2) == dim);
+      }
+      if (!same_dim_as_arrival) next_class = 0;
+      const int delta = int(there[dim]) - int(here[dim]);
+      if (delta != 1 && delta != -1) next_class = 1;  // wrap crossing
+    }
+    const int v = int(next_class);
+    const OutputVc& out = output_vc(node, p, v);
+    if (out.allocated || out.credits == 0) return false;  // wait
+    best_port = p;
+    best_vc = v;
+  }
+
+  // Claim the output VC; run TTL + marking once per switch, exactly at the
+  // post-routing point Figure 4 prescribes.
+  output_vc(node, best_port, best_vc).allocated = true;
+  vc.active = true;
+  vc.out_port = best_port;
+  vc.out_vc = best_vc;
+  const NodeId next = *topo_.neighbor(node, best_port);
+  packet.header.decrement_ttl();
+  if (scheme_ != nullptr) scheme_->on_forward(packet, node, next);
+  ++packet.hops;
+  if (!packet.trace.empty()) packet.trace.push_back(next);
+  // Record the downstream escape class on the (future) head flit.
+  vc.buffer.front().escape_class = next_class;
+  return true;
+}
+
+void WormholeNetwork::eject(NodeId node, InputVc& vc) {
+  // Consume every buffered flit of the packet being ejected this cycle
+  // (infinite ejection bandwidth, a standard simulator simplification).
+  while (!vc.buffer.empty()) {
+    Flit flit = std::move(vc.buffer.front());
+    vc.buffer.pop_front();
+    --flits_in_flight_;
+    ++progress_marker_;
+    const bool tail = flit.tail;
+    if (tail) {
+      vc.active = false;
+      if (vc.out_port == -2) {
+        ++dropped_ttl_;
+      } else {
+        flit.packet->delivered_at = cycle_;
+        ++delivered_;
+        if (hook_) hook_(std::move(*flit.packet), node);
+      }
+      vc.out_port = -1;
+      return;
+    }
+  }
+}
+
+void WormholeNetwork::switch_allocation(NodeId node) {
+  NodeState& state = nodes_[node];
+  const int V = total_vcs();
+  const int in_units = (topo_.num_ports() + 1) * V;
+
+  // VC allocation + ejection/discard for heads at buffer fronts.
+  for (int unit = 0; unit < in_units; ++unit) {
+    InputVc& vc = state.in[std::size_t(unit)];
+    if (vc.buffer.empty()) continue;
+    const int in_port = unit / V;
+    const int in_vc = unit % V;
+    if (!vc.active) {
+      const Flit& front = vc.buffer.front();
+      if (!front.head) continue;  // body flits of an ejected/advancing head
+      if (front.packet->dest_node == node) {
+        // Local delivery path: consume and credit.
+        const std::size_t consumed = vc.buffer.size();
+        vc.out_port = -1;
+        vc.active = true;  // occupy until tail passes
+        eject(node, vc);
+        for (std::size_t i = 0; i < consumed - vc.buffer.size(); ++i) {
+          return_credit(node, in_port, in_vc);
+        }
+        continue;
+      }
+      if (!allocate(node, in_port, vc)) continue;
+    }
+    if (vc.active && (vc.out_port == -1 || vc.out_port == -2)) {
+      // Ejection or discard in progress: keep consuming arrivals.
+      const std::size_t before = vc.buffer.size();
+      eject(node, vc);
+      for (std::size_t i = 0; i < before - vc.buffer.size(); ++i) {
+        return_credit(node, in_port, in_vc);
+      }
+    }
+  }
+
+  // Switch traversal: each output port forwards at most one flit.
+  for (Port out_port = 0; out_port < topo_.num_ports(); ++out_port) {
+    std::size_t& rr = state.rr[std::size_t(out_port)];
+    for (int probe = 0; probe < in_units; ++probe) {
+      const std::size_t unit = (rr + std::size_t(probe)) % std::size_t(in_units);
+      InputVc& vc = state.in[unit];
+      if (!vc.active || vc.out_port != out_port || vc.buffer.empty()) continue;
+      OutputVc& out = output_vc(node, out_port, vc.out_vc);
+      if (out.credits == 0) continue;
+      Flit flit = std::move(vc.buffer.front());
+      vc.buffer.pop_front();
+      --out.credits;
+      const int in_port = int(unit) / total_vcs();
+      const int in_vc = int(unit) % total_vcs();
+      return_credit(node, in_port, in_vc);
+      const NodeId next = *topo_.neighbor(node, out_port);
+      const int next_in_port = *topo_.port_to(next, node);
+      if (flit.tail) {
+        out.allocated = false;
+        vc.active = false;
+        vc.out_port = -1;
+      }
+      staged_.push_back(Staged{next, next_in_port, vc.out_vc,
+                               std::move(flit)});
+      rr = (unit + 1) % std::size_t(in_units);
+      break;  // one flit per output port per cycle
+    }
+  }
+}
+
+void WormholeNetwork::step() {
+  const std::uint64_t before = progress_marker_;
+  for (NodeId node = 0; node < topo_.num_nodes(); ++node) {
+    switch_allocation(node);
+  }
+  progress_marker_ += staged_.size();
+  for (Staged& s : staged_) {
+    input_vc(s.node, s.in_port, s.vc).buffer.push_back(std::move(s.flit));
+  }
+  staged_.clear();
+  ++cycle_;
+  if (progress_marker_ == before && flits_in_flight_ > 0) {
+    ++stall_cycles_;
+  } else {
+    stall_cycles_ = 0;
+  }
+}
+
+void WormholeNetwork::run(std::uint64_t cycles) {
+  for (std::uint64_t i = 0; i < cycles; ++i) step();
+}
+
+bool WormholeNetwork::drain(std::uint64_t max_cycles) {
+  for (std::uint64_t i = 0; i < max_cycles; ++i) {
+    if (flits_in_flight_ == 0) return true;
+    if (deadlocked()) return false;  // no point burning cycles
+    step();
+  }
+  return flits_in_flight_ == 0;
+}
+
+}  // namespace ddpm::wormhole

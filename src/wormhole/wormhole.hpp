@@ -1,0 +1,177 @@
+// Cycle-driven wormhole-switched network with virtual channels.
+//
+// The cluster model in src/cluster is store-and-forward, which keeps the
+// event count low for long scenario runs. Real cluster interconnects of
+// the paper's era (and since) use wormhole switching: packets are split
+// into flits, the head flit opens a path and the body follows, buffers are
+// a few flits deep, and virtual channels (VCs) provide deadlock freedom.
+// This module is that substrate, so every marking claim can also be
+// exercised under realistic switching:
+//
+//   * input-buffered routers, one buffer per (input port, VC), credit-based
+//     flow control (synchronous credit return, documented simplification);
+//   * deadlock avoidance a la Duato: adaptive VCs may follow any productive
+//     port, while an escape VC restricted to dimension-order routing is
+//     always selectable when a packet (re)allocates at a hop. On the torus
+//     the escape layer uses two VCs with a dateline discipline (packets
+//     move to the second escape class after crossing a wrap link);
+//   * marking and TTL run once per switch at route/VC allocation — the
+//     same "after the routing decision" point as Figure 4 and the
+//     store-and-forward Switch, so DDPM behaves identically.
+//
+// The network is stepped one cycle at a time (per cycle: allocation, then
+// one flit per output port, then ejection), which makes load-latency
+// sweeps (bench_wormhole_loadlatency) and deadlock tests deterministic.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "marking/scheme.hpp"
+#include "netsim/rng.hpp"
+#include "packet/packet.hpp"
+#include "routing/dor.hpp"
+#include "routing/router.hpp"
+#include "topology/topology.hpp"
+
+namespace ddpm::wormhole {
+
+using topo::NodeId;
+using topo::Port;
+
+struct WormholeConfig {
+  std::uint32_t flit_bytes = 16;  // packet -> ceil(wire_bytes / flit_bytes) flits
+  int adaptive_vcs = 1;           // VCs free to follow any productive port
+  int buffer_flits = 4;           // per-(port, VC) buffer depth
+  /// Negative control: remove the escape layer entirely (the network runs
+  /// on the adaptive VCs alone, with no deadlock-free discipline). Ring
+  /// traffic on the torus then wedges in the textbook hold-and-wait cycle
+  /// — the experiment that shows the escape machinery is load-bearing.
+  bool disable_escape = false;
+  std::uint8_t initial_ttl = 255;
+  std::uint64_t seed = 1;
+};
+
+class WormholeNetwork {
+ public:
+  /// `router` supplies the adaptive candidates; the escape layer always
+  /// uses an internal dimension-order router. `scheme` may be null.
+  WormholeNetwork(const topo::Topology& topo, const route::Router& router,
+                  mark::MarkingScheme* scheme, WormholeConfig config);
+
+  WormholeNetwork(const WormholeNetwork&) = delete;
+  WormholeNetwork& operator=(const WormholeNetwork&) = delete;
+
+  /// Queues a packet at the source's injection port (unbounded queue; use
+  /// injection_backlog to detect saturation). Runs the scheme's injection
+  /// hook immediately.
+  void inject(pkt::Packet&& packet, NodeId src);
+
+  /// Advances the network one cycle.
+  void step();
+  /// Runs `cycles` cycles.
+  void run(std::uint64_t cycles);
+  /// Runs until no flit remains in flight (or `max_cycles` elapse).
+  /// Returns true if the network drained.
+  bool drain(std::uint64_t max_cycles);
+
+  /// Cycles since the last flit movement or delivery while flits remain in
+  /// flight. A large value with flits_in_flight() > 0 indicates deadlock.
+  std::uint64_t stall_cycles() const noexcept { return stall_cycles_; }
+  /// True if nothing has moved for `threshold` cycles with flits in flight.
+  bool deadlocked(std::uint64_t threshold = 1000) const noexcept {
+    return flits_in_flight_ > 0 && stall_cycles_ >= threshold;
+  }
+
+  std::uint64_t cycle() const noexcept { return cycle_; }
+  std::uint64_t delivered() const noexcept { return delivered_; }
+  std::uint64_t flits_in_flight() const noexcept { return flits_in_flight_; }
+  std::uint64_t injection_backlog() const;
+  std::uint64_t dropped_ttl() const noexcept { return dropped_ttl_; }
+
+  /// Called with each fully ejected packet; delivered_at is the cycle the
+  /// tail flit left the network.
+  using DeliveryHook = std::function<void(pkt::Packet&&, NodeId)>;
+  void set_delivery_hook(DeliveryHook hook) { hook_ = std::move(hook); }
+
+  int total_vcs() const noexcept { return escape_vcs_ + config_.adaptive_vcs; }
+
+ private:
+  struct Flit {
+    bool head = false;
+    bool tail = false;
+    std::shared_ptr<pkt::Packet> packet;  // shared by all flits of a packet
+    std::uint8_t escape_class = 0;        // torus dateline state
+  };
+
+  struct InputVc {
+    std::deque<Flit> buffer;
+    bool active = false;  // head has been routed and holds an output VC
+    Port out_port = -1;
+    int out_vc = -1;
+  };
+
+  struct OutputVc {
+    bool allocated = false;
+    int credits = 0;
+  };
+
+  struct NodeState {
+    // Input units: [physical ports 0..P-1][injection port P], each with V VCs.
+    std::vector<InputVc> in;                // (P+1) * V
+    std::vector<OutputVc> out;              // P * V
+    std::vector<std::size_t> rr;            // round-robin pointer per out port
+  };
+
+  InputVc& input_vc(NodeId n, int port, int vc) {
+    return nodes_[n].in[std::size_t(port) * std::size_t(total_vcs()) + std::size_t(vc)];
+  }
+  OutputVc& output_vc(NodeId n, Port port, int vc) {
+    return nodes_[n].out[std::size_t(port) * std::size_t(total_vcs()) + std::size_t(vc)];
+  }
+
+  int injection_port() const noexcept { return topo_.num_ports(); }
+
+  /// Route + VC allocation for the head flit at the front of an input VC.
+  /// Returns true if an output VC was claimed.
+  bool allocate(NodeId node, int in_port, InputVc& vc);
+
+  /// One switch-allocation pass for a node: each output port forwards at
+  /// most one flit; the ejection path consumes arbitrarily many.
+  void switch_allocation(NodeId node);
+
+  void eject(NodeId node, InputVc& vc);
+
+  /// Credit return to the upstream output VC feeding (node, in_port, vc).
+  void return_credit(NodeId node, int in_port, int vc);
+
+  const topo::Topology& topo_;
+  const route::Router& router_;
+  route::DimensionOrderRouter escape_router_;
+  mark::MarkingScheme* scheme_;
+  WormholeConfig config_;
+  int escape_vcs_;
+  netsim::Rng rng_;
+  std::vector<NodeState> nodes_;
+  // Flits sent this cycle land in downstream buffers only after the full
+  // pass, so a flit cannot traverse two links in one cycle.
+  struct Staged {
+    NodeId node;
+    int in_port;
+    int vc;
+    Flit flit;
+  };
+  std::vector<Staged> staged_;
+  DeliveryHook hook_;
+  std::uint64_t cycle_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t flits_in_flight_ = 0;
+  std::uint64_t dropped_ttl_ = 0;
+  std::uint64_t stall_cycles_ = 0;
+  std::uint64_t progress_marker_ = 0;  // bumps on every flit event
+};
+
+}  // namespace ddpm::wormhole

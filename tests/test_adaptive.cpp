@@ -1,0 +1,180 @@
+#include "routing/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "marking/walk.hpp"
+#include "routing/oracle.hpp"
+#include "topology/factory.hpp"
+#include "topology/graph.hpp"
+#include "topology/mesh.hpp"
+
+namespace ddpm::route {
+namespace {
+
+using mark::walk_packet;
+using mark::WalkOutcome;
+using topo::Coord;
+
+TEST(Adaptive, CandidatesAreExactlyProductivePorts) {
+  topo::Mesh m({4, 4});
+  AdaptiveRouter router(m);
+  const auto cand = router.candidates(m.id_of(Coord{1, 1}),
+                                      m.id_of(Coord{3, 3}), kLocalPort);
+  EXPECT_EQ(cand.size(), 2u);  // east + south
+  for (Port p : cand) {
+    const auto next = m.neighbor(m.id_of(Coord{1, 1}), p);
+    ASSERT_TRUE(next.has_value());
+    EXPECT_LT(m.min_hops(*next, m.id_of(Coord{3, 3})),
+              m.min_hops(m.id_of(Coord{1, 1}), m.id_of(Coord{3, 3})));
+  }
+}
+
+TEST(Adaptive, MinimalDeliveryEverywhere) {
+  for (const char* spec : {"mesh:4x4", "torus:4x4", "hypercube:4"}) {
+    const auto topo = topo::make_topology(spec);
+    AdaptiveRouter router(*topo);
+    for (topo::NodeId s = 0; s < topo->num_nodes(); s += 3) {
+      for (topo::NodeId d = 0; d < topo->num_nodes(); ++d) {
+        if (s == d) continue;
+        mark::WalkOptions options;
+        options.seed = s * 1000 + d;
+        const auto walk = walk_packet(*topo, router, nullptr, s, d, options);
+        ASSERT_TRUE(walk.delivered()) << spec;
+        EXPECT_EQ(walk.hops, topo->min_hops(s, d)) << spec;
+      }
+    }
+  }
+}
+
+TEST(Adaptive, PathVariesWithSeedUnlikeDeterministic) {
+  // The property that defeats path-recording traceback (paper §4): same
+  // (src, dst), different paths.
+  topo::Mesh m({6, 6});
+  AdaptiveRouter router(m);
+  const auto s = m.id_of(Coord{0, 0});
+  const auto d = m.id_of(Coord{5, 5});
+  std::set<std::vector<topo::NodeId>> paths;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    mark::WalkOptions options;
+    options.seed = seed;
+    paths.insert(walk_packet(m, router, nullptr, s, d, options).path);
+  }
+  EXPECT_GT(paths.size(), 5u);
+}
+
+TEST(Adaptive, CongestionAwareSelection) {
+  // With one productive port congested, the router must choose the other.
+  topo::Mesh m({4, 4});
+  AdaptiveRouter router(m);
+
+  class FakeCongestion final : public LinkStateView {
+   public:
+    explicit FakeCongestion(const topo::Topology& topo) : topo_(topo) {}
+    bool link_usable(topo::NodeId node, Port port) const override {
+      return topo_.neighbor(node, port).has_value();
+    }
+    double congestion(topo::NodeId, Port port) const override {
+      return port == 1 ? 100.0 : 0.0;  // east port congested
+    }
+   private:
+    const topo::Topology& topo_;
+  } links(m);
+
+  netsim::Rng rng(1);
+  // From (1,1) to (3,3): east congested -> must pick south.
+  const auto port = router.select_output(m.id_of(Coord{1, 1}),
+                                         m.id_of(Coord{3, 3}), kLocalPort,
+                                         links, rng);
+  ASSERT_TRUE(port.has_value());
+  EXPECT_EQ(*port, 3);  // dim-1 plus (south)
+}
+
+TEST(Adaptive, MinimalVariantBlockedWhenAllProductiveFailed) {
+  topo::Mesh m({4, 4});
+  AdaptiveRouter router(m);
+  topo::LinkFailureSet failures;
+  const auto s = m.id_of(Coord{0, 0});
+  failures.fail(s, m.id_of(Coord{1, 0}));
+  failures.fail(s, m.id_of(Coord{0, 1}));
+  mark::WalkOptions options;
+  options.failures = &failures;
+  const auto walk =
+      walk_packet(m, router, nullptr, s, m.id_of(Coord{3, 3}), options);
+  EXPECT_EQ(walk.outcome, WalkOutcome::kBlocked);
+}
+
+TEST(Adaptive, MisroutingVariantEscapesTheSameBlock) {
+  topo::Mesh m({4, 4});
+  MisroutingAdaptiveRouter router(m);
+  topo::LinkFailureSet failures;
+  const auto s = m.id_of(Coord{1, 1});
+  // Fail both productive links toward (3,3).
+  failures.fail(s, m.id_of(Coord{2, 1}));
+  failures.fail(s, m.id_of(Coord{1, 2}));
+  mark::WalkOptions options;
+  options.failures = &failures;
+  options.seed = 7;
+  const auto walk =
+      walk_packet(m, router, nullptr, s, m.id_of(Coord{3, 3}), options);
+  EXPECT_TRUE(walk.delivered());
+  EXPECT_GT(walk.hops, m.min_hops(s, m.id_of(Coord{3, 3})));  // non-minimal
+}
+
+TEST(Adaptive, MisrouteFallbackExcludesBacktrack) {
+  topo::Mesh m({4, 4});
+  MisroutingAdaptiveRouter router(m);
+  const auto cur = m.id_of(Coord{1, 1});
+  const auto dst = m.id_of(Coord{3, 1});
+  // Arrived from the west; fallback may contain north/south ports and the
+  // west port is excluded (180-degree reversal).
+  const auto fb = router.fallback_candidates(cur, dst, 0);
+  EXPECT_EQ(std::find(fb.begin(), fb.end(), 0), fb.end());
+  EXPECT_FALSE(fb.empty());
+}
+
+TEST(Oracle, MatchesBfsUnderFailures) {
+  topo::Mesh m({4, 4});
+  OracleRouter router(m);
+  topo::LinkFailureSet failures;
+  failures.fail(m.id_of(Coord{1, 0}), m.id_of(Coord{2, 0}));
+  failures.fail(m.id_of(Coord{1, 1}), m.id_of(Coord{2, 1}));
+  const auto s = m.id_of(Coord{0, 0});
+  const auto d = m.id_of(Coord{3, 0});
+  mark::WalkOptions options;
+  options.failures = &failures;
+  const auto walk = walk_packet(m, router, nullptr, s, d, options);
+  ASSERT_TRUE(walk.delivered());
+  EXPECT_EQ(walk.hops, topo::hop_distance(m, s, d, &failures));
+}
+
+TEST(Oracle, BlockedOnlyWhenDisconnected) {
+  topo::Mesh m({3, 3});
+  OracleRouter router(m);
+  topo::LinkFailureSet failures;
+  const auto corner = m.id_of(Coord{0, 0});
+  failures.fail(corner, m.id_of(Coord{1, 0}));
+  failures.fail(corner, m.id_of(Coord{0, 1}));
+  mark::WalkOptions options;
+  options.failures = &failures;
+  EXPECT_EQ(walk_packet(m, router, nullptr, corner, m.id_of(Coord{2, 2}),
+                        options)
+                .outcome,
+            WalkOutcome::kBlocked);
+}
+
+TEST(RouterFactory, BuildsEveryKnownRouter) {
+  topo::Mesh m({4, 4});
+  for (const char* name : {"dor", "xy", "ecube", "west-first", "north-last",
+                           "negative-first", "adaptive", "adaptive-misroute",
+                           "oracle"}) {
+    const auto router = make_router(name, m);
+    ASSERT_NE(router, nullptr) << name;
+  }
+  EXPECT_THROW(make_router("bogus", m), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ddpm::route

@@ -1,0 +1,41 @@
+#include "packet/address_map.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ddpm::pkt {
+namespace {
+
+TEST(AddressMap, Bijective) {
+  AddressMap map(64);
+  for (topo::NodeId n = 0; n < 64; ++n) {
+    const Ipv4Address addr = map.address_of(n);
+    EXPECT_EQ(map.node_of(addr), n);
+  }
+}
+
+TEST(AddressMap, AddressesAreInClusterRange) {
+  AddressMap map(100);
+  for (topo::NodeId n = 0; n < 100; ++n) {
+    EXPECT_EQ(map.address_of(n) & AddressMap::kClusterMask,
+              AddressMap::kClusterBase);
+  }
+  EXPECT_EQ(map.address_of(0), 0x0a000001u);  // 10.0.0.1
+}
+
+TEST(AddressMap, ForeignAddressesAreNotNodes) {
+  AddressMap map(16);
+  EXPECT_FALSE(map.node_of(0xc0a80001).has_value());  // 192.168.0.1
+  EXPECT_FALSE(map.node_of(0x0a000000).has_value());  // base itself unused
+  EXPECT_FALSE(map.node_of(0x0a000011).has_value());  // host 17 > 16 nodes
+  EXPECT_TRUE(map.node_of(0x0a000010).has_value());   // host 16 = node 15
+  EXPECT_FALSE(map.is_cluster_address(0xdeadbeef));
+  EXPECT_TRUE(map.is_cluster_address(map.address_of(3)));
+}
+
+TEST(AddressMap, OutOfRangeNodeThrows) {
+  AddressMap map(8);
+  EXPECT_THROW(map.address_of(8), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ddpm::pkt

@@ -1,0 +1,88 @@
+#include "attack/attacker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "attack/spoof.hpp"
+#include "topology/mesh.hpp"
+
+namespace ddpm::attack {
+namespace {
+
+TEST(PickZombies, DistinctAndExcludesVictim) {
+  topo::Mesh m({4, 4});
+  netsim::Rng rng(1);
+  const auto zombies = pick_zombies(m, 5, 7, rng);
+  EXPECT_EQ(zombies.size(), 5u);
+  const std::set<topo::NodeId> unique(zombies.begin(), zombies.end());
+  EXPECT_EQ(unique.size(), 5u);
+  EXPECT_EQ(unique.count(7), 0u);
+  EXPECT_TRUE(std::is_sorted(zombies.begin(), zombies.end()));
+}
+
+TEST(PickZombies, CanTakeAllButVictim) {
+  topo::Mesh m({3, 3});
+  netsim::Rng rng(2);
+  const auto zombies = pick_zombies(m, 8, 4, rng);
+  EXPECT_EQ(zombies.size(), 8u);
+  EXPECT_THROW(pick_zombies(m, 9, 4, rng), std::invalid_argument);
+}
+
+TEST(PickZombies, DifferentSeedsDifferentSets) {
+  topo::Mesh m({8, 8});
+  netsim::Rng a(1), b(2);
+  EXPECT_NE(pick_zombies(m, 10, 0, a), pick_zombies(m, 10, 0, b));
+}
+
+TEST(Spoof, NoneUsesRealAddress) {
+  pkt::AddressMap map(16);
+  netsim::Rng rng(3);
+  pkt::Packet p;
+  apply_spoof(p, SpoofStrategy::kNone, map, 5, 9, rng);
+  EXPECT_EQ(p.header.source(), map.address_of(5));
+}
+
+TEST(Spoof, RandomClusterIsValidButUsuallyWrong) {
+  pkt::AddressMap map(64);
+  netsim::Rng rng(4);
+  int honest = 0;
+  for (int i = 0; i < 1000; ++i) {
+    pkt::Packet p;
+    apply_spoof(p, SpoofStrategy::kRandomCluster, map, 5, 9, rng);
+    EXPECT_TRUE(map.is_cluster_address(p.header.source()));
+    honest += (map.node_of(p.header.source()) == 5u);
+  }
+  EXPECT_LT(honest, 60);  // ~1/64 of draws hit the real source by chance
+}
+
+TEST(Spoof, RandomAnyUsuallyOutsideCluster) {
+  pkt::AddressMap map(16);
+  netsim::Rng rng(5);
+  int inside = 0;
+  for (int i = 0; i < 1000; ++i) {
+    pkt::Packet p;
+    apply_spoof(p, SpoofStrategy::kRandomAny, map, 5, 9, rng);
+    inside += map.is_cluster_address(p.header.source());
+  }
+  EXPECT_LT(inside, 5);
+}
+
+TEST(Spoof, VictimReflectUsesVictimAddress) {
+  pkt::AddressMap map(16);
+  netsim::Rng rng(6);
+  pkt::Packet p;
+  apply_spoof(p, SpoofStrategy::kVictimReflect, map, 5, 9, rng);
+  EXPECT_EQ(p.header.source(), map.address_of(9));
+}
+
+TEST(AttackNames, Stable) {
+  EXPECT_EQ(to_string(AttackKind::kUdpFlood), "udp-flood");
+  EXPECT_EQ(to_string(AttackKind::kSynFlood), "syn-flood");
+  EXPECT_EQ(to_string(AttackKind::kWorm), "worm");
+  EXPECT_EQ(to_string(AttackKind::kNone), "none");
+  EXPECT_EQ(to_string(SpoofStrategy::kRandomCluster), "random-cluster");
+}
+
+}  // namespace
+}  // namespace ddpm::attack

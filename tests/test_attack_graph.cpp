@@ -1,0 +1,59 @@
+#include "analysis/attack_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/mesh.hpp"
+
+namespace ddpm::analysis {
+namespace {
+
+TEST(AttackGraph, RanksSourcesByWeight) {
+  AttackGraph graph(63);
+  graph.add_source(5, 10);
+  graph.add_source(9, 30);
+  graph.add_source(5, 5);
+  graph.add_source(2, 30);  // tie with 9: smaller id first
+  const auto ranked = graph.ranked_sources();
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0], (std::pair<topo::NodeId, std::uint64_t>{2, 30}));
+  EXPECT_EQ(ranked[1], (std::pair<topo::NodeId, std::uint64_t>{9, 30}));
+  EXPECT_EQ(ranked[2], (std::pair<topo::NodeId, std::uint64_t>{5, 15}));
+  EXPECT_EQ(graph.total_verdicts(), 75u);
+}
+
+TEST(AttackGraph, DotContainsAllElements) {
+  topo::Mesh m({4, 4});
+  AttackGraph graph(15);
+  graph.add_source(0, 100);
+  graph.add_path_edge(0, 1);
+  graph.add_path_edge(1, 5);
+  const std::string dot = graph.to_dot(&m);
+  EXPECT_NE(dot.find("digraph attack"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);  // the victim
+  EXPECT_NE(dot.find("n0 -> n15"), std::string::npos);     // verdict edge
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);      // path edge
+  EXPECT_NE(dot.find("n1 -> n5"), std::string::npos);
+  EXPECT_NE(dot.find("(0,0)"), std::string::npos);         // coord labels
+  EXPECT_NE(dot.find("\"100\""), std::string::npos);       // weight label
+  // Balanced braces, single graph.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'), 1);
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '}'), 1);
+}
+
+TEST(AttackGraph, WorksWithoutTopology) {
+  AttackGraph graph(1);
+  graph.add_source(0);
+  const std::string dot = graph.to_dot();
+  EXPECT_NE(dot.find("n0"), std::string::npos);
+  EXPECT_EQ(dot.find("(0,0)"), std::string::npos);  // no coord labels
+}
+
+TEST(AttackGraph, EmptyGraphStillValidDot) {
+  AttackGraph graph(3);
+  EXPECT_TRUE(graph.empty());
+  const std::string dot = graph.to_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ddpm::analysis

@@ -1,0 +1,140 @@
+#include "marking/authenticated.hpp"
+
+#include <gtest/gtest.h>
+
+#include "marking/tamper.hpp"
+#include "marking/walk.hpp"
+#include "routing/router.hpp"
+#include "topology/factory.hpp"
+
+namespace ddpm::mark {
+namespace {
+
+constexpr std::uint64_t kSecret = 0xfeedface12345678ULL;
+
+TEST(AuthStamp, HonestStampsAlwaysVerify) {
+  const auto topo = topo::make_topology("mesh:8x8");
+  AuthenticatedStampScheme scheme(topo->num_nodes(), kSecret);
+  AuthenticatedStampIdentifier identifier(topo->num_nodes(), kSecret);
+  const auto router = route::make_router("adaptive", *topo);
+  netsim::Rng rng(1);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto s = topo::NodeId(rng.next_below(topo->num_nodes()));
+    auto d = topo::NodeId(rng.next_below(topo->num_nodes()));
+    if (d == s) d = (d + 1) % topo->num_nodes();
+    WalkOptions options;
+    options.seed = rng.next_u64();
+    options.record_path = false;
+    const auto walk = walk_packet(*topo, *router, &scheme, s, d, options);
+    ASSERT_TRUE(walk.delivered());
+    const auto named = identifier.observe(walk.packet, d);
+    ASSERT_EQ(named.size(), 1u);
+    EXPECT_EQ(named.front(), s);
+  }
+  EXPECT_EQ(identifier.rejected(), 0u);
+}
+
+TEST(AuthStamp, FieldLayoutSplitsIndexAndMac) {
+  AuthenticatedStampScheme scheme(64, kSecret);
+  EXPECT_EQ(scheme.index_bits(), 6u);
+  EXPECT_EQ(scheme.mac_bits(), 10u);
+  // Different flows give different MACs for the same source.
+  EXPECT_NE(scheme.stamp(5, 1), scheme.stamp(5, 2));
+  // Different sources give different stamps for the same flow.
+  EXPECT_NE(scheme.stamp(5, 1), scheme.stamp(6, 1));
+  // Too many nodes leave no MAC bits.
+  EXPECT_THROW(AuthenticatedStampScheme(1 << 13, kSecret),
+               std::invalid_argument);
+}
+
+TEST(AuthStamp, BlindFrameUpForgeriesMostlyRejected) {
+  // A compromised mid-path switch rewrites the field to frame node 7. It
+  // does not know k_7, so its MAC guesses succeed ~2^-10 of the time.
+  const auto topo = topo::make_topology("mesh:8x8");
+  const topo::NodeId framed = 7;
+  AuthenticatedStampIdentifier identifier(topo->num_nodes(), kSecret);
+  netsim::Rng rng(9);
+  int accepted = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    pkt::Packet p;
+    p.flow = rng.next_u64();
+    // Forger writes the framed index plus a random MAC guess.
+    const std::uint16_t guess =
+        std::uint16_t((std::uint16_t(framed) << 10) |
+                      std::uint16_t(rng.next_below(1 << 10)));
+    p.set_marking_field(guess);
+    const auto named = identifier.observe(p, 63);
+    accepted += (named.size() == 1 && named.front() == framed);
+  }
+  // Expected ~ kTrials / 1024 ~= 20; allow generous slack.
+  EXPECT_LT(accepted, 60);
+  EXPECT_GT(identifier.rejected(), std::uint64_t(kTrials) * 99 / 100 - 100);
+}
+
+TEST(AuthStamp, ReplayConfinedToItsFlow) {
+  AuthenticatedStampScheme scheme(64, kSecret);
+  AuthenticatedStampIdentifier identifier(64, kSecret);
+  // Capture a valid stamp from flow 42...
+  const std::uint16_t captured = scheme.stamp(3, 42);
+  pkt::Packet replay_same;
+  replay_same.flow = 42;
+  replay_same.set_marking_field(captured);
+  EXPECT_EQ(identifier.observe(replay_same, 0).size(), 1u);
+  // ...replaying it under a different flow fails verification.
+  pkt::Packet replay_other;
+  replay_other.flow = 43;
+  replay_other.set_marking_field(captured);
+  EXPECT_TRUE(identifier.observe(replay_other, 0).empty());
+}
+
+TEST(AuthStamp, WrongMasterSecretRejectsEverything) {
+  AuthenticatedStampScheme scheme(64, kSecret);
+  AuthenticatedStampIdentifier wrong(64, kSecret ^ 1);
+  int accepted = 0;
+  for (topo::NodeId s = 0; s < 64; ++s) {
+    pkt::Packet p;
+    p.flow = 5;
+    p.set_marking_field(scheme.stamp(s, 5));
+    accepted += !wrong.observe(p, 0).empty();
+  }
+  EXPECT_LE(accepted, 1);  // chance collisions only
+}
+
+TEST(AuthStamp, TamperedPacketsDetectedEndToEnd) {
+  // Full pipeline: a compromised switch randomizes fields mid-route; the
+  // verifier flags (rather than misattributes) nearly all of them.
+  const auto topo = topo::make_topology("mesh:6x6");
+  const auto router = route::make_router("dor", *topo);
+  const auto mid = topo::NodeId(14);  // on many DOR paths
+  TamperingScheme scheme(
+      std::make_unique<AuthenticatedStampScheme>(topo->num_nodes(), kSecret),
+      {mid}, TamperingScheme::Action::kRandomize);
+  AuthenticatedStampIdentifier identifier(topo->num_nodes(), kSecret);
+  int detected = 0, misattributed = 0, tampered_total = 0;
+  netsim::Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const auto s = topo::NodeId(rng.next_below(topo->num_nodes()));
+    auto d = topo::NodeId(rng.next_below(topo->num_nodes()));
+    if (d == s) d = (d + 1) % topo->num_nodes();
+    WalkOptions options;
+    options.seed = rng.next_u64();
+    options.record_path = false;
+    auto walk = walk_packet(*topo, *router, &scheme, s, d, options);
+    if (!walk.delivered()) continue;
+    const bool tampered = scheme.tamper_count() > 0;
+    const auto named = identifier.observe(walk.packet, d);
+    if (named.empty()) {
+      ++detected;
+    } else if (named.front() != s) {
+      ++misattributed;
+      ++tampered_total;
+    }
+    (void)tampered;
+  }
+  EXPECT_GT(detected, 100);        // tampering flagged
+  EXPECT_LT(misattributed, 10);    // essentially never silently misled
+}
+
+}  // namespace
+}  // namespace ddpm::mark

@@ -1,0 +1,113 @@
+#include "indirect/butterfly.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ddpm::indirect {
+namespace {
+
+TEST(Butterfly, BasicCounts) {
+  Butterfly net(2, 3);  // 2-ary 3-fly: 8 terminals, 3 stages of 4 switches
+  EXPECT_EQ(net.num_terminals(), 8u);
+  EXPECT_EQ(net.switches_per_stage(), 4u);
+  EXPECT_EQ(net.num_switches(), 12u);
+  EXPECT_EQ(net.spec(), "butterfly:2-ary-3-fly");
+}
+
+TEST(Butterfly, RejectsBadParameters) {
+  EXPECT_THROW(Butterfly(1, 3), std::invalid_argument);
+  EXPECT_THROW(Butterfly(2, 0), std::invalid_argument);
+  EXPECT_THROW(Butterfly(2, 33), std::invalid_argument);  // overflow
+}
+
+TEST(Butterfly, DigitsMostSignificantFirst) {
+  Butterfly net(4, 3);  // terminals 0..63, digits base 4
+  EXPECT_EQ(net.digit(0b111001, 0), 3);  // 57 = 3*16 + 2*4 + 1
+  EXPECT_EQ(net.digit(57, 0), 3);
+  EXPECT_EQ(net.digit(57, 1), 2);
+  EXPECT_EQ(net.digit(57, 2), 1);
+  EXPECT_EQ(net.with_digit(57, 1, 0), 49u);
+}
+
+TEST(Butterfly, RouteHasOneHopPerStage) {
+  Butterfly net(2, 4);
+  const auto hops = net.route(5, 12);
+  ASSERT_EQ(hops.size(), 4u);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(hops[std::size_t(s)].stage, s);
+    EXPECT_LT(hops[std::size_t(s)].switch_index, net.switches_per_stage());
+  }
+}
+
+TEST(Butterfly, OutputPortsAreDestinationDigits) {
+  Butterfly net(4, 2);
+  for (TerminalId s = 0; s < net.num_terminals(); ++s) {
+    for (TerminalId d = 0; d < net.num_terminals(); ++d) {
+      const auto hops = net.route(s, d);
+      for (const auto& hop : hops) {
+        EXPECT_EQ(hop.out_port, net.digit(d, hop.stage));
+      }
+    }
+  }
+}
+
+TEST(Butterfly, InputPortsAreSourceDigits) {
+  // The identity port-stamp marking rests on: at stage i, the packet
+  // arrives through port = digit i of the SOURCE, for every (src, dst).
+  for (const auto& [k, n] : std::vector<std::pair<int, int>>{
+           {2, 3}, {2, 4}, {3, 3}, {4, 2}, {8, 2}}) {
+    Butterfly net(k, n);
+    for (TerminalId s = 0; s < net.num_terminals(); ++s) {
+      for (TerminalId d = 0; d < net.num_terminals(); ++d) {
+        for (const auto& hop : net.route(s, d)) {
+          ASSERT_EQ(hop.in_port, net.digit(s, hop.stage))
+              << "k=" << k << " n=" << n << " s=" << s << " d=" << d;
+        }
+      }
+    }
+  }
+}
+
+TEST(Butterfly, PathIsUniquePerPair) {
+  // Destination-tag routing is deterministic: same pair, same hops.
+  Butterfly net(2, 4);
+  const auto a = net.route(3, 11);
+  const auto b = net.route(3, 11);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].switch_index, b[i].switch_index);
+    EXPECT_EQ(a[i].in_port, b[i].in_port);
+    EXPECT_EQ(a[i].out_port, b[i].out_port);
+  }
+}
+
+TEST(Butterfly, DistinctSourcesSameDestDivergeSomewhere) {
+  Butterfly net(2, 3);
+  const TerminalId dst = 6;
+  std::set<std::vector<int>> stamp_sequences;
+  for (TerminalId s = 0; s < net.num_terminals(); ++s) {
+    std::vector<int> in_ports;
+    for (const auto& hop : net.route(s, dst)) in_ports.push_back(hop.in_port);
+    stamp_sequences.insert(in_ports);
+  }
+  // Every source leaves a distinct input-port sequence.
+  EXPECT_EQ(stamp_sequences.size(), std::size_t(net.num_terminals()));
+}
+
+TEST(Butterfly, SwitchIndexDeletesTheStageDigit) {
+  Butterfly net(2, 3);
+  // Address 0b101: deleting digit 0 -> 0b01, digit 1 -> 0b11, digit 2 -> 0b10.
+  EXPECT_EQ(net.switch_index(0, 0b101), 0b01u);
+  EXPECT_EQ(net.switch_index(1, 0b101), 0b11u);
+  EXPECT_EQ(net.switch_index(2, 0b101), 0b10u);
+}
+
+TEST(Butterfly, RouteRejectsBadTerminals) {
+  Butterfly net(2, 3);
+  EXPECT_THROW(net.route(8, 0), std::out_of_range);
+  EXPECT_THROW(net.route(0, 9), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ddpm::indirect

@@ -1,0 +1,175 @@
+#include "marking/ddpm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "marking/walk.hpp"
+#include "routing/dor.hpp"
+#include "routing/router.hpp"
+#include "topology/factory.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh.hpp"
+#include "topology/torus.hpp"
+
+namespace ddpm::mark {
+namespace {
+
+using topo::Coord;
+
+TEST(DdpmCodec, RequiredBitsMatchTable3) {
+  // Table 3: 128x128 mesh/torus and the 16-cube exactly fill the field.
+  EXPECT_EQ(DdpmCodec::required_bits(topo::Mesh({128, 128})), 16);
+  EXPECT_EQ(DdpmCodec::required_bits(topo::Torus({128, 128})), 16);
+  EXPECT_EQ(DdpmCodec::required_bits(topo::Hypercube(16)), 16);
+  EXPECT_TRUE(DdpmCodec::fits(topo::Mesh({128, 128})));
+  EXPECT_FALSE(DdpmCodec::fits(topo::Mesh({256, 128})));
+}
+
+TEST(DdpmCodec, ThreeDimensionalPacking) {
+  // Paper §5: "two five-bits and one six-bits" for an 8192-node 3-D case.
+  EXPECT_EQ(DdpmCodec::required_bits(topo::Mesh({16, 16, 32})), 16);
+  EXPECT_TRUE(DdpmCodec::fits(topo::Mesh({16, 16, 32})));
+  EXPECT_FALSE(DdpmCodec::fits(topo::Mesh({16, 32, 32})));
+}
+
+TEST(DdpmCodec, ConstructionThrowsWhenTooBig) {
+  topo::Mesh big({256, 256});
+  EXPECT_THROW(DdpmCodec codec(big), std::invalid_argument);
+}
+
+TEST(DdpmCodec, MeshEncodeDecodeRoundTrip) {
+  topo::Mesh m({8, 8});
+  DdpmCodec codec(m);
+  for (int a = -7; a <= 7; ++a) {
+    for (int b = -7; b <= 7; ++b) {
+      const Coord v{a, b};
+      EXPECT_EQ(codec.decode(codec.encode(v)), v);
+    }
+  }
+}
+
+TEST(DdpmCodec, TorusFullRangeRoundTrip) {
+  // Torus displacements span the full [-(k-1), k-1] because they are raw
+  // coordinate differences (telescoping), not ring distances.
+  topo::Torus t({8, 8});
+  DdpmCodec codec(t);
+  for (int a = -7; a <= 7; ++a) {
+    const Coord v{a, -a};
+    EXPECT_EQ(codec.decode(codec.encode(v)), v);
+  }
+}
+
+TEST(DdpmCodec, HypercubeXorBits) {
+  topo::Hypercube h(5);
+  DdpmCodec codec(h);
+  EXPECT_TRUE(codec.is_hypercube());
+  const Coord v{1, 0, 1, 1, 0};
+  EXPECT_EQ(codec.decode(codec.encode(v)), v);
+  EXPECT_EQ(codec.encode(v), 0b01101);  // bit d = dimension d
+}
+
+TEST(DdpmCodec, ZeroVectorIsZeroField) {
+  topo::Mesh m({8, 8});
+  DdpmCodec codec(m);
+  EXPECT_EQ(codec.encode(Coord{0, 0}), 0);
+}
+
+TEST(DdpmScheme, PaperFigure3bWalkthrough) {
+  // Figure 3(b): a packet travels the 4x4 mesh adaptively from (1,1) to
+  // (2,3); the distance vector evolves (1,0), (2,0), (2,-1), (1,-1), (1,0),
+  // (1,1), (1,2), and the victim recovers (2,3) - (1,2) = (1,1).
+  topo::Mesh m({4, 4});
+  DdpmScheme scheme(m);
+  DdpmIdentifier identifier(m);
+  const std::vector<Coord> visited{{1, 1}, {2, 1}, {3, 1}, {3, 0}, {2, 0},
+                                   {2, 1}, {2, 2}, {2, 3}};
+  const std::vector<Coord> expected_v{{1, 0}, {2, 0}, {2, -1}, {1, -1},
+                                      {1, 0}, {1, 1}, {1, 2}};
+  pkt::Packet p;
+  p.dest_node = m.id_of(visited.back());
+  scheme.on_injection(p, m.id_of(visited.front()));
+  const DdpmCodec& codec = scheme.codec();
+  for (std::size_t i = 1; i < visited.size(); ++i) {
+    scheme.on_forward(p, m.id_of(visited[i - 1]), m.id_of(visited[i]));
+    EXPECT_EQ(codec.decode(p.marking_field()), expected_v[i - 1])
+        << "after hop " << i;
+  }
+  EXPECT_EQ(identifier.identify(p.dest_node, p.marking_field()),
+            m.id_of(Coord{1, 1}));
+}
+
+TEST(DdpmScheme, PaperFigure3cHypercubeWalkthrough) {
+  // Figure 3(c): in the 3-cube the vector evolves (1,0,0), (1,0,1),
+  // (0,0,1), (0,1,1), (0,1,0), (1,1,0); (0,0,0) XORs to source (1,1,0).
+  topo::Hypercube h(3);
+  DdpmScheme scheme(h);
+  DdpmIdentifier identifier(h);
+  const std::vector<Coord> visited{{1, 1, 0}, {0, 1, 0}, {0, 1, 1},
+                                   {1, 1, 1}, {1, 0, 1}, {1, 0, 0},
+                                   {0, 0, 0}};
+  const std::vector<Coord> expected_v{{1, 0, 0}, {1, 0, 1}, {0, 0, 1},
+                                      {0, 1, 1}, {0, 1, 0}, {1, 1, 0}};
+  pkt::Packet p;
+  p.dest_node = h.id_of(visited.back());
+  scheme.on_injection(p, h.id_of(visited.front()));
+  for (std::size_t i = 1; i < visited.size(); ++i) {
+    scheme.on_forward(p, h.id_of(visited[i - 1]), h.id_of(visited[i]));
+    EXPECT_EQ(scheme.codec().decode(p.marking_field()), expected_v[i - 1]);
+  }
+  EXPECT_EQ(identifier.identify(p.dest_node, p.marking_field()),
+            h.id_of(Coord{1, 1, 0}));
+}
+
+TEST(DdpmScheme, InjectionResetsAttackerSeededField) {
+  // Figure 4 zeroes V at the first switch, so a pre-loaded Marking Field
+  // cannot forge a different source — unlike PPM/DPM.
+  topo::Mesh m({4, 4});
+  DdpmScheme scheme(m);
+  route::DimensionOrderRouter router(m);
+  DdpmIdentifier identifier(m);
+  const auto src = m.id_of(Coord{0, 0});
+  const auto dst = m.id_of(Coord{3, 3});
+  const auto walk =
+      walk_packet(m, router, &scheme, src, dst, {}, /*seed_marking_field=*/0xffff);
+  ASSERT_TRUE(walk.delivered());
+  EXPECT_EQ(identifier.identify(dst, walk.packet.marking_field()), src);
+}
+
+TEST(DdpmIdentifier, SinglePacketSingleCandidate) {
+  topo::Mesh m({4, 4});
+  DdpmScheme scheme(m);
+  route::DimensionOrderRouter router(m);
+  DdpmIdentifier identifier(m);
+  const auto walk = walk_packet(m, router, &scheme, 5, 10);
+  ASSERT_TRUE(walk.delivered());
+  const auto candidates = identifier.observe(walk.packet, 10);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates.front(), 5u);
+}
+
+TEST(DdpmIdentifier, OutOfRangeVectorYieldsNoCandidate) {
+  // A corrupted field decoding to a coordinate outside the mesh names
+  // nobody (cannot happen with honest switches).
+  topo::Mesh m({4, 4});
+  DdpmIdentifier identifier(m);
+  DdpmCodec codec(m);
+  const auto field = codec.encode(Coord{3, 3});
+  // Victim (0,0): source would be (-3,-3), outside the mesh.
+  EXPECT_FALSE(identifier.identify(m.id_of(Coord{0, 0}), field).has_value());
+}
+
+TEST(DdpmScheme, SpoofedSourceAddressIsIrrelevant) {
+  // The scheme never reads the IP source; a spoofed header still traces.
+  topo::Torus t({4, 4});
+  DdpmScheme scheme(t);
+  route::DimensionOrderRouter router(t);
+  DdpmIdentifier identifier(t);
+  auto walk = walk_packet(t, router, &scheme, 3, 12);
+  ASSERT_TRUE(walk.delivered());
+  walk.packet.header.set_source(0xdeadbeef);  // spoof after the fact
+  const auto candidates = identifier.observe(walk.packet, 12);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates.front(), 3u);
+}
+
+}  // namespace
+}  // namespace ddpm::mark

@@ -1,0 +1,164 @@
+// The central property of the paper: for EVERY topology, EVERY routing
+// algorithm, and EVERY path the routing may produce — adaptive choices,
+// misrouting detours, revisits, torus wraparounds, link failures — the
+// accumulated distance vector identifies the true source from one packet.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "marking/ddpm.hpp"
+#include "marking/walk.hpp"
+#include "netsim/rng.hpp"
+#include "routing/router.hpp"
+#include "topology/factory.hpp"
+
+namespace ddpm::mark {
+namespace {
+
+using Param = std::tuple<const char* /*topology*/, const char* /*router*/>;
+
+class DdpmInvariant : public ::testing::TestWithParam<Param> {
+ protected:
+  void SetUp() override {
+    topo_ = topo::make_topology(std::get<0>(GetParam()));
+    router_ = route::make_router(std::get<1>(GetParam()), *topo_);
+  }
+  std::unique_ptr<topo::Topology> topo_;
+  std::unique_ptr<route::Router> router_;
+};
+
+TEST_P(DdpmInvariant, IdentifiesTrueSourceOnRandomPairs) {
+  DdpmScheme scheme(*topo_);
+  DdpmIdentifier identifier(*topo_);
+  netsim::Rng rng(2024);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto src = topo::NodeId(rng.next_below(topo_->num_nodes()));
+    auto dst = topo::NodeId(rng.next_below(topo_->num_nodes()));
+    if (dst == src) dst = (dst + 1) % topo_->num_nodes();
+    WalkOptions options;
+    options.seed = rng.next_u64();
+    const auto walk = walk_packet(*topo_, *router_, &scheme, src, dst, options);
+    ASSERT_TRUE(walk.delivered());
+    EXPECT_EQ(identifier.identify(dst, walk.packet.marking_field()), src)
+        << "src=" << src << " dst=" << dst;
+  }
+}
+
+TEST_P(DdpmInvariant, MidRouteVectorAlwaysEqualsCurrentMinusSource) {
+  // Telescoping invariant, checked at every intermediate hop: decoding the
+  // field at node X must always yield X - S (or X ^ S). This is also the
+  // proof that intermediate values never overflow the codec.
+  DdpmScheme scheme(*topo_);
+  const DdpmCodec& codec = scheme.codec();
+  netsim::Rng rng(99);
+  const bool cube = topo_->kind() == topo::TopologyKind::kHypercube;
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto src = topo::NodeId(rng.next_below(topo_->num_nodes()));
+    auto dst = topo::NodeId(rng.next_below(topo_->num_nodes()));
+    if (dst == src) dst = (dst + 1) % topo_->num_nodes();
+    WalkOptions options;
+    options.seed = rng.next_u64();
+    const auto walk = walk_packet(*topo_, *router_, &scheme, src, dst, options);
+    ASSERT_TRUE(walk.delivered());
+    // Re-execute the recorded path hop by hop and check after each mark.
+    pkt::Packet p;
+    scheme.on_injection(p, src);
+    const topo::Coord s = topo_->coord_of(src);
+    for (std::size_t i = 1; i < walk.path.size(); ++i) {
+      scheme.on_forward(p, walk.path[i - 1], walk.path[i]);
+      const topo::Coord here = topo_->coord_of(walk.path[i]);
+      const topo::Coord expect = cube ? (here ^ s) : (here - s);
+      EXPECT_EQ(codec.decode(p.marking_field()), expect);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DdpmInvariant,
+    ::testing::Combine(::testing::Values("mesh:4x4", "mesh:8x8", "mesh:2x3x4",
+                                         "torus:4x4", "torus:8x8",
+                                         "torus:3x3x3", "hypercube:4",
+                                         "hypercube:6"),
+                       ::testing::Values("dor", "adaptive",
+                                         "adaptive-misroute", "oracle")));
+
+class DdpmTurnModelInvariant : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DdpmTurnModelInvariant, TwoDMeshTurnModels) {
+  const auto topo = topo::make_topology("mesh:6x6");
+  const auto router = route::make_router(GetParam(), *topo);
+  DdpmScheme scheme(*topo);
+  DdpmIdentifier identifier(*topo);
+  netsim::Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto src = topo::NodeId(rng.next_below(topo->num_nodes()));
+    auto dst = topo::NodeId(rng.next_below(topo->num_nodes()));
+    if (dst == src) dst = (dst + 1) % topo->num_nodes();
+    WalkOptions options;
+    options.seed = rng.next_u64();
+    const auto walk = walk_packet(*topo, *router, &scheme, src, dst, options);
+    ASSERT_TRUE(walk.delivered());
+    EXPECT_EQ(identifier.identify(dst, walk.packet.marking_field()), src);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TurnModels, DdpmTurnModelInvariant,
+                         ::testing::Values("west-first", "north-last",
+                                           "negative-first"));
+
+TEST(DdpmInvariantFaults, HoldsUnderLinkFailuresWithDetours) {
+  // Failures force non-minimal detours (misrouting router); the vector
+  // still telescopes to D - S.
+  const auto topo = topo::make_topology("mesh:6x6");
+  const auto router = route::make_router("adaptive-misroute", *topo);
+  DdpmScheme scheme(*topo);
+  DdpmIdentifier identifier(*topo);
+  netsim::Rng rng(5150);
+  for (int round = 0; round < 30; ++round) {
+    topo::LinkFailureSet failures;
+    // Fail a few random links, keeping the network mostly intact.
+    const auto links = topo->links();
+    for (int f = 0; f < 4; ++f) {
+      const auto& link = links[rng.next_below(links.size())];
+      failures.fail(link.first, link.second);
+    }
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto src = topo::NodeId(rng.next_below(topo->num_nodes()));
+      auto dst = topo::NodeId(rng.next_below(topo->num_nodes()));
+      if (dst == src) dst = (dst + 1) % topo->num_nodes();
+      WalkOptions options;
+      options.failures = &failures;
+      options.seed = rng.next_u64();
+      const auto walk = walk_packet(*topo, *router, &scheme, src, dst, options);
+      if (!walk.delivered()) continue;  // blocked/TTL: nothing to identify
+      EXPECT_EQ(identifier.identify(dst, walk.packet.marking_field()), src);
+    }
+  }
+}
+
+TEST(DdpmInvariantScale, LargestSupportedTopologies) {
+  // Table 3 boundary cases actually run: 128x128 mesh/torus, 16-cube.
+  for (const char* spec : {"mesh:128x128", "torus:128x128", "hypercube:16"}) {
+    const auto topo = topo::make_topology(spec);
+    const auto router = route::make_router("adaptive", *topo);
+    DdpmScheme scheme(*topo);
+    DdpmIdentifier identifier(*topo);
+    netsim::Rng rng(1);
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto src = topo::NodeId(rng.next_below(topo->num_nodes()));
+      auto dst = topo::NodeId(rng.next_below(topo->num_nodes()));
+      if (dst == src) dst = (dst + 1) % topo->num_nodes();
+      WalkOptions options;
+      options.seed = rng.next_u64();
+      options.initial_ttl = 255;  // diameters exceed 64 here
+      options.record_path = false;
+      const auto walk = walk_packet(*topo, *router, &scheme, src, dst, options);
+      ASSERT_TRUE(walk.delivered()) << spec;
+      EXPECT_EQ(identifier.identify(dst, walk.packet.marking_field()), src)
+          << spec;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ddpm::mark

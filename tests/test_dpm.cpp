@@ -1,0 +1,208 @@
+#include "marking/dpm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "marking/walk.hpp"
+#include "routing/adaptive.hpp"
+#include "routing/dor.hpp"
+#include "topology/mesh.hpp"
+#include "topology/torus.hpp"
+
+namespace ddpm::mark {
+namespace {
+
+using topo::Coord;
+
+TEST(DpmScheme, MarkBitDeterministic) {
+  DpmScheme a, b;
+  for (topo::NodeId n = 0; n < 100; ++n) {
+    EXPECT_EQ(a.mark_bit(n, 0), b.mark_bit(n, 0));
+  }
+}
+
+TEST(DpmScheme, SwitchIndexHashIgnoresNext) {
+  DpmScheme scheme(DpmScheme::HashInput::kSwitchIndex);
+  EXPECT_EQ(scheme.mark_bit(5, 1), scheme.mark_bit(5, 99));
+}
+
+TEST(DpmScheme, EdgePairHashUsesBothEndpoints) {
+  DpmScheme scheme(DpmScheme::HashInput::kEdgePair);
+  bool any_difference = false;
+  for (topo::NodeId n = 0; n < 64 && !any_difference; ++n) {
+    any_difference = scheme.mark_bit(n, 1) != scheme.mark_bit(n, 2);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(DpmScheme, HashBitsRoughlyBalanced) {
+  // Paper §4.3: "two out of four neighbors in the 2-D mesh have the same
+  // last bit" on average — the hash bit must be ~uniform.
+  DpmScheme scheme;
+  int ones = 0;
+  for (topo::NodeId n = 0; n < 1024; ++n) ones += scheme.mark_bit(n, 0);
+  EXPECT_NEAR(double(ones) / 1024.0, 0.5, 0.06);
+}
+
+TEST(DpmScheme, WritesPositionTtlMod16) {
+  DpmScheme scheme;
+  pkt::Packet p;
+  p.header.set_ttl(37);  // switch already decremented: position 37 % 16 = 5
+  p.set_marking_field(0);
+  scheme.on_forward(p, 3, 4);
+  const std::uint16_t field = p.marking_field();
+  // Only bit 5 may differ from zero, and equals the hash bit.
+  EXPECT_EQ(field & ~(1u << 5), 0);
+  EXPECT_EQ(bool(field >> 5 & 1), scheme.mark_bit(3, 4));
+}
+
+TEST(DpmIdentifier, TrainedLookupFindsSourceUnderStableRoutes) {
+  topo::Mesh m({8, 8});
+  DpmScheme scheme;
+  route::DimensionOrderRouter router(m);
+  const auto victim = m.id_of(Coord{7, 7});
+  DpmIdentifier identifier(m, router, victim, scheme);
+  // Every source's runtime signature must match training, and the lookup
+  // must contain the true source.
+  for (topo::NodeId src = 0; src < m.num_nodes(); ++src) {
+    if (src == victim) continue;
+    const auto walk = walk_packet(m, router, &scheme, src, victim);
+    ASSERT_TRUE(walk.delivered());
+    EXPECT_EQ(walk.packet.marking_field(), identifier.signature_of(src));
+    const auto candidates = identifier.observe(walk.packet, victim);
+    EXPECT_NE(std::find(candidates.begin(), candidates.end(), src),
+              candidates.end());
+  }
+}
+
+TEST(DpmIdentifier, SignatureCollisionsExist) {
+  // 63 sources into at most 2^16 signatures — but near sources leave most
+  // of the field untouched, and hash bits collide; the paper expects
+  // ambiguity. At minimum, distinct_signatures <= sources, and usually <.
+  topo::Mesh m({8, 8});
+  DpmScheme scheme;
+  route::DimensionOrderRouter router(m);
+  const auto victim = m.id_of(Coord{0, 0});
+  DpmIdentifier identifier(m, router, victim, scheme);
+  EXPECT_LE(identifier.distinct_signatures(), std::size_t(m.num_nodes() - 1));
+  // Ambiguity factor: how many sources share the most popular signature.
+  std::size_t worst = 0;
+  std::set<std::uint16_t> seen;
+  for (topo::NodeId src = 0; src < m.num_nodes(); ++src) {
+    if (src == victim) continue;
+    const auto sig = identifier.signature_of(src);
+    if (!seen.insert(sig).second) worst = 1;  // at least one collision
+  }
+  EXPECT_EQ(identifier.distinct_signatures() < m.num_nodes() - 1, worst == 1);
+}
+
+TEST(DpmIdentifier, AdaptiveRoutingProducesUnknownSignatures) {
+  // Paper §4.3: adaptive routing gives one source many signatures, most of
+  // which training (on deterministic routes) never saw.
+  topo::Mesh m({8, 8});
+  DpmScheme scheme;
+  route::DimensionOrderRouter trained(m);
+  route::AdaptiveRouter adaptive(m);
+  const auto victim = m.id_of(Coord{7, 7});
+  DpmIdentifier identifier(m, trained, victim, scheme);
+  const auto src = m.id_of(Coord{0, 0});
+  int missed = 0, wrong = 0, trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    WalkOptions options;
+    options.seed = std::uint64_t(i) * 31 + 1;
+    options.record_path = false;
+    const auto walk = walk_packet(m, adaptive, &scheme, src, victim, options);
+    ASSERT_TRUE(walk.delivered());
+    const auto candidates = identifier.observe(walk.packet, victim);
+    if (candidates.empty()) {
+      ++missed;
+    } else if (std::find(candidates.begin(), candidates.end(), src) ==
+               candidates.end()) {
+      ++wrong;
+    }
+  }
+  EXPECT_GT(missed + wrong, trials / 2) << "DPM should break under adaptivity";
+}
+
+TEST(DpmIdentifier, LongPathsOverwriteSourceBits) {
+  // Paper §4.3: beyond 16 hops the early marks are overwritten. On a
+  // 20x20 mesh two far-apart sources whose last 16 switches coincide get
+  // identical signatures even though their paths differ before that.
+  topo::Mesh m({20, 20});
+  DpmScheme scheme;
+  route::DimensionOrderRouter router(m);
+  const auto victim = m.id_of(Coord{19, 19});
+  // Equidistant sources (same TTL alignment) whose XY paths share the final
+  // 16+ switches up column x=19 but differ before that: the last 16 writes
+  // cover every field position and erase the earlier difference.
+  const auto far1 = m.id_of(Coord{0, 2});
+  const auto far2 = m.id_of(Coord{2, 0});
+  const auto w1 = walk_packet(m, router, &scheme, far1, victim);
+  const auto w2 = walk_packet(m, router, &scheme, far2, victim);
+  ASSERT_TRUE(w1.delivered());
+  ASSERT_TRUE(w2.delivered());
+  ASSERT_EQ(w1.hops, w2.hops);
+  ASSERT_GT(w1.hops, 16);
+  EXPECT_EQ(w1.packet.marking_field(), w2.packet.marking_field());
+}
+
+TEST(DpmIdentifier, RequiresDeterministicTrainingRoute) {
+  topo::Mesh m({4, 4});
+  DpmScheme scheme;
+  route::AdaptiveRouter adaptive(m);
+  EXPECT_THROW(DpmIdentifier(m, adaptive, 0, scheme), std::invalid_argument);
+}
+
+TEST(DpmIdentifier, WrongVictimYieldsNothing) {
+  topo::Mesh m({4, 4});
+  DpmScheme scheme;
+  route::DimensionOrderRouter router(m);
+  DpmIdentifier identifier(m, router, 15, scheme);
+  pkt::Packet p;
+  p.set_marking_field(identifier.signature_of(0));
+  EXPECT_FALSE(identifier.observe(p, 15).empty());
+  EXPECT_TRUE(identifier.observe(p, 3).empty());
+}
+
+TEST(PiVariant, MultiBitMarkingWindowAndValues) {
+  DpmScheme pi2(DpmScheme::HashInput::kSwitchIndex, 2);
+  EXPECT_EQ(pi2.name(), "pi-2");
+  EXPECT_EQ(pi2.window_hops(), 8);
+  EXPECT_LT(pi2.mark_value(3, 0), 4u);
+  EXPECT_THROW(DpmScheme(DpmScheme::HashInput::kSwitchIndex, 3),
+               std::invalid_argument);
+  EXPECT_THROW(DpmScheme(DpmScheme::HashInput::kSwitchIndex, 0),
+               std::invalid_argument);
+}
+
+TEST(PiVariant, FewerCollisionsThanOneBitOnShortPaths) {
+  // Within its window, 2 bits per hop discriminate sources better: fewer
+  // trained-signature collisions at the same victim on an 8x8 mesh
+  // (diameter 14 > 8, so some far sources wrap — the trade is visible in
+  // both directions; collisions still drop overall here).
+  topo::Mesh m({8, 8});
+  route::DimensionOrderRouter router(m);
+  const auto victim = m.id_of(Coord{4, 4});  // max distance 8 = pi-2 window
+  DpmScheme one_bit(DpmScheme::HashInput::kSwitchIndex, 1);
+  DpmScheme two_bit(DpmScheme::HashInput::kSwitchIndex, 2);
+  DpmIdentifier id1(m, router, victim, one_bit);
+  DpmIdentifier id2(m, router, victim, two_bit);
+  EXPECT_GT(id2.distinct_signatures(), id1.distinct_signatures());
+}
+
+TEST(PiVariant, RuntimeMatchesTraining) {
+  topo::Mesh m({6, 6});
+  route::DimensionOrderRouter router(m);
+  DpmScheme pi4(DpmScheme::HashInput::kEdgePair, 4);
+  DpmIdentifier identifier(m, router, 35, pi4);
+  for (topo::NodeId src = 0; src < 35; ++src) {
+    const auto walk = walk_packet(m, router, &pi4, src, 35);
+    ASSERT_TRUE(walk.delivered());
+    EXPECT_EQ(walk.packet.marking_field(), identifier.signature_of(src));
+  }
+}
+
+}  // namespace
+}  // namespace ddpm::mark

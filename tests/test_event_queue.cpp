@@ -1,0 +1,105 @@
+#include "netsim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ddpm::netsim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(30, [&] { fired.push_back(3); });
+  q.schedule(10, [&] { fired.push_back(1); });
+  q.schedule(20, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 50; ++i) {
+    q.schedule(5, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(fired[std::size_t(i)], i);
+}
+
+TEST(EventQueue, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.schedule(42, [] {});
+  q.schedule(7, [] {});
+  EXPECT_EQ(q.next_time(), 7u);
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(10, [&] { fired = true; });
+  q.schedule(20, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  while (!q.empty()) q.pop().second();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelUnknownIdReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(999));
+  const EventId id = q.schedule(1, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // already cancelled
+}
+
+TEST(EventQueue, CancelAfterFireReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(1, [] {});
+  q.pop().second();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelMiddlePreservesOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 20; ++i) {
+    ids.push_back(q.schedule(SimTime(i), [&fired, i] { fired.push_back(i); }));
+  }
+  // Cancel every third event.
+  for (std::size_t i = 0; i < ids.size(); i += 3) q.cancel(ids[i]);
+  while (!q.empty()) q.pop().second();
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_LT(fired[i - 1], fired[i]);
+  }
+  EXPECT_EQ(fired.size(), 13u);
+}
+
+TEST(EventQueue, ClearEmptiesQueue) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.schedule(SimTime(i), [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, StressRandomOrderStaysSorted) {
+  EventQueue q;
+  // Pseudo-random insertion with a tiny LCG; verify nondecreasing pops.
+  std::uint64_t x = 88172645463325252ull;
+  for (int i = 0; i < 5000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    q.schedule(x % 1000, [] {});
+  }
+  SimTime last = 0;
+  while (!q.empty()) {
+    auto [when, action] = q.pop();
+    EXPECT_GE(when, last);
+    last = when;
+  }
+}
+
+}  // namespace
+}  // namespace ddpm::netsim

@@ -1,0 +1,51 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ddpm::core {
+namespace {
+
+ScenarioConfig scenario() {
+  ScenarioConfig config;
+  config.cluster.topology = "mesh:6x6";
+  config.cluster.benign_rate_per_node = 0.0002;
+  config.identifier = "ddpm";
+  config.detect_rate_threshold = 0.003;
+  config.attack.kind = attack::AttackKind::kUdpFlood;
+  config.attack.victim = 35;
+  config.attack.zombies = {1, 20};
+  config.attack.rate_per_zombie = 0.008;
+  config.attack.start_time = 30000;
+  config.duration = 200000;
+  return config;
+}
+
+TEST(Experiment, AggregatesAcrossSeeds) {
+  const auto summary = run_repeated_n(scenario(), 5);
+  EXPECT_EQ(summary.runs, 5u);
+  EXPECT_EQ(summary.detected_runs, 5u);
+  // DDPM is exact in every run regardless of seed.
+  EXPECT_EQ(summary.perfect_runs, 5u);
+  EXPECT_DOUBLE_EQ(summary.true_positives.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(summary.false_positives.mean(), 0.0);
+  EXPECT_GT(summary.detection_latency.mean(), 0.0);
+  // Seeds vary detection latency but not correctness.
+  EXPECT_GE(summary.detection_latency.stddev(), 0.0);
+}
+
+TEST(Experiment, ExplicitSeedListRespected) {
+  const auto a = run_repeated(scenario(), {42});
+  const auto b = run_repeated(scenario(), {42});
+  EXPECT_EQ(a.runs, 1u);
+  EXPECT_DOUBLE_EQ(a.detection_latency.mean(), b.detection_latency.mean());
+}
+
+TEST(Experiment, SummaryStringMentionsKeyNumbers) {
+  const auto summary = run_repeated_n(scenario(), 2);
+  const auto text = summary.to_string();
+  EXPECT_NE(text.find("2 runs"), std::string::npos);
+  EXPECT_NE(text.find("perfect 2/2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ddpm::core

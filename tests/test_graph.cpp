@@ -1,0 +1,91 @@
+#include "topology/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/factory.hpp"
+#include "topology/mesh.hpp"
+
+namespace ddpm::topo {
+namespace {
+
+TEST(Graph, BfsDistancesOnMesh) {
+  Mesh m({4, 4});
+  const auto dist = bfs_distances(m, m.id_of(Coord{0, 0}));
+  EXPECT_EQ(dist[m.id_of(Coord{0, 0})], 0);
+  EXPECT_EQ(dist[m.id_of(Coord{3, 3})], 6);
+  EXPECT_EQ(dist[m.id_of(Coord{1, 2})], 3);
+}
+
+TEST(Graph, ShortestPathEndpointsAndLength) {
+  Mesh m({4, 4});
+  const NodeId s = m.id_of(Coord{0, 0});
+  const NodeId d = m.id_of(Coord{2, 3});
+  const auto path = shortest_path(m, s, d);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->front(), s);
+  EXPECT_EQ(path->back(), d);
+  EXPECT_EQ(int(path->size()) - 1, m.min_hops(s, d));
+  // Consecutive nodes must be adjacent.
+  for (std::size_t i = 1; i < path->size(); ++i) {
+    EXPECT_TRUE(m.port_to((*path)[i - 1], (*path)[i]).has_value());
+  }
+}
+
+TEST(Graph, ShortestPathToSelf) {
+  Mesh m({3, 3});
+  const auto path = shortest_path(m, 4, 4);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 1u);
+}
+
+TEST(Graph, FailuresLengthenPaths) {
+  Mesh m({3, 3});
+  // Cut the direct middle column links around the center.
+  LinkFailureSet failures;
+  const NodeId s = m.id_of(Coord{0, 0});
+  const NodeId d = m.id_of(Coord{0, 2});
+  failures.fail(m.id_of(Coord{0, 0}), m.id_of(Coord{0, 1}));
+  const int with = hop_distance(m, s, d, &failures);
+  EXPECT_EQ(hop_distance(m, s, d), 2);
+  EXPECT_EQ(with, 4);  // detour through row 1
+}
+
+TEST(Graph, DisconnectionDetected) {
+  Mesh m({2, 2});
+  LinkFailureSet failures;
+  // Isolate node (0,0) completely.
+  failures.fail(m.id_of(Coord{0, 0}), m.id_of(Coord{0, 1}));
+  failures.fail(m.id_of(Coord{0, 0}), m.id_of(Coord{1, 0}));
+  EXPECT_FALSE(is_connected(m, &failures));
+  EXPECT_TRUE(is_connected(m));
+  EXPECT_EQ(hop_distance(m, m.id_of(Coord{0, 0}), m.id_of(Coord{1, 1}), &failures), -1);
+  EXPECT_FALSE(shortest_path(m, m.id_of(Coord{0, 0}), m.id_of(Coord{1, 1}),
+                             &failures)
+                   .has_value());
+}
+
+TEST(Graph, AllTopologiesConnected) {
+  for (const char* spec : {"mesh:4x4", "torus:4x4", "hypercube:4",
+                           "mesh:2x3x4", "torus:3x3x3"}) {
+    const auto topo = make_topology(spec);
+    EXPECT_TRUE(is_connected(*topo)) << spec;
+  }
+}
+
+TEST(LinkFailures, SymmetricAndClearable) {
+  LinkFailureSet failures;
+  failures.fail(3, 7);
+  EXPECT_TRUE(failures.is_failed(3, 7));
+  EXPECT_TRUE(failures.is_failed(7, 3));
+  EXPECT_FALSE(failures.is_failed(3, 8));
+  failures.restore(7, 3);
+  EXPECT_FALSE(failures.is_failed(3, 7));
+  failures.fail(1, 2);
+  failures.fail(2, 3);
+  EXPECT_EQ(failures.size(), 2u);
+  failures.clear();
+  EXPECT_EQ(failures.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ddpm::topo

@@ -1,0 +1,99 @@
+#include "hybrid/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "marking/walk.hpp"
+#include "routing/router.hpp"
+
+namespace ddpm::hybrid {
+namespace {
+
+TEST(Hybrid, HostAddressing) {
+  HybridTopology topo(4, 8);
+  EXPECT_EQ(topo.num_hosts(), 128u);
+  for (HostId h = 0; h < topo.num_hosts(); h += 13) {
+    EXPECT_EQ(topo.host_of(topo.switch_of(h), topo.local_of(h)), h);
+    EXPECT_LT(topo.local_of(h), 8);
+    EXPECT_LT(topo.switch_of(h), topo.mesh().num_nodes());
+  }
+}
+
+TEST(Hybrid, CodecBudget) {
+  // 32x32 mesh (12 vector bits) x 16 hosts (4 bits) = 16384 hosts, 16 bits.
+  EXPECT_EQ(HierarchicalDdpmCodec::required_bits(HybridTopology(32, 16)), 16);
+  EXPECT_TRUE(HierarchicalDdpmCodec::fits(HybridTopology(32, 16)));
+  EXPECT_FALSE(HierarchicalDdpmCodec::fits(HybridTopology(32, 32)));
+  EXPECT_FALSE(HierarchicalDdpmCodec::fits(HybridTopology(64, 16)));
+  EXPECT_THROW(HierarchicalDdpmCodec codec(HybridTopology(64, 16)),
+               std::invalid_argument);
+}
+
+TEST(Hybrid, CodecRoundTrip) {
+  HybridTopology topo(8, 16);
+  HierarchicalDdpmCodec codec(topo);
+  for (int local = 0; local < 16; local += 3) {
+    for (int x = -7; x <= 7; x += 2) {
+      for (int y = -7; y <= 7; y += 3) {
+        const auto field = codec.encode(local, topo::Coord{x, y});
+        EXPECT_EQ(codec.decode_local(field), local);
+        EXPECT_EQ(codec.decode_vector(field), (topo::Coord{x, y}));
+      }
+    }
+  }
+}
+
+TEST(Hybrid, OnePacketIdentifiesHostAcrossAdaptiveRoutes) {
+  HybridTopology topo(8, 8);
+  HierarchicalDdpmScheme scheme(topo);
+  HierarchicalDdpmIdentifier identifier(topo);
+  const auto router = route::make_router("adaptive", topo.mesh());
+  netsim::Rng rng(17);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto src_host = HostId(rng.next_below(topo.num_hosts()));
+    const auto dst_host = HostId(rng.next_below(topo.num_hosts()));
+    const auto src_sw = topo.switch_of(src_host);
+    const auto dst_sw = topo.switch_of(dst_host);
+    pkt::Packet p;
+    p.set_marking_field(0xffff);  // attacker seed: erased at injection
+    scheme.mark_injection(p, src_sw, topo.local_of(src_host));
+    if (src_sw != dst_sw) {
+      // Walk the mesh between the two switches under adaptive routing.
+      mark::WalkOptions options;
+      options.seed = rng.next_u64();
+      const auto walk = mark::walk_packet(topo.mesh(), *router, nullptr,
+                                          src_sw, dst_sw, options);
+      ASSERT_TRUE(walk.delivered());
+      for (std::size_t i = 1; i < walk.path.size(); ++i) {
+        scheme.mark_forward(p, walk.path[i - 1], walk.path[i]);
+      }
+    }
+    const auto named = identifier.identify(dst_sw, p.marking_field());
+    ASSERT_TRUE(named.has_value());
+    EXPECT_EQ(*named, src_host);
+  }
+}
+
+TEST(Hybrid, SameSwitchHostsDistinguishedByLocalBits) {
+  // Two hosts on one bus are indistinguishable to plain DDPM (same switch
+  // coordinates); the local bits separate them.
+  HybridTopology topo(4, 8);
+  HierarchicalDdpmScheme scheme(topo);
+  HierarchicalDdpmIdentifier identifier(topo);
+  pkt::Packet a, b;
+  scheme.mark_injection(a, 5, 2);
+  scheme.mark_injection(b, 5, 6);
+  EXPECT_NE(a.marking_field(), b.marking_field());
+  EXPECT_EQ(*identifier.identify(5, a.marking_field()), topo.host_of(5, 2));
+  EXPECT_EQ(*identifier.identify(5, b.marking_field()), topo.host_of(5, 6));
+}
+
+TEST(Hybrid, CorruptLocalBitsDetected) {
+  HybridTopology topo(4, 5);  // 3 local bits, values 5..7 invalid
+  HierarchicalDdpmIdentifier identifier(topo);
+  HierarchicalDdpmCodec codec(topo);
+  const auto field = codec.encode(7, topo::Coord{0, 0});
+  EXPECT_FALSE(identifier.identify(3, field).has_value());
+}
+
+}  // namespace
+}  // namespace ddpm::hybrid

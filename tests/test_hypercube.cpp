@@ -1,0 +1,91 @@
+#include "topology/hypercube.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/graph.hpp"
+
+namespace ddpm::topo {
+namespace {
+
+TEST(Hypercube, PaperFigure1cProperties) {
+  // Figure 1(c): a 3-cube has degree and diameter n = 3, 8 nodes.
+  Hypercube h(3);
+  EXPECT_EQ(h.num_nodes(), 8u);
+  EXPECT_EQ(h.degree(), 3);
+  EXPECT_EQ(h.diameter(), 3);
+  EXPECT_EQ(h.num_dims(), 3u);
+  EXPECT_EQ(h.dim_size(0), 2);
+  EXPECT_EQ(h.spec(), "hypercube:3");
+  EXPECT_EQ(h.kind(), TopologyKind::kHypercube);
+}
+
+TEST(Hypercube, NeighborsDifferInOneBit) {
+  Hypercube h(4);
+  for (NodeId id = 0; id < h.num_nodes(); ++id) {
+    const auto neighbors = h.neighbors(id);
+    EXPECT_EQ(neighbors.size(), 4u);
+    for (NodeId n : neighbors) {
+      EXPECT_EQ(std::popcount(id ^ n), 1);
+    }
+  }
+}
+
+TEST(Hypercube, PortFlipsBit) {
+  Hypercube h(3);
+  EXPECT_EQ(h.neighbor(0b000, 0), 0b001u);
+  EXPECT_EQ(h.neighbor(0b000, 2), 0b100u);
+  EXPECT_EQ(h.neighbor(0b101, 1), 0b111u);
+  EXPECT_FALSE(h.neighbor(0, 3).has_value());
+}
+
+TEST(Hypercube, CoordIsBinaryDigits) {
+  Hypercube h(3);
+  EXPECT_EQ(h.coord_of(0b101), (Coord{1, 0, 1}));  // bit d = coordinate d
+  EXPECT_EQ(h.id_of(Coord{0, 1, 1}), 0b110u);
+  for (NodeId id = 0; id < h.num_nodes(); ++id) {
+    EXPECT_EQ(h.id_of(h.coord_of(id)), id);
+  }
+}
+
+TEST(Hypercube, MinHopsIsHammingDistance) {
+  Hypercube h(5);
+  EXPECT_EQ(h.min_hops(0b00000, 0b11111), 5);
+  EXPECT_EQ(h.min_hops(0b10101, 0b10101), 0);
+  EXPECT_EQ(h.min_hops(0b10000, 0b00001), 2);
+}
+
+TEST(Hypercube, MinHopsMatchesBfs) {
+  Hypercube h(4);
+  const auto dist = bfs_distances(h, 5);
+  for (NodeId b = 0; b < h.num_nodes(); ++b) {
+    EXPECT_EQ(h.min_hops(5, b), dist[b]);
+  }
+}
+
+TEST(Hypercube, PortToRequiresSingleBitDiff) {
+  Hypercube h(3);
+  EXPECT_EQ(h.port_to(0b000, 0b010), 1);
+  EXPECT_FALSE(h.port_to(0b000, 0b011).has_value());
+  EXPECT_FALSE(h.port_to(0b000, 0b000).has_value());
+}
+
+TEST(Hypercube, DimensionLimits) {
+  EXPECT_THROW(Hypercube(0), std::invalid_argument);
+  EXPECT_THROW(Hypercube(17), std::invalid_argument);
+  Hypercube h(16);  // Table 3's 65536-node case
+  EXPECT_EQ(h.num_nodes(), 65536u);
+}
+
+TEST(Hypercube, IdOfRejectsNonBinaryCoord) {
+  Hypercube h(3);
+  EXPECT_THROW(h.id_of(Coord{0, 2, 0}), std::out_of_range);
+  EXPECT_THROW(h.id_of(Coord{0, 0}), std::invalid_argument);
+}
+
+TEST(Hypercube, LinksCountIsN2PowNMinus1) {
+  Hypercube h(4);  // n * 2^(n-1) = 32
+  EXPECT_EQ(h.links().size(), 32u);
+}
+
+}  // namespace
+}  // namespace ddpm::topo

@@ -1,0 +1,88 @@
+#include "marking/ingress.hpp"
+
+#include <gtest/gtest.h>
+
+#include "irregular/irregular.hpp"
+#include "marking/walk.hpp"
+#include "routing/router.hpp"
+#include "topology/factory.hpp"
+
+namespace ddpm::mark {
+namespace {
+
+TEST(IngressStamp, IdentifiesOnDirectNetworks) {
+  for (const char* spec : {"mesh:8x8", "torus:8x8", "hypercube:6"}) {
+    const auto topo = topo::make_topology(spec);
+    const auto router = route::make_router("adaptive", *topo);
+    IngressStampScheme scheme(topo->num_nodes());
+    IngressStampIdentifier identifier(topo->num_nodes());
+    netsim::Rng rng(3);
+    for (int trial = 0; trial < 100; ++trial) {
+      const auto s = topo::NodeId(rng.next_below(topo->num_nodes()));
+      auto d = topo::NodeId(rng.next_below(topo->num_nodes()));
+      if (d == s) d = (d + 1) % topo->num_nodes();
+      WalkOptions options;
+      options.seed = rng.next_u64();
+      options.record_path = false;
+      // Attacker pre-loads the field; ingress stamp overwrites it.
+      const auto walk =
+          walk_packet(*topo, *router, &scheme, s, d, options, 0xffff);
+      ASSERT_TRUE(walk.delivered()) << spec;
+      const auto named = identifier.observe(walk.packet, d);
+      ASSERT_EQ(named.size(), 1u) << spec;
+      EXPECT_EQ(named.front(), s) << spec;
+    }
+  }
+}
+
+TEST(IngressStamp, IdentifiesOnIrregularNetworksWhereDdpmCannotRun) {
+  // The §6.3 point: no coordinates, no DDPM — but ingress stamping only
+  // needs a node index.
+  irregular::IrregularTopology topo(48, 20, 41);
+  irregular::UpDownRouter router(topo);
+  IngressStampScheme scheme(topo.num_nodes());
+  IngressStampIdentifier identifier(topo.num_nodes());
+  netsim::Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto s = irregular::NodeId(rng.next_below(topo.num_nodes()));
+    auto d = irregular::NodeId(rng.next_below(topo.num_nodes()));
+    if (d == s) d = (d + 1) % topo.num_nodes();
+    const auto path = walk_updown(topo, router, s, d, rng);
+    ASSERT_FALSE(path.empty());
+    // Emulate the switch pipeline over the walked path.
+    pkt::Packet p;
+    p.set_marking_field(0xffff);  // attacker seed
+    scheme.on_injection(p, s);
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      scheme.on_forward(p, path[i - 1], path[i]);
+    }
+    const auto named = identifier.observe(p, d);
+    ASSERT_EQ(named.size(), 1u);
+    EXPECT_EQ(named.front(), s);
+  }
+}
+
+TEST(IngressStamp, ScalesToSixtyFourKNodes) {
+  EXPECT_NO_THROW(IngressStampScheme(1ull << 16));
+  EXPECT_THROW(IngressStampScheme((1ull << 16) + 1), std::invalid_argument);
+}
+
+TEST(IngressStamp, OutOfRangeStampRejected) {
+  IngressStampIdentifier identifier(100);
+  pkt::Packet p;
+  p.set_marking_field(100);  // not a valid node
+  EXPECT_TRUE(identifier.observe(p, 0).empty());
+  p.set_marking_field(99);
+  EXPECT_EQ(identifier.observe(p, 0), std::vector<topo::NodeId>{99});
+}
+
+TEST(IngressStamp, ForwardNeverTouchesField) {
+  IngressStampScheme scheme(64);
+  pkt::Packet p;
+  p.set_marking_field(0x1234);
+  scheme.on_forward(p, 5, 6);
+  EXPECT_EQ(p.marking_field(), 0x1234);
+}
+
+}  // namespace
+}  // namespace ddpm::mark

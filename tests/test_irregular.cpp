@@ -1,0 +1,126 @@
+#include "irregular/irregular.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ddpm::irregular {
+namespace {
+
+TEST(Irregular, ConnectedWithExpectedEdgeCount) {
+  IrregularTopology topo(32, 10, 7);
+  EXPECT_EQ(topo.num_nodes(), 32u);
+  EXPECT_EQ(topo.num_edges(), 31u + 10u);  // spanning tree + extras
+  // Connectivity: every node has a BFS level.
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    EXPECT_GE(topo.level(n), 0);
+  }
+  EXPECT_EQ(topo.level(0), 0);
+}
+
+TEST(Irregular, AdjacencySymmetric) {
+  IrregularTopology topo(24, 8, 3);
+  for (NodeId a = 0; a < topo.num_nodes(); ++a) {
+    for (NodeId b : topo.neighbors(a)) {
+      EXPECT_TRUE(topo.adjacent(b, a));
+      EXPECT_NE(a, b);
+    }
+  }
+}
+
+TEST(Irregular, UpDownOrientationAntisymmetric) {
+  IrregularTopology topo(24, 8, 3);
+  for (NodeId a = 0; a < topo.num_nodes(); ++a) {
+    for (NodeId b : topo.neighbors(a)) {
+      EXPECT_NE(topo.is_up(a, b), topo.is_up(b, a));
+    }
+  }
+}
+
+TEST(Irregular, RejectsBadParameters) {
+  EXPECT_THROW(IrregularTopology(1, 0, 1), std::invalid_argument);
+  EXPECT_THROW(IrregularTopology(4, 100, 1), std::invalid_argument);
+  EXPECT_NO_THROW(IrregularTopology(4, 3, 1));  // complete graph K4
+}
+
+TEST(Irregular, DeterministicForSeed) {
+  IrregularTopology a(20, 6, 11), b(20, 6, 11), c(20, 6, 12);
+  EXPECT_EQ(a.spec(), b.spec());
+  for (NodeId n = 0; n < 20; ++n) {
+    EXPECT_EQ(a.neighbors(n), b.neighbors(n));
+  }
+  bool different = false;
+  for (NodeId n = 0; n < 20 && !different; ++n) {
+    different = a.neighbors(n) != c.neighbors(n);
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(UpDown, AllPairsRoutable) {
+  IrregularTopology topo(40, 15, 5);
+  UpDownRouter router(topo);
+  for (NodeId s = 0; s < topo.num_nodes(); ++s) {
+    for (NodeId d = 0; d < topo.num_nodes(); ++d) {
+      if (s == d) continue;
+      EXPECT_GT(router.legal_distance(s, d), 0);
+      EXPECT_GE(router.legal_distance(s, d), router.graph_distance(s, d));
+    }
+  }
+}
+
+TEST(UpDown, WalksAreLegalAndShortest) {
+  IrregularTopology topo(40, 15, 5);
+  UpDownRouter router(topo);
+  netsim::Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto s = NodeId(rng.next_below(topo.num_nodes()));
+    auto d = NodeId(rng.next_below(topo.num_nodes()));
+    if (d == s) d = (d + 1) % topo.num_nodes();
+    const auto path = walk_updown(topo, router, s, d, rng);
+    ASSERT_GE(path.size(), 2u);
+    EXPECT_EQ(path.front(), s);
+    EXPECT_EQ(path.back(), d);
+    EXPECT_EQ(int(path.size()) - 1, router.legal_distance(s, d));
+    // Legality: once a down hop happens, no later up hop.
+    bool gone_down = false;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      ASSERT_TRUE(topo.adjacent(path[i - 1], path[i]));
+      const bool up = topo.is_up(path[i - 1], path[i]);
+      EXPECT_FALSE(up && gone_down) << "up hop after down hop";
+      gone_down = gone_down || !up;
+    }
+  }
+}
+
+TEST(UpDown, TreeOnlyPathsGoThroughCommonAncestor) {
+  // With zero extra edges the graph is a tree: the unique path is legal
+  // (up to the common ancestor, then down), so inflation is exactly 1.
+  IrregularTopology topo(30, 0, 17);
+  UpDownRouter router(topo);
+  EXPECT_DOUBLE_EQ(router.path_inflation(), 1.0);
+}
+
+TEST(UpDown, InflationAboveOneOnCrossEdges) {
+  // Cross edges create shortcuts some of which up*/down* cannot use.
+  IrregularTopology topo(60, 40, 23);
+  UpDownRouter router(topo);
+  EXPECT_GE(router.path_inflation(), 1.0);
+  EXPECT_LT(router.path_inflation(), 2.0);  // sane
+}
+
+TEST(UpDown, AdaptiveChoicesExist) {
+  // With cross edges, at least some (state, dest) pairs offer >1 next hop.
+  IrregularTopology topo(40, 20, 29);
+  UpDownRouter router(topo);
+  bool multi = false;
+  for (NodeId s = 0; s < topo.num_nodes() && !multi; ++s) {
+    for (NodeId d = 0; d < topo.num_nodes() && !multi; ++d) {
+      if (s == d) continue;
+      multi = router.next_hops(s, d, false).size() > 1;
+    }
+  }
+  EXPECT_TRUE(multi);
+}
+
+}  // namespace
+}  // namespace ddpm::irregular

@@ -1,0 +1,119 @@
+#include "topology/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ddpm::topo {
+namespace {
+
+TEST(Mesh, PaperFigure1aProperties) {
+  // Figure 1(a): a 4x4 2-D mesh has degree 4 and diameter 6.
+  Mesh m({4, 4});
+  EXPECT_EQ(m.num_nodes(), 16u);
+  EXPECT_EQ(m.degree(), 4);
+  EXPECT_EQ(m.diameter(), 6);
+  EXPECT_EQ(m.num_dims(), 2u);
+  EXPECT_EQ(m.spec(), "mesh:4x4");
+  EXPECT_EQ(m.kind(), TopologyKind::kMesh);
+}
+
+TEST(Mesh, IdCoordBijection) {
+  Mesh m({3, 5});
+  for (NodeId id = 0; id < m.num_nodes(); ++id) {
+    EXPECT_EQ(m.id_of(m.coord_of(id)), id);
+  }
+}
+
+TEST(Mesh, RowMajorLayout) {
+  Mesh m({3, 4});  // dims {k0=3, k1=4}, last dim varies fastest
+  EXPECT_EQ(m.coord_of(0), (Coord{0, 0}));
+  EXPECT_EQ(m.coord_of(1), (Coord{0, 1}));
+  EXPECT_EQ(m.coord_of(4), (Coord{1, 0}));
+  EXPECT_EQ(m.id_of(Coord{2, 3}), 11u);
+}
+
+TEST(Mesh, InteriorNodeHasAllNeighbors) {
+  Mesh m({4, 4});
+  const NodeId center = m.id_of(Coord{1, 1});
+  EXPECT_EQ(m.neighbors(center).size(), 4u);
+}
+
+TEST(Mesh, CornerNodeHasTwoNeighbors) {
+  Mesh m({4, 4});
+  EXPECT_EQ(m.neighbors(m.id_of(Coord{0, 0})).size(), 2u);
+  EXPECT_EQ(m.neighbors(m.id_of(Coord{3, 3})).size(), 2u);
+}
+
+TEST(Mesh, BoundaryPortsDoNotExist) {
+  Mesh m({4, 4});
+  const NodeId corner = m.id_of(Coord{0, 0});
+  EXPECT_FALSE(m.neighbor(corner, 0).has_value());  // dim0 minus
+  EXPECT_TRUE(m.neighbor(corner, 1).has_value());   // dim0 plus
+  EXPECT_FALSE(m.neighbor(corner, 2).has_value());  // dim1 minus
+  EXPECT_TRUE(m.neighbor(corner, 3).has_value());
+}
+
+TEST(Mesh, PortConvention) {
+  Mesh m({4, 4});
+  const NodeId n = m.id_of(Coord{2, 2});
+  EXPECT_EQ(m.neighbor(n, 0), m.id_of(Coord{1, 2}));  // dim0 -
+  EXPECT_EQ(m.neighbor(n, 1), m.id_of(Coord{3, 2}));  // dim0 +
+  EXPECT_EQ(m.neighbor(n, 2), m.id_of(Coord{2, 1}));  // dim1 -
+  EXPECT_EQ(m.neighbor(n, 3), m.id_of(Coord{2, 3}));  // dim1 +
+}
+
+TEST(Mesh, PortToInvertsNeighbor) {
+  Mesh m({4, 4});
+  for (NodeId id = 0; id < m.num_nodes(); ++id) {
+    for (Port p = 0; p < m.num_ports(); ++p) {
+      if (auto n = m.neighbor(id, p)) {
+        EXPECT_EQ(m.port_to(id, *n), p);
+      }
+    }
+  }
+}
+
+TEST(Mesh, PortToNonNeighborIsEmpty) {
+  Mesh m({4, 4});
+  EXPECT_FALSE(m.port_to(m.id_of(Coord{0, 0}), m.id_of(Coord{2, 0})).has_value());
+  EXPECT_FALSE(m.port_to(m.id_of(Coord{0, 0}), m.id_of(Coord{1, 1})).has_value());
+  EXPECT_FALSE(m.port_to(0, 0).has_value());
+}
+
+TEST(Mesh, MinHopsIsManhattan) {
+  Mesh m({5, 5});
+  EXPECT_EQ(m.min_hops(m.id_of(Coord{0, 0}), m.id_of(Coord{4, 4})), 8);
+  EXPECT_EQ(m.min_hops(m.id_of(Coord{2, 3}), m.id_of(Coord{2, 3})), 0);
+  EXPECT_EQ(m.min_hops(m.id_of(Coord{1, 1}), m.id_of(Coord{2, 3})), 3);
+}
+
+TEST(Mesh, ThreeDimensional) {
+  Mesh m({2, 3, 4});
+  EXPECT_EQ(m.num_nodes(), 24u);
+  EXPECT_EQ(m.degree(), 5);  // the radix-2 dimension contributes one link
+  EXPECT_EQ(Mesh({3, 3, 3}).degree(), 6);  // paper's 2n with interiors
+  EXPECT_EQ(m.diameter(), 1 + 2 + 3);
+  EXPECT_EQ(m.spec(), "mesh:2x3x4");
+}
+
+TEST(Mesh, InvalidConstructionThrows) {
+  EXPECT_THROW(Mesh({}), std::invalid_argument);
+  EXPECT_THROW(Mesh({1, 4}), std::invalid_argument);  // radix < 2
+  EXPECT_THROW(Mesh({70000, 70000}), std::invalid_argument);  // id overflow
+}
+
+TEST(Mesh, LinksCountMatchesFormula) {
+  // n x m mesh has n(m-1) + m(n-1) undirected links.
+  Mesh m({4, 6});
+  EXPECT_EQ(m.links().size(), std::size_t(4 * 5 + 6 * 3));
+}
+
+TEST(Mesh, CoordOfOutOfRangeThrows) {
+  Mesh m({2, 2});
+  EXPECT_THROW(m.coord_of(4), std::out_of_range);
+  EXPECT_THROW(m.id_of(Coord{2, 0}), std::out_of_range);
+  EXPECT_THROW(m.id_of(Coord{0, -1}), std::out_of_range);
+  EXPECT_THROW(m.id_of(Coord{0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ddpm::topo

@@ -1,0 +1,80 @@
+#include "indirect/port_stamp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ddpm::indirect {
+namespace {
+
+TEST(PortStamp, RequiredBitsMatchesLogN) {
+  EXPECT_EQ(PortStampScheme::required_bits(Butterfly(2, 16)), 16);
+  EXPECT_EQ(PortStampScheme::required_bits(Butterfly(4, 8)), 16);
+  EXPECT_EQ(PortStampScheme::required_bits(Butterfly(8, 5)), 15);
+  EXPECT_EQ(PortStampScheme::required_bits(Butterfly(16, 4)), 16);
+  EXPECT_TRUE(PortStampScheme::fits(Butterfly(2, 16)));   // 65536 terminals
+  EXPECT_FALSE(PortStampScheme::fits(Butterfly(2, 17)));
+}
+
+TEST(PortStamp, ConstructorEnforcesFieldLimit) {
+  Butterfly too_big(4, 9);  // 18 bits
+  EXPECT_THROW(PortStampScheme{too_big}, std::invalid_argument);
+}
+
+TEST(PortStamp, IdentifiesEverySourceExhaustively) {
+  for (const auto& [k, n] : std::vector<std::pair<int, int>>{
+           {2, 4}, {3, 3}, {4, 3}, {8, 2}}) {
+    Butterfly net(k, n);
+    PortStampScheme scheme(net);
+    for (TerminalId s = 0; s < net.num_terminals(); ++s) {
+      for (TerminalId d = 0; d < net.num_terminals(); ++d) {
+        const auto field = scheme.mark_along(s, d, 0);
+        ASSERT_EQ(scheme.identify(field), s)
+            << "k=" << k << " n=" << n << " s=" << s << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST(PortStamp, AttackerSeededFieldCannotDeflectIdentification) {
+  // Every stage overwrites its digit slot, so whatever the attacker seeds,
+  // all bits the identifier reads are switch-written — stronger than
+  // DDPM's injection-time reset, which only the first switch performs.
+  // (Bits above n*b are unused and ignored by identify().)
+  Butterfly net(2, 8);
+  PortStampScheme scheme(net);
+  const TerminalId src = 173, dst = 9;
+  const std::uint16_t used_mask = (1u << (8 * 1)) - 1u;
+  const auto clean = scheme.mark_along(src, dst, 0);
+  for (std::uint16_t seed : {std::uint16_t(0xffff), std::uint16_t(0xbeef),
+                             std::uint16_t(0x0001)}) {
+    const auto field = scheme.mark_along(src, dst, seed);
+    EXPECT_EQ(field & used_mask, clean & used_mask);
+    EXPECT_EQ(scheme.identify(field), src);
+  }
+  EXPECT_EQ(scheme.identify(clean), src);
+}
+
+TEST(PortStamp, FieldIsLiterallyTheSourceForPowerOfTwoRadix) {
+  Butterfly net(2, 10);
+  PortStampScheme scheme(net);
+  // With k a power of two the digit slots concatenate into the source id.
+  EXPECT_EQ(scheme.mark_along(777, 3, 0), 777);
+}
+
+TEST(PortStamp, NonPowerOfTwoRadixHasDeadCodePoints) {
+  Butterfly net(3, 3);  // digits 0..2 in 2-bit slots; value 3 is invalid
+  PortStampScheme scheme(net);
+  // A field with an out-of-range digit decodes to "unidentifiable".
+  const std::uint16_t bogus = 0b11'11'11;
+  EXPECT_FALSE(scheme.identify(bogus).has_value());
+}
+
+TEST(PortStamp, MarkWritesOnlyItsSlot) {
+  Butterfly net(4, 3);
+  PortStampScheme scheme(net);
+  const std::uint16_t before = 0b111111;  // slots: 11|11|11
+  const std::uint16_t after = scheme.mark(before, 1, 0b00);
+  EXPECT_EQ(after, 0b110011);
+}
+
+}  // namespace
+}  // namespace ddpm::indirect

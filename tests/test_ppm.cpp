@@ -1,0 +1,139 @@
+#include "marking/ppm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "marking/walk.hpp"
+#include "packet/marking_field.hpp"
+#include "routing/router.hpp"
+#include "topology/factory.hpp"
+#include "topology/mesh.hpp"
+
+namespace ddpm::mark {
+namespace {
+
+TEST(PpmLayout, Table1BoundaryOnMesh) {
+  // Paper §4.2: on the 4x4 mesh two 4-bit indexes + a 3-bit distance = 11
+  // bits fit; Table 1 says the full-edge layout tops out at 8x8.
+  topo::Mesh small({4, 4});
+  const auto l4 = PpmLayout::for_topology(PpmVariant::kFullEdge, small);
+  EXPECT_EQ(l4.total_bits, 4 + 4 + 3);
+  EXPECT_TRUE(l4.fits);
+
+  topo::Mesh eight({8, 8});
+  const auto l8 = PpmLayout::for_topology(PpmVariant::kFullEdge, eight);
+  EXPECT_EQ(l8.total_bits, 16);
+  EXPECT_TRUE(l8.fits);
+
+  topo::Mesh sixteen({16, 16});
+  EXPECT_FALSE(PpmLayout::for_topology(PpmVariant::kFullEdge, sixteen).fits);
+}
+
+TEST(PpmLayout, RequiredBitsFormulae) {
+  // 8x8 mesh: 2*log(64) + log(2*8) = 6+6+4 = 16.
+  EXPECT_EQ(PpmLayout::required_bits(PpmVariant::kFullEdge, 64, 14), 16);
+  // XOR drops one index.
+  EXPECT_EQ(PpmLayout::required_bits(PpmVariant::kXor, 64, 14), 10);
+  // Bit-diff: index + log(index bits) + distance.
+  EXPECT_EQ(PpmLayout::required_bits(PpmVariant::kBitDiff, 64, 14), 6 + 3 + 4);
+}
+
+TEST(PpmScheme, ConstructorRejectsOversizedTopology) {
+  topo::Mesh big({16, 16});
+  EXPECT_THROW(PpmScheme(big, PpmVariant::kFullEdge, 0.04, 1),
+               std::invalid_argument);
+  // XOR still fits on 16x16: 8 + 5 = 13 bits.
+  EXPECT_NO_THROW(PpmScheme(big, PpmVariant::kXor, 0.04, 1));
+}
+
+TEST(PpmScheme, RejectsBadProbability) {
+  topo::Mesh m({4, 4});
+  EXPECT_THROW(PpmScheme(m, PpmVariant::kFullEdge, 0.0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(PpmScheme(m, PpmVariant::kFullEdge, 1.5, 1),
+               std::invalid_argument);
+  EXPECT_NO_THROW(PpmScheme(m, PpmVariant::kFullEdge, 1.0, 1));
+}
+
+TEST(PpmScheme, AlwaysMarkWritesLastSwitch) {
+  // p = 1: every switch overwrites, so the delivered mark is always the
+  // last forwarding switch at distance 0.
+  topo::Mesh m({4, 4});
+  PpmScheme scheme(m, PpmVariant::kFullEdge, 1.0, 7);
+  const auto router = route::make_router("dor", m);
+  const auto walk = walk_packet(m, *router, &scheme, 0, 3);
+  ASSERT_TRUE(walk.delivered());
+  const auto& layout = scheme.layout();
+  const auto field = walk.packet.marking_field();
+  EXPECT_EQ(pkt::read_unsigned(field, layout.distance), 0);
+  // Last forwarding switch is the destination's predecessor (0,2) = id 2.
+  EXPECT_EQ(pkt::read_unsigned(field, layout.start), 2);
+}
+
+TEST(PpmScheme, DistanceIncrementsWhenNotMarking) {
+  // Force a mark at the source then never again (rig via p=1 scheme for one
+  // hop, then a p-epsilon scheme): emulate by marking manually.
+  topo::Mesh m({8, 8});
+  PpmScheme scheme(m, PpmVariant::kFullEdge, 1e-9, 3);
+  const auto router = route::make_router("dor", m);
+  // Seed the field as if switch 0 had just marked (start=0, distance=0).
+  auto layout = scheme.layout();
+  std::uint16_t seeded = 0;
+  seeded = pkt::write_unsigned(seeded, layout.start, 0);
+  seeded = pkt::write_unsigned(seeded, layout.distance, 0);
+  // Destination (7,0) = id 56: a 7-hop column path with 7 forwarding
+  // switches, each of which increments the seeded distance once.
+  const auto walk = walk_packet(m, *router, &scheme, 0, 56, {}, seeded);
+  ASSERT_TRUE(walk.delivered());
+  const auto field = walk.packet.marking_field();
+  EXPECT_EQ(pkt::read_unsigned(field, layout.distance), 7);
+}
+
+TEST(PpmScheme, DistanceSaturatesAtFieldMax) {
+  topo::Mesh m({8, 8});
+  PpmScheme scheme(m, PpmVariant::kFullEdge, 1e-9, 3);
+  auto layout = scheme.layout();
+  pkt::Packet p;
+  p.set_marking_field(pkt::write_unsigned(0, layout.distance, 0));
+  // Hammer more forwards than the distance field can count.
+  for (int i = 0; i < 100; ++i) scheme.on_forward(p, 0, 1);
+  EXPECT_EQ(pkt::read_unsigned(p.marking_field(), layout.distance),
+            std::uint16_t(layout.max_distance()));
+}
+
+TEST(PpmScheme, MarkingProbabilityRoughlyHonored) {
+  topo::Mesh m({8, 8});
+  PpmScheme scheme(m, PpmVariant::kFullEdge, 0.25, 11);
+  const auto layout = scheme.layout();
+  int fresh = 0;
+  constexpr int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) {
+    pkt::Packet p;
+    p.set_marking_field(pkt::write_unsigned(0, layout.distance, 5));
+    scheme.on_forward(p, 9, 10);
+    // A fresh mark resets distance to 0; otherwise it increments to 6.
+    fresh += (pkt::read_unsigned(p.marking_field(), layout.distance) == 0);
+  }
+  EXPECT_NEAR(double(fresh) / kTrials, 0.25, 0.02);
+}
+
+TEST(PpmFormula, MatchesPaperNumbers) {
+  // Savage's bound ln(d) / (p (1-p)^{d-1}).
+  EXPECT_NEAR(ppm_expected_packets(10, 0.04), std::log(10.0) / (0.04 * std::pow(0.96, 9)),
+              1e-9);
+  // Longer paths need superlinearly more packets.
+  EXPECT_GT(ppm_expected_packets(30, 0.04), ppm_expected_packets(10, 0.04) * 3);
+  // Fragmented variant is k ln(kd) / ...
+  EXPECT_GT(ppm_expected_packets_fragmented(10, 0.04, 8),
+            ppm_expected_packets(10, 0.04));
+}
+
+TEST(PpmVariantNames, Stable) {
+  EXPECT_EQ(to_string(PpmVariant::kFullEdge), "ppm-full");
+  EXPECT_EQ(to_string(PpmVariant::kXor), "ppm-xor");
+  EXPECT_EQ(to_string(PpmVariant::kBitDiff), "ppm-bitdiff");
+}
+
+}  // namespace
+}  // namespace ddpm::mark

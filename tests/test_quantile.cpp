@@ -1,0 +1,89 @@
+#include "netsim/quantile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "netsim/rng.hpp"
+
+namespace ddpm::netsim {
+namespace {
+
+double exact_quantile(std::vector<double> samples, double p) {
+  std::sort(samples.begin(), samples.end());
+  const auto rank = std::size_t(p * double(samples.size() - 1));
+  return samples[rank];
+}
+
+TEST(P2Quantile, ExactForSmallSamples) {
+  P2Quantile q(0.5);
+  q.add(3);
+  EXPECT_EQ(q.value(), 3);
+  q.add(1);
+  q.add(2);
+  EXPECT_EQ(q.value(), 2);  // median of {1,2,3}
+}
+
+TEST(P2Quantile, MedianOfUniform) {
+  P2Quantile q(0.5);
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) q.add(rng.next_double());
+  EXPECT_NEAR(q.value(), 0.5, 0.01);
+}
+
+TEST(P2Quantile, TailOfUniform) {
+  P2Quantile q99(0.99);
+  P2Quantile q10(0.10);
+  Rng rng(2);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.next_double() * 100.0;
+    q99.add(x);
+    q10.add(x);
+  }
+  EXPECT_NEAR(q99.value(), 99.0, 1.0);
+  EXPECT_NEAR(q10.value(), 10.0, 1.0);
+}
+
+TEST(P2Quantile, SkewedDistribution) {
+  // Exponential: p-quantile = -ln(1-p)/rate.
+  P2Quantile q90(0.90);
+  Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 200000; ++i) {
+    const double x = rng.next_exponential(0.5);
+    q90.add(x);
+    samples.push_back(x);
+  }
+  const double exact = exact_quantile(samples, 0.90);
+  EXPECT_NEAR(q90.value(), exact, exact * 0.05);
+}
+
+TEST(P2Quantile, MonotoneInP) {
+  P2Quantile q25(0.25), q50(0.5), q75(0.75);
+  Rng rng(4);
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.next_normal();
+    q25.add(x);
+    q50.add(x);
+    q75.add(x);
+  }
+  EXPECT_LT(q25.value(), q50.value());
+  EXPECT_LT(q50.value(), q75.value());
+  EXPECT_NEAR(q50.value(), 0.0, 0.03);
+}
+
+TEST(P2Quantile, ConstantStream) {
+  P2Quantile q(0.99);
+  for (int i = 0; i < 1000; ++i) q.add(7.0);
+  EXPECT_DOUBLE_EQ(q.value(), 7.0);
+}
+
+TEST(P2Quantile, EmptyIsZero) {
+  P2Quantile q(0.5);
+  EXPECT_EQ(q.value(), 0.0);
+  EXPECT_EQ(q.count(), 0u);
+}
+
+}  // namespace
+}  // namespace ddpm::netsim

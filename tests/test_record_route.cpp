@@ -1,0 +1,85 @@
+#include "marking/record_route.hpp"
+
+#include <gtest/gtest.h>
+
+#include "marking/walk.hpp"
+#include "routing/router.hpp"
+#include "topology/factory.hpp"
+#include "topology/mesh.hpp"
+
+namespace ddpm::mark {
+namespace {
+
+using topo::Coord;
+
+TEST(RecordRoute, FirstEntryIsTheSource) {
+  const auto topo = topo::make_topology("mesh:8x8");
+  const auto router = route::make_router("adaptive", *topo);
+  RecordRouteScheme scheme;
+  RecordRouteIdentifier identifier(*topo);
+  netsim::Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto s = topo::NodeId(rng.next_below(topo->num_nodes()));
+    auto d = topo::NodeId(rng.next_below(topo->num_nodes()));
+    if (d == s) d = (d + 1) % topo->num_nodes();
+    WalkOptions options;
+    options.seed = rng.next_u64();
+    options.record_path = false;
+    const auto walk = walk_packet(*topo, *router, &scheme, s, d, options);
+    ASSERT_TRUE(walk.delivered());
+    const auto named = identifier.observe(walk.packet, d);
+    ASSERT_EQ(named.size(), 1u);
+    EXPECT_EQ(named.front(), s);
+  }
+}
+
+TEST(RecordRoute, OptionCapsAtNineEntries) {
+  // RFC 791: at most 9 recorded addresses. On a 14-hop path the tail of
+  // the route is lost; the source (recorded first) is not.
+  topo::Mesh m({8, 8});
+  const auto router = route::make_router("dor", m);
+  RecordRouteScheme scheme;
+  const auto walk = walk_packet(m, *router, &scheme, 0, 63);
+  ASSERT_TRUE(walk.delivered());
+  EXPECT_EQ(walk.hops, 14);
+  EXPECT_EQ(walk.packet.route_option.size(), RecordRouteScheme::kMaxEntries);
+  EXPECT_EQ(walk.packet.route_option.front(), 0u);
+}
+
+TEST(RecordRoute, WireBytesGrowPerHop) {
+  topo::Mesh m({8, 8});
+  const auto router = route::make_router("dor", m);
+  RecordRouteScheme scheme;
+  const auto walk = walk_packet(m, *router, &scheme, 0, 7);  // 7 hops
+  ASSERT_TRUE(walk.delivered());
+  // 7 recorded switches: 28 extra wire bytes over the bare packet.
+  EXPECT_EQ(walk.packet.route_option.size(), 7u);
+  EXPECT_EQ(walk.packet.wire_bytes(),
+            std::uint32_t(pkt::IpHeader::kWireSize) + 4 * 7);
+}
+
+TEST(RecordRoute, InjectionDiscardsSeededOption) {
+  topo::Mesh m({4, 4});
+  const auto router = route::make_router("dor", m);
+  RecordRouteScheme scheme;
+  RecordRouteIdentifier identifier(m);
+  pkt::Packet seeded;
+  seeded.true_source = 5;
+  seeded.dest_node = 10;
+  seeded.header.set_ttl(64);
+  seeded.route_option = {9, 9, 9};  // attacker frame-up attempt
+  scheme.on_injection(seeded, 5);
+  EXPECT_TRUE(seeded.route_option.empty());
+}
+
+TEST(RecordRoute, EmptyOptionYieldsNoCandidate) {
+  topo::Mesh m({4, 4});
+  RecordRouteIdentifier identifier(m);
+  pkt::Packet p;
+  EXPECT_TRUE(identifier.observe(p, 3).empty());
+  p.route_option = {99};  // out of range for a 16-node mesh
+  EXPECT_TRUE(identifier.observe(p, 3).empty());
+}
+
+}  // namespace
+}  // namespace ddpm::mark

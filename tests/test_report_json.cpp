@@ -1,0 +1,93 @@
+#include "core/report_json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ddpm::core {
+namespace {
+
+ScenarioConfig small_scenario() {
+  ScenarioConfig config;
+  config.cluster.topology = "mesh:4x4";
+  config.cluster.benign_rate_per_node = 0.0002;
+  config.cluster.seed = 5;
+  config.identifier = "ddpm";
+  config.detect_rate_threshold = 0.002;
+  config.attack.kind = attack::AttackKind::kUdpFlood;
+  config.attack.victim = 15;
+  config.attack.zombies = {2, 7};
+  config.attack.rate_per_zombie = 0.005;
+  config.attack.start_time = 10000;
+  config.duration = 150000;
+  return config;
+}
+
+/// Tiny structural validator: balanced braces/brackets outside strings,
+/// no trailing commas.
+void expect_valid_json(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  char prev_significant = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{':
+      case '[': ++depth; break;
+      case '}':
+      case ']':
+        EXPECT_NE(prev_significant, ',') << "trailing comma before " << c;
+        --depth;
+        EXPECT_GE(depth, 0);
+        break;
+      default: break;
+    }
+    if (!std::isspace(static_cast<unsigned char>(c))) prev_significant = c;
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(ReportJson, WellFormedAndComplete) {
+  auto config = small_scenario();
+  SourceIdentificationSystem system(config);
+  const ScenarioReport report = system.run();
+  const std::string json = to_json(config, report);
+  expect_valid_json(json);
+  for (const char* key :
+       {"\"config\"", "\"report\"", "\"topology\"", "\"mesh:4x4\"",
+        "\"zombies\"", "\"metrics\"", "\"injected_attack\"",
+        "\"identified_sources\"", "\"true_positives\"",
+        "\"detection_time\"", "\"identifications\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(ReportJson, ReportOnlyVariant) {
+  auto config = small_scenario();
+  config.duration = 5000;  // ends before the attack starts: no detection
+  SourceIdentificationSystem system(config);
+  const ScenarioReport report = system.run();
+  const std::string json = to_json(report);
+  expect_valid_json(json);
+  EXPECT_NE(json.find("\"detection_time\": \"never\""), std::string::npos);
+  EXPECT_EQ(json.find("\"config\""), std::string::npos);
+}
+
+TEST(ReportJson, NumbersAreBare) {
+  auto config = small_scenario();
+  SourceIdentificationSystem system(config);
+  const auto json = to_json(system.run());
+  // A numeric field must not be quoted.
+  EXPECT_NE(json.find("\"true_positives\": 2"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace ddpm::core

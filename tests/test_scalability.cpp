@@ -1,0 +1,92 @@
+// Reproduces the analytical content of Tables 1, 2 and 3.
+#include "marking/scalability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ddpm::mark {
+namespace {
+
+TEST(Table1, SimplePpmMeshBits) {
+  // Paper §4.2: 4x4 mesh needs 2*2log16 + log8 = 11 bits; 8x8 exactly 16.
+  EXPECT_EQ(required_bits_mesh2d(SchemeKind::kSimplePpm, 4), 11);
+  EXPECT_EQ(required_bits_mesh2d(SchemeKind::kSimplePpm, 8), 16);
+  EXPECT_GT(required_bits_mesh2d(SchemeKind::kSimplePpm, 16), 16);
+}
+
+TEST(Table1, SimplePpmMaxima) {
+  // Table 1: max 8x8 mesh/torus, 2^6 hypercube.
+  EXPECT_EQ(max_mesh2d_side(SchemeKind::kSimplePpm), 8);
+  EXPECT_EQ(max_hypercube_dim(SchemeKind::kSimplePpm), 6);
+}
+
+TEST(Table1, SimplePpmHypercubeBits) {
+  EXPECT_EQ(required_bits_hypercube(SchemeKind::kSimplePpm, 6), 15);
+  EXPECT_EQ(required_bits_hypercube(SchemeKind::kSimplePpm, 7), 17);
+}
+
+TEST(Table2, BitDiffMaxima) {
+  // Self-consistent reading of Table 2 (see scalability.hpp): mesh tops out
+  // at 16x16 and the hypercube at 2^8 — the paper's printed hypercube
+  // maximum.
+  EXPECT_EQ(max_mesh2d_side(SchemeKind::kBitDiffPpm), 16);
+  EXPECT_EQ(max_hypercube_dim(SchemeKind::kBitDiffPpm), 8);
+}
+
+TEST(Table2, BitDiffBits) {
+  EXPECT_EQ(required_bits_mesh2d(SchemeKind::kBitDiffPpm, 16), 16);
+  EXPECT_GT(required_bits_mesh2d(SchemeKind::kBitDiffPpm, 32), 16);
+  EXPECT_EQ(required_bits_hypercube(SchemeKind::kBitDiffPpm, 8), 14);
+  EXPECT_GT(required_bits_hypercube(SchemeKind::kBitDiffPpm, 9), 16);
+}
+
+TEST(Table3, DdpmMaxima) {
+  // Table 3: 128x128 (16384 nodes) mesh/torus, 16-cube (65536 nodes).
+  EXPECT_EQ(max_mesh2d_side(SchemeKind::kDdpm), 128);
+  EXPECT_EQ(max_hypercube_dim(SchemeKind::kDdpm), 16);
+}
+
+TEST(Table3, DdpmBits) {
+  EXPECT_EQ(required_bits_mesh2d(SchemeKind::kDdpm, 128), 16);
+  EXPECT_GT(required_bits_mesh2d(SchemeKind::kDdpm, 129), 16);
+  EXPECT_EQ(required_bits_hypercube(SchemeKind::kDdpm, 16), 16);
+}
+
+TEST(Tables, DdpmDominatesEverywhere) {
+  for (int n = 4; n <= 128; n *= 2) {
+    EXPECT_LT(required_bits_mesh2d(SchemeKind::kDdpm, n),
+              required_bits_mesh2d(SchemeKind::kBitDiffPpm, n))
+        << n;
+    EXPECT_LT(required_bits_mesh2d(SchemeKind::kBitDiffPpm, n),
+              required_bits_mesh2d(SchemeKind::kSimplePpm, n))
+        << n;
+  }
+  for (int n = 3; n <= 16; ++n) {
+    EXPECT_LE(required_bits_hypercube(SchemeKind::kDdpm, n),
+              required_bits_hypercube(SchemeKind::kBitDiffPpm, n));
+  }
+}
+
+TEST(Tables, ExactMaxSidesAtLeastPowerOfTwoMaxima) {
+  EXPECT_GE(max_mesh2d_side_exact(SchemeKind::kSimplePpm),
+            max_mesh2d_side(SchemeKind::kSimplePpm));
+  EXPECT_GE(max_mesh2d_side_exact(SchemeKind::kDdpm),
+            max_mesh2d_side(SchemeKind::kDdpm));
+}
+
+TEST(Tables, TableRowsWellFormed) {
+  for (auto scheme : {SchemeKind::kSimplePpm, SchemeKind::kBitDiffPpm,
+                      SchemeKind::kDdpm}) {
+    const auto rows = scalability_table(scheme);
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_FALSE(rows[0].formula.empty());
+    EXPECT_GT(rows[0].max_nodes, 0u);
+    EXPECT_GT(rows[1].max_nodes, 0u);
+    EXPECT_FALSE(to_string(scheme).empty());
+  }
+  // DDPM's maxima dwarf the others' (the paper's scalability headline).
+  EXPECT_GT(scalability_table(SchemeKind::kDdpm)[0].max_nodes,
+            scalability_table(SchemeKind::kSimplePpm)[0].max_nodes * 100);
+}
+
+}  // namespace
+}  // namespace ddpm::mark

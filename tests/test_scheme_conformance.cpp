@@ -1,0 +1,99 @@
+// Cross-scheme conformance: behavioral contracts every MarkingScheme must
+// honor, checked over the full scheme x topology matrix.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "marking/factory.hpp"
+#include "marking/walk.hpp"
+#include "routing/router.hpp"
+#include "topology/factory.hpp"
+
+namespace ddpm::mark {
+namespace {
+
+using Param = std::tuple<const char* /*scheme*/, const char* /*topology*/>;
+
+class SchemeConformance : public ::testing::TestWithParam<Param> {
+ protected:
+  void SetUp() override {
+    topo_ = topo::make_topology(std::get<1>(GetParam()));
+    scheme_ = make_scheme(std::get<0>(GetParam()), *topo_, 0.1, 77);
+    ASSERT_NE(scheme_, nullptr);
+  }
+  std::unique_ptr<topo::Topology> topo_;
+  std::unique_ptr<MarkingScheme> scheme_;
+};
+
+TEST_P(SchemeConformance, TouchesOnlyTheMarkingField) {
+  // Marking must never alter addresses, protocol, TTL, payload, or the
+  // evaluation ground truth — only the identification field.
+  netsim::Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    pkt::Packet p;
+    p.header = pkt::IpHeader(0x0a000001, 0x0a000002, pkt::IpProto::kUdp, 99);
+    p.header.set_ttl(37);
+    p.true_source = 3;
+    p.dest_node = 9;
+    p.payload_bytes = 99;
+    p.set_marking_field(std::uint16_t(rng.next_u64()));
+    const auto a = topo::NodeId(rng.next_below(topo_->num_nodes()));
+    const auto neighbors = topo_->neighbors(a);
+    const auto b = neighbors[rng.next_below(neighbors.size())];
+    scheme_->on_injection(p, a);
+    scheme_->on_forward(p, a, b);
+    EXPECT_EQ(p.header.source(), 0x0a000001u);
+    EXPECT_EQ(p.header.destination(), 0x0a000002u);
+    EXPECT_EQ(p.header.ttl(), 37);
+    EXPECT_EQ(p.header.protocol(), pkt::IpProto::kUdp);
+    EXPECT_EQ(p.true_source, 3u);
+    EXPECT_EQ(p.dest_node, 9u);
+    EXPECT_EQ(p.payload_bytes, 99u);
+  }
+}
+
+TEST_P(SchemeConformance, NeverThrowsOnHostileFields) {
+  netsim::Rng rng(2);
+  pkt::Packet p;
+  for (int trial = 0; trial < 2000; ++trial) {
+    p.set_marking_field(std::uint16_t(rng.next_u64()));
+    p.header.set_ttl(std::uint8_t(1 + rng.next_below(255)));
+    const auto a = topo::NodeId(rng.next_below(topo_->num_nodes()));
+    const auto neighbors = topo_->neighbors(a);
+    const auto b = neighbors[rng.next_below(neighbors.size())];
+    EXPECT_NO_THROW(scheme_->on_forward(p, a, b));
+    EXPECT_NO_THROW(scheme_->on_injection(p, a));
+  }
+}
+
+TEST_P(SchemeConformance, DeterministicGivenSameSeedAndInputs) {
+  const auto scheme_b = make_scheme(std::get<0>(GetParam()), *topo_, 0.1, 77);
+  const auto router = route::make_router("dor", *topo_);
+  for (topo::NodeId s = 0; s < topo_->num_nodes(); s += 7) {
+    const topo::NodeId d = (s + topo_->num_nodes() / 2) % topo_->num_nodes();
+    if (s == d) continue;
+    WalkOptions options;
+    options.seed = 5;
+    options.record_path = false;
+    const auto w1 = walk_packet(*topo_, *router, scheme_.get(), s, d, options);
+    const auto w2 = walk_packet(*topo_, *router, scheme_b.get(), s, d, options);
+    ASSERT_TRUE(w1.delivered());
+    EXPECT_EQ(w1.packet.marking_field(), w2.packet.marking_field());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SchemeConformance,
+    ::testing::Combine(::testing::Values("ddpm", "dpm", "ppm-full", "ppm-xor",
+                                         "ppm-bitdiff", "ppm-fragment"),
+                       ::testing::Values("mesh:8x8", "torus:8x8",
+                                         "hypercube:6")));
+
+TEST(SchemeFactory, NoneIsNull) {
+  const auto topo = topo::make_topology("mesh:4x4");
+  EXPECT_EQ(make_scheme("none", *topo), nullptr);
+  EXPECT_THROW(make_scheme("bogus", *topo), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ddpm::mark

@@ -1,0 +1,131 @@
+#include "netsim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ddpm::netsim {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownSequence) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, SingleSampleHasZeroVariance) {
+  RunningStat s;
+  s.add(3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.mean(), 3.5);
+}
+
+TEST(RunningStat, MergeMatchesCombinedStream) {
+  RunningStat a, b, all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmptyIsIdentity) {
+  RunningStat a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_EQ(empty.mean(), mean);
+}
+
+TEST(Histogram, BinsAndBounds) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);  // underflow
+  h.add(0.0);
+  h.add(5.5);
+  h.add(9.999);
+  h.add(10.0);  // overflow (hi-exclusive)
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(5), 1u);
+  EXPECT_EQ(h.bin(9), 1u);
+}
+
+TEST(Histogram, QuantileInterpolates) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(double(i) + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.1), 10.0, 1.5);
+}
+
+TEST(Histogram, ToStringProducesRows) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(double(i % 10));
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+TEST(EwmaRate, ConvergesToSteadyRate) {
+  EwmaRate rate(1000.0);
+  // One event every 10 ticks -> rate 0.1.
+  for (std::uint64_t t = 0; t < 100000; t += 10) rate.observe(t);
+  EXPECT_NEAR(rate.rate(100000), 0.1, 0.02);
+}
+
+TEST(EwmaRate, DecaysAfterTrafficStops) {
+  EwmaRate rate(100.0);
+  for (std::uint64_t t = 0; t < 1000; ++t) rate.observe(t);
+  const double busy = rate.rate(1000);
+  const double later = rate.rate(2000);
+  EXPECT_GT(busy, 0.5);
+  EXPECT_LT(later, busy / 100.0);
+}
+
+TEST(EwmaRate, ZeroBeforeAnyObservation) {
+  const EwmaRate rate(100.0);
+  EXPECT_EQ(rate.rate(500), 0.0);
+}
+
+TEST(Entropy, UniformIsLogN) {
+  std::unordered_map<std::uint32_t, std::uint64_t> counts;
+  for (std::uint32_t i = 0; i < 8; ++i) counts[i] = 100;
+  EXPECT_NEAR(shannon_entropy(counts), 3.0, 1e-12);
+}
+
+TEST(Entropy, SingleSourceIsZero) {
+  std::unordered_map<std::uint32_t, std::uint64_t> counts{{42, 1000}};
+  EXPECT_EQ(shannon_entropy(counts), 0.0);
+}
+
+TEST(Entropy, EmptyIsZero) {
+  std::unordered_map<std::uint32_t, std::uint64_t> counts;
+  EXPECT_EQ(shannon_entropy(counts), 0.0);
+}
+
+}  // namespace
+}  // namespace ddpm::netsim

@@ -1,0 +1,153 @@
+// Adversarial deployments: compromised switches and partial deployment
+// (stress-testing the paper's §4.1 trust assumption and §6.1 future work).
+#include "marking/tamper.hpp"
+
+#include <gtest/gtest.h>
+
+#include "marking/ddpm.hpp"
+#include "marking/walk.hpp"
+#include "routing/router.hpp"
+#include "topology/mesh.hpp"
+
+namespace ddpm::mark {
+namespace {
+
+using topo::Coord;
+
+TEST(Tampering, HonestPathStillIdentifies) {
+  topo::Mesh m({6, 6});
+  TamperingScheme scheme(std::make_unique<DdpmScheme>(m),
+                         {m.id_of(Coord{5, 0})},  // corner off every path used
+                         TamperingScheme::Action::kRandomize);
+  DdpmIdentifier identifier(m);
+  const auto router = route::make_router("dor", m);
+  const auto walk = walk_packet(m, *router, &scheme, 0, 14);
+  ASSERT_TRUE(walk.delivered());
+  EXPECT_EQ(identifier.identify(14, walk.packet.marking_field()), 0u);
+  EXPECT_EQ(scheme.tamper_count(), 0u);
+}
+
+TEST(Tampering, CompromisedSwitchOnPathBreaksIdentification) {
+  topo::Mesh m({6, 6});
+  const auto mid = m.id_of(Coord{3, 0});  // on the XY path 0 -> (5,0)
+  TamperingScheme scheme(std::make_unique<DdpmScheme>(m), {mid},
+                         TamperingScheme::Action::kZero);
+  DdpmIdentifier identifier(m);
+  const auto router = route::make_router("dor", m);
+  const auto dst = m.id_of(Coord{5, 0});
+  const auto walk = walk_packet(m, *router, &scheme, 0, dst);
+  ASSERT_TRUE(walk.delivered());
+  EXPECT_GT(scheme.tamper_count(), 0u);
+  const auto named = identifier.identify(dst, walk.packet.marking_field());
+  // Zeroing at `mid` makes the remaining hops accumulate (dst - mid's
+  // successor...), so the victim names the tamperer's neighborhood, not
+  // the true source.
+  ASSERT_TRUE(named.has_value());
+  EXPECT_NE(*named, 0u);
+}
+
+TEST(Tampering, FrameUpNamesTheConfiguredInnocent) {
+  topo::Mesh m({6, 6});
+  DdpmCodec codec(m);
+  const auto dst = m.id_of(Coord{5, 5});
+  const auto innocent = m.id_of(Coord{0, 5});
+  // Craft the field that, at dst, decodes to the innocent node...
+  const auto frame =
+      codec.encode(m.coord_of(dst) - m.coord_of(innocent));
+  // ...and compromise the destination's last-hop switch.
+  const auto last = m.id_of(Coord{5, 4});
+  TamperingScheme scheme(std::make_unique<DdpmScheme>(m), {last},
+                         TamperingScheme::Action::kFrameUp, frame);
+  DdpmIdentifier identifier(m);
+  const auto router = route::make_router("dor", m);
+  const auto walk = walk_packet(m, *router, &scheme, 0, dst);
+  ASSERT_TRUE(walk.delivered());
+  EXPECT_EQ(identifier.identify(dst, walk.packet.marking_field()), innocent);
+}
+
+TEST(Tampering, RandomizedFieldsOftenDetectablyInvalid) {
+  // Random 16-bit values frequently decode outside the coordinate space;
+  // the victim can at least *detect* (not attribute) such tampering.
+  topo::Mesh m({6, 6});
+  const auto mid = m.id_of(Coord{2, 2});
+  TamperingScheme scheme(std::make_unique<DdpmScheme>(m), {mid},
+                         TamperingScheme::Action::kRandomize);
+  DdpmIdentifier identifier(m);
+  const auto router = route::make_router("dor", m);
+  const auto dst = m.id_of(Coord{2, 5});
+  int invalid = 0, trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    WalkOptions options;
+    options.seed = std::uint64_t(i);
+    options.record_path = false;
+    const auto walk =
+        walk_packet(m, *router, &scheme, m.id_of(Coord{2, 0}), dst, options);
+    ASSERT_TRUE(walk.delivered());
+    if (!identifier.identify(dst, walk.packet.marking_field())) ++invalid;
+  }
+  // 6x6 mesh: the per-dimension slice holds [-8,7] but only 11 deltas are
+  // in range, so most random fields decode out of range.
+  EXPECT_GT(invalid, trials / 2);
+}
+
+TEST(PartialDeployment, FullDeploymentEqualsPlainScheme) {
+  topo::Mesh m({5, 5});
+  std::unordered_set<topo::NodeId> all;
+  for (topo::NodeId n = 0; n < m.num_nodes(); ++n) all.insert(n);
+  PartialDeploymentScheme scheme(std::make_unique<DdpmScheme>(m), all);
+  DdpmIdentifier identifier(m);
+  const auto router = route::make_router("adaptive", m);
+  for (topo::NodeId s = 0; s < m.num_nodes(); s += 3) {
+    const topo::NodeId d = (s + 7) % m.num_nodes();
+    if (s == d) continue;
+    const auto walk = walk_packet(m, *router, &scheme, s, d);
+    ASSERT_TRUE(walk.delivered());
+    EXPECT_EQ(identifier.identify(d, walk.packet.marking_field()), s);
+  }
+}
+
+TEST(PartialDeployment, MissingSwitchSkewsTheVector) {
+  topo::Mesh m({5, 5});
+  std::unordered_set<topo::NodeId> deployed;
+  for (topo::NodeId n = 0; n < m.num_nodes(); ++n) deployed.insert(n);
+  const auto hole = m.id_of(Coord{2, 0});  // un-deployed switch on the path
+  deployed.erase(hole);
+  PartialDeploymentScheme scheme(std::make_unique<DdpmScheme>(m), deployed);
+  DdpmIdentifier identifier(m);
+  const auto router = route::make_router("dor", m);
+  const auto dst = m.id_of(Coord{4, 0});
+  const auto walk = walk_packet(m, *router, &scheme, 0, dst);
+  ASSERT_TRUE(walk.delivered());
+  const auto named = identifier.identify(dst, walk.packet.marking_field());
+  // The hole's hop went unrecorded: V is short by one unit, so the victim
+  // names the true source's neighbor — off by exactly the missing hop.
+  ASSERT_TRUE(named.has_value());
+  EXPECT_EQ(*named, m.id_of(Coord{1, 0}));
+}
+
+TEST(PartialDeployment, UndeployedSourceSwitchLeaksAttackerSeed) {
+  // If the SOURCE's switch is not deployed, nobody zeroes the field at
+  // injection: the attacker's seed survives until the next deployed switch
+  // and shifts attribution — quantified in bench_partial_deployment.
+  topo::Mesh m({5, 5});
+  std::unordered_set<topo::NodeId> deployed;
+  for (topo::NodeId n = 1; n < m.num_nodes(); ++n) deployed.insert(n);
+  PartialDeploymentScheme scheme(std::make_unique<DdpmScheme>(m), deployed);
+  DdpmIdentifier identifier(m);
+  DdpmCodec codec(m);
+  const auto router = route::make_router("dor", m);
+  const auto dst = m.id_of(Coord{0, 4});
+  // Attacker at node (0,0) seeds V = (0,-2). The deployed switches add the
+  // remaining (0,3) of the path (the source switch's (0,1) is missing), so
+  // the victim computes (0,4) - (0,1) = (0,3): attribution lands on an
+  // innocent node two hops away, exactly where the seed pointed it.
+  const auto seed_field = codec.encode(Coord{0, -2});
+  const auto walk = walk_packet(m, *router, &scheme, 0, dst, {}, seed_field);
+  ASSERT_TRUE(walk.delivered());
+  const auto named = identifier.identify(dst, walk.packet.marking_field());
+  ASSERT_TRUE(named.has_value());
+  EXPECT_EQ(*named, m.id_of(Coord{0, 3}));  // deflected to an innocent
+}
+
+}  // namespace
+}  // namespace ddpm::mark

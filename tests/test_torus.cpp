@@ -1,0 +1,94 @@
+#include "topology/torus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/graph.hpp"
+
+namespace ddpm::topo {
+namespace {
+
+TEST(Torus, PaperFigure1bProperties) {
+  // Figure 1(b): a 4-ary 2-cube has degree 2n = 4 and diameter sum(k/2) = 4.
+  Torus t({4, 4});
+  EXPECT_EQ(t.num_nodes(), 16u);
+  EXPECT_EQ(t.degree(), 4);
+  EXPECT_EQ(t.diameter(), 4);
+  EXPECT_EQ(t.spec(), "torus:4x4");
+  EXPECT_EQ(t.kind(), TopologyKind::kTorus);
+}
+
+TEST(Torus, EveryNodeHasFullDegree) {
+  Torus t({4, 5});
+  for (NodeId id = 0; id < t.num_nodes(); ++id) {
+    EXPECT_EQ(t.neighbors(id).size(), 4u);
+  }
+}
+
+TEST(Torus, WraparoundNeighbors) {
+  Torus t({4, 4});
+  const NodeId corner = t.id_of(Coord{0, 0});
+  EXPECT_EQ(t.neighbor(corner, 0), t.id_of(Coord{3, 0}));  // dim0 minus wraps
+  EXPECT_EQ(t.neighbor(corner, 2), t.id_of(Coord{0, 3}));  // dim1 minus wraps
+}
+
+TEST(Torus, PortToHandlesWraparound) {
+  Torus t({4, 4});
+  const NodeId a = t.id_of(Coord{0, 0});
+  const NodeId b = t.id_of(Coord{3, 0});
+  EXPECT_EQ(t.port_to(a, b), 0);  // reach via minus direction
+  EXPECT_EQ(t.port_to(b, a), 1);  // reach via plus direction
+}
+
+TEST(Torus, RingDeltaShortestDirection) {
+  Torus t({8, 8});
+  EXPECT_EQ(t.ring_delta(0, 3, 0), 3);
+  EXPECT_EQ(t.ring_delta(0, 5, 0), -3);   // shorter the other way
+  EXPECT_EQ(t.ring_delta(7, 0, 0), 1);    // wrap forward
+  EXPECT_EQ(t.ring_delta(0, 4, 0), 4);    // tie resolves positive
+  EXPECT_EQ(t.ring_delta(2, 2, 0), 0);
+}
+
+TEST(Torus, MinHopsMatchesBfs) {
+  Torus t({4, 5});
+  for (NodeId a = 0; a < t.num_nodes(); ++a) {
+    const auto dist = bfs_distances(t, a);
+    for (NodeId b = 0; b < t.num_nodes(); ++b) {
+      EXPECT_EQ(t.min_hops(a, b), dist[b]) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Torus, DiameterMatchesBfsEccentricity) {
+  Torus t({5, 6});
+  int worst = 0;
+  const auto dist = bfs_distances(t, 0);
+  for (int d : dist) worst = std::max(worst, d);
+  // Vertex-transitive: eccentricity of node 0 is the diameter.
+  EXPECT_EQ(t.diameter(), worst);
+}
+
+TEST(Torus, OddRadixDiameter) {
+  Torus t({5, 5});
+  EXPECT_EQ(t.diameter(), 4);  // floor(5/2) per dimension
+}
+
+TEST(Torus, MinimumRadixIsThree) {
+  EXPECT_THROW(Torus({2, 4}), std::invalid_argument);
+  EXPECT_NO_THROW(Torus({3, 3}));
+}
+
+TEST(Torus, LinksCountIsNTimesDims) {
+  // Every node owns one positive link per dimension: N*n undirected links.
+  Torus t({4, 4});
+  EXPECT_EQ(t.links().size(), std::size_t(16 * 2));
+}
+
+TEST(Torus, ThreeDimensional) {
+  Torus t({4, 4, 4});
+  EXPECT_EQ(t.num_nodes(), 64u);
+  EXPECT_EQ(t.degree(), 6);
+  EXPECT_EQ(t.diameter(), 6);
+}
+
+}  // namespace
+}  // namespace ddpm::topo

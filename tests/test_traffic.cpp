@@ -1,0 +1,107 @@
+#include "attack/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "topology/factory.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh.hpp"
+
+namespace ddpm::attack {
+namespace {
+
+using topo::Coord;
+
+TEST(Uniform, NeverPicksSelfAndCoversAll) {
+  topo::Mesh m({4, 4});
+  UniformPattern pattern(m);
+  netsim::Rng rng(1);
+  std::map<NodeId, int> counts;
+  for (int i = 0; i < 30000; ++i) {
+    const NodeId d = pattern.pick_dest(5, rng);
+    EXPECT_NE(d, 5u);
+    ++counts[d];
+  }
+  EXPECT_EQ(counts.size(), 15u);
+  for (const auto& [node, c] : counts) {
+    EXPECT_NEAR(double(c), 2000.0, 300.0);
+  }
+}
+
+TEST(Transpose, ReversesCoordinates) {
+  topo::Mesh m({4, 4});
+  TransposePattern pattern(m);
+  netsim::Rng rng(2);
+  EXPECT_EQ(pattern.pick_dest(m.id_of(Coord{1, 3}), rng), m.id_of(Coord{3, 1}));
+  EXPECT_EQ(pattern.pick_dest(m.id_of(Coord{0, 2}), rng), m.id_of(Coord{2, 0}));
+}
+
+TEST(Transpose, DiagonalFallsBackToUniform) {
+  topo::Mesh m({4, 4});
+  TransposePattern pattern(m);
+  netsim::Rng rng(3);
+  const NodeId diag = m.id_of(Coord{2, 2});
+  for (int i = 0; i < 100; ++i) EXPECT_NE(pattern.pick_dest(diag, rng), diag);
+}
+
+TEST(Transpose, RequiresEqualDims) {
+  topo::Mesh uneven({4, 8});
+  EXPECT_THROW(TransposePattern{uneven}, std::invalid_argument);
+}
+
+TEST(Complement, MirrorsEachDimension) {
+  topo::Mesh m({4, 4});
+  ComplementPattern pattern(m);
+  netsim::Rng rng(4);
+  EXPECT_EQ(pattern.pick_dest(m.id_of(Coord{0, 0}), rng), m.id_of(Coord{3, 3}));
+  EXPECT_EQ(pattern.pick_dest(m.id_of(Coord{1, 2}), rng), m.id_of(Coord{2, 1}));
+}
+
+TEST(Complement, IsBitComplementOnHypercube) {
+  topo::Hypercube h(4);
+  ComplementPattern pattern(h);
+  netsim::Rng rng(5);
+  EXPECT_EQ(pattern.pick_dest(0b0101, rng), 0b1010u);
+  EXPECT_EQ(pattern.pick_dest(0b0000, rng), 0b1111u);
+}
+
+TEST(BitReverse, ReversesFlatIdBits) {
+  topo::Hypercube h(4);  // 16 nodes, 4 bits
+  BitReversePattern pattern(h);
+  netsim::Rng rng(6);
+  EXPECT_EQ(pattern.pick_dest(0b0001, rng), 0b1000u);
+  EXPECT_EQ(pattern.pick_dest(0b0011, rng), 0b1100u);
+}
+
+TEST(Hotspot, FractionToHotspot) {
+  topo::Mesh m({4, 4});
+  HotspotPattern pattern(m, 7, 0.3);
+  netsim::Rng rng(7);
+  int to_hotspot = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    to_hotspot += (pattern.pick_dest(0, rng) == 7u);
+  }
+  // 30% direct + uniform residue landing on node 7 occasionally.
+  EXPECT_NEAR(double(to_hotspot) / kTrials, 0.3 + 0.7 / 15.0, 0.02);
+}
+
+TEST(Hotspot, HotspotItselfSendsUniform) {
+  topo::Mesh m({4, 4});
+  HotspotPattern pattern(m, 7, 1.0);
+  netsim::Rng rng(8);
+  for (int i = 0; i < 100; ++i) EXPECT_NE(pattern.pick_dest(7, rng), 7u);
+}
+
+TEST(PatternFactory, BuildsAllAndRejectsUnknown) {
+  topo::Mesh m({4, 4});
+  for (const char* name :
+       {"uniform", "transpose", "complement", "bit-reverse", "hotspot"}) {
+    EXPECT_NE(make_pattern(name, m), nullptr) << name;
+  }
+  EXPECT_THROW(make_pattern("zipf", m), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ddpm::attack

@@ -1,0 +1,180 @@
+#include "routing/turn_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "marking/walk.hpp"
+#include "topology/mesh.hpp"
+
+namespace ddpm::route {
+namespace {
+
+using mark::walk_packet;
+using mark::WalkOutcome;
+using topo::Coord;
+
+class TurnModelFixture : public ::testing::Test {
+ protected:
+  topo::Mesh mesh_{{4, 4}};
+};
+
+TEST_F(TurnModelFixture, RequiresTwoDMesh) {
+  topo::Mesh mesh3d({3, 3, 3});
+  EXPECT_THROW(TurnModelRouter(mesh3d, TurnModel::kWestFirst),
+               std::invalid_argument);
+  topo::Mesh mesh1d({8});
+  EXPECT_THROW(TurnModelRouter(mesh1d, TurnModel::kNorthLast),
+               std::invalid_argument);
+}
+
+TEST_F(TurnModelFixture, WestFirstGoesWestExclusivelyWhileNeeded) {
+  TurnModelRouter router(mesh_, TurnModel::kWestFirst);
+  // From (3,0) to (0,3): dx = -3, so only west until x matches.
+  const auto from = mesh_.id_of(Coord{3, 0});
+  const auto cand = router.candidates(from, mesh_.id_of(Coord{0, 3}), kLocalPort);
+  EXPECT_EQ(cand, (std::vector<Port>{TurnModelRouter::kWest}));
+  // And no fallback whatsoever while westbound.
+  EXPECT_TRUE(router
+                  .fallback_candidates(from, mesh_.id_of(Coord{0, 3}),
+                                       kLocalPort)
+                  .empty());
+}
+
+TEST_F(TurnModelFixture, WestFirstAdaptiveAfterWestDone) {
+  TurnModelRouter router(mesh_, TurnModel::kWestFirst);
+  // From (0,0) to (2,2): dx > 0, dy > 0 -> east and south both offered.
+  const auto cand = router.candidates(mesh_.id_of(Coord{0, 0}),
+                                      mesh_.id_of(Coord{2, 2}), kLocalPort);
+  EXPECT_EQ(cand.size(), 2u);
+  EXPECT_NE(std::find(cand.begin(), cand.end(), TurnModelRouter::kEast),
+            cand.end());
+  EXPECT_NE(std::find(cand.begin(), cand.end(), TurnModelRouter::kSouth),
+            cand.end());
+}
+
+TEST_F(TurnModelFixture, WestFirstNeverTurnsIntoWestAfterOtherDirection) {
+  // Exhaustive: from any state with dx >= 0, west is never a candidate and
+  // never a fallback (the prohibited N->W / S->W turns can thus never
+  // happen, whatever the link state).
+  TurnModelRouter router(mesh_, TurnModel::kWestFirst);
+  for (topo::NodeId cur = 0; cur < mesh_.num_nodes(); ++cur) {
+    for (topo::NodeId dst = 0; dst < mesh_.num_nodes(); ++dst) {
+      if (cur == dst) continue;
+      if (mesh_.coord_of(dst)[0] < mesh_.coord_of(cur)[0]) continue;  // dx<0
+      for (Port arrived : {kLocalPort, 0, 1, 2, 3}) {
+        for (Port p : router.candidates(cur, dst, arrived)) {
+          EXPECT_NE(p, TurnModelRouter::kWest);
+        }
+        for (Port p : router.fallback_candidates(cur, dst, arrived)) {
+          EXPECT_NE(p, TurnModelRouter::kWest);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(TurnModelFixture, Figure2bWestFirstSurvivesFailedEastLinks) {
+  // Figure 2(b): east links out of the sources fail; XY cannot route, but
+  // west-first detours north/south first and then heads east.
+  TurnModelRouter router(mesh_, TurnModel::kWestFirst);
+  topo::LinkFailureSet failures;
+  const auto s1 = mesh_.id_of(Coord{0, 1});
+  const auto s2 = mesh_.id_of(Coord{0, 2});
+  const auto d = mesh_.id_of(Coord{3, 1});
+  failures.fail(s1, mesh_.id_of(Coord{1, 1}));
+  failures.fail(s2, mesh_.id_of(Coord{1, 2}));
+  mark::WalkOptions options;
+  options.failures = &failures;
+  for (auto src : {s1, s2}) {
+    const auto walk = walk_packet(mesh_, router, nullptr, src, d, options);
+    EXPECT_TRUE(walk.delivered()) << "src " << src;
+  }
+}
+
+TEST_F(TurnModelFixture, Figure2cWestFirstCannotTurnWestAtTheEnd) {
+  // Figure 2(c): every surviving route reaches D from its east neighbor,
+  // i.e. requires a final westward turn, which west-first prohibits.
+  TurnModelRouter router(mesh_, TurnModel::kWestFirst);
+  topo::LinkFailureSet failures;
+  const auto d = mesh_.id_of(Coord{2, 1});
+  failures.fail(d, mesh_.id_of(Coord{1, 1}));  // west approach
+  failures.fail(d, mesh_.id_of(Coord{2, 0}));  // north approach
+  failures.fail(d, mesh_.id_of(Coord{2, 2}));  // south approach
+  mark::WalkOptions options;
+  options.failures = &failures;
+  options.initial_ttl = 64;
+  const auto src = mesh_.id_of(Coord{0, 1});
+  const auto walk = walk_packet(mesh_, router, nullptr, src, d, options);
+  EXPECT_NE(walk.outcome, WalkOutcome::kDelivered);
+}
+
+TEST_F(TurnModelFixture, NorthLastCommitsOnceHeadingNorth) {
+  TurnModelRouter router(mesh_, TurnModel::kNorthLast);
+  // Arrived through the south port => heading north => must continue north.
+  const auto cur = mesh_.id_of(Coord{1, 1});
+  const auto dst = mesh_.id_of(Coord{3, 0});
+  const auto cand = router.candidates(cur, dst, TurnModelRouter::kSouth);
+  EXPECT_EQ(cand, (std::vector<Port>{TurnModelRouter::kNorth}));
+  EXPECT_TRUE(
+      router.fallback_candidates(cur, dst, TurnModelRouter::kSouth).empty());
+}
+
+TEST_F(TurnModelFixture, NorthLastDelaysNorthUntilXDone) {
+  TurnModelRouter router(mesh_, TurnModel::kNorthLast);
+  // dx != 0 and dy < 0: north must not be offered yet.
+  const auto cand = router.candidates(mesh_.id_of(Coord{0, 2}),
+                                      mesh_.id_of(Coord{2, 0}), kLocalPort);
+  EXPECT_EQ(cand, (std::vector<Port>{TurnModelRouter::kEast}));
+  // Once aligned in x, north is the only productive direction.
+  const auto cand2 = router.candidates(mesh_.id_of(Coord{2, 2}),
+                                       mesh_.id_of(Coord{2, 0}), kLocalPort);
+  EXPECT_EQ(cand2, (std::vector<Port>{TurnModelRouter::kNorth}));
+}
+
+TEST_F(TurnModelFixture, NegativeFirstPhases) {
+  TurnModelRouter router(mesh_, TurnModel::kNegativeFirst);
+  // Negative phase: west and north adaptively.
+  const auto cand = router.candidates(mesh_.id_of(Coord{2, 2}),
+                                      mesh_.id_of(Coord{0, 0}), kLocalPort);
+  EXPECT_EQ(cand.size(), 2u);
+  // Positive phase: east/south only; no fallback exists.
+  const auto cand2 = router.candidates(mesh_.id_of(Coord{0, 0}),
+                                       mesh_.id_of(Coord{2, 2}), kLocalPort);
+  EXPECT_EQ(cand2.size(), 2u);
+  EXPECT_TRUE(router
+                  .fallback_candidates(mesh_.id_of(Coord{0, 0}),
+                                       mesh_.id_of(Coord{2, 2}), kLocalPort)
+                  .empty());
+  // Mixed deltas (dx>0, dy<0): north (negative) first.
+  const auto cand3 = router.candidates(mesh_.id_of(Coord{0, 2}),
+                                       mesh_.id_of(Coord{2, 0}), kLocalPort);
+  EXPECT_EQ(cand3, (std::vector<Port>{TurnModelRouter::kNorth}));
+}
+
+class TurnModelDelivery
+    : public ::testing::TestWithParam<TurnModel> {};
+
+TEST_P(TurnModelDelivery, DeliversMinimallyOnHealthyMesh) {
+  topo::Mesh mesh({5, 5});
+  TurnModelRouter router(mesh, GetParam());
+  EXPECT_FALSE(router.is_deterministic());
+  for (topo::NodeId s = 0; s < mesh.num_nodes(); ++s) {
+    for (topo::NodeId d = 0; d < mesh.num_nodes(); ++d) {
+      if (s == d) continue;
+      mark::WalkOptions options;
+      options.seed = s * 100 + d;
+      const auto walk = walk_packet(mesh, router, nullptr, s, d, options);
+      ASSERT_TRUE(walk.delivered()) << to_string(GetParam());
+      EXPECT_EQ(walk.hops, mesh.min_hops(s, d)) << to_string(GetParam());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, TurnModelDelivery,
+                         ::testing::Values(TurnModel::kWestFirst,
+                                           TurnModel::kNorthLast,
+                                           TurnModel::kNegativeFirst));
+
+}  // namespace
+}  // namespace ddpm::route

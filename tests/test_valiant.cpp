@@ -1,0 +1,124 @@
+#include "routing/valiant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "marking/ddpm.hpp"
+#include "marking/walk.hpp"
+#include "topology/factory.hpp"
+
+namespace ddpm::route {
+namespace {
+
+TEST(Valiant, DeliversEverywhereOnAllTopologies) {
+  for (const char* spec : {"mesh:6x6", "torus:5x5", "hypercube:5"}) {
+    const auto topo = topo::make_topology(spec);
+    ValiantRouter router(*topo, /*salt=*/7);
+    for (topo::NodeId s = 0; s < topo->num_nodes(); s += 3) {
+      for (topo::NodeId d = 0; d < topo->num_nodes(); ++d) {
+        if (s == d) continue;
+        mark::WalkOptions options;
+        options.seed = s * 31 + d;
+        options.initial_ttl = 255;
+        const auto walk =
+            mark::walk_packet(*topo, router, nullptr, s, d, options);
+        ASSERT_TRUE(walk.delivered()) << spec << " " << s << "->" << d;
+        // Two minimal phases: never longer than via the intermediate.
+        const auto mid = router.intermediate_for(d);
+        EXPECT_LE(walk.hops,
+                  topo->min_hops(s, mid) + topo->min_hops(mid, d));
+      }
+    }
+  }
+}
+
+TEST(Valiant, PathsVisitTheIntermediateOrShortcut) {
+  const auto topo = topo::make_topology("mesh:8x8");
+  ValiantRouter router(*topo, 3);
+  netsim::Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto s = topo::NodeId(rng.next_below(topo->num_nodes()));
+    auto d = topo::NodeId(rng.next_below(topo->num_nodes()));
+    if (d == s) d = (d + 1) % topo->num_nodes();
+    const auto mid = router.intermediate_for(d);
+    mark::WalkOptions options;
+    options.seed = rng.next_u64();
+    const auto walk = mark::walk_packet(*topo, router, nullptr, s, d, options);
+    ASSERT_TRUE(walk.delivered());
+    const bool visited_mid =
+        std::find(walk.path.begin(), walk.path.end(), mid) != walk.path.end();
+    if (!visited_mid) {
+      // Shortcut rule fired: some visited node was strictly closer to the
+      // destination than the intermediate is.
+      bool crossed = false;
+      for (auto n : walk.path) {
+        crossed = crossed || topo->min_hops(n, d) < topo->min_hops(mid, d);
+      }
+      EXPECT_TRUE(crossed);
+    }
+  }
+}
+
+TEST(Valiant, ProducesNonMinimalPaths) {
+  const auto topo = topo::make_topology("mesh:8x8");
+  ValiantRouter router(*topo, 11);
+  int longer = 0, total = 0;
+  for (topo::NodeId s = 0; s < topo->num_nodes(); s += 5) {
+    for (topo::NodeId d = 0; d < topo->num_nodes(); d += 3) {
+      if (s == d) continue;
+      mark::WalkOptions options;
+      options.seed = s + d;
+      const auto walk = mark::walk_packet(*topo, router, nullptr, s, d, options);
+      ASSERT_TRUE(walk.delivered());
+      ++total;
+      longer += (walk.hops > topo->min_hops(s, d));
+    }
+  }
+  // The shortcut rule skips the detour whenever the source is already
+  // closer to the destination than the intermediate, so 'longer' covers a
+  // minority-but-substantial share of pairs.
+  EXPECT_GT(longer, total / 8);
+}
+
+TEST(Valiant, SaltChangesDetours) {
+  const auto topo = topo::make_topology("mesh:8x8");
+  ValiantRouter a(*topo, 1), b(*topo, 2);
+  int different = 0;
+  for (topo::NodeId d = 0; d < topo->num_nodes(); ++d) {
+    different += (a.intermediate_for(d) != b.intermediate_for(d));
+  }
+  EXPECT_GT(different, 32);
+}
+
+TEST(Valiant, DdpmSurvivesValiantDetours) {
+  // The invariant under the most aggressive legal rerouting: identify the
+  // true source despite mandatory non-minimal detours.
+  for (const char* spec : {"mesh:8x8", "torus:6x6", "hypercube:6"}) {
+    const auto topo = topo::make_topology(spec);
+    mark::DdpmScheme scheme(*topo);
+    mark::DdpmIdentifier identifier(*topo);
+    netsim::Rng rng(17);
+    for (int trial = 0; trial < 300; ++trial) {
+      ValiantRouter router(*topo, rng.next_u64());  // per-packet detour
+      const auto s = topo::NodeId(rng.next_below(topo->num_nodes()));
+      auto d = topo::NodeId(rng.next_below(topo->num_nodes()));
+      if (d == s) d = (d + 1) % topo->num_nodes();
+      mark::WalkOptions options;
+      options.seed = rng.next_u64();
+      options.initial_ttl = 255;
+      options.record_path = false;
+      const auto walk = mark::walk_packet(*topo, router, &scheme, s, d, options);
+      ASSERT_TRUE(walk.delivered()) << spec;
+      EXPECT_EQ(identifier.identify(d, walk.packet.marking_field()), s) << spec;
+    }
+  }
+}
+
+TEST(Valiant, FactoryBuildsIt) {
+  const auto topo = topo::make_topology("mesh:4x4");
+  EXPECT_EQ(make_router("valiant", *topo)->name(), "valiant");
+}
+
+}  // namespace
+}  // namespace ddpm::route

@@ -1,0 +1,77 @@
+#include "marking/walk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/router.hpp"
+#include "topology/mesh.hpp"
+
+namespace ddpm::mark {
+namespace {
+
+using topo::Coord;
+
+TEST(Walk, RecordsFullPath) {
+  topo::Mesh m({4, 4});
+  const auto router = route::make_router("dor", m);
+  const auto walk = walk_packet(m, *router, nullptr, 0, 15);
+  ASSERT_TRUE(walk.delivered());
+  EXPECT_EQ(walk.path.front(), 0u);
+  EXPECT_EQ(walk.path.back(), 15u);
+  EXPECT_EQ(int(walk.path.size()) - 1, walk.hops);
+  EXPECT_EQ(walk.packet.hops, std::uint32_t(walk.hops));
+}
+
+TEST(Walk, PathRecordingCanBeDisabled) {
+  topo::Mesh m({4, 4});
+  const auto router = route::make_router("dor", m);
+  WalkOptions options;
+  options.record_path = false;
+  const auto walk = walk_packet(m, *router, nullptr, 0, 15, options);
+  EXPECT_TRUE(walk.delivered());
+  EXPECT_TRUE(walk.path.empty());
+}
+
+TEST(Walk, SourceEqualsDestinationIsZeroHopDelivery) {
+  topo::Mesh m({4, 4});
+  const auto router = route::make_router("dor", m);
+  const auto walk = walk_packet(m, *router, nullptr, 6, 6);
+  EXPECT_TRUE(walk.delivered());
+  EXPECT_EQ(walk.hops, 0);
+}
+
+TEST(Walk, TtlExpiryKillsPacket) {
+  topo::Mesh m({8, 8});
+  const auto router = route::make_router("dor", m);
+  WalkOptions options;
+  options.initial_ttl = 3;  // path needs 14 hops
+  const auto walk = walk_packet(m, *router, nullptr, 0, 63, options);
+  EXPECT_EQ(walk.outcome, WalkOutcome::kTtlExpired);
+  EXPECT_EQ(walk.hops, 2);  // two successful hops, third decrement hits 0
+}
+
+TEST(Walk, TtlDecrementsPerHop) {
+  topo::Mesh m({8, 8});
+  const auto router = route::make_router("dor", m);
+  const auto walk = walk_packet(m, *router, nullptr, 0, 7);  // 7 hops
+  ASSERT_TRUE(walk.delivered());
+  EXPECT_EQ(walk.packet.header.ttl(), 64 - 7);
+}
+
+TEST(Walk, SeededMarkingFieldSurvivesWithoutScheme) {
+  topo::Mesh m({4, 4});
+  const auto router = route::make_router("dor", m);
+  const auto walk = walk_packet(m, *router, nullptr, 0, 3, {}, 0xabcd);
+  ASSERT_TRUE(walk.delivered());
+  EXPECT_EQ(walk.packet.marking_field(), 0xabcd);
+}
+
+TEST(Walk, GroundTruthFieldsSet) {
+  topo::Mesh m({4, 4});
+  const auto router = route::make_router("adaptive", m);
+  const auto walk = walk_packet(m, *router, nullptr, 2, 13);
+  EXPECT_EQ(walk.packet.true_source, 2u);
+  EXPECT_EQ(walk.packet.dest_node, 13u);
+}
+
+}  // namespace
+}  // namespace ddpm::mark
