@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_authenticated.dir/bench_authenticated.cpp.o"
+  "CMakeFiles/bench_authenticated.dir/bench_authenticated.cpp.o.d"
+  "bench_authenticated"
+  "bench_authenticated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_authenticated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

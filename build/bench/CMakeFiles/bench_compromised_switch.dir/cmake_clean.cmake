@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compromised_switch.dir/bench_compromised_switch.cpp.o"
+  "CMakeFiles/bench_compromised_switch.dir/bench_compromised_switch.cpp.o.d"
+  "bench_compromised_switch"
+  "bench_compromised_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compromised_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

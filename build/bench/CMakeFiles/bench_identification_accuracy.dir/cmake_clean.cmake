@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_identification_accuracy.dir/bench_identification_accuracy.cpp.o"
+  "CMakeFiles/bench_identification_accuracy.dir/bench_identification_accuracy.cpp.o.d"
+  "bench_identification_accuracy"
+  "bench_identification_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_identification_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ingress_filtering.dir/bench_ingress_filtering.cpp.o"
+  "CMakeFiles/bench_ingress_filtering.dir/bench_ingress_filtering.cpp.o.d"
+  "bench_ingress_filtering"
+  "bench_ingress_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ingress_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

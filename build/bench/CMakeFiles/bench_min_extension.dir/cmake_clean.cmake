@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_min_extension.dir/bench_min_extension.cpp.o"
+  "CMakeFiles/bench_min_extension.dir/bench_min_extension.cpp.o.d"
+  "bench_min_extension"
+  "bench_min_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_min_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

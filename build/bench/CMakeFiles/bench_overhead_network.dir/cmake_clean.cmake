@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overhead_network.dir/bench_overhead_network.cpp.o"
+  "CMakeFiles/bench_overhead_network.dir/bench_overhead_network.cpp.o.d"
+  "bench_overhead_network"
+  "bench_overhead_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

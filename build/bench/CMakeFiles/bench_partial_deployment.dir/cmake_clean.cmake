@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partial_deployment.dir/bench_partial_deployment.cpp.o"
+  "CMakeFiles/bench_partial_deployment.dir/bench_partial_deployment.cpp.o.d"
+  "bench_partial_deployment"
+  "bench_partial_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partial_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

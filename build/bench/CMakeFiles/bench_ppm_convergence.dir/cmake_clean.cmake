@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ppm_convergence.dir/bench_ppm_convergence.cpp.o"
+  "CMakeFiles/bench_ppm_convergence.dir/bench_ppm_convergence.cpp.o.d"
+  "bench_ppm_convergence"
+  "bench_ppm_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ppm_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

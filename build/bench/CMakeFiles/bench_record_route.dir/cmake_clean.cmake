@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_record_route.dir/bench_record_route.cpp.o"
+  "CMakeFiles/bench_record_route.dir/bench_record_route.cpp.o.d"
+  "bench_record_route"
+  "bench_record_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_record_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

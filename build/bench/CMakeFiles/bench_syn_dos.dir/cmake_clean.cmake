@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_syn_dos.dir/bench_syn_dos.cpp.o"
+  "CMakeFiles/bench_syn_dos.dir/bench_syn_dos.cpp.o.d"
+  "bench_syn_dos"
+  "bench_syn_dos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_syn_dos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

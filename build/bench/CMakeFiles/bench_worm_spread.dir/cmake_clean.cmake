@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_worm_spread.dir/bench_worm_spread.cpp.o"
+  "CMakeFiles/bench_worm_spread.dir/bench_worm_spread.cpp.o.d"
+  "bench_worm_spread"
+  "bench_worm_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_worm_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wormhole_loadlatency.dir/bench_wormhole_loadlatency.cpp.o"
+  "CMakeFiles/bench_wormhole_loadlatency.dir/bench_wormhole_loadlatency.cpp.o.d"
+  "bench_wormhole_loadlatency"
+  "bench_wormhole_loadlatency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wormhole_loadlatency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_routing_tour.dir/adaptive_routing_tour.cpp.o"
+  "CMakeFiles/adaptive_routing_tour.dir/adaptive_routing_tour.cpp.o.d"
+  "adaptive_routing_tour"
+  "adaptive_routing_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_routing_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beyond_direct_networks.dir/beyond_direct_networks.cpp.o"
+  "CMakeFiles/beyond_direct_networks.dir/beyond_direct_networks.cpp.o.d"
+  "beyond_direct_networks"
+  "beyond_direct_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beyond_direct_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

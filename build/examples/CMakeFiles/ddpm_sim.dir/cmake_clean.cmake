@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddpm_sim.dir/ddpm_sim.cpp.o"
+  "CMakeFiles/ddpm_sim.dir/ddpm_sim.cpp.o.d"
+  "ddpm_sim"
+  "ddpm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddpm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitigation_pipeline.dir/mitigation_pipeline.cpp.o"
+  "CMakeFiles/mitigation_pipeline.dir/mitigation_pipeline.cpp.o.d"
+  "mitigation_pipeline"
+  "mitigation_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitigation_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

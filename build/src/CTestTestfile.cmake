@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("netsim")
+subdirs("topology")
+subdirs("packet")
+subdirs("routing")
+subdirs("marking")
+subdirs("indirect")
+subdirs("irregular")
+subdirs("hybrid")
+subdirs("wormhole")
+subdirs("attack")
+subdirs("detect")
+subdirs("cluster")
+subdirs("transport")
+subdirs("trace")
+subdirs("analysis")
+subdirs("core")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddpm_analysis.dir/attack_graph.cpp.o"
+  "CMakeFiles/ddpm_analysis.dir/attack_graph.cpp.o.d"
+  "libddpm_analysis.a"
+  "libddpm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddpm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/attacker.cpp" "src/attack/CMakeFiles/ddpm_attack.dir/attacker.cpp.o" "gcc" "src/attack/CMakeFiles/ddpm_attack.dir/attacker.cpp.o.d"
+  "/root/repo/src/attack/spoof.cpp" "src/attack/CMakeFiles/ddpm_attack.dir/spoof.cpp.o" "gcc" "src/attack/CMakeFiles/ddpm_attack.dir/spoof.cpp.o.d"
+  "/root/repo/src/attack/traffic.cpp" "src/attack/CMakeFiles/ddpm_attack.dir/traffic.cpp.o" "gcc" "src/attack/CMakeFiles/ddpm_attack.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/packet/CMakeFiles/ddpm_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ddpm_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ddpm_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

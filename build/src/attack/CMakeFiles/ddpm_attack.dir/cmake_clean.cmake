@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddpm_attack.dir/attacker.cpp.o"
+  "CMakeFiles/ddpm_attack.dir/attacker.cpp.o.d"
+  "CMakeFiles/ddpm_attack.dir/spoof.cpp.o"
+  "CMakeFiles/ddpm_attack.dir/spoof.cpp.o.d"
+  "CMakeFiles/ddpm_attack.dir/traffic.cpp.o"
+  "CMakeFiles/ddpm_attack.dir/traffic.cpp.o.d"
+  "libddpm_attack.a"
+  "libddpm_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddpm_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

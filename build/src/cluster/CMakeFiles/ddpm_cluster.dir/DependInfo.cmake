@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/metrics.cpp" "src/cluster/CMakeFiles/ddpm_cluster.dir/metrics.cpp.o" "gcc" "src/cluster/CMakeFiles/ddpm_cluster.dir/metrics.cpp.o.d"
+  "/root/repo/src/cluster/network.cpp" "src/cluster/CMakeFiles/ddpm_cluster.dir/network.cpp.o" "gcc" "src/cluster/CMakeFiles/ddpm_cluster.dir/network.cpp.o.d"
+  "/root/repo/src/cluster/node.cpp" "src/cluster/CMakeFiles/ddpm_cluster.dir/node.cpp.o" "gcc" "src/cluster/CMakeFiles/ddpm_cluster.dir/node.cpp.o.d"
+  "/root/repo/src/cluster/switch.cpp" "src/cluster/CMakeFiles/ddpm_cluster.dir/switch.cpp.o" "gcc" "src/cluster/CMakeFiles/ddpm_cluster.dir/switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/marking/CMakeFiles/ddpm_marking.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/ddpm_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/ddpm_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/ddpm_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/ddpm_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ddpm_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ddpm_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

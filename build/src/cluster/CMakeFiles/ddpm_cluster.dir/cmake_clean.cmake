@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddpm_cluster.dir/metrics.cpp.o"
+  "CMakeFiles/ddpm_cluster.dir/metrics.cpp.o.d"
+  "CMakeFiles/ddpm_cluster.dir/network.cpp.o"
+  "CMakeFiles/ddpm_cluster.dir/network.cpp.o.d"
+  "CMakeFiles/ddpm_cluster.dir/node.cpp.o"
+  "CMakeFiles/ddpm_cluster.dir/node.cpp.o.d"
+  "CMakeFiles/ddpm_cluster.dir/switch.cpp.o"
+  "CMakeFiles/ddpm_cluster.dir/switch.cpp.o.d"
+  "libddpm_cluster.a"
+  "libddpm_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddpm_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

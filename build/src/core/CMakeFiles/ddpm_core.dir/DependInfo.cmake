@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/ddpm_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/ddpm_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/report_json.cpp" "src/core/CMakeFiles/ddpm_core.dir/report_json.cpp.o" "gcc" "src/core/CMakeFiles/ddpm_core.dir/report_json.cpp.o.d"
+  "/root/repo/src/core/sis.cpp" "src/core/CMakeFiles/ddpm_core.dir/sis.cpp.o" "gcc" "src/core/CMakeFiles/ddpm_core.dir/sis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/ddpm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/ddpm_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/marking/CMakeFiles/ddpm_marking.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/ddpm_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/ddpm_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/ddpm_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ddpm_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ddpm_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

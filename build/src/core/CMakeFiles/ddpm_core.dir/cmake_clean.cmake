@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddpm_core.dir/experiment.cpp.o"
+  "CMakeFiles/ddpm_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/ddpm_core.dir/report_json.cpp.o"
+  "CMakeFiles/ddpm_core.dir/report_json.cpp.o.d"
+  "CMakeFiles/ddpm_core.dir/sis.cpp.o"
+  "CMakeFiles/ddpm_core.dir/sis.cpp.o.d"
+  "libddpm_core.a"
+  "libddpm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddpm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddpm_detect.dir/detector.cpp.o"
+  "CMakeFiles/ddpm_detect.dir/detector.cpp.o.d"
+  "libddpm_detect.a"
+  "libddpm_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddpm_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddpm_hybrid.dir/hybrid.cpp.o"
+  "CMakeFiles/ddpm_hybrid.dir/hybrid.cpp.o.d"
+  "libddpm_hybrid.a"
+  "libddpm_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddpm_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

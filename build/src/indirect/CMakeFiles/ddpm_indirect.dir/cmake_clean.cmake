@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddpm_indirect.dir/butterfly.cpp.o"
+  "CMakeFiles/ddpm_indirect.dir/butterfly.cpp.o.d"
+  "CMakeFiles/ddpm_indirect.dir/port_stamp.cpp.o"
+  "CMakeFiles/ddpm_indirect.dir/port_stamp.cpp.o.d"
+  "libddpm_indirect.a"
+  "libddpm_indirect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddpm_indirect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

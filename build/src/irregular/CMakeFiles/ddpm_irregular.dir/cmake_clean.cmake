@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddpm_irregular.dir/irregular.cpp.o"
+  "CMakeFiles/ddpm_irregular.dir/irregular.cpp.o.d"
+  "libddpm_irregular.a"
+  "libddpm_irregular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddpm_irregular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libddpm_irregular.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/marking/authenticated.cpp" "src/marking/CMakeFiles/ddpm_marking.dir/authenticated.cpp.o" "gcc" "src/marking/CMakeFiles/ddpm_marking.dir/authenticated.cpp.o.d"
+  "/root/repo/src/marking/ddpm.cpp" "src/marking/CMakeFiles/ddpm_marking.dir/ddpm.cpp.o" "gcc" "src/marking/CMakeFiles/ddpm_marking.dir/ddpm.cpp.o.d"
+  "/root/repo/src/marking/dpm.cpp" "src/marking/CMakeFiles/ddpm_marking.dir/dpm.cpp.o" "gcc" "src/marking/CMakeFiles/ddpm_marking.dir/dpm.cpp.o.d"
+  "/root/repo/src/marking/factory.cpp" "src/marking/CMakeFiles/ddpm_marking.dir/factory.cpp.o" "gcc" "src/marking/CMakeFiles/ddpm_marking.dir/factory.cpp.o.d"
+  "/root/repo/src/marking/ppm.cpp" "src/marking/CMakeFiles/ddpm_marking.dir/ppm.cpp.o" "gcc" "src/marking/CMakeFiles/ddpm_marking.dir/ppm.cpp.o.d"
+  "/root/repo/src/marking/ppm_fragment.cpp" "src/marking/CMakeFiles/ddpm_marking.dir/ppm_fragment.cpp.o" "gcc" "src/marking/CMakeFiles/ddpm_marking.dir/ppm_fragment.cpp.o.d"
+  "/root/repo/src/marking/ppm_reconstruct.cpp" "src/marking/CMakeFiles/ddpm_marking.dir/ppm_reconstruct.cpp.o" "gcc" "src/marking/CMakeFiles/ddpm_marking.dir/ppm_reconstruct.cpp.o.d"
+  "/root/repo/src/marking/scalability.cpp" "src/marking/CMakeFiles/ddpm_marking.dir/scalability.cpp.o" "gcc" "src/marking/CMakeFiles/ddpm_marking.dir/scalability.cpp.o.d"
+  "/root/repo/src/marking/walk.cpp" "src/marking/CMakeFiles/ddpm_marking.dir/walk.cpp.o" "gcc" "src/marking/CMakeFiles/ddpm_marking.dir/walk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/packet/CMakeFiles/ddpm_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/ddpm_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ddpm_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ddpm_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

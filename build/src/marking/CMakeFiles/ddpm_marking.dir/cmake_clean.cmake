@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddpm_marking.dir/authenticated.cpp.o"
+  "CMakeFiles/ddpm_marking.dir/authenticated.cpp.o.d"
+  "CMakeFiles/ddpm_marking.dir/ddpm.cpp.o"
+  "CMakeFiles/ddpm_marking.dir/ddpm.cpp.o.d"
+  "CMakeFiles/ddpm_marking.dir/dpm.cpp.o"
+  "CMakeFiles/ddpm_marking.dir/dpm.cpp.o.d"
+  "CMakeFiles/ddpm_marking.dir/factory.cpp.o"
+  "CMakeFiles/ddpm_marking.dir/factory.cpp.o.d"
+  "CMakeFiles/ddpm_marking.dir/ppm.cpp.o"
+  "CMakeFiles/ddpm_marking.dir/ppm.cpp.o.d"
+  "CMakeFiles/ddpm_marking.dir/ppm_fragment.cpp.o"
+  "CMakeFiles/ddpm_marking.dir/ppm_fragment.cpp.o.d"
+  "CMakeFiles/ddpm_marking.dir/ppm_reconstruct.cpp.o"
+  "CMakeFiles/ddpm_marking.dir/ppm_reconstruct.cpp.o.d"
+  "CMakeFiles/ddpm_marking.dir/scalability.cpp.o"
+  "CMakeFiles/ddpm_marking.dir/scalability.cpp.o.d"
+  "CMakeFiles/ddpm_marking.dir/walk.cpp.o"
+  "CMakeFiles/ddpm_marking.dir/walk.cpp.o.d"
+  "libddpm_marking.a"
+  "libddpm_marking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddpm_marking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/event_queue.cpp" "src/netsim/CMakeFiles/ddpm_netsim.dir/event_queue.cpp.o" "gcc" "src/netsim/CMakeFiles/ddpm_netsim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/netsim/quantile.cpp" "src/netsim/CMakeFiles/ddpm_netsim.dir/quantile.cpp.o" "gcc" "src/netsim/CMakeFiles/ddpm_netsim.dir/quantile.cpp.o.d"
+  "/root/repo/src/netsim/rng.cpp" "src/netsim/CMakeFiles/ddpm_netsim.dir/rng.cpp.o" "gcc" "src/netsim/CMakeFiles/ddpm_netsim.dir/rng.cpp.o.d"
+  "/root/repo/src/netsim/simulator.cpp" "src/netsim/CMakeFiles/ddpm_netsim.dir/simulator.cpp.o" "gcc" "src/netsim/CMakeFiles/ddpm_netsim.dir/simulator.cpp.o.d"
+  "/root/repo/src/netsim/stats.cpp" "src/netsim/CMakeFiles/ddpm_netsim.dir/stats.cpp.o" "gcc" "src/netsim/CMakeFiles/ddpm_netsim.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddpm_netsim.dir/event_queue.cpp.o"
+  "CMakeFiles/ddpm_netsim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/ddpm_netsim.dir/quantile.cpp.o"
+  "CMakeFiles/ddpm_netsim.dir/quantile.cpp.o.d"
+  "CMakeFiles/ddpm_netsim.dir/rng.cpp.o"
+  "CMakeFiles/ddpm_netsim.dir/rng.cpp.o.d"
+  "CMakeFiles/ddpm_netsim.dir/simulator.cpp.o"
+  "CMakeFiles/ddpm_netsim.dir/simulator.cpp.o.d"
+  "CMakeFiles/ddpm_netsim.dir/stats.cpp.o"
+  "CMakeFiles/ddpm_netsim.dir/stats.cpp.o.d"
+  "libddpm_netsim.a"
+  "libddpm_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddpm_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddpm_packet.dir/ip_header.cpp.o"
+  "CMakeFiles/ddpm_packet.dir/ip_header.cpp.o.d"
+  "libddpm_packet.a"
+  "libddpm_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddpm_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

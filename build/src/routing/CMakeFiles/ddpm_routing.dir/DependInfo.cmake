@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/adaptive.cpp" "src/routing/CMakeFiles/ddpm_routing.dir/adaptive.cpp.o" "gcc" "src/routing/CMakeFiles/ddpm_routing.dir/adaptive.cpp.o.d"
+  "/root/repo/src/routing/dor.cpp" "src/routing/CMakeFiles/ddpm_routing.dir/dor.cpp.o" "gcc" "src/routing/CMakeFiles/ddpm_routing.dir/dor.cpp.o.d"
+  "/root/repo/src/routing/factory.cpp" "src/routing/CMakeFiles/ddpm_routing.dir/factory.cpp.o" "gcc" "src/routing/CMakeFiles/ddpm_routing.dir/factory.cpp.o.d"
+  "/root/repo/src/routing/oracle.cpp" "src/routing/CMakeFiles/ddpm_routing.dir/oracle.cpp.o" "gcc" "src/routing/CMakeFiles/ddpm_routing.dir/oracle.cpp.o.d"
+  "/root/repo/src/routing/router.cpp" "src/routing/CMakeFiles/ddpm_routing.dir/router.cpp.o" "gcc" "src/routing/CMakeFiles/ddpm_routing.dir/router.cpp.o.d"
+  "/root/repo/src/routing/turn_model.cpp" "src/routing/CMakeFiles/ddpm_routing.dir/turn_model.cpp.o" "gcc" "src/routing/CMakeFiles/ddpm_routing.dir/turn_model.cpp.o.d"
+  "/root/repo/src/routing/valiant.cpp" "src/routing/CMakeFiles/ddpm_routing.dir/valiant.cpp.o" "gcc" "src/routing/CMakeFiles/ddpm_routing.dir/valiant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/ddpm_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ddpm_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddpm_routing.dir/adaptive.cpp.o"
+  "CMakeFiles/ddpm_routing.dir/adaptive.cpp.o.d"
+  "CMakeFiles/ddpm_routing.dir/dor.cpp.o"
+  "CMakeFiles/ddpm_routing.dir/dor.cpp.o.d"
+  "CMakeFiles/ddpm_routing.dir/factory.cpp.o"
+  "CMakeFiles/ddpm_routing.dir/factory.cpp.o.d"
+  "CMakeFiles/ddpm_routing.dir/oracle.cpp.o"
+  "CMakeFiles/ddpm_routing.dir/oracle.cpp.o.d"
+  "CMakeFiles/ddpm_routing.dir/router.cpp.o"
+  "CMakeFiles/ddpm_routing.dir/router.cpp.o.d"
+  "CMakeFiles/ddpm_routing.dir/turn_model.cpp.o"
+  "CMakeFiles/ddpm_routing.dir/turn_model.cpp.o.d"
+  "CMakeFiles/ddpm_routing.dir/valiant.cpp.o"
+  "CMakeFiles/ddpm_routing.dir/valiant.cpp.o.d"
+  "libddpm_routing.a"
+  "libddpm_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddpm_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ddpm_routing.
+# This may be replaced when dependencies are built.

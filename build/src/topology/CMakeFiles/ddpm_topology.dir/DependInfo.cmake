@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/cartesian.cpp" "src/topology/CMakeFiles/ddpm_topology.dir/cartesian.cpp.o" "gcc" "src/topology/CMakeFiles/ddpm_topology.dir/cartesian.cpp.o.d"
+  "/root/repo/src/topology/coord.cpp" "src/topology/CMakeFiles/ddpm_topology.dir/coord.cpp.o" "gcc" "src/topology/CMakeFiles/ddpm_topology.dir/coord.cpp.o.d"
+  "/root/repo/src/topology/factory.cpp" "src/topology/CMakeFiles/ddpm_topology.dir/factory.cpp.o" "gcc" "src/topology/CMakeFiles/ddpm_topology.dir/factory.cpp.o.d"
+  "/root/repo/src/topology/graph.cpp" "src/topology/CMakeFiles/ddpm_topology.dir/graph.cpp.o" "gcc" "src/topology/CMakeFiles/ddpm_topology.dir/graph.cpp.o.d"
+  "/root/repo/src/topology/hypercube.cpp" "src/topology/CMakeFiles/ddpm_topology.dir/hypercube.cpp.o" "gcc" "src/topology/CMakeFiles/ddpm_topology.dir/hypercube.cpp.o.d"
+  "/root/repo/src/topology/mesh.cpp" "src/topology/CMakeFiles/ddpm_topology.dir/mesh.cpp.o" "gcc" "src/topology/CMakeFiles/ddpm_topology.dir/mesh.cpp.o.d"
+  "/root/repo/src/topology/topology.cpp" "src/topology/CMakeFiles/ddpm_topology.dir/topology.cpp.o" "gcc" "src/topology/CMakeFiles/ddpm_topology.dir/topology.cpp.o.d"
+  "/root/repo/src/topology/torus.cpp" "src/topology/CMakeFiles/ddpm_topology.dir/torus.cpp.o" "gcc" "src/topology/CMakeFiles/ddpm_topology.dir/torus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddpm_topology.dir/cartesian.cpp.o"
+  "CMakeFiles/ddpm_topology.dir/cartesian.cpp.o.d"
+  "CMakeFiles/ddpm_topology.dir/coord.cpp.o"
+  "CMakeFiles/ddpm_topology.dir/coord.cpp.o.d"
+  "CMakeFiles/ddpm_topology.dir/factory.cpp.o"
+  "CMakeFiles/ddpm_topology.dir/factory.cpp.o.d"
+  "CMakeFiles/ddpm_topology.dir/graph.cpp.o"
+  "CMakeFiles/ddpm_topology.dir/graph.cpp.o.d"
+  "CMakeFiles/ddpm_topology.dir/hypercube.cpp.o"
+  "CMakeFiles/ddpm_topology.dir/hypercube.cpp.o.d"
+  "CMakeFiles/ddpm_topology.dir/mesh.cpp.o"
+  "CMakeFiles/ddpm_topology.dir/mesh.cpp.o.d"
+  "CMakeFiles/ddpm_topology.dir/topology.cpp.o"
+  "CMakeFiles/ddpm_topology.dir/topology.cpp.o.d"
+  "CMakeFiles/ddpm_topology.dir/torus.cpp.o"
+  "CMakeFiles/ddpm_topology.dir/torus.cpp.o.d"
+  "libddpm_topology.a"
+  "libddpm_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddpm_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

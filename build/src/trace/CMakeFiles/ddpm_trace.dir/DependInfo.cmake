@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/ddpm_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/ddpm_trace.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/marking/CMakeFiles/ddpm_marking.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/ddpm_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/ddpm_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ddpm_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ddpm_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

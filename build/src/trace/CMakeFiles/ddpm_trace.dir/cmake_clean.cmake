@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddpm_trace.dir/trace.cpp.o"
+  "CMakeFiles/ddpm_trace.dir/trace.cpp.o.d"
+  "libddpm_trace.a"
+  "libddpm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddpm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

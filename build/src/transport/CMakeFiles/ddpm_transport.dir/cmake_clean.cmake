@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddpm_transport.dir/tcp.cpp.o"
+  "CMakeFiles/ddpm_transport.dir/tcp.cpp.o.d"
+  "libddpm_transport.a"
+  "libddpm_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddpm_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddpm_wormhole.dir/wormhole.cpp.o"
+  "CMakeFiles/ddpm_wormhole.dir/wormhole.cpp.o.d"
+  "libddpm_wormhole.a"
+  "libddpm_wormhole.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddpm_wormhole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_authenticated.dir/test_authenticated.cpp.o"
+  "CMakeFiles/test_authenticated.dir/test_authenticated.cpp.o.d"
+  "test_authenticated"
+  "test_authenticated.pdb"
+  "test_authenticated[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_authenticated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ddpm.dir/test_ddpm.cpp.o"
+  "CMakeFiles/test_ddpm.dir/test_ddpm.cpp.o.d"
+  "test_ddpm"
+  "test_ddpm.pdb"
+  "test_ddpm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ddpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ddpm_properties.dir/test_ddpm_properties.cpp.o"
+  "CMakeFiles/test_ddpm_properties.dir/test_ddpm_properties.cpp.o.d"
+  "test_ddpm_properties"
+  "test_ddpm_properties.pdb"
+  "test_ddpm_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ddpm_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

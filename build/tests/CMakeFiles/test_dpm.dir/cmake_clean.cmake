@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dpm.dir/test_dpm.cpp.o"
+  "CMakeFiles/test_dpm.dir/test_dpm.cpp.o.d"
+  "test_dpm"
+  "test_dpm.pdb"
+  "test_dpm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ip_header.dir/test_ip_header.cpp.o"
+  "CMakeFiles/test_ip_header.dir/test_ip_header.cpp.o.d"
+  "test_ip_header"
+  "test_ip_header.pdb"
+  "test_ip_header[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ip_header.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_marking_field.dir/test_marking_field.cpp.o"
+  "CMakeFiles/test_marking_field.dir/test_marking_field.cpp.o.d"
+  "test_marking_field"
+  "test_marking_field.pdb"
+  "test_marking_field[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_marking_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

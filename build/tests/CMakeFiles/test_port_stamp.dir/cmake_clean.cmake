@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_port_stamp.dir/test_port_stamp.cpp.o"
+  "CMakeFiles/test_port_stamp.dir/test_port_stamp.cpp.o.d"
+  "test_port_stamp"
+  "test_port_stamp.pdb"
+  "test_port_stamp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_port_stamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

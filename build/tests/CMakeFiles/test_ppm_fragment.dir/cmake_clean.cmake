@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ppm_fragment.dir/test_ppm_fragment.cpp.o"
+  "CMakeFiles/test_ppm_fragment.dir/test_ppm_fragment.cpp.o.d"
+  "test_ppm_fragment"
+  "test_ppm_fragment.pdb"
+  "test_ppm_fragment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ppm_fragment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_record_route.dir/test_record_route.cpp.o"
+  "CMakeFiles/test_record_route.dir/test_record_route.cpp.o.d"
+  "test_record_route"
+  "test_record_route.pdb"
+  "test_record_route[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_record_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reflector_pulse.dir/test_reflector_pulse.cpp.o"
+  "CMakeFiles/test_reflector_pulse.dir/test_reflector_pulse.cpp.o.d"
+  "test_reflector_pulse"
+  "test_reflector_pulse.pdb"
+  "test_reflector_pulse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reflector_pulse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

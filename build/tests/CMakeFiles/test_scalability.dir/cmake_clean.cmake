@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scalability.dir/test_scalability.cpp.o"
+  "CMakeFiles/test_scalability.dir/test_scalability.cpp.o.d"
+  "test_scalability"
+  "test_scalability.pdb"
+  "test_scalability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

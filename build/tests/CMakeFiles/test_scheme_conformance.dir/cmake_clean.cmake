@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheme_conformance.dir/test_scheme_conformance.cpp.o"
+  "CMakeFiles/test_scheme_conformance.dir/test_scheme_conformance.cpp.o.d"
+  "test_scheme_conformance"
+  "test_scheme_conformance.pdb"
+  "test_scheme_conformance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheme_conformance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

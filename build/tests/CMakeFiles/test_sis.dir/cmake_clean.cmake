@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sis.dir/test_sis.cpp.o"
+  "CMakeFiles/test_sis.dir/test_sis.cpp.o.d"
+  "test_sis"
+  "test_sis.pdb"
+  "test_sis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

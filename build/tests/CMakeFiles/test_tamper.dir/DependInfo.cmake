@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_tamper.cpp" "tests/CMakeFiles/test_tamper.dir/test_tamper.cpp.o" "gcc" "tests/CMakeFiles/test_tamper.dir/test_tamper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ddpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ddpm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/ddpm_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/ddpm_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/marking/CMakeFiles/ddpm_marking.dir/DependInfo.cmake"
+  "/root/repo/build/src/indirect/CMakeFiles/ddpm_indirect.dir/DependInfo.cmake"
+  "/root/repo/build/src/irregular/CMakeFiles/ddpm_irregular.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybrid/CMakeFiles/ddpm_hybrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/wormhole/CMakeFiles/ddpm_wormhole.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/ddpm_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ddpm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ddpm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/ddpm_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/ddpm_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ddpm_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ddpm_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
