@@ -119,8 +119,11 @@ void pulsing() {
                        Case{8000, 0.1}, Case{4000, 0.05}}) {
     const auto [ewma_alarm, cusum_alarm, delivered] = run(c.period, c.duty);
     auto show = [](const std::optional<netsim::SimTime>& alarm) {
-      return alarm ? "+" + std::to_string(*alarm - 50000) + " ticks"
-                   : std::string("NEVER (evaded)");
+      if (!alarm) return std::string("NEVER (evaded)");
+      std::string out = "+";
+      out += std::to_string(*alarm - 50000);
+      out += " ticks";
+      return out;
     };
     t.row(c.period == 0 ? "continuous" : std::to_string(c.period),
           c.duty, delivered, show(ewma_alarm), show(cusum_alarm));

@@ -57,7 +57,10 @@ std::string latency(std::optional<netsim::SimTime> alarm,
                     netsim::SimTime start) {
   if (!alarm) return "no alarm";
   if (*alarm < start) return "FALSE ALARM (pre-attack)";
-  return "+" + std::to_string(*alarm - start) + " ticks";
+  std::string out = "+";
+  out += std::to_string(*alarm - start);
+  out += " ticks";
+  return out;
 }
 
 }  // namespace

@@ -44,9 +44,13 @@ void part_a() {
     const auto& path = walk.path;
     for (std::size_t i = 0; i + 1 < path.size(); ++i) {
       const int d = int(path.size()) - 2 - int(i);
-      std::string cell = "(" + node_str(m, path[i]) + ", ";
+      std::string cell = "(";
+      cell += node_str(m, path[i]);
+      cell += ", ";
       cell += (d == 0) ? "-stale-" : node_str(m, path[i + 1]);
-      cell += ", " + std::to_string(d) + ")";
+      cell += ", ";
+      cell += std::to_string(d);
+      cell += ")";
       t.row(cell, node_str(m, path[i]),
             d == 0 ? "last forwarding switch" : "edge at distance " + std::to_string(d));
     }

@@ -4,8 +4,8 @@
 // report. Every knob of ScenarioConfig is reachable from the command line,
 // making this the tool for parameter sweeps outside the fixed benches.
 //
-//   $ ./ddpm_sim --topology torus:8x8 --router adaptive --scheme ddpm \\
-//       --attack udp-flood --zombies 4 --victim 42 --attack-rate 0.01
+//   $ ./ddpm_sim --topology torus:8x8 --router adaptive --scheme ddpm
+//       (continued:) --attack udp-flood --zombies 4 --victim 42 --attack-rate 0.01
 //   $ ./ddpm_sim --help
 #include <cstring>
 #include <iostream>

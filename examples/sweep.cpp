@@ -6,8 +6,8 @@
 // plotting tool of choice:
 //
 //   $ ./sweep > sweep.csv
-//   $ ./sweep --topologies mesh:8x8,torus:8x8 --schemes ddpm,dpm \\
-//       --routers dor,adaptive --rates 0.002,0.01 --seeds 5
+//   $ ./sweep --topologies mesh:8x8,torus:8x8 --schemes ddpm,dpm
+//       (continued:) --routers dor,adaptive --rates 0.002,0.01 --seeds 5
 #include <iostream>
 #include <sstream>
 #include <vector>

@@ -3,6 +3,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "core/check.hpp"
+
 namespace ddpm::mark {
 
 namespace {
@@ -54,6 +56,7 @@ std::uint16_t DdpmCodec::encode(const topo::Coord& v) const {
   }
   std::uint16_t field = 0;
   for (std::size_t d = 0; d < slices_.size(); ++d) {
+    DDPM_DCHECK(slices_[d].valid(), "codec slice escaped the 16-bit field");
     if (hypercube_) {
       field = pkt::write_unsigned(field, slices_[d],
                                   static_cast<std::uint16_t>(v[d] & 1));
@@ -97,6 +100,10 @@ void DdpmScheme::on_forward(pkt::Packet& packet, NodeId current, NodeId next) {
       const int span = topo_.dim_size(d) - 1;
       if (updated[d] > span) updated[d] = topo::Coord::value_type(span);
       if (updated[d] < -span) updated[d] = topo::Coord::value_type(-span);
+      // Post-saturation, every component fits its codec slice: the slice
+      // holds [-2^(w-1), 2^(w-1)-1] with 2^(w-1) >= dim_size > span.
+      DDPM_DCHECK(updated[d] >= -span && updated[d] <= span,
+                  "displacement escaped saturation bounds");
     }
   }
   packet.set_marking_field(codec_.encode(updated));

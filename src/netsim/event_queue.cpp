@@ -5,6 +5,7 @@
 namespace ddpm::netsim {
 
 EventId EventQueue::schedule(SimTime when, Action action) {
+  DDPM_CHECK(when >= last_popped_, "event scheduled in the simulated past");
   const EventId id = next_id_++;
   Entry e{when, next_seq_++, id, std::move(action)};
   heap_.push_back(std::move(e));
@@ -36,7 +37,10 @@ bool EventQueue::cancel(EventId id) {
 }
 
 std::pair<SimTime, EventQueue::Action> EventQueue::pop() {
+  DDPM_CHECK(!heap_.empty(), "pop on empty queue");
   Entry top = std::move(heap_.front());
+  DDPM_DCHECK(top.when >= last_popped_, "event time went backwards");
+  last_popped_ = top.when;
   index_.erase(top.id);
   const std::size_t last = heap_.size() - 1;
   if (last > 0) {
@@ -53,6 +57,7 @@ std::pair<SimTime, EventQueue::Action> EventQueue::pop() {
 void EventQueue::clear() {
   heap_.clear();
   index_.clear();
+  last_popped_ = 0;  // a cleared queue may be reused from time zero
 }
 
 void EventQueue::place(std::size_t i, Entry&& e) {

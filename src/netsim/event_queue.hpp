@@ -13,6 +13,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/check.hpp"
+
 namespace ddpm::netsim {
 
 /// Simulation time in abstract ticks. One tick is whatever the model says it
@@ -26,7 +28,9 @@ class EventQueue {
  public:
   using Action = std::function<void()>;
 
-  /// Schedules `action` to fire at absolute time `when`.
+  /// Schedules `action` to fire at absolute time `when`. Contract: `when`
+  /// must not precede the time of the most recently popped event — the
+  /// simulation clock never runs backwards (checked, fatal).
   EventId schedule(SimTime when, Action action);
 
   /// Cancels a pending event. Returns false if the event already fired or
@@ -37,14 +41,22 @@ class EventQueue {
   std::size_t size() const noexcept { return heap_.size(); }
 
   /// Time of the earliest pending event. Precondition: !empty().
-  SimTime next_time() const noexcept { return heap_.front().when; }
+  SimTime next_time() const noexcept {
+    DDPM_DCHECK(!heap_.empty(), "next_time on empty queue");
+    return heap_.front().when;
+  }
+
+  /// Time of the most recently popped event (0 before the first pop) — the
+  /// current simulation instant from the queue's perspective.
+  SimTime last_popped_time() const noexcept { return last_popped_; }
 
   /// Removes the earliest event and returns (time, action). Precondition:
   /// !empty(). The action is moved out; run it after popping so that the
   /// action may itself schedule or cancel events.
   std::pair<SimTime, Action> pop();
 
-  /// Discards all pending events.
+  /// Discards all pending events and resets the monotonicity watermark, so
+  /// a cleared queue may be reused from time zero.
   void clear();
 
  private:
@@ -67,6 +79,7 @@ class EventQueue {
   std::unordered_map<EventId, std::size_t> index_;  // id -> heap slot
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
+  SimTime last_popped_ = 0;
 };
 
 }  // namespace ddpm::netsim

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "core/check.hpp"
+
 namespace ddpm::pkt {
 
 /// A [offset, offset+width) slice of the 16-bit field. Bit 0 is the LSB.
@@ -17,13 +19,20 @@ struct FieldSlice {
   unsigned offset;
   unsigned width;
 
+  /// True iff the slice denotes a nonempty bit range inside the 16-bit field.
+  constexpr bool valid() const noexcept {
+    return width >= 1 && width <= 16 && offset < 16 && offset + width <= 16;
+  }
+
   constexpr std::uint16_t mask() const noexcept {
+    DDPM_DCHECK(valid(), "malformed field slice");
     return static_cast<std::uint16_t>(((1u << width) - 1u) << offset);
   }
 };
 
 /// Reads an unsigned sub-field.
 constexpr std::uint16_t read_unsigned(std::uint16_t field, FieldSlice s) noexcept {
+  DDPM_DCHECK(s.valid(), "malformed field slice");
   return static_cast<std::uint16_t>((field >> s.offset) & ((1u << s.width) - 1u));
 }
 
@@ -31,6 +40,7 @@ constexpr std::uint16_t read_unsigned(std::uint16_t field, FieldSlice s) noexcep
 /// not fit in `s.width` bits.
 inline std::uint16_t write_unsigned(std::uint16_t field, FieldSlice s,
                                     std::uint16_t value) {
+  DDPM_DCHECK(s.valid(), "malformed field slice");
   if (value >= (1u << s.width)) {
     throw std::range_error("marking field: unsigned value out of range");
   }
@@ -40,6 +50,7 @@ inline std::uint16_t write_unsigned(std::uint16_t field, FieldSlice s,
 
 /// Reads a signed (two's-complement) sub-field into a plain int.
 constexpr int read_signed(std::uint16_t field, FieldSlice s) noexcept {
+  DDPM_DCHECK(s.valid(), "malformed field slice");
   const auto raw = read_unsigned(field, s);
   const std::uint16_t sign_bit = std::uint16_t(1u << (s.width - 1));
   if (raw & sign_bit) {
@@ -51,6 +62,7 @@ constexpr int read_signed(std::uint16_t field, FieldSlice s) noexcept {
 /// Writes a signed sub-field. Throws std::range_error if `value` is outside
 /// [-2^(w-1), 2^(w-1) - 1].
 inline std::uint16_t write_signed(std::uint16_t field, FieldSlice s, int value) {
+  DDPM_DCHECK(s.valid(), "malformed field slice");
   const int lo = -int(1u << (s.width - 1));
   const int hi = int(1u << (s.width - 1)) - 1;
   if (value < lo || value > hi) {
@@ -63,12 +75,14 @@ inline std::uint16_t write_signed(std::uint16_t field, FieldSlice s, int value) 
 
 /// Reads a single bit.
 constexpr bool read_bit(std::uint16_t field, unsigned bit) noexcept {
+  DDPM_DCHECK(bit < 16, "bit index out of range");
   return (field >> bit) & 1u;
 }
 
 /// Writes a single bit.
 constexpr std::uint16_t write_bit(std::uint16_t field, unsigned bit,
                                   bool value) noexcept {
+  DDPM_DCHECK(bit < 16, "bit index out of range");
   const auto mask = std::uint16_t(1u << bit);
   return value ? std::uint16_t(field | mask) : std::uint16_t(field & ~mask);
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/check.hpp"
 #include "routing/dor.hpp"
 
 namespace ddpm::route {
@@ -23,6 +24,8 @@ std::vector<Port> AdaptiveRouter::candidates(NodeId current, NodeId dest,
     const int dir = productive_direction(topo_, d, a[d], b[d]);
     if (dir != 0) out.push_back(static_cast<Port>(2 * d + (dir > 0 ? 1 : 0)));
   }
+  DDPM_DCHECK(out.size() <= std::size_t(topo_.num_ports()),
+              "more productive ports than switch ports");
   return out;
 }
 

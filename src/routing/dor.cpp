@@ -1,5 +1,7 @@
 #include "routing/dor.hpp"
 
+#include "core/check.hpp"
+
 namespace ddpm::route {
 
 namespace {
@@ -35,7 +37,12 @@ std::vector<Port> DimensionOrderRouter::candidates(NodeId current, NodeId dest,
   const topo::Coord b = topo_.coord_of(dest);
   for (std::size_t d = 0; d < topo_.num_dims(); ++d) {
     const int dir = productive_direction(topo_, d, a[d], b[d]);
-    if (dir != 0) return {cartesian_port(d, dir)};
+    if (dir != 0) {
+      const Port p = cartesian_port(d, dir);
+      DDPM_DCHECK(p >= 0 && p < topo_.num_ports(),
+                  "dimension-order port escaped the switch radix");
+      return {p};
+    }
   }
   return {};
 }

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "core/check.hpp"
+
 namespace ddpm::route {
 
 namespace {
@@ -33,10 +35,23 @@ std::optional<Port> Router::select_output(NodeId current, NodeId dest,
                                           Port arrived_on,
                                           const LinkStateView& links,
                                           netsim::Rng& rng) const {
-  if (auto p = pick(candidates(current, dest, arrived_on), current, links, rng)) {
+  DDPM_DCHECK(topo_.contains(current) && topo_.contains(dest),
+              "select_output: node id outside topology");
+  auto valid_out = [this, current](std::optional<Port> p) {
+    // Every emitted port must exist at `current` and lead somewhere: a
+    // routing policy that fabricates ports would make the cluster model
+    // dereference a nonexistent link.
+    DDPM_DCHECK(!p || (*p >= 0 && *p < topo_.num_ports()),
+                "select_output: port index out of range");
+    DDPM_DCHECK(!p || topo_.neighbor(current, *p).has_value(),
+                "select_output: port has no neighbor");
     return p;
+  };
+  if (auto p = pick(candidates(current, dest, arrived_on), current, links, rng)) {
+    return valid_out(p);
   }
-  return pick(fallback_candidates(current, dest, arrived_on), current, links, rng);
+  return valid_out(
+      pick(fallback_candidates(current, dest, arrived_on), current, links, rng));
 }
 
 }  // namespace ddpm::route

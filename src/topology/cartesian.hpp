@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "core/check.hpp"
 #include "topology/topology.hpp"
 
 namespace ddpm::topo {
@@ -29,6 +30,7 @@ class CartesianTopology : public Topology {
   /// Decomposes a port into (dimension, direction): direction -1 for even
   /// ports, +1 for odd ports, matching the convention in topology.hpp.
   static std::pair<std::size_t, int> port_dim_dir(Port port) noexcept {
+    DDPM_DCHECK(port >= 0, "port_dim_dir: negative port");
     return {static_cast<std::size_t>(port / 2), (port % 2 == 0) ? -1 : +1};
   }
   static Port make_port(std::size_t dim, int dir) noexcept {

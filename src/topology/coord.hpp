@@ -12,6 +12,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/check.hpp"
+
 namespace ddpm::topo {
 
 class Coord {
@@ -33,8 +35,14 @@ class Coord {
   constexpr std::size_t size() const noexcept { return size_; }
   constexpr bool empty() const noexcept { return size_ == 0; }
 
-  constexpr value_type operator[](std::size_t i) const noexcept { return data_[i]; }
-  constexpr value_type& operator[](std::size_t i) noexcept { return data_[i]; }
+  constexpr value_type operator[](std::size_t i) const noexcept {
+    DDPM_DCHECK(i < size_, "Coord index out of range");
+    return data_[i];
+  }
+  constexpr value_type& operator[](std::size_t i) noexcept {
+    DDPM_DCHECK(i < size_, "Coord index out of range");
+    return data_[i];
+  }
 
   value_type at(std::size_t i) const {
     if (i >= size_) throw std::out_of_range("Coord::at");

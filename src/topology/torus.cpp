@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "core/check.hpp"
+
 namespace ddpm::topo {
 
 Torus::Torus(std::vector<int> dims) : CartesianTopology(std::move(dims), 3) {
@@ -14,7 +16,11 @@ std::optional<NodeId> Torus::neighbor(NodeId node, Port port) const {
   const auto [dim, dir] = port_dim_dir(port);
   Coord c = coord_of(node);
   const int k = dim_size(dim);
-  c[dim] = static_cast<Coord::value_type>(((int(c[dim]) + dir) % k + k) % k);
+  // Wrap in unsigned space: coord + dir + k is in [k-1, 2k] for a valid
+  // coordinate, so the modular reduction never touches signed overflow.
+  const unsigned wrapped =
+      (unsigned(int(c[dim]) + dir + k)) % unsigned(k);
+  c[dim] = static_cast<Coord::value_type>(wrapped);
   return id_of(c);
 }
 
@@ -42,7 +48,10 @@ std::optional<Port> Torus::port_to(NodeId from, NodeId to) const {
 }
 
 int Torus::ring_delta(int a, int b, std::size_t d) const noexcept {
+  DDPM_CHECK(d < num_dims(), "ring_delta: dimension out of range");
   const int k = dim_size(d);
+  DDPM_CHECK(a >= 0 && a < k && b >= 0 && b < k,
+             "ring_delta: coordinate outside [0, k)");
   int delta = ((b - a) % k + k) % k;  // in [0, k)
   if (delta > k / 2) delta -= k;
   // k even and delta == k/2: keep +k/2 (positive direction), per contract.

@@ -25,7 +25,9 @@ class Torus final : public CartesianTopology {
 
   /// Signed ring distance from a to b in dimension d: the smallest-magnitude
   /// delta with b = (a + delta) mod k. Ties (k even, |delta| = k/2) resolve
-  /// to the positive direction.
+  /// to the positive direction. Contract: d < num_dims() and a, b are valid
+  /// coordinates in [0, k_d) (checked, fatal) — arbitrary ints would make
+  /// the modular reduction overflow-prone.
   int ring_delta(int a, int b, std::size_t d) const noexcept;
 
   std::string spec() const override;

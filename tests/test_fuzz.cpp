@@ -70,7 +70,9 @@ TEST(Fuzz, EventQueueMatchesReferenceModel) {
   for (int op = 0; op < 20000; ++op) {
     const auto choice = rng.next_below(10);
     if (choice < 5) {  // schedule
-      const netsim::SimTime when = rng.next_below(1000);
+      // Offset from the monotonicity watermark: the queue contracts that no
+      // event lands before the most recently popped instant.
+      const netsim::SimTime when = queue.last_popped_time() + rng.next_below(1000);
       const int tag = op;
       const auto id = queue.schedule(when, [&fired, tag] { fired.push_back(tag); });
       live[id] = reference.emplace(std::make_pair(when, seq++), tag);

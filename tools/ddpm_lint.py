@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter for the DDPM reproduction.
+
+Enforces the project-specific rules that neither the compiler nor
+clang-tidy knows about (registered as the `repo_lint` ctest):
+
+  1. pragma-once     every header under src/, tests/, bench/ carries
+                     `#pragma once` (library headers are included across
+                     module boundaries; a missing guard is an ODR bomb).
+  2. rng-containment no `rand()`, `srand(`, `random_device`, or
+                     `std::mt19937` outside src/netsim/rng.* — every
+                     stochastic component must draw from the seeded
+                     xoshiro generator or the paper's determinism story
+                     (identical tables run-to-run) falls apart.
+  3. float-compare   no `==` / `!=` against floating-point literals in
+                     src/netsim/stats.* and src/netsim/quantile.* —
+                     accumulated statistics must be compared with
+                     tolerances (integer counters are exempt).
+  4. header-io       no <iostream>/<cstdio>/printf in library headers
+                     (src/**/*.hpp): I/O belongs to drivers, benches and
+                     the trace module's .cpp files, and <iostream> in a
+                     header drags static init into every TU.
+  5. no-using-std    no `using namespace std;` anywhere.
+
+A line may opt out of one rule with an inline suppression comment naming
+it, e.g. `#include <cstdio>  // ddpm-lint: allow(header-io)`. Suppressions
+are deliberate, reviewable exceptions — the contract layer's abort path is
+the canonical one.
+
+Usage: tools/ddpm_lint.py [repo-root]   (exit 0 = clean, 1 = violations)
+"""
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+Violation = tuple[Path, int, str, str]  # file, line, rule, message
+
+ALLOW = re.compile(r"ddpm-lint:\s*allow\(([\w-]+)\)")
+
+
+def suppressed(line: str, rule: str) -> bool:
+    m = ALLOW.search(line)
+    return m is not None and m.group(1) == rule
+
+
+def strip_comments(line: str) -> str:
+    """Best-effort removal of // comments (good enough for these rules)."""
+    out = []
+    i = 0
+    in_string = False
+    while i < len(line):
+        ch = line[i]
+        if in_string:
+            if ch == "\\":
+                i += 2
+                continue
+            if ch == '"':
+                in_string = False
+        else:
+            if ch == '"':
+                in_string = True
+            elif ch == "/" and line[i : i + 2] == "//":
+                break
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def iter_source(root: Path, dirs: tuple[str, ...], suffixes: tuple[str, ...]):
+    for d in dirs:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in suffixes and path.is_file():
+                yield path
+
+
+def check_pragma_once(root: Path) -> list[Violation]:
+    out = []
+    for path in iter_source(root, ("src", "tests", "bench"), (".hpp", ".h")):
+        text = path.read_text(encoding="utf-8", errors="replace")
+        if "#pragma once" not in text:
+            out.append((path, 1, "pragma-once", "header lacks #pragma once"))
+    return out
+
+
+RNG_PATTERN = re.compile(
+    r"(?<![\w:])(rand|srand)\s*\(|std::random_device|std::mt19937"
+)
+
+
+def check_rng_containment(root: Path) -> list[Violation]:
+    out = []
+    for path in iter_source(root, ("src",), (".hpp", ".cpp")):
+        rel = path.relative_to(root).as_posix()
+        if rel.startswith("src/netsim/rng."):
+            continue
+        for n, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+            code = strip_comments(line)
+            if RNG_PATTERN.search(code) and not suppressed(line, "rng-containment"):
+                out.append(
+                    (path, n, "rng-containment",
+                     "raw RNG outside src/netsim/rng.* breaks seeded determinism")
+                )
+    return out
+
+
+FLOAT_LITERAL = r"(?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?[fF]?|\d+[eE][+-]?\d+[fF]?"
+FLOAT_EQ = re.compile(
+    r"[!=]=\s*(?:%s)|(?:%s)\s*[!=]=" % (FLOAT_LITERAL, FLOAT_LITERAL)
+)
+
+
+def check_float_compare(root: Path) -> list[Violation]:
+    out = []
+    targets = [
+        p
+        for p in iter_source(root, ("src",), (".hpp", ".cpp"))
+        if p.name.startswith(("stats.", "quantile."))
+    ]
+    for path in targets:
+        for n, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+            code = strip_comments(line)
+            if FLOAT_EQ.search(code) and not suppressed(line, "float-compare"):
+                out.append(
+                    (path, n, "float-compare",
+                     "exact floating-point comparison; use a tolerance")
+                )
+    return out
+
+
+HEADER_IO = re.compile(r'#\s*include\s*<(iostream|cstdio|stdio\.h|print)>')
+
+
+def check_header_io(root: Path) -> list[Violation]:
+    out = []
+    for path in iter_source(root, ("src",), (".hpp",)):
+        for n, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+            m = HEADER_IO.search(strip_comments(line))
+            if m and not suppressed(line, "header-io"):
+                out.append(
+                    (path, n, "header-io",
+                     f"<{m.group(1)}> in a library header; include it in the .cpp")
+                )
+    return out
+
+
+def check_using_namespace_std(root: Path) -> list[Violation]:
+    pat = re.compile(r"using\s+namespace\s+std\s*;")
+    out = []
+    for path in iter_source(root, ("src", "tests", "bench", "examples"),
+                            (".hpp", ".cpp")):
+        for n, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+            if pat.search(strip_comments(line)) and not suppressed(
+                line, "no-using-std"
+            ):
+                out.append((path, n, "no-using-std", "using namespace std"))
+    return out
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path.cwd()
+    if not (root / "src").is_dir():
+        print(f"ddpm_lint: {root} does not look like the repo root", file=sys.stderr)
+        return 2
+
+    violations: list[Violation] = []
+    for check in (
+        check_pragma_once,
+        check_rng_containment,
+        check_float_compare,
+        check_header_io,
+        check_using_namespace_std,
+    ):
+        violations.extend(check(root))
+
+    for path, line, rule, message in violations:
+        rel = path.relative_to(root).as_posix()
+        print(f"{rel}:{line}: [{rule}] {message}")
+
+    if violations:
+        print(f"ddpm_lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("ddpm_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
