@@ -1,0 +1,231 @@
+// Kernel perf harness — the repository's performance trajectory anchor.
+//
+// Measures the discrete-event kernel's hot paths (event schedule/pop/cancel
+// throughput, the wormhole substrate's steps/sec, and an end-to-end sweep
+// cell serial vs parallel) and optionally writes the numbers to
+// BENCH_kernel.json so subsequent PRs can regress against them. See
+// docs/PERFORMANCE.md for how to read the output.
+//
+//   bench_kernel [--json [path]] [--jobs N] [--smoke]
+//
+//   --json    write machine-readable results (default path
+//             BENCH_kernel.json in the working directory)
+//   --jobs N  thread count for the parallel sweep measurement
+//             (default: hardware concurrency)
+//   --smoke   drastically shrunk workloads; used by the `perf`-labelled
+//             ctest so sanitizer suites stay fast
+#include <chrono>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "attack/traffic.hpp"
+#include "core/sweep_grid.hpp"
+#include "netsim/event_queue.hpp"
+#include "routing/router.hpp"
+#include "topology/factory.hpp"
+#include "wormhole/wormhole.hpp"
+
+namespace {
+
+using namespace ddpm;
+using Clock = std::chrono::steady_clock;
+
+struct Result {
+  std::string name;
+  double value = 0;
+  std::string unit;
+};
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// xorshift64 — a self-contained time-pattern generator for the queue
+/// microbenches (deliberately not Rng: the subject under test should not
+/// also supply the workload).
+std::uint64_t next_time_sample(std::uint64_t& x) {
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return x;
+}
+
+Result bench_schedule_pop(std::size_t n, int rounds) {
+  netsim::EventQueue q;
+  q.reserve(n);
+  std::uint64_t x = 88172645463325252ull;
+  std::uint64_t fired = 0;
+  const auto start = Clock::now();
+  for (int round = 0; round < rounds; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      q.schedule(next_time_sample(x) % 1000000, [&fired] { ++fired; });
+    }
+    while (!q.empty()) q.pop().second();
+    q.clear();
+  }
+  const double ops = 2.0 * double(rounds) * double(n);
+  return {"eq_schedule_pop", ops / seconds_since(start), "ops/s"};
+}
+
+Result bench_churn(std::size_t pending, std::size_t ops) {
+  netsim::EventQueue q;
+  q.reserve(pending);
+  std::uint64_t x = 123456789ull;
+  for (std::size_t i = 0; i < pending; ++i) {
+    q.schedule(next_time_sample(x) % 100000, [] {});
+  }
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < ops; ++i) {
+    auto [when, action] = q.pop();
+    action();
+    q.schedule(when + 1 + next_time_sample(x) % 1000, [] {});
+  }
+  return {"eq_churn", double(ops) / seconds_since(start), "ops/s"};
+}
+
+Result bench_cancel(std::size_t n, int rounds) {
+  netsim::EventQueue q;
+  q.reserve(n);
+  std::uint64_t x = 55555ull;
+  std::vector<netsim::EventId> ids;
+  ids.reserve(n);
+  const auto start = Clock::now();
+  for (int round = 0; round < rounds; ++round) {
+    ids.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      ids.push_back(q.schedule(next_time_sample(x) % 1000000, [] {}));
+    }
+    for (std::size_t i = 0; i < n; i += 2) q.cancel(ids[i]);
+    while (!q.empty()) q.pop().second();
+    q.clear();
+  }
+  const double ops = double(rounds) * (double(n) + double(n));  // sched+cancel/pop
+  return {"eq_cancel_drain", ops / seconds_since(start), "ops/s"};
+}
+
+Result bench_wormhole(std::uint64_t cycles) {
+  const auto topo = topo::make_topology("torus:8x8");
+  const auto router = route::make_router("adaptive", *topo);
+  wormhole::WormholeConfig config;
+  config.buffer_flits = 4;
+  wormhole::WormholeNetwork net(*topo, *router, nullptr, config);
+  attack::UniformPattern pattern(*topo);
+  netsim::Rng rng(1234);
+  const auto start = Clock::now();
+  for (std::uint64_t cycle = 0; cycle < cycles; ++cycle) {
+    for (topo::NodeId n = 0; n < topo->num_nodes(); ++n) {
+      if (rng.next_bool(0.06)) {
+        pkt::Packet p;
+        const auto dest = pattern.pick_dest(n, rng);
+        p.header = pkt::IpHeader(n + 1, dest + 1, pkt::IpProto::kUdp, 44);
+        p.true_source = n;
+        p.dest_node = dest;
+        p.payload_bytes = 44;
+        p.injected_at = net.cycle();
+        net.inject(std::move(p), n);
+      }
+    }
+    net.step();
+  }
+  return {"wormhole_steps", double(cycles) / seconds_since(start), "steps/s"};
+}
+
+core::SweepSpec sweep_spec(std::size_t seeds, std::size_t jobs) {
+  core::SweepSpec spec;
+  spec.topologies = {"torus:8x8"};
+  spec.schemes = {"ddpm", "dpm", "ppm-full"};
+  spec.routers = {"adaptive"};
+  spec.rates = {0.005, 0.01};
+  spec.seeds = seeds;
+  spec.jobs = jobs;
+  return spec;
+}
+
+void write_json(const std::string& path, const std::vector<Result>& results,
+                std::size_t jobs, bool smoke) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"kernel\",\n  \"mode\": \""
+      << (smoke ? "smoke" : "full") << "\",\n  \"jobs\": " << jobs
+      << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    out << "    {\"name\": \"" << results[i].name << "\", \"value\": "
+        << results[i].value << ", \"unit\": \"" << results[i].unit << "\"}"
+        << (i + 1 < results.size() ? "," : "") << '\n';
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << path << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool json = false;
+  std::string json_path = "BENCH_kernel.json";
+  std::size_t jobs = std::thread::hardware_concurrency();
+  if (jobs == 0) jobs = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--json") {
+      json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = std::stoul(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "bench_kernel [--json [path]] [--jobs N] [--smoke]\n";
+      return 0;
+    } else {
+      std::cerr << "unknown option: " << arg << '\n';
+      return 1;
+    }
+  }
+
+  std::vector<Result> results;
+
+  // Event-queue microbenches.
+  if (smoke) {
+    results.push_back(bench_schedule_pop(20000, 2));
+    results.push_back(bench_churn(2000, 50000));
+    results.push_back(bench_cancel(10000, 2));
+    results.push_back(bench_wormhole(1500));
+  } else {
+    results.push_back(bench_schedule_pop(400000, 4));
+    results.push_back(bench_churn(10000, 2000000));
+    results.push_back(bench_cancel(200000, 4));
+    results.push_back(bench_wormhole(20000));
+  }
+
+  // End-to-end sweep cell: serial, then parallel, same workload.
+  {
+    const std::size_t seeds = smoke ? 2 : 16;
+    const auto serial_start = Clock::now();
+    const auto serial = core::run_sweep(sweep_spec(seeds, 1));
+    const double serial_s = seconds_since(serial_start);
+    const auto par_start = Clock::now();
+    const auto parallel = core::run_sweep(sweep_spec(seeds, jobs));
+    const double par_s = seconds_since(par_start);
+    if (core::sweep_csv(serial) != core::sweep_csv(parallel)) {
+      std::cerr << "FATAL: sweep output diverged between jobs=1 and jobs="
+                << jobs << '\n';
+      return 1;
+    }
+    results.push_back({"sweep_serial", serial_s, "s"});
+    results.push_back({"sweep_jobs" + std::to_string(jobs), par_s, "s"});
+    results.push_back({"sweep_speedup", serial_s / par_s, "x"});
+  }
+
+  bench::banner(std::string("Kernel perf (") + (smoke ? "smoke" : "full") +
+                ", jobs=" + std::to_string(jobs) + ")");
+  bench::Table t({"benchmark", "value", "unit"});
+  for (const auto& r : results) t.row(r.name, r.value, r.unit);
+  t.print();
+
+  if (json) write_json(json_path, results, jobs, smoke);
+  return 0;
+}

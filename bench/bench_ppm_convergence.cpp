@@ -5,6 +5,7 @@
 // than the Internet paths PPM was designed for, so the cost explodes; and
 // under adaptive routing the marks come from many paths at once and
 // reconstruction mixes them. This bench measures all three effects.
+#include <algorithm>
 #include <cmath>
 
 #include "bench_util.hpp"

@@ -17,6 +17,9 @@ class Table {
       : headers_(std::move(headers)) {
     widths_.reserve(headers_.size());
     for (const auto& h : headers_) widths_.push_back(h.size());
+    // Grow-once for typical table sizes; row() never reallocates rows_ for
+    // tables up to 64 rows (the largest the benches print).
+    rows_.reserve(64);
   }
 
   template <typename... Cells>

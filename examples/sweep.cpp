@@ -1,18 +1,20 @@
 // sweep — grid experiment driver emitting CSV for downstream analysis.
 //
 // Runs the detect→identify→block scenario over a cross product of
-// topologies, schemes, routers and attack rates, each repeated over seeds,
-// and prints one CSV row per cell with mean outcomes. Pipe it into your
-// plotting tool of choice:
+// topologies, schemes, routers and attack rates, each replicated over
+// disjoint RNG streams, and prints one CSV row per cell with mean
+// outcomes. Replications fan out across --jobs threads; the CSV is
+// bit-identical for any --jobs value (asserted by the determinism suite).
+// Pipe it into your plotting tool of choice:
 //
-//   $ ./sweep > sweep.csv
+//   $ ./sweep --jobs 8 > sweep.csv
 //   $ ./sweep --topologies mesh:8x8,torus:8x8 --schemes ddpm,dpm
 //       (continued:) --routers dor,adaptive --rates 0.002,0.01 --seeds 5
 #include <iostream>
 #include <sstream>
 #include <vector>
 
-#include "core/experiment.hpp"
+#include "core/sweep_grid.hpp"
 
 namespace {
 
@@ -28,14 +30,16 @@ std::vector<std::string> split(const std::string& text) {
   return out;
 }
 
+std::vector<double> split_doubles(const std::string& text) {
+  std::vector<double> out;
+  for (const auto& item : split(text)) out.push_back(std::stod(item));
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<std::string> topologies{"mesh:8x8", "torus:8x8", "hypercube:6"};
-  std::vector<std::string> schemes{"ddpm", "dpm", "ppm-full"};
-  std::vector<std::string> routers{"dor", "adaptive"};
-  std::vector<std::string> rates{"0.005", "0.01"};
-  std::size_t seeds = 3;
+  core::SweepSpec spec;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -45,62 +49,27 @@ int main(int argc, char** argv) {
         return argv[++i];
       };
       if (arg == "--topologies") {
-        topologies = split(value());
+        spec.topologies = split(value());
       } else if (arg == "--schemes") {
-        schemes = split(value());
+        spec.schemes = split(value());
       } else if (arg == "--routers") {
-        routers = split(value());
+        spec.routers = split(value());
       } else if (arg == "--rates") {
-        rates = split(value());
+        spec.rates = split_doubles(value());
       } else if (arg == "--seeds") {
-        seeds = std::stoul(value());
+        spec.seeds = std::stoul(value());
+      } else if (arg == "--jobs") {
+        spec.jobs = std::stoul(value());
       } else if (arg == "--help" || arg == "-h") {
         std::cout << "sweep --topologies a,b --schemes a,b --routers a,b "
-                     "--rates r1,r2 --seeds N\n";
+                     "--rates r1,r2 --seeds N --jobs N\n";
         return 0;
       } else {
         throw std::invalid_argument("unknown option: " + arg);
       }
     }
 
-    std::cout << "topology,scheme,router,attack_rate,seeds,detected_runs,"
-                 "detect_latency_mean,detect_latency_sd,tp_mean,fp_mean,"
-                 "packets_to_first_id,perfect_runs\n";
-    for (const auto& topology : topologies) {
-      for (const auto& scheme : schemes) {
-        for (const auto& router : routers) {
-          for (const auto& rate : rates) {
-            core::ScenarioConfig config;
-            config.cluster.topology = topology;
-            config.cluster.router = router;
-            config.cluster.scheme = scheme;
-            config.cluster.benign_rate_per_node = 0.0002;
-            config.identifier = scheme;
-            config.detect_rate_threshold = 0.005;
-            config.duration = 300000;
-            config.attack.kind = attack::AttackKind::kUdpFlood;
-            config.attack.rate_per_zombie = std::stod(rate);
-            config.attack.start_time = 20000;
-            const auto probe = topo::make_topology(topology);
-            config.attack.victim = probe->num_nodes() - 1;
-            {
-              netsim::Rng rng(99);
-              config.attack.zombies =
-                  attack::pick_zombies(*probe, 4, config.attack.victim, rng);
-            }
-            const auto s = core::run_repeated_n(config, seeds);
-            std::cout << topology << ',' << scheme << ',' << router << ','
-                      << rate << ',' << s.runs << ',' << s.detected_runs
-                      << ',' << s.detection_latency.mean() << ','
-                      << s.detection_latency.stddev() << ','
-                      << s.true_positives.mean() << ','
-                      << s.false_positives.mean() << ','
-                      << s.packets_to_first_identification.mean() << ','
-                      << s.perfect_runs << '\n';
-          }
-        }
-      }
-    }
+    std::cout << core::sweep_csv(core::run_sweep(spec));
     return 0;
   } catch (const std::exception& err) {
     std::cerr << "error: " << err.what() << '\n';

@@ -53,12 +53,21 @@ ClusterNetwork::ClusterNetwork(const ClusterConfig& config)
   node_env_.record_traces = config.record_traces;
   node_env_.attack = &attack_;
 
+  // Steady state keeps roughly one pending event per busy output port plus
+  // a couple of timers per node; size the queue once so the warm-up ramp
+  // does not reallocate it.
+  const auto nodes = std::size_t(topo_->num_nodes());
+  sim_.reserve(nodes * (2 * std::size_t(topo_->num_ports()) + 4));
+
+  // Stream hierarchy: seed -> long_jump per replication -> jump per entity.
+  // Every entity draws from its own 2^128-draw block; see ClusterConfig.
   netsim::Rng master(config.seed);
-  switches_.reserve(topo_->num_nodes());
-  nodes_.reserve(topo_->num_nodes());
+  for (std::uint64_t s = 0; s < config.rng_stream; ++s) master.long_jump();
+  switches_.reserve(nodes);
+  nodes_.reserve(nodes);
   for (topo::NodeId id = 0; id < topo_->num_nodes(); ++id) {
-    switches_.emplace_back(id, &switch_env_, master.fork());
-    nodes_.emplace_back(id, &node_env_, master.fork());
+    switches_.emplace_back(id, &switch_env_, master.jump_stream());
+    nodes_.emplace_back(id, &node_env_, master.jump_stream());
   }
 }
 

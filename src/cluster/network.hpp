@@ -52,6 +52,12 @@ struct ClusterConfig {
 
   std::uint8_t initial_ttl = 64;
   std::uint64_t seed = 42;
+
+  /// Replication stream index. Replication k applies k long_jump()s
+  /// (2^192 draws apart) to the master generator before dealing per-entity
+  /// jump()-spaced streams, so replications of one seed are provably
+  /// disjoint instead of relying on re-seeding. 0 = the seed's own block.
+  std::uint64_t rng_stream = 0;
   bool record_traces = false;
   double ppm_probability = 0.04;
 };

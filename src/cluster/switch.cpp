@@ -58,11 +58,14 @@ void Switch::start_transmission(Port port) {
     ports_[std::size_t(port)].busy = false;
     start_transmission(port);
   });
-  env_->sim->schedule_in(
-      tx_ticks + env_->link_latency,
-      [this, packet = std::move(packet), next]() mutable {
-        env_->arrive(std::move(packet), id_, next);
-      });
+  out.in_flight.push_back(std::move(packet));
+  env_->sim->schedule_in(tx_ticks + env_->link_latency,
+                         [this, port, next]() {
+                           OutputPort& p = ports_[std::size_t(port)];
+                           pkt::Packet landed = std::move(p.in_flight.front());
+                           p.in_flight.pop_front();
+                           env_->arrive(std::move(landed), id_, next);
+                         });
 }
 
 std::size_t Switch::queue_length(Port port) const {

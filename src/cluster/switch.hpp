@@ -64,6 +64,12 @@ class Switch {
  private:
   struct OutputPort {
     std::deque<pkt::Packet> queue;
+    /// Serialized onto the link, still propagating. Arrival events complete
+    /// strictly in transmission order (serialization is sequential and the
+    /// latency constant), so a FIFO here lets the arrival event capture
+    /// just [this, port] instead of hauling the packet through the event
+    /// queue — the capture stays inside InlineAction's inline buffer.
+    std::deque<pkt::Packet> in_flight;
     bool busy = false;
   };
 

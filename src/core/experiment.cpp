@@ -3,46 +3,82 @@
 #include <numeric>
 #include <sstream>
 
+#include "core/parallel_runner.hpp"
+
 namespace ddpm::core {
 
-ExperimentSummary run_repeated(const ScenarioConfig& config,
-                               const std::vector<std::uint64_t>& seeds) {
+RunOutcome run_scenario_once(const ScenarioConfig& config) {
+  SourceIdentificationSystem system(config);
+  const ScenarioReport report = system.run();
+  RunOutcome out;
+  if (report.detection_time) {
+    out.detected = true;
+    const auto start = config.attack.start_time;
+    out.detection_latency = double(
+        *report.detection_time >= start ? *report.detection_time - start : 0);
+  }
+  out.true_positives = double(report.true_positives);
+  out.false_positives = double(report.false_positives);
+  out.packets_to_first_identification =
+      double(report.packets_to_first_identification);
+  out.attack_delivered_after_block =
+      double(report.attack_delivered_after_block);
+  out.benign_latency_mean = report.metrics.latency_benign.mean();
+  out.perfect = report.true_positives == report.true_sources.size() &&
+                report.false_positives == 0;
+  return out;
+}
+
+ExperimentSummary summarize(const std::vector<RunOutcome>& outcomes) {
   ExperimentSummary summary;
-  for (const std::uint64_t seed : seeds) {
-    ScenarioConfig run_config = config;
-    run_config.cluster.seed = seed;
-    SourceIdentificationSystem system(run_config);
-    const ScenarioReport report = system.run();
+  for (const RunOutcome& run : outcomes) {
     ++summary.runs;
-    if (report.detection_time) {
+    if (run.detected) {
       ++summary.detected_runs;
-      const auto start = config.attack.start_time;
-      summary.detection_latency.add(
-          double(*report.detection_time >= start
-                     ? *report.detection_time - start
-                     : 0));
+      summary.detection_latency.add(run.detection_latency);
     }
-    summary.true_positives.add(double(report.true_positives));
-    summary.false_positives.add(double(report.false_positives));
-    if (report.packets_to_first_identification > 0) {
+    summary.true_positives.add(run.true_positives);
+    summary.false_positives.add(run.false_positives);
+    if (run.packets_to_first_identification > 0) {
       summary.packets_to_first_identification.add(
-          double(report.packets_to_first_identification));
+          run.packets_to_first_identification);
     }
-    summary.attack_delivered_after_block.add(
-        double(report.attack_delivered_after_block));
-    summary.benign_latency_mean.add(report.metrics.latency_benign.mean());
-    if (report.true_positives == report.true_sources.size() &&
-        report.false_positives == 0) {
-      ++summary.perfect_runs;
-    }
+    summary.attack_delivered_after_block.add(run.attack_delivered_after_block);
+    summary.benign_latency_mean.add(run.benign_latency_mean);
+    if (run.perfect) ++summary.perfect_runs;
   }
   return summary;
 }
 
-ExperimentSummary run_repeated_n(const ScenarioConfig& config, std::size_t n) {
+ExperimentSummary run_repeated(const ScenarioConfig& config,
+                               const std::vector<std::uint64_t>& seeds,
+                               std::size_t jobs) {
+  const ParallelRunner pool(jobs);
+  const auto outcomes =
+      pool.map<RunOutcome>(seeds.size(), [&](std::size_t i) {
+        ScenarioConfig run_config = config;
+        run_config.cluster.seed = seeds[i];
+        return run_scenario_once(run_config);
+      });
+  return summarize(outcomes);
+}
+
+ExperimentSummary run_repeated_n(const ScenarioConfig& config, std::size_t n,
+                                 std::size_t jobs) {
   std::vector<std::uint64_t> seeds(n);
   std::iota(seeds.begin(), seeds.end(), 1);
-  return run_repeated(config, seeds);
+  return run_repeated(config, seeds, jobs);
+}
+
+ExperimentSummary run_replications(const ScenarioConfig& config,
+                                   std::size_t n, std::size_t jobs) {
+  const ParallelRunner pool(jobs);
+  const auto outcomes = pool.map<RunOutcome>(n, [&](std::size_t i) {
+    ScenarioConfig run_config = config;
+    run_config.cluster.rng_stream = i;
+    return run_scenario_once(run_config);
+  });
+  return summarize(outcomes);
 }
 
 std::string ExperimentSummary::to_string() const {

@@ -1,6 +1,11 @@
 // Multi-seed experiment aggregation: run the same scenario under many RNG
 // seeds and report means and spreads, so benches can show that results are
 // properties of the design, not of one lucky seed.
+//
+// Replications are embarrassingly parallel (each owns a private Simulator
+// and Rng); every entry point below takes a `jobs` count and fans the runs
+// across a ParallelRunner. Aggregation always happens serially in
+// replication order, so the summary is bit-identical for any `jobs`.
 #pragma once
 
 #include <vector>
@@ -8,6 +13,19 @@
 #include "core/sis.hpp"
 
 namespace ddpm::core {
+
+/// Raw scalars of one replication — computed inside the worker, merged
+/// into the summary in replication order on the calling thread.
+struct RunOutcome {
+  bool detected = false;
+  double detection_latency = 0;  // ticks after attack start (valid if detected)
+  double true_positives = 0;
+  double false_positives = 0;
+  double packets_to_first_identification = 0;  // 0 = never identified
+  double attack_delivered_after_block = 0;
+  double benign_latency_mean = 0;
+  bool perfect = false;  // every true source named, zero innocents
+};
 
 /// Aggregate over the repeated runs of one scenario.
 struct ExperimentSummary {
@@ -28,13 +46,30 @@ struct ExperimentSummary {
   std::string to_string() const;
 };
 
+/// Runs one scenario to completion and distills the report. The worker-side
+/// half of every repeated-run entry point.
+RunOutcome run_scenario_once(const ScenarioConfig& config);
+
+/// Folds outcomes into a summary in vector order (deterministic merge).
+ExperimentSummary summarize(const std::vector<RunOutcome>& outcomes);
+
 /// Runs `config` once per seed (overriding config.cluster.seed) and
-/// aggregates. The scenario is otherwise identical across runs.
+/// aggregates. The scenario is otherwise identical across runs. `jobs` > 1
+/// fans the seeds across threads; the result is identical for any value.
 ExperimentSummary run_repeated(const ScenarioConfig& config,
-                               const std::vector<std::uint64_t>& seeds);
+                               const std::vector<std::uint64_t>& seeds,
+                               std::size_t jobs = 1);
 
 /// Convenience: seeds 1..n. (Named distinctly so a braced seed list like
 /// {42} cannot silently bind to the count overload.)
-ExperimentSummary run_repeated_n(const ScenarioConfig& config, std::size_t n);
+ExperimentSummary run_repeated_n(const ScenarioConfig& config, std::size_t n,
+                                 std::size_t jobs = 1);
+
+/// Runs n replications of `config` with the seed fixed and
+/// cluster.rng_stream = 0..n-1: every replication draws from its own
+/// 2^192-spaced xoshiro block (long_jump), provably disjoint from all
+/// others — the statistically clean alternative to a seed list.
+ExperimentSummary run_replications(const ScenarioConfig& config,
+                                   std::size_t n, std::size_t jobs = 1);
 
 }  // namespace ddpm::core

@@ -1,0 +1,82 @@
+// Deterministic fan-out of independent replications across a fixed thread
+// pool.
+//
+// The design constraint is bit-identical output for any --jobs value:
+//   * every work item is fully independent (its own Simulator + Rng —
+//     nothing in the library has global mutable state);
+//   * workers claim item indices from one atomic counter (no work stealing,
+//     no per-thread queues — claim order may vary between runs, and that
+//     is fine because it is unobservable);
+//   * each item writes its result into its own pre-allocated slot, and the
+//     caller merges slots in index order — so floating-point accumulation
+//     order, and therefore every emitted bit, is independent of thread
+//     timing.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ddpm::core {
+
+class ParallelRunner {
+ public:
+  /// `jobs` = worker thread count; 0 and 1 both mean "run inline on the
+  /// calling thread" (the serial path spawns nothing, so serial callers
+  /// never pay thread start-up or need thread-safe callables).
+  explicit ParallelRunner(std::size_t jobs) : jobs_(jobs == 0 ? 1 : jobs) {}
+
+  std::size_t jobs() const noexcept { return jobs_; }
+
+  /// Calls fn(i) for every i in [0, n), fanned across the pool. Returns
+  /// after all items completed. If any fn throws, the first exception (in
+  /// completion order) is rethrown after the pool drains; remaining
+  /// unstarted items are skipped.
+  template <typename Fn>
+  void for_each_index(std::size_t n, Fn&& fn) const {
+    if (jobs_ <= 1 || n <= 1) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    auto worker = [&]() {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        try {
+          fn(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          next.store(n, std::memory_order_relaxed);  // stop claiming work
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    const std::size_t workers = std::min(jobs_, n);
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  /// Maps fn over [0, n) and returns the results in index order — the
+  /// deterministic-merge primitive. R must be default-constructible.
+  template <typename R, typename Fn>
+  std::vector<R> map(std::size_t n, Fn&& fn) const {
+    std::vector<R> out(n);
+    for_each_index(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  std::size_t jobs_;
+};
+
+}  // namespace ddpm::core

@@ -1,0 +1,99 @@
+#include "core/sweep_grid.hpp"
+
+#include <sstream>
+
+#include "attack/attacker.hpp"
+#include "core/parallel_runner.hpp"
+#include "topology/factory.hpp"
+
+namespace ddpm::core {
+
+namespace {
+
+/// The scenario every cell shares, specialized by the cell's coordinates.
+/// Mirrors the historical examples/sweep.cpp setup.
+ScenarioConfig cell_config(const SweepSpec& spec, const std::string& topology,
+                           const std::string& scheme,
+                           const std::string& router, double rate) {
+  ScenarioConfig config;
+  config.cluster.topology = topology;
+  config.cluster.router = router;
+  config.cluster.scheme = scheme;
+  config.cluster.seed = spec.seed;
+  config.cluster.benign_rate_per_node = 0.0002;
+  config.identifier = scheme;
+  config.detect_rate_threshold = 0.005;
+  config.duration = 300000;
+  config.attack.kind = attack::AttackKind::kUdpFlood;
+  config.attack.rate_per_zombie = rate;
+  config.attack.start_time = 20000;
+  const auto probe = topo::make_topology(topology);
+  config.attack.victim = probe->num_nodes() - 1;
+  {
+    netsim::Rng rng(99);
+    config.attack.zombies =
+        attack::pick_zombies(*probe, 4, config.attack.victim, rng);
+  }
+  return config;
+}
+
+}  // namespace
+
+std::vector<SweepCell> run_sweep(const SweepSpec& spec) {
+  // Build the cell list (and each cell's scenario) serially so work-item
+  // order — and therefore output order — is fixed before any thread runs.
+  std::vector<SweepCell> cells;
+  std::vector<ScenarioConfig> configs;
+  for (const auto& topology : spec.topologies) {
+    for (const auto& scheme : spec.schemes) {
+      for (const auto& router : spec.routers) {
+        for (const double rate : spec.rates) {
+          cells.push_back(SweepCell{topology, scheme, router, rate, {}});
+          configs.push_back(cell_config(spec, topology, scheme, router, rate));
+        }
+      }
+    }
+  }
+
+  // Fan the flat (cell, replication) grid across the pool; replication r of
+  // a cell draws from jumped stream r of the cell's seed.
+  const std::size_t reps = spec.seeds;
+  const ParallelRunner pool(spec.jobs);
+  const auto outcomes =
+      pool.map<RunOutcome>(cells.size() * reps, [&](std::size_t unit) {
+        ScenarioConfig run_config = configs[unit / reps];
+        run_config.cluster.rng_stream = unit % reps;
+        return run_scenario_once(run_config);
+      });
+
+  // Deterministic merge: replication order within each cell.
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const auto first = outcomes.begin() + std::ptrdiff_t(c * reps);
+    cells[c].summary =
+        summarize(std::vector<RunOutcome>(first, first + std::ptrdiff_t(reps)));
+  }
+  return cells;
+}
+
+std::string sweep_csv_header() {
+  return "topology,scheme,router,attack_rate,seeds,detected_runs,"
+         "detect_latency_mean,detect_latency_sd,tp_mean,fp_mean,"
+         "packets_to_first_id,perfect_runs\n";
+}
+
+std::string sweep_csv(const std::vector<SweepCell>& cells) {
+  std::ostringstream os;
+  os << sweep_csv_header();
+  for (const SweepCell& cell : cells) {
+    const ExperimentSummary& s = cell.summary;
+    os << cell.topology << ',' << cell.scheme << ',' << cell.router << ','
+       << cell.rate << ',' << s.runs << ',' << s.detected_runs << ','
+       << s.detection_latency.mean() << ',' << s.detection_latency.stddev()
+       << ',' << s.true_positives.mean() << ',' << s.false_positives.mean()
+       << ',' << s.packets_to_first_identification.mean() << ','
+       << s.perfect_runs << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ddpm::core

@@ -1,0 +1,52 @@
+// Grid experiment driver: the topology x scheme x router x rate cross
+// product, each cell replicated, the whole grid fanned across threads.
+//
+// This is the library half of examples/sweep.cpp. It lives in core so the
+// determinism suite can assert the hard invariant directly: the CSV a
+// sweep emits is bit-identical for --jobs 1 and --jobs N. That holds
+// because the (cell, replication) work items are independent and the
+// per-cell merge runs serially in replication order (see
+// parallel_runner.hpp).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace ddpm::core {
+
+struct SweepSpec {
+  std::vector<std::string> topologies{"mesh:8x8", "torus:8x8", "hypercube:6"};
+  std::vector<std::string> schemes{"ddpm", "dpm", "ppm-full"};
+  std::vector<std::string> routers{"dor", "adaptive"};
+  std::vector<double> rates{0.005, 0.01};
+
+  /// Replications per cell. Each replication r draws from the jumped
+  /// stream (seed, rng_stream = r) — disjoint by construction.
+  std::size_t seeds = 3;
+  std::uint64_t seed = 42;
+
+  /// Worker threads for the (cell, replication) fan-out.
+  std::size_t jobs = 1;
+};
+
+struct SweepCell {
+  std::string topology;
+  std::string scheme;
+  std::string router;
+  double rate = 0;
+  ExperimentSummary summary;
+};
+
+/// Runs the full grid. Cells appear in cross-product order (topology
+/// outermost, rate innermost), matching the historical sweep CSV layout.
+std::vector<SweepCell> run_sweep(const SweepSpec& spec);
+
+/// One CSV row per cell, plus sweep_csv_header() on top — byte-for-byte
+/// what examples/sweep.cpp prints.
+std::string sweep_csv_header();
+std::string sweep_csv(const std::vector<SweepCell>& cells);
+
+}  // namespace ddpm::core

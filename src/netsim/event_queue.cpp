@@ -1,95 +1,155 @@
 #include "netsim/event_queue.hpp"
 
-#include <utility>
+#include <algorithm>
 
 namespace ddpm::netsim {
 
 EventId EventQueue::schedule(SimTime when, Action action) {
   DDPM_CHECK(when >= last_popped_, "event scheduled in the simulated past");
-  const EventId id = next_id_++;
-  Entry e{when, next_seq_++, id, std::move(action)};
-  heap_.push_back(std::move(e));
-  index_[id] = heap_.size() - 1;
+  const std::uint32_t ticket = acquire_ticket();
+  Ticket& slot = tickets_[ticket];
+  slot.action = std::move(action);
+  slot.live = true;
+  heap_.push_back(Entry{when, next_seq_++, ticket});
   sift_up(heap_.size() - 1);
-  return id;
+  ++live_;
+  return make_id(ticket, slot.generation);
 }
 
 bool EventQueue::cancel(EventId id) {
-  auto it = index_.find(id);
-  if (it == index_.end()) return false;
-  const std::size_t slot = it->second;
-  index_.erase(it);
-  const std::size_t last = heap_.size() - 1;
-  if (slot != last) {
-    Entry moved = std::move(heap_[last]);
-    heap_.pop_back();
-    const bool goes_up = earlier(moved, heap_[slot]);
-    place(slot, std::move(moved));
-    if (goes_up) {
-      sift_up(slot);
-    } else {
-      sift_down(slot);
-    }
-  } else {
-    heap_.pop_back();
-  }
+  const auto ticket = std::uint32_t(id >> 32);
+  const auto generation = std::uint32_t(id);
+  if (ticket >= tickets_.size()) return false;
+  Ticket& slot = tickets_[ticket];
+  if (!slot.live || slot.generation != generation) return false;
+  // Tombstone: the heap entry stays where it is and is skipped when it
+  // surfaces. The action is destroyed now so cancelled captures do not
+  // outlive their cancellation.
+  slot.live = false;
+  slot.action.reset();
+  --live_;
+  ++tombstones_;
+  // Sweep when the dead outnumber the living, so a cancel-heavy workload
+  // (e.g. timers that almost never fire) stays O(live) in memory.
+  if (tombstones_ > 64 && tombstones_ * 2 > heap_.size()) compact();
   return true;
 }
 
 std::pair<SimTime, EventQueue::Action> EventQueue::pop() {
-  DDPM_CHECK(!heap_.empty(), "pop on empty queue");
-  Entry top = std::move(heap_.front());
+  DDPM_CHECK(live_ != 0, "pop on empty queue");
+  prune_dead_top();
+  const Entry top = heap_.front();
+  Ticket& slot = tickets_[top.ticket];
+  DDPM_DCHECK(slot.live, "tombstoned event surfaced as live");
   DDPM_DCHECK(top.when >= last_popped_, "event time went backwards");
   last_popped_ = top.when;
-  index_.erase(top.id);
+  Action action = std::move(slot.action);
+  release_ticket(top.ticket);
+  remove_top();
+  --live_;
+  return {top.when, std::move(action)};
+}
+
+void EventQueue::clear() {
+  // Release every entry's ticket (live or tombstoned) so generations
+  // advance and stale EventIds stay dead, then drop the heap wholesale.
+  for (const Entry& e : heap_) release_ticket(e.ticket);
+  heap_.clear();
+  live_ = 0;
+  tombstones_ = 0;
+  last_popped_ = 0;  // a cleared queue may be reused from time zero
+}
+
+void EventQueue::reserve(std::size_t n) {
+  heap_.reserve(n);
+  tickets_.reserve(n);
+  free_tickets_.reserve(n);
+}
+
+std::uint32_t EventQueue::acquire_ticket() {
+  if (!free_tickets_.empty()) {
+    const std::uint32_t ticket = free_tickets_.back();
+    free_tickets_.pop_back();
+    return ticket;
+  }
+  DDPM_CHECK(tickets_.size() < (std::size_t(1) << 32),
+             "event ticket space exhausted");
+  tickets_.emplace_back();
+  return std::uint32_t(tickets_.size() - 1);
+}
+
+void EventQueue::release_ticket(std::uint32_t ticket) noexcept {
+  Ticket& slot = tickets_[ticket];
+  slot.live = false;
+  slot.action.reset();
+  ++slot.generation;  // invalidates every outstanding id for this slot
+  free_tickets_.push_back(ticket);
+}
+
+void EventQueue::prune_dead_top() noexcept {
+  while (!heap_.empty() && !tickets_[heap_.front().ticket].live) {
+    release_ticket(heap_.front().ticket);
+    remove_top();
+    --tombstones_;
+  }
+}
+
+void EventQueue::remove_top() noexcept {
   const std::size_t last = heap_.size() - 1;
   if (last > 0) {
-    Entry moved = std::move(heap_[last]);
+    heap_.front() = heap_[last];
     heap_.pop_back();
-    place(0, std::move(moved));
     sift_down(0);
   } else {
     heap_.pop_back();
   }
-  return {top.when, std::move(top.action)};
 }
 
-void EventQueue::clear() {
-  heap_.clear();
-  index_.clear();
-  last_popped_ = 0;  // a cleared queue may be reused from time zero
+void EventQueue::compact() {
+  // Drop every tombstoned entry, then heapify what remains. Sequence
+  // numbers survive the rebuild, so (time, seq) FIFO order is unchanged.
+  std::size_t out = 0;
+  for (const Entry& e : heap_) {
+    if (tickets_[e.ticket].live) {
+      heap_[out++] = e;
+    } else {
+      release_ticket(e.ticket);
+    }
+  }
+  heap_.resize(out);
+  tombstones_ = 0;
+  if (out > 1) {
+    for (std::size_t i = (out - 2) / kArity + 1; i-- > 0;) sift_down(i);
+  }
 }
 
-void EventQueue::place(std::size_t i, Entry&& e) {
-  index_[e.id] = i;
-  heap_[i] = std::move(e);
-}
-
-void EventQueue::sift_up(std::size_t i) {
+void EventQueue::sift_up(std::size_t i) noexcept {
+  const Entry e = heap_[i];
   while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
-    if (!earlier(heap_[i], heap_[parent])) break;
-    std::swap(heap_[i], heap_[parent]);
-    index_[heap_[i].id] = i;
-    index_[heap_[parent].id] = parent;
+    const std::size_t parent = (i - 1) / kArity;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
     i = parent;
   }
+  heap_[i] = e;
 }
 
-void EventQueue::sift_down(std::size_t i) {
+void EventQueue::sift_down(std::size_t i) noexcept {
   const std::size_t n = heap_.size();
+  const Entry e = heap_[i];
   for (;;) {
-    std::size_t smallest = i;
-    const std::size_t left = 2 * i + 1;
-    const std::size_t right = 2 * i + 2;
-    if (left < n && earlier(heap_[left], heap_[smallest])) smallest = left;
-    if (right < n && earlier(heap_[right], heap_[smallest])) smallest = right;
-    if (smallest == i) break;
-    std::swap(heap_[i], heap_[smallest]);
-    index_[heap_[i].id] = i;
-    index_[heap_[smallest].id] = smallest;
-    i = smallest;
+    const std::size_t first = i * kArity + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t fence = std::min(first + kArity, n);
+    for (std::size_t c = first + 1; c < fence; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
   }
+  heap_[i] = e;
 }
 
 }  // namespace ddpm::netsim

@@ -1,19 +1,29 @@
 // Discrete-event priority queue with stable FIFO ordering among
-// simultaneous events and O(log n) cancellation.
+// simultaneous events and O(1) cancellation.
 //
-// The queue is a binary min-heap ordered by (time, sequence). The sequence
-// number is assigned at scheduling time, which guarantees that two events
-// scheduled for the same instant fire in scheduling order — essential for
-// deterministic simulations. Cancellation is supported through opaque
-// handles backed by an index map maintained during sift operations.
+// Hot-path design (see docs/PERFORMANCE.md for rationale and numbers):
+//   * Actions are InlineAction (48-byte small-buffer callables) parked in
+//     stable "ticket" slots; nothing on the schedule/pop path allocates
+//     once the backing vectors reach steady-state size.
+//   * The heap is a 4-ary min-heap over 24-byte trivially-copyable entries
+//     {when, seq, ticket} — sifts move three words, never a callable, and
+//     the shallower tree halves the levels touched per pop.
+//   * Ordering is (time, sequence): the sequence number is assigned at
+//     scheduling time, so two events scheduled for the same instant fire
+//     in scheduling order — essential for deterministic simulations.
+//   * Cancellation is a lazy tombstone: cancel() kills the ticket in O(1)
+//     and the dead heap entry is skipped when it surfaces (or swept out
+//     wholesale when tombstones outnumber live entries). EventIds carry a
+//     per-slot generation stamp, so a stale id can never cancel — or
+//     resurrect — a later event that happens to reuse the same slot.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/check.hpp"
+#include "netsim/inline_action.hpp"
 
 namespace ddpm::netsim {
 
@@ -21,12 +31,14 @@ namespace ddpm::netsim {
 /// is; the cluster model uses nanoseconds.
 using SimTime = std::uint64_t;
 
-/// Identifies a scheduled event for cancellation. Ids are never reused.
+/// Identifies a scheduled event for cancellation. Packed (ticket slot,
+/// generation): slots are recycled but generations are not, so an id stays
+/// unambiguous for 2^32 reuses of its slot — far beyond any simulation.
 using EventId = std::uint64_t;
 
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  using Action = InlineAction;
 
   /// Schedules `action` to fire at absolute time `when`. Contract: `when`
   /// must not precede the time of the most recently popped event — the
@@ -34,15 +46,18 @@ class EventQueue {
   EventId schedule(SimTime when, Action action);
 
   /// Cancels a pending event. Returns false if the event already fired or
-  /// was cancelled. O(log n).
+  /// was cancelled. O(1): marks the ticket dead; the heap entry is pruned
+  /// lazily.
   bool cancel(EventId id);
 
-  bool empty() const noexcept { return heap_.empty(); }
-  std::size_t size() const noexcept { return heap_.size(); }
+  bool empty() const noexcept { return live_ == 0; }
+  std::size_t size() const noexcept { return live_; }
 
-  /// Time of the earliest pending event. Precondition: !empty().
-  SimTime next_time() const noexcept {
-    DDPM_DCHECK(!heap_.empty(), "next_time on empty queue");
+  /// Time of the earliest pending event. Precondition: !empty(). Prunes
+  /// tombstones off the top, hence non-const.
+  SimTime next_time() {
+    DDPM_DCHECK(live_ != 0, "next_time on empty queue");
+    prune_dead_top();
     return heap_.front().when;
   }
 
@@ -56,29 +71,59 @@ class EventQueue {
   std::pair<SimTime, Action> pop();
 
   /// Discards all pending events and resets the monotonicity watermark, so
-  /// a cleared queue may be reused from time zero.
+  /// a cleared queue may be reused from time zero. Outstanding EventIds are
+  /// invalidated (their slots' generations advance), never recycled as-is.
   void clear();
 
+  /// Pre-sizes the heap and ticket pool for `n` simultaneous pending
+  /// events, so a steady-state workload grows its storage once instead of
+  /// reallocating through the warm-up ramp.
+  void reserve(std::size_t n);
+
+  /// Cancelled events whose heap entries have not been swept yet.
+  /// Observability hook for tests and the compaction policy.
+  std::size_t tombstone_count() const noexcept { return tombstones_; }
+
  private:
+  /// Trivially copyable; sift operations shuffle these, never an Action.
   struct Entry {
     SimTime when;
     std::uint64_t seq;
-    EventId id;
-    Action action;
+    std::uint32_t ticket;
   };
+
+  /// Stable slot for one scheduled action. `generation` advances every
+  /// time the slot is released, invalidating all prior EventIds for it.
+  struct Ticket {
+    Action action;
+    std::uint32_t generation = 0;
+    bool live = false;
+  };
+
+  static constexpr std::size_t kArity = 4;
 
   static bool earlier(const Entry& a, const Entry& b) noexcept {
     return a.when < b.when || (a.when == b.when && a.seq < b.seq);
   }
 
-  void sift_up(std::size_t i);
-  void sift_down(std::size_t i);
-  void place(std::size_t i, Entry&& e);
+  static EventId make_id(std::uint32_t ticket, std::uint32_t gen) noexcept {
+    return (EventId(ticket) << 32) | gen;
+  }
+
+  std::uint32_t acquire_ticket();
+  void release_ticket(std::uint32_t ticket) noexcept;
+  void prune_dead_top() noexcept;
+  void remove_top() noexcept;
+  void compact();
+  void sift_up(std::size_t i) noexcept;
+  void sift_down(std::size_t i) noexcept;
 
   std::vector<Entry> heap_;
-  std::unordered_map<EventId, std::size_t> index_;  // id -> heap slot
+  std::vector<Ticket> tickets_;
+  std::vector<std::uint32_t> free_tickets_;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
+  std::size_t live_ = 0;        // pending minus tombstoned
+  std::size_t tombstones_ = 0;  // cancelled entries still in heap_
   SimTime last_popped_ = 0;
 };
 

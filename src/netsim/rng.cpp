@@ -11,6 +11,41 @@ double Rng::next_exponential(double rate) noexcept {
   return -std::log(u) / rate;
 }
 
+void Rng::apply_jump_poly(const std::uint64_t (&poly)[4]) noexcept {
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (const std::uint64_t word : poly) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if ((word & (1ULL << bit)) != 0) {
+        s0 ^= state_[0];
+        s1 ^= state_[1];
+        s2 ^= state_[2];
+        s3 ^= state_[3];
+      }
+      next_u64();
+    }
+  }
+  state_[0] = s0;
+  state_[1] = s1;
+  state_[2] = s2;
+  state_[3] = s3;
+}
+
+void Rng::jump() noexcept {
+  // Blackman & Vigna's published xoshiro256** 2^128 jump polynomial.
+  static constexpr std::uint64_t kJump[4] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  apply_jump_poly(kJump);
+}
+
+void Rng::long_jump() noexcept {
+  // Blackman & Vigna's published xoshiro256** 2^192 long-jump polynomial.
+  static constexpr std::uint64_t kLongJump[4] = {
+      0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL, 0x77710069854ee241ULL,
+      0x39109bb02acbe635ULL};
+  apply_jump_poly(kLongJump);
+}
+
 double Rng::next_normal() noexcept {
   // Marsaglia polar method: rejection-sample a point in the unit disc.
   for (;;) {

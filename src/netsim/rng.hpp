@@ -103,14 +103,35 @@ class Rng {
   /// Standard normal via Marsaglia polar method.
   double next_normal() noexcept;
 
-  /// Derives an independent child generator; convenient for giving each
-  /// simulated entity its own stream without correlated sequences.
-  Rng fork() noexcept { return Rng(next_u64() ^ 0xa5a5a5a55a5a5a5aULL); }
+  /// Advances the state by 2^128 steps of next_u64() in O(1) work — the
+  /// canonical xoshiro256** jump polynomial. Two generators started from
+  /// the same seed and separated by jump() calls produce provably
+  /// non-overlapping subsequences for up to 2^128 draws each.
+  void jump() noexcept;
+
+  /// Advances the state by 2^192 steps. Partitions the period into 2^64
+  /// blocks of 2^192 draws; each block in turn holds 2^64 jump()-spaced
+  /// substreams, giving a two-level seed -> replication -> entity stream
+  /// hierarchy with no overlap anywhere.
+  void long_jump() noexcept;
+
+  /// Returns a generator positioned at the current state and advances this
+  /// generator by jump(). Successive calls hand out disjoint 2^128-draw
+  /// streams — the per-entity stream allocator used by the cluster model.
+  Rng jump_stream() noexcept {
+    Rng child = *this;
+    jump();
+    return child;
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));
   }
+
+  /// Applies a jump polynomial (xoshiro's characteristic-polynomial trick):
+  /// accumulates the states reached at the polynomial's set bits.
+  void apply_jump_poly(const std::uint64_t (&poly)[4]) noexcept;
 
   std::uint64_t state_[4]{};
 };

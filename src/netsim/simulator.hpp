@@ -21,9 +21,15 @@ class Simulator {
 
   /// Schedules `action` at absolute time `when`. `when` must not be in the
   /// past; a past timestamp is clamped to `now()` so the event still fires
-  /// (in scheduling order) rather than corrupting the clock.
+  /// (in scheduling order) rather than corrupting the clock. Each clamp is
+  /// counted (see clamped_events()): a model that relies on the clamp is
+  /// usually mis-computing timestamps, and the counter makes that visible.
   EventId schedule_at(SimTime when, EventQueue::Action action) {
-    return queue_.schedule(when < now_ ? now_ : when, std::move(action));
+    if (when < now_) {
+      ++clamped_;
+      when = now_;
+    }
+    return queue_.schedule(when, std::move(action));
   }
 
   bool cancel(EventId id) { return queue_.cancel(id); }
@@ -39,8 +45,16 @@ class Simulator {
   /// Number of events executed since construction.
   std::uint64_t events_executed() const noexcept { return executed_; }
 
+  /// Number of schedule_at() calls whose timestamp was in the past and got
+  /// clamped to now(). Zero in a healthy model; see schedule_at().
+  std::uint64_t clamped_events() const noexcept { return clamped_; }
+
   bool pending() const noexcept { return !queue_.empty(); }
   std::size_t pending_count() const noexcept { return queue_.size(); }
+
+  /// Pre-sizes the event queue for `n` simultaneous pending events
+  /// (grow-once for steady-state workloads).
+  void reserve(std::size_t n) { queue_.reserve(n); }
 
   /// Drops all pending events; the clock is left where it is.
   void clear_pending() { queue_.clear(); }
@@ -49,6 +63,7 @@ class Simulator {
   EventQueue queue_;
   SimTime now_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t clamped_ = 0;
 };
 
 }  // namespace ddpm::netsim

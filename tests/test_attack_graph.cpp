@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "topology/mesh.hpp"
 
 namespace ddpm::analysis {

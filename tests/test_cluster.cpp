@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "marking/ddpm.hpp"
 
 namespace ddpm::cluster {

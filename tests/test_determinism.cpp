@@ -9,8 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include "core/experiment.hpp"
 #include "core/report_json.hpp"
 #include "core/sis.hpp"
+#include "core/sweep_grid.hpp"
 
 namespace ddpm::core {
 namespace {
@@ -69,6 +71,59 @@ TEST(Determinism, DifferentSeedsDiverge) {
   const std::string a = run_to_json(scenario("mesh:6x6", "adaptive", 1));
   const std::string b = run_to_json(scenario("mesh:6x6", "adaptive", 2));
   EXPECT_NE(a, b);
+}
+
+TEST(Determinism, ReplicationStreamsDiverge) {
+  // Replications share a seed but take disjoint RNG streams; each stream
+  // must produce a distinct scenario trajectory.
+  auto config = scenario("mesh:6x6", "adaptive", 1234);
+  const std::string s0 = run_to_json(config);
+  config.cluster.rng_stream = 1;
+  const std::string s1 = run_to_json(config);
+  EXPECT_NE(s0, s1);
+}
+
+/// A small sweep grid used to pin parallel output to serial output.
+SweepSpec small_sweep(std::size_t jobs) {
+  SweepSpec spec;
+  spec.topologies = {"mesh:4x4", "torus:4x4"};
+  spec.schemes = {"ddpm", "dpm"};
+  spec.routers = {"adaptive"};
+  spec.rates = {0.01};
+  spec.seeds = 3;
+  spec.jobs = jobs;
+  return spec;
+}
+
+TEST(Determinism, SweepOutputBitIdenticalAcrossJobCounts) {
+  // The parallel runner merges replications in (cell, stream) order, so
+  // the rendered CSV must be byte-identical no matter how many threads
+  // carried the work.
+  const std::string serial = sweep_csv(run_sweep(small_sweep(1)));
+  const std::string parallel = sweep_csv(run_sweep(small_sweep(4)));
+  EXPECT_EQ(digest(serial), digest(parallel));
+  ASSERT_EQ(serial, parallel);
+  const std::string parallel8 = sweep_csv(run_sweep(small_sweep(8)));
+  ASSERT_EQ(serial, parallel8);
+}
+
+TEST(Determinism, RepeatedRunsParallelMatchesSerial) {
+  const auto config = scenario("mesh:6x6", "adaptive", 99);
+  const auto serial = run_replications(config, 4, 1);
+  const auto parallel = run_replications(config, 4, 4);
+  EXPECT_EQ(serial.runs, parallel.runs);
+  EXPECT_EQ(serial.detected_runs, parallel.detected_runs);
+  EXPECT_EQ(serial.perfect_runs, parallel.perfect_runs);
+  // Exact equality on the floating aggregates: the merge is serial and in
+  // replication order, so not even the summation order may differ.
+  EXPECT_EQ(serial.true_positives.mean(), parallel.true_positives.mean());
+  EXPECT_EQ(serial.false_positives.mean(), parallel.false_positives.mean());
+  EXPECT_EQ(serial.detection_latency.mean(),
+            parallel.detection_latency.mean());
+  EXPECT_EQ(serial.packets_to_first_identification.mean(),
+            parallel.packets_to_first_identification.mean());
+  EXPECT_EQ(serial.benign_latency_mean.mean(),
+            parallel.benign_latency_mean.mean());
 }
 
 }  // namespace

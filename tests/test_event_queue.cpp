@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
 #include <vector>
 
 namespace ddpm::netsim {
@@ -81,6 +85,195 @@ TEST(EventQueue, ClearEmptiesQueue) {
   q.clear();
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, MoveOnlyActionsAreSupported) {
+  // std::function rejects move-only callables; InlineAction must not.
+  EventQueue q;
+  auto owned = std::make_unique<int>(7);
+  int seen = 0;
+  q.schedule(1, [&seen, owned = std::move(owned)] { seen = *owned; });
+  q.pop().second();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(EventQueue, ReservePreservesBehavior) {
+  EventQueue q;
+  q.reserve(1000);
+  std::vector<int> fired;
+  for (int i = 10; i-- > 0;) {
+    q.schedule(SimTime(i), [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_LT(fired[i - 1], fired[i]);
+  }
+  EXPECT_EQ(fired.size(), 10u);
+}
+
+// Randomized differential test: the queue against a std::multimap reference
+// model under interleaved schedule/cancel/pop. The model orders by
+// (time, seq) exactly as the queue contracts to, so any divergence in pop
+// order — including same-instant FIFO order — or in cancel results fails.
+TEST(EventQueue, StressMatchesMultimapModel) {
+  EventQueue q;
+  using Key = std::pair<SimTime, std::uint64_t>;  // (when, schedule order)
+  std::map<Key, std::uint64_t> model;             // -> model token
+  std::map<std::uint64_t, std::pair<EventId, Key>> pending;  // token -> id
+  std::uint64_t next_token = 0;
+  std::uint64_t schedule_order = 0;
+  std::uint64_t fired_token = 0;
+  bool fired = false;
+
+  std::uint64_t x = 0x243f6a8885a308d3ull;
+  auto rnd = [&x](std::uint64_t bound) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x % bound;
+  };
+
+  SimTime now = 0;
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t op = rnd(10);
+    if (op < 5 || model.empty()) {
+      // Schedule at or after `now` (the queue forbids the simulated past).
+      const SimTime when = now + rnd(50);
+      const std::uint64_t token = next_token++;
+      const Key key{when, schedule_order++};
+      const EventId id = q.schedule(when, [&fired_token, &fired, token] {
+        fired_token = token;
+        fired = true;
+      });
+      model.emplace(key, token);
+      pending.emplace(token, std::make_pair(id, key));
+    } else if (op < 7) {
+      // Cancel a pending-or-not event; results must agree with the model.
+      if (!pending.empty()) {
+        auto it = pending.begin();
+        std::advance(it, long(rnd(pending.size())));
+        const auto [id, key] = it->second;
+        const bool in_model = model.count(key) > 0;
+        EXPECT_EQ(q.cancel(id), in_model);
+        model.erase(key);
+        EXPECT_FALSE(q.cancel(id)) << "double cancel must fail";
+        if (rnd(2) == 0) pending.erase(it);  // keep some ids around as stale
+      }
+    } else {
+      // Pop: earliest (time, seq) of the model must come out, FIFO for ties.
+      ASSERT_EQ(q.empty(), model.empty());
+      ASSERT_EQ(q.size(), model.size());
+      if (!model.empty()) {
+        EXPECT_EQ(q.next_time(), model.begin()->first.first);
+        fired = false;
+        auto [when, action] = q.pop();
+        action();
+        ASSERT_TRUE(fired);
+        EXPECT_EQ(when, model.begin()->first.first);
+        EXPECT_EQ(fired_token, model.begin()->second);
+        now = when;
+        model.erase(model.begin());
+      }
+    }
+  }
+  // Drain: remaining order must match the model exactly.
+  while (!model.empty()) {
+    fired = false;
+    q.pop().second();
+    ASSERT_TRUE(fired);
+    EXPECT_EQ(fired_token, model.begin()->second);
+    model.erase(model.begin());
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+// The cancelled action below is a land mine: if tombstone slot reuse ever
+// resurrected a cancelled event, draining the queue would trip
+// DDPM_UNREACHABLE and abort. The companion death test proves the mine is
+// armed by firing an identical, *uncancelled* action.
+TEST(EventQueueDeathTest, TombstoneReuseNeverResurrectsCancelledEvent) {
+  // Control: the same action, not cancelled, must abort the process —
+  // otherwise the main assertion below would be vacuous.
+  EXPECT_DEATH(
+      {
+        EventQueue q;
+        q.schedule(1, [] { DDPM_UNREACHABLE("armed action fired"); });
+        q.pop().second();
+      },
+      "armed action fired");
+
+  EventQueue q;
+  std::vector<EventId> mines;
+  for (int i = 0; i < 64; ++i) {
+    mines.push_back(
+        q.schedule(5, [] { DDPM_UNREACHABLE("cancelled event fired"); }));
+  }
+  for (const EventId id : mines) EXPECT_TRUE(q.cancel(id));
+  // Churn hard enough that every tombstoned ticket slot is reused several
+  // times (the freelist hands slots back LIFO).
+  int benign_fired = 0;
+  for (int round = 0; round < 8; ++round) {
+    std::vector<EventId> ids;
+    for (int i = 0; i < 64; ++i) {
+      ids.push_back(q.schedule(SimTime(5 + round), [&benign_fired] {
+        ++benign_fired;
+      }));
+    }
+    // Stale ids from the mined generation must stay dead forever.
+    for (const EventId id : mines) EXPECT_FALSE(q.cancel(id));
+    for (std::size_t i = 0; i < ids.size(); i += 2) EXPECT_TRUE(q.cancel(ids[i]));
+  }
+  while (!q.empty()) q.pop().second();  // a resurrection would abort here
+  EXPECT_EQ(benign_fired, 8 * 32);
+}
+
+TEST(EventQueue, StaleIdsStayDeadAcrossClear) {
+  EventQueue q;
+  const EventId id = q.schedule(3, [] {});
+  q.clear();
+  EXPECT_FALSE(q.cancel(id));
+  // The slot is recycled for the next event; the stale id must not hit it.
+  bool fired = false;
+  q.schedule(1, [&fired] { fired = true; });
+  EXPECT_FALSE(q.cancel(id));
+  q.pop().second();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, TombstoneCountTracksLazyCancellation) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 32; ++i) ids.push_back(q.schedule(SimTime(i), [] {}));
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.cancel(ids[std::size_t(i)]));
+  EXPECT_EQ(q.size(), 24u);
+  EXPECT_EQ(q.tombstone_count(), 8u);
+  // Popping past the dead prefix sweeps the tombstones out.
+  q.pop().second();
+  EXPECT_EQ(q.tombstone_count(), 0u);
+}
+
+TEST(EventQueue, HeavyCancellationCompactsStorage) {
+  // Cancel nearly everything, repeatedly; the sweep keeps the queue usable
+  // and ordering intact (cancel-heavy timer workloads).
+  EventQueue q;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<EventId> ids;
+    for (int i = 0; i < 400; ++i) {
+      ids.push_back(q.schedule(SimTime(round * 1000 + i), [] {}));
+    }
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (i % 100 != 0) {
+        EXPECT_TRUE(q.cancel(ids[i]));
+      }
+    }
+  }
+  EXPECT_EQ(q.size(), 50u * 4u);
+  SimTime last = 0;
+  while (!q.empty()) {
+    auto [when, action] = q.pop();
+    EXPECT_GE(when, last);
+    last = when;
+  }
 }
 
 TEST(EventQueue, StressRandomOrderStaysSorted) {

@@ -103,12 +103,65 @@ TEST(Rng, NormalHasZeroMeanUnitVariance) {
   EXPECT_NEAR(sumsq / kSamples, 1.0, 0.03);
 }
 
-TEST(Rng, ForkProducesIndependentStream) {
-  Rng parent(37);
-  Rng child = parent.fork();
-  int same = 0;
-  for (int i = 0; i < 100; ++i) same += (parent.next_u64() == child.next_u64());
-  EXPECT_EQ(same, 0);
+TEST(Rng, JumpChangesStateDeterministically) {
+  Rng a(37), b(37);
+  a.jump();
+  b.jump();
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, JumpStreamAdvancesParentPastChild) {
+  // jump_stream() hands out the *current* stream and leaves the parent
+  // 2^128 steps ahead, so dealing streams in a loop yields disjoint ones.
+  Rng parent(41);
+  Rng here = parent;    // the stream jump_stream() should hand out
+  Rng jumped = parent;  // where the parent should land
+  jumped.jump();
+  Rng child = parent.jump_stream();
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(child.next_u64(), here.next_u64());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(parent.next_u64(), jumped.next_u64());
+  }
+}
+
+TEST(Rng, JumpedStreamsShareNoOutputs) {
+  // Streams dealt by jump() are 2^128 steps apart; their outputs must be
+  // disjoint over any window we can afford to check. Collect the first 4k
+  // 64-bit outputs of the base stream and of three successively jumped
+  // streams and require zero overlap (a collision among 16k draws from a
+  // 2^64 space is astronomically unlikely unless the streams overlap).
+  Rng base(43);
+  std::set<std::uint64_t> seen;
+  Rng s0 = base.jump_stream();
+  Rng s1 = base.jump_stream();
+  Rng s2 = base.jump_stream();
+  Rng s3 = base.jump_stream();
+  for (Rng* s : {&s0, &s1, &s2, &s3}) {
+    for (int i = 0; i < 4096; ++i) {
+      const auto v = s->next_u64();
+      EXPECT_TRUE(seen.insert(v).second)
+          << "output shared between jumped streams";
+    }
+  }
+  EXPECT_EQ(seen.size(), 4u * 4096u);
+}
+
+TEST(Rng, LongJumpIsDisjointFromJumpedStreams) {
+  // long_jump() is 2^192 steps — far beyond any ladder of 2^128 jumps we
+  // could take, so replication-level streams never collide with
+  // entity-level jumped streams.
+  Rng a(47);
+  Rng b = a;
+  b.long_jump();
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 4096; ++i) seen.insert(a.next_u64());
+  for (int i = 0; i < 4096; ++i) {
+    EXPECT_TRUE(seen.insert(b.next_u64()).second);
+  }
+  a.jump();
+  for (int i = 0; i < 4096; ++i) {
+    EXPECT_TRUE(seen.insert(a.next_u64()).second);
+  }
 }
 
 TEST(SplitMix64, KnownFirstOutputsDiffer) {

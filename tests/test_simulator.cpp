@@ -79,6 +79,32 @@ TEST(Simulator, PastScheduleAtClampsToNow) {
   EXPECT_EQ(when, 50u);
 }
 
+TEST(Simulator, ClampedEventsAreCounted) {
+  // The clamp keeps past-stamped events from corrupting the clock, but a
+  // model leaning on it is mis-computing timestamps; the counter makes
+  // that visible without turning the clamp into a hard failure.
+  Simulator sim;
+  sim.schedule_at(100, [&] {
+    sim.schedule_at(10, [] {});   // past: clamped
+    sim.schedule_at(100, [] {});  // exactly now: not a clamp
+    sim.schedule_at(30, [] {});   // past: clamped
+    sim.schedule_at(200, [] {});  // future: not a clamp
+  });
+  EXPECT_EQ(sim.clamped_events(), 0u);
+  sim.run();
+  EXPECT_EQ(sim.clamped_events(), 2u);
+}
+
+TEST(Simulator, ReserveDoesNotDisturbPendingEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(5, [&] { ++fired; });
+  sim.reserve(4096);
+  sim.schedule_at(6, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
 TEST(Simulator, ClearPendingDropsEvents) {
   Simulator sim;
   int fired = 0;

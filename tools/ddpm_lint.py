@@ -21,6 +21,12 @@ clang-tidy knows about (registered as the `repo_lint` ctest):
                      the trace module's .cpp files, and <iostream> in a
                      header drags static init into every TU.
   5. no-using-std    no `using namespace std;` anywhere.
+  6. netsim-no-std-function
+                     no `std::function` (or <functional> include) in
+                     src/netsim/ headers — the event kernel's hot path is
+                     allocation-free by design (InlineAction); a
+                     std::function sneaking back in silently reintroduces
+                     a heap allocation per scheduled event.
 
 A line may opt out of one rule with an inline suppression comment naming
 it, e.g. `#include <cstdio>  // ddpm-lint: allow(header-io)`. Suppressions
@@ -148,6 +154,24 @@ def check_header_io(root: Path) -> list[Violation]:
     return out
 
 
+STD_FUNCTION = re.compile(r"std\s*::\s*function\s*<|#\s*include\s*<functional>")
+
+
+def check_netsim_no_std_function(root: Path) -> list[Violation]:
+    out = []
+    for path in iter_source(root, ("src/netsim",), (".hpp", ".h")):
+        for n, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+            if STD_FUNCTION.search(strip_comments(line)) and not suppressed(
+                line, "netsim-no-std-function"
+            ):
+                out.append(
+                    (path, n, "netsim-no-std-function",
+                     "std::function in the event kernel allocates per event;"
+                     " use netsim::InlineAction")
+                )
+    return out
+
+
 def check_using_namespace_std(root: Path) -> list[Violation]:
     pat = re.compile(r"using\s+namespace\s+std\s*;")
     out = []
@@ -174,6 +198,7 @@ def main(argv: list[str]) -> int:
         check_float_compare,
         check_header_io,
         check_using_namespace_std,
+        check_netsim_no_std_function,
     ):
         violations.extend(check(root))
 
