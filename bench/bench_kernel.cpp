@@ -147,7 +147,8 @@ core::SweepSpec sweep_spec(std::size_t seeds, std::size_t jobs) {
 void write_json(const std::string& path, const std::vector<Result>& results,
                 std::size_t jobs, bool smoke) {
   std::ofstream out(path);
-  out << "{\n  \"bench\": \"kernel\",\n  \"mode\": \""
+  out << "{\n  \"bench\": \"kernel\",\n"
+      << bench::provenance_json_fields() << ",\n  \"mode\": \""
       << (smoke ? "smoke" : "full") << "\",\n  \"jobs\": " << jobs
       << ",\n  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {

@@ -17,6 +17,8 @@
 #include "core/report_json.hpp"
 #include "core/sis.hpp"
 #include "analysis/attack_graph.hpp"
+#include "telemetry/probes.hpp"
+#include "telemetry/trace.hpp"
 #include "trace/trace.hpp"
 
 namespace {
@@ -54,7 +56,11 @@ void usage() {
       "  --duration T         simulated ticks (default 400000)\n"
       "  --repeat N           run N seeds and report aggregate statistics\n"
       "  --json               emit the config+report as JSON on stdout\n"
-      "  --trace FILE         write a CSV trace of victim deliveries\n"
+      "  --trace FILE         write a Chrome trace_event JSON of the run\n"
+      "                       (open in chrome://tracing or Perfetto)\n"
+      "  --metrics FILE       write the telemetry registry snapshot as JSON\n"
+      "                       (works with --repeat: replications merged)\n"
+      "  --delivery-log FILE  write a CSV log of victim deliveries\n"
       "  --dot FILE           write a Graphviz attack graph of verdicts\n";
 }
 
@@ -94,6 +100,8 @@ int main(int argc, char** argv) {
   bool victim_given = false;
   bool json_output = false;
   std::string trace_path;
+  std::string metrics_path;
+  std::string delivery_log_path;
   std::string dot_path;
   std::size_t repeat = 0;
 
@@ -151,6 +159,10 @@ int main(int argc, char** argv) {
         json_output = true;
       } else if (arg == "--trace") {
         trace_path = value();
+      } else if (arg == "--metrics") {
+        metrics_path = value();
+      } else if (arg == "--delivery-log") {
+        delivery_log_path = value();
       } else if (arg == "--dot") {
         dot_path = value();
       } else if (arg == "--repeat") {
@@ -180,21 +192,42 @@ int main(int argc, char** argv) {
                 << attack::to_string(config.attack.spoof) << ")\n\n";
     }
 
+    auto open_output = [](const std::string& path) {
+      std::ofstream file(path);
+      if (!file) throw std::invalid_argument("cannot open file: " + path);
+      return file;
+    };
+    auto write_metrics = [&](const telemetry::MetricsSnapshot& snapshot) {
+      if (metrics_path.empty()) return;
+      auto file = open_output(metrics_path);
+      file << snapshot.to_json() << '\n';
+      if (!json_output) {
+        std::cout << "metrics: " << snapshot.series() << " series -> "
+                  << metrics_path << '\n';
+      }
+    };
+
     if (repeat > 0) {
+      if (!trace_path.empty()) {
+        throw std::invalid_argument("--trace needs a single run (drop --repeat)");
+      }
       const auto summary = core::run_repeated_n(config, repeat);
+      write_metrics(summary.telemetry);
       std::cout << summary.to_string() << '\n';
       return 0;
     }
 
     core::SourceIdentificationSystem system(config);
-    std::ofstream trace_file;
-    std::unique_ptr<trace::TraceWriter> tracer;
+    telemetry::Tracer chrome_tracer;
     if (!trace_path.empty()) {
-      trace_file.open(trace_path);
-      if (!trace_file) {
-        throw std::invalid_argument("cannot open trace file: " + trace_path);
-      }
-      tracer = std::make_unique<trace::TraceWriter>(trace_file);
+      telemetry::name_standard_processes(chrome_tracer);
+      system.set_tracer(&chrome_tracer);
+    }
+    std::ofstream delivery_log_file;
+    std::unique_ptr<trace::TraceWriter> tracer;
+    if (!delivery_log_path.empty()) {
+      delivery_log_file = open_output(delivery_log_path);
+      tracer = std::make_unique<trace::TraceWriter>(delivery_log_file);
       const auto victim = config.attack.victim;
       system.set_observer([&tracer, victim](const pkt::Packet& p,
                                             topo::NodeId at) {
@@ -202,6 +235,16 @@ int main(int argc, char** argv) {
       });
     }
     const core::ScenarioReport report = system.run();
+    if (!trace_path.empty()) {
+      auto trace_file = open_output(trace_path);
+      chrome_tracer.flush(trace_file);
+      if (!json_output) {
+        std::cout << "trace: " << chrome_tracer.retained() << " events ("
+                  << chrome_tracer.dropped() << " dropped) -> " << trace_path
+                  << '\n';
+      }
+    }
+    write_metrics(report.telemetry);
     if (!dot_path.empty()) {
       analysis::AttackGraph graph(config.attack.victim);
       for (const auto& e : report.identifications) {
@@ -219,8 +262,8 @@ int main(int argc, char** argv) {
       }
     }
     if (tracer && !json_output) {
-      std::cout << "trace: " << tracer->records_written()
-                << " victim deliveries -> " << trace_path << "\n\n";
+      std::cout << "delivery log: " << tracer->records_written()
+                << " victim deliveries -> " << delivery_log_path << "\n\n";
     }
     if (json_output) {
       std::cout << core::to_json(config, report) << '\n';

@@ -10,6 +10,7 @@
 //   $ ./sweep --jobs 8 > sweep.csv
 //   $ ./sweep --topologies mesh:8x8,torus:8x8 --schemes ddpm,dpm
 //       (continued:) --routers dor,adaptive --rates 0.002,0.01 --seeds 5
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <vector>
@@ -40,6 +41,7 @@ std::vector<double> split_doubles(const std::string& text) {
 
 int main(int argc, char** argv) {
   core::SweepSpec spec;
+  std::string metrics_path;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -60,16 +62,27 @@ int main(int argc, char** argv) {
         spec.seeds = std::stoul(value());
       } else if (arg == "--jobs") {
         spec.jobs = std::stoul(value());
+      } else if (arg == "--metrics") {
+        metrics_path = value();
       } else if (arg == "--help" || arg == "-h") {
         std::cout << "sweep --topologies a,b --schemes a,b --routers a,b "
-                     "--rates r1,r2 --seeds N --jobs N\n";
+                     "--rates r1,r2 --seeds N --jobs N "
+                     "[--metrics telemetry.json]\n";
         return 0;
       } else {
         throw std::invalid_argument("unknown option: " + arg);
       }
     }
 
-    std::cout << core::sweep_csv(core::run_sweep(spec));
+    const auto cells = core::run_sweep(spec);
+    std::cout << core::sweep_csv(cells);
+    if (!metrics_path.empty()) {
+      std::ofstream file(metrics_path);
+      if (!file) {
+        throw std::invalid_argument("cannot open metrics file: " + metrics_path);
+      }
+      file << core::sweep_metrics_json(cells) << '\n';
+    }
     return 0;
   } catch (const std::exception& err) {
     std::cerr << "error: " << err.what() << '\n';

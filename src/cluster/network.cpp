@@ -15,13 +15,16 @@ ClusterNetwork::ClusterNetwork(const ClusterConfig& config)
       scheme_(mark::make_scheme(config.scheme, *topo_, config.ppm_probability,
                                 config.seed ^ 0x5eedULL)),
       pattern_(attack::make_pattern(config.pattern, *topo_)),
+      registry_(config.telemetry),
       link_state_(*this) {
+  if (scheme_ != nullptr) scheme_->bind_telemetry(&registry_);
   switch_env_.sim = &sim_;
   switch_env_.topo = topo_.get();
   switch_env_.router = router_.get();
   switch_env_.scheme = scheme_.get();
   switch_env_.links = &link_state_;
   switch_env_.metrics = &metrics_;
+  switch_env_.registry = &registry_;
   switch_env_.deliver = [this](pkt::Packet&& p, topo::NodeId at) {
     deliver_local(std::move(p), at);
   };
@@ -106,6 +109,32 @@ void ClusterNetwork::deliver_local(pkt::Packet&& packet, topo::NodeId at) {
     return;
   }
   nodes_[at].receive(std::move(packet));
+}
+
+void ClusterNetwork::set_tracer(telemetry::Tracer* tracer) {
+  switch_env_.tracer = tracer;
+  sim_.attach_tracer(tracer);
+}
+
+telemetry::MetricsSnapshot ClusterNetwork::telemetry_snapshot() {
+  // Kernel and network aggregates live outside the registry (the kernel so
+  // its hot loop never touches telemetry slots; Metrics because it predates
+  // the registry). Publish them as gauges at snapshot time: gauge values sum
+  // across replication merges, exactly like the counters they mirror.
+  registry_.gauge("sim.events_executed").set(double(sim_.events_executed()));
+  registry_.gauge("sim.clamped_schedules").set(double(sim_.clamped_events()));
+  registry_.gauge("sim.now_ticks").set(double(sim_.now()));
+  registry_.gauge("sim.pending_events").set(double(sim_.pending_count()));
+  registry_.gauge("net.injected_benign").set(double(metrics_.injected_benign));
+  registry_.gauge("net.injected_attack").set(double(metrics_.injected_attack));
+  registry_.gauge("net.delivered_benign").set(double(metrics_.delivered_benign));
+  registry_.gauge("net.delivered_attack").set(double(metrics_.delivered_attack));
+  registry_.gauge("net.blocked_at_source").set(double(metrics_.blocked_at_source));
+  registry_.gauge("net.dropped_spoofed_ingress")
+      .set(double(metrics_.dropped_spoofed_ingress));
+  registry_.gauge("net.filtered_at_victim")
+      .set(double(metrics_.filtered_at_victim));
+  return registry_.snapshot();
 }
 
 std::size_t ClusterNetwork::infected_count() const {

@@ -60,6 +60,11 @@ struct ClusterConfig {
   std::uint64_t rng_stream = 0;
   bool record_traces = false;
   double ppm_probability = 0.04;
+
+  /// Runtime telemetry gate: when false the metrics registry hands out
+  /// inert handles, so probes cost one predicted-not-taken branch. The
+  /// compile-time gate is the DDPM_TELEMETRY CMake option.
+  bool telemetry = true;
 };
 
 class ClusterNetwork {
@@ -94,6 +99,16 @@ class ClusterNetwork {
   netsim::Simulator& sim() noexcept { return sim_; }
   Metrics& metrics() noexcept { return metrics_; }
   const Metrics& metrics() const noexcept { return metrics_; }
+  telemetry::Registry& registry() noexcept { return registry_; }
+
+  /// Routes trace events from the kernel and all switches to `tracer`
+  /// (nullptr detaches). The tracer must outlive the network or be
+  /// detached before destruction.
+  void set_tracer(telemetry::Tracer* tracer);
+
+  /// Publishes kernel/network aggregates into the registry and returns a
+  /// sorted snapshot of every series. Safe to call repeatedly.
+  telemetry::MetricsSnapshot telemetry_snapshot();
   detect::BlockingFilter& filter() noexcept { return filter_; }
   topo::LinkFailureSet& failures() noexcept { return failures_; }
   const ClusterConfig& config() const noexcept { return config_; }
@@ -132,6 +147,9 @@ class ClusterNetwork {
   topo::LinkFailureSet failures_;
   netsim::Simulator sim_;
   Metrics metrics_;
+  /// Declared before switches_ so per-switch series registration in the
+  /// Switch constructors happens against a live registry.
+  telemetry::Registry registry_;
   detect::BlockingFilter filter_;
   attack::AttackConfig attack_;
   QueueLinkState link_state_;

@@ -4,11 +4,32 @@
 
 namespace ddpm::cluster {
 
+std::vector<std::string> telemetry_port_labels(const topo::Topology& topo) {
+  std::vector<std::string> labels;
+  labels.reserve(std::size_t(topo.num_ports()));
+  for (int p = 0; p < topo.num_ports(); ++p) {
+    if (topo.kind() == topo::TopologyKind::kHypercube) {
+      labels.push_back("d" + std::to_string(p));
+      continue;
+    }
+    const int dim = p / 2;
+    const char sign = (p % 2 == 0) ? '-' : '+';
+    if (dim < 4) {
+      labels.push_back(std::string(1, sign) + "xyzw"[dim]);
+    } else {
+      labels.push_back(std::string(1, sign) + "dim" + std::to_string(dim));
+    }
+  }
+  return labels;
+}
+
 Switch::Switch(NodeId id, Env* env, netsim::Rng rng)
     : id_(id),
       env_(env),
       rng_(rng),
-      ports_(std::size_t(env->topo->num_ports())) {}
+      ports_(std::size_t(env->topo->num_ports())) {
+  probes_.bind(env_->registry, id_, telemetry_port_labels(*env_->topo));
+}
 
 void Switch::inject(pkt::Packet&& packet) {
   if (env_->scheme != nullptr) env_->scheme->on_injection(packet, id_);
@@ -18,6 +39,7 @@ void Switch::inject(pkt::Packet&& packet) {
 void Switch::handle(pkt::Packet&& packet, Port arrived_on) {
   if (packet.dest_node == id_) {
     packet.delivered_at = env_->sim->now();
+    probes_.on_local_delivery();
     env_->deliver(std::move(packet), id_);
     return;
   }
@@ -25,22 +47,29 @@ void Switch::handle(pkt::Packet&& packet, Port arrived_on) {
                                                 arrived_on, *env_->links, rng_);
   if (!port) {
     ++env_->metrics->dropped_no_route;
+    probes_.on_drop_no_route(env_->tracer, id_);
     return;
   }
   if (packet.header.decrement_ttl() == 0) {
     ++env_->metrics->dropped_ttl;
+    probes_.on_drop_ttl(env_->tracer, id_);
     return;
   }
   OutputPort& out = ports_[std::size_t(*port)];
   if (out.queue.size() >= env_->queue_capacity) {
     ++env_->metrics->dropped_queue_full;
+    probes_.on_drop_queue_full(env_->tracer, id_);
     return;
   }
   const NodeId next = *env_->topo->neighbor(id_, *port);
-  if (env_->scheme != nullptr) env_->scheme->on_forward(packet, id_, next);
+  if (env_->scheme != nullptr) {
+    env_->scheme->on_forward(packet, id_, next);
+    probes_.on_mark_hook();
+  }
   ++packet.hops;
   if (!packet.trace.empty()) packet.trace.push_back(next);
   out.queue.push_back(std::move(packet));
+  probes_.on_forward(out.queue.size());
   start_transmission(*port);
 }
 
@@ -53,6 +82,11 @@ void Switch::start_transmission(Port port) {
   const auto tx_ticks = netsim::SimTime(
       std::ceil(double(packet.wire_bytes()) / env_->link_bandwidth));
   const NodeId next = *env_->topo->neighbor(id_, port);
+  // The span covers serialization + propagation; both durations are known
+  // at schedule time, so one complete event suffices (no open/close pair).
+  probes_.on_tx(env_->tracer, id_, std::size_t(port), packet.wire_bytes(),
+                tx_ticks, env_->sim->now(),
+                env_->sim->now() + tx_ticks + env_->link_latency);
   // Link frees up after serialization; the packet lands after propagation.
   env_->sim->schedule_in(tx_ticks, [this, port]() {
     ports_[std::size_t(port)].busy = false;

@@ -20,6 +20,7 @@
 #include "netsim/rng.hpp"
 #include "netsim/simulator.hpp"
 #include "routing/router.hpp"
+#include "telemetry/probes.hpp"
 
 namespace ddpm::cluster {
 
@@ -36,6 +37,11 @@ class Switch {
     mark::MarkingScheme* scheme = nullptr;  // nullable: unmarked network
     const route::LinkStateView* links = nullptr;
     Metrics* metrics = nullptr;
+    /// Per-switch/per-port registry series; nullable (no registration).
+    telemetry::Registry* registry = nullptr;
+    /// Event tracer for drop instants and link-transmission spans. Owned by
+    /// the driver; the network rebinds it on all switches via set_tracer().
+    telemetry::Tracer* tracer = nullptr;
     /// Hands a packet to the local compute node.
     std::function<void(pkt::Packet&&, NodeId at)> deliver;
     /// Hands a packet to the neighbor switch (already past the link).
@@ -79,6 +85,12 @@ class Switch {
   Env* env_;
   netsim::Rng rng_;
   std::vector<OutputPort> ports_;
+  telemetry::SwitchProbes probes_;
 };
+
+/// Human-readable per-port labels for telemetry: "-x"/"+x"/... on mesh and
+/// torus (port 2d is the negative direction in dimension d), "d0"/"d1"/...
+/// on the hypercube.
+std::vector<std::string> telemetry_port_labels(const topo::Topology& topo);
 
 }  // namespace ddpm::cluster

@@ -33,10 +33,12 @@ namespace ddpm::core::detail {
                                           const char* message, const char* file,
                                           int line) noexcept {
   if (message != nullptr && message[0] != '\0') {
-    std::fprintf(stderr, "%s failure: %s (%s) at %s:%d\n", kind, expr, message,
+    std::fprintf(stderr,  // ddpm-lint: allow(src-no-console) — abort path
+                 "%s failure: %s (%s) at %s:%d\n", kind, expr, message,
                  file, line);
   } else {
-    std::fprintf(stderr, "%s failure: %s at %s:%d\n", kind, expr, file, line);
+    std::fprintf(stderr,  // ddpm-lint: allow(src-no-console) — abort path
+                 "%s failure: %s at %s:%d\n", kind, expr, file, line);
   }
   std::fflush(stderr);
   std::abort();

@@ -9,7 +9,7 @@ namespace ddpm::core {
 
 RunOutcome run_scenario_once(const ScenarioConfig& config) {
   SourceIdentificationSystem system(config);
-  const ScenarioReport report = system.run();
+  ScenarioReport report = system.run();
   RunOutcome out;
   if (report.detection_time) {
     out.detected = true;
@@ -26,6 +26,7 @@ RunOutcome run_scenario_once(const ScenarioConfig& config) {
   out.benign_latency_mean = report.metrics.latency_benign.mean();
   out.perfect = report.true_positives == report.true_sources.size() &&
                 report.false_positives == 0;
+  out.telemetry = std::move(report.telemetry);
   return out;
 }
 
@@ -46,6 +47,7 @@ ExperimentSummary summarize(const std::vector<RunOutcome>& outcomes) {
     summary.attack_delivered_after_block.add(run.attack_delivered_after_block);
     summary.benign_latency_mean.add(run.benign_latency_mean);
     if (run.perfect) ++summary.perfect_runs;
+    summary.telemetry.merge(run.telemetry);
   }
   return summary;
 }

@@ -25,6 +25,9 @@ struct RunOutcome {
   double attack_delivered_after_block = 0;
   double benign_latency_mean = 0;
   bool perfect = false;  // every true source named, zero innocents
+  /// This replication's full registry snapshot; folded into the summary's
+  /// aggregate telemetry in replication order.
+  telemetry::MetricsSnapshot telemetry;
 };
 
 /// Aggregate over the repeated runs of one scenario.
@@ -42,6 +45,11 @@ struct ExperimentSummary {
 
   /// Runs in which every true source was identified with zero innocents.
   std::size_t perfect_runs = 0;
+
+  /// Merge of every replication's registry snapshot (counters summed,
+  /// gauge peaks maxed). Merged serially in replication order, so the
+  /// result is byte-identical for any `jobs` value.
+  telemetry::MetricsSnapshot telemetry;
 
   std::string to_string() const;
 };

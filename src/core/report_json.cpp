@@ -125,6 +125,7 @@ void write_report_body(Json& json, const ScenarioReport& report) {
   }
   json.close_array();
   write_metrics(json, report.metrics);
+  json.field("telemetry_series", report.telemetry.series());
   json.close_object();
 }
 

@@ -55,9 +55,16 @@ SourceIdentificationSystem::SourceIdentificationSystem(ScenarioConfig config)
                                 config_.cluster.initial_ttl);
   report_.true_sources.insert(config_.attack.zombies.begin(),
                               config_.attack.zombies.end());
+  probes_.bind(&network_->registry(), nullptr);
   network_->set_attack(config_.attack);
   network_->set_delivery_hook(
       [this](const pkt::Packet& p, topo::NodeId at) { on_delivery(p, at); });
+}
+
+void SourceIdentificationSystem::set_tracer(telemetry::Tracer* tracer) {
+  network_->set_tracer(tracer);
+  // Re-binding reuses the existing registry slots; only the tracer changes.
+  probes_.bind(&network_->registry(), tracer);
 }
 
 void SourceIdentificationSystem::on_delivery(const pkt::Packet& packet,
@@ -68,7 +75,10 @@ void SourceIdentificationSystem::on_delivery(const pkt::Packet& packet,
 
   detector_.observe(packet, now);
   if (!detector_.alarmed()) return;
-  if (!report_.detection_time) report_.detection_time = detector_.alarm_time();
+  if (!report_.detection_time) {
+    report_.detection_time = detector_.alarm_time();
+    probes_.on_detector_firing(config_.attack.victim);
+  }
 
   // Post-detection classification: which delivered packets get traced. A
   // perfect classifier hands over exactly the attack packets; the
@@ -89,6 +99,7 @@ void SourceIdentificationSystem::on_delivery(const pkt::Packet& packet,
 
   ++suspect_packets_;
   const std::vector<topo::NodeId> candidates = identifier_->observe(packet, at);
+  probes_.on_identify(candidates.size());
   if (candidates.size() != 1) return;  // ambiguous or not yet known
   const topo::NodeId named = candidates.front();
 
@@ -100,6 +111,7 @@ void SourceIdentificationSystem::on_delivery(const pkt::Packet& packet,
   const bool fresh = report_.identified_sources.insert(named).second;
   if (fresh) {
     report_.identifications.push_back(event);
+    probes_.on_identification(named, event.correct);
     if (event.correct) {
       ++report_.true_positives;
       if (report_.packets_to_first_identification == 0) {
@@ -112,6 +124,7 @@ void SourceIdentificationSystem::on_delivery(const pkt::Packet& packet,
       network_->filter().block_source_node(named);
       report_.blocked_sources.insert(named);
       any_block_installed_ = true;
+      probes_.on_block(named);
     }
   }
 }
@@ -122,6 +135,7 @@ ScenarioReport SourceIdentificationSystem::run() {
   network_->start();
   network_->run_until(config_.duration);
   report_.metrics = network_->metrics();
+  report_.telemetry = network_->telemetry_snapshot();
   return report_;
 }
 

@@ -19,6 +19,8 @@
 #include "cluster/network.hpp"
 #include "detect/detector.hpp"
 #include "marking/scheme.hpp"
+#include "telemetry/probes.hpp"
+#include "telemetry/registry.hpp"
 
 namespace ddpm::core {
 
@@ -74,6 +76,11 @@ struct ScenarioReport {
   /// Packets the identifier consumed before its first correct answer.
   std::uint64_t packets_to_first_identification = 0;
 
+  /// Every registered telemetry series at end of run (per-switch drops,
+  /// marks, pipeline counters, kernel gauges, ...). Empty when the cluster
+  /// config disables telemetry or the build compiled it out.
+  telemetry::MetricsSnapshot telemetry;
+
   std::string summary() const;
 };
 
@@ -92,6 +99,10 @@ class SourceIdentificationSystem {
   using Observer = std::function<void(const pkt::Packet&, topo::NodeId)>;
   void set_observer(Observer observer) { observer_ = std::move(observer); }
 
+  /// Routes kernel, switch, and pipeline trace events into `tracer` (which
+  /// must outlive run()). Call before run().
+  void set_tracer(telemetry::Tracer* tracer);
+
   /// Runs the full scenario and returns the report. Call once.
   ScenarioReport run();
 
@@ -104,6 +115,7 @@ class SourceIdentificationSystem {
   std::unique_ptr<mark::SourceIdentifier> identifier_;
   detect::RateThresholdDetector detector_;
   netsim::Rng rng_;
+  telemetry::PipelineProbes probes_;
   ScenarioReport report_;
   std::uint64_t suspect_packets_ = 0;
   bool any_block_installed_ = false;

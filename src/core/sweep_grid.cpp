@@ -96,4 +96,18 @@ std::string sweep_csv(const std::vector<SweepCell>& cells) {
   return os.str();
 }
 
+std::string sweep_metrics_json(const std::vector<SweepCell>& cells) {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const SweepCell& cell : cells) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "  \"" << cell.topology << '/' << cell.scheme << '/' << cell.router
+       << '/' << cell.rate << "\": " << cell.summary.telemetry.to_json();
+  }
+  os << "\n}";
+  return os.str();
+}
+
 }  // namespace ddpm::core

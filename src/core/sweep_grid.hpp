@@ -49,4 +49,9 @@ std::vector<SweepCell> run_sweep(const SweepSpec& spec);
 std::string sweep_csv_header();
 std::string sweep_csv(const std::vector<SweepCell>& cells);
 
+/// One JSON object keyed by "topology/scheme/router/rate"; each value is
+/// the cell's merged telemetry snapshot (replications folded in order, so
+/// the document is byte-identical for any jobs count).
+std::string sweep_metrics_json(const std::vector<SweepCell>& cells);
+
 }  // namespace ddpm::core

@@ -98,6 +98,7 @@ void DdpmScheme::on_forward(pkt::Packet& packet, NodeId current, NodeId next) {
   if (!codec_.is_hypercube()) {
     for (std::size_t d = 0; d < topo_.num_dims(); ++d) {
       const int span = topo_.dim_size(d) - 1;
+      if (updated[d] > span || updated[d] < -span) probes_.on_saturation();
       if (updated[d] > span) updated[d] = topo::Coord::value_type(span);
       if (updated[d] < -span) updated[d] = topo::Coord::value_type(-span);
       // Post-saturation, every component fits its codec slice: the slice
@@ -107,6 +108,7 @@ void DdpmScheme::on_forward(pkt::Packet& packet, NodeId current, NodeId next) {
     }
   }
   packet.set_marking_field(codec_.encode(updated));
+  probes_.on_mark();
 }
 
 std::vector<NodeId> DdpmIdentifier::observe(const pkt::Packet& packet,

@@ -47,6 +47,7 @@ void DpmScheme::on_forward(pkt::Packet& packet, NodeId current, NodeId next) {
   const pkt::FieldSlice slice{position, unsigned(bits_per_hop_)};
   packet.set_marking_field(pkt::write_unsigned(
       packet.marking_field(), slice, mark_value(current, next)));
+  probes_.on_mark();
 }
 
 DpmIdentifier::DpmIdentifier(const topo::Topology& topo,

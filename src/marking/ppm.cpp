@@ -96,6 +96,7 @@ void PpmScheme::on_forward(pkt::Packet& packet, NodeId current, NodeId /*next*/)
     field = pkt::write_unsigned(field, layout_.start,
                                 std::uint16_t(current));
     field = pkt::write_unsigned(field, layout_.distance, 0);
+    probes_.on_mark();
   } else {
     const int d = int(pkt::read_unsigned(field, layout_.distance));
     if (d == 0) {
@@ -128,6 +129,10 @@ void PpmScheme::on_forward(pkt::Packet& packet, NodeId current, NodeId /*next*/)
     }
     if (d < layout_.max_distance()) {
       field = pkt::write_unsigned(field, layout_.distance, std::uint16_t(d + 1));
+    } else {
+      // Distance field pegged at its ceiling: the recorded edge is now an
+      // under-estimate of the true distance.
+      probes_.on_saturation();
     }
   }
   packet.set_marking_field(field);

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "packet/packet.hpp"
+#include "telemetry/probes.hpp"
 #include "topology/topology.hpp"
 
 namespace ddpm::mark {
@@ -31,6 +32,13 @@ class MarkingScheme {
 
   virtual std::string name() const = 0;
 
+  /// Registers the scheme's telemetry series (`mark.applied` and
+  /// `mark.field_saturations`, labelled `scheme=<name>`). Call once, after
+  /// construction and before the simulation starts.
+  void bind_telemetry(telemetry::Registry* registry) {
+    probes_.bind(registry, name());
+  }
+
   /// Source-switch hook. The default does nothing — faithful to the
   /// Internet schemes (PPM/DPM), where no router knows it is first on the
   /// path, which leaves them open to attacker-seeded marks. DDPM overrides
@@ -40,6 +48,11 @@ class MarkingScheme {
 
   /// Per-hop hook, called after routing chose `next`.
   virtual void on_forward(pkt::Packet& packet, NodeId current, NodeId next) = 0;
+
+ protected:
+  /// Scheme implementations report through these hooks; inert until
+  /// bind_telemetry(), and compiled out with DDPM_TELEMETRY=OFF.
+  telemetry::MarkProbes probes_;
 };
 
 /// Victim-side analysis. `observe` ingests one delivered packet and returns

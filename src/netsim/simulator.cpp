@@ -10,6 +10,7 @@ std::uint64_t Simulator::run(SimTime until) {
     action();
     ++executed_;
     ++count;
+    probes_.on_pop(executed_, queue_.size());
   }
   if (queue_.empty() || queue_.next_time() > until) {
     // Advance the clock to the horizon so back-to-back run() calls with
@@ -27,6 +28,7 @@ bool Simulator::step() {
   now_ = when;
   action();
   ++executed_;
+  probes_.on_pop(executed_, queue_.size());
   return true;
 }
 

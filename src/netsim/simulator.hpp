@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "netsim/event_queue.hpp"
+#include "telemetry/probes.hpp"
 
 namespace ddpm::netsim {
 
@@ -27,6 +28,7 @@ class Simulator {
   EventId schedule_at(SimTime when, EventQueue::Action action) {
     if (when < now_) {
       ++clamped_;
+      probes_.on_clamp();
       when = now_;
     }
     return queue_.schedule(when, std::move(action));
@@ -59,11 +61,22 @@ class Simulator {
   /// Drops all pending events; the clock is left where it is.
   void clear_pending() { queue_.clear(); }
 
+  /// Attaches an event tracer: the kernel samples heap depth and executed-
+  /// event counter tracks into it and binds it to this clock, so RAII spans
+  /// recorded anywhere in the model are stamped with simulation time.
+  /// Compiled out entirely with DDPM_TELEMETRY=OFF.
+  void attach_tracer(telemetry::Tracer* tracer) {
+    probes_.attach(tracer);
+    if (tracer != nullptr) tracer->set_clock(&now_);
+  }
+  telemetry::Tracer* tracer() const noexcept { return probes_.tracer(); }
+
  private:
   EventQueue queue_;
   SimTime now_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t clamped_ = 0;
+  telemetry::KernelProbes probes_;
 };
 
 }  // namespace ddpm::netsim

@@ -96,9 +96,12 @@ void EwmaRate::observe(std::uint64_t now, double weight) noexcept {
     value_ = weight * decay_per_tick_;
     return;
   }
-  const double dt = double(now - last_);
+  // Out-of-order timestamps (now < last_) are treated as zero elapsed time;
+  // the unsigned subtraction would otherwise wrap to ~2^64 ticks and decay
+  // the estimate to zero in one step.
+  const double dt = now >= last_ ? double(now - last_) : 0.0;
   value_ = value_ * std::exp(-decay_per_tick_ * dt) + weight * decay_per_tick_;
-  last_ = now;
+  if (now > last_) last_ = now;
 }
 
 double EwmaRate::rate(std::uint64_t now) const noexcept {

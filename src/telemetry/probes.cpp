@@ -1,0 +1,83 @@
+#include "telemetry/probes.hpp"
+
+namespace ddpm::telemetry {
+
+void name_standard_processes(Tracer& tracer) {
+  tracer.set_process_name(kPidKernel, "event kernel");
+  tracer.set_process_name(kPidCluster, "cluster switches");
+  tracer.set_process_name(kPidPipeline, "detect/identify/block");
+  tracer.set_process_name(kPidWormhole, "wormhole substrate");
+}
+
+#if DDPM_TELEMETRY_ENABLED
+
+void SwitchProbes::bind(Registry* registry, std::uint32_t switch_id,
+                        const std::vector<std::string>& port_labels) {
+  if (registry == nullptr) return;
+  const std::string sw = "switch=" + std::to_string(switch_id);
+  forwarded_ = registry->counter("switch.forwarded", sw);
+  delivered_ = registry->counter("switch.delivered_local", sw);
+  mark_hooks_ = registry->counter("switch.mark_hooks", sw);
+  drop_queue_full_ = registry->counter("switch.drop_queue_full", sw);
+  drop_no_route_ = registry->counter("switch.drop_no_route", sw);
+  drop_ttl_ = registry->counter("switch.drop_ttl", sw);
+  // Queue occupancy in packets; the upper edge tracks the deepest queue a
+  // default config allows (capacity 16) with headroom for larger configs.
+  queue_depth_ = registry->histogram("switch.queue_depth", sw, 0.0, 64.0, 64);
+  port_tx_packets_.reserve(port_labels.size());
+  port_tx_bytes_.reserve(port_labels.size());
+  port_busy_ticks_.reserve(port_labels.size());
+  for (const std::string& label : port_labels) {
+    const std::string port = sw + ",port=" + label;
+    port_tx_packets_.push_back(registry->counter("link.tx_packets", port));
+    port_tx_bytes_.push_back(registry->counter("link.tx_bytes", port));
+    port_busy_ticks_.push_back(registry->counter("link.busy_ticks", port));
+  }
+}
+
+void MarkProbes::bind(Registry* registry, const std::string& scheme_name) {
+  if (registry == nullptr) return;
+  const std::string labels = "scheme=" + scheme_name;
+  marks_ = registry->counter("mark.applied", labels);
+  saturations_ = registry->counter("mark.field_saturations", labels);
+}
+
+void PipelineProbes::bind(Registry* registry, Tracer* tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) return;
+  detector_firings_ = registry->counter("detect.firings");
+  identify_attempts_ = registry->counter("identify.attempts");
+  identify_unique_ = registry->counter("identify.unique");
+  identify_ambiguous_ = registry->counter("identify.ambiguous");
+  identify_none_ = registry->counter("identify.none");
+  identified_correct_ = registry->counter("identify.correct");
+  identified_innocent_ = registry->counter("identify.innocent");
+  blocks_installed_ = registry->counter("mitigate.blocks_installed");
+}
+
+void WormholeProbes::bind(Registry* registry) {
+  if (registry == nullptr) return;
+  vc_allocs_ = registry->counter("wormhole.vc_allocs");
+  alloc_stalls_ = registry->counter("wormhole.alloc_stalls");
+  credit_stalls_ = registry->counter("wormhole.credit_stalls");
+  flits_forwarded_ = registry->counter("wormhole.flits_forwarded");
+  delivered_ = registry->counter("wormhole.delivered_packets");
+  buffer_occupancy_ =
+      registry->histogram("wormhole.buffer_occupancy", {}, 0.0, 32.0, 32);
+}
+
+void TcpProbes::bind(Registry* registry) {
+  if (registry == nullptr) return;
+  attempted_ = registry->counter("tcp.syn_attempted");
+  refused_ = registry->counter("tcp.refused");
+  established_ = registry->counter("tcp.established");
+  completed_ = registry->counter("tcp.completed");
+  client_timeouts_ = registry->counter("tcp.client_timeouts");
+  half_open_expired_ = registry->counter("tcp.half_open_expired");
+  attack_syns_ = registry->counter("tcp.attack_syns");
+  backscatter_ = registry->counter("tcp.backscatter");
+}
+
+#endif  // DDPM_TELEMETRY_ENABLED
+
+}  // namespace ddpm::telemetry

@@ -104,6 +104,7 @@ bool WormholeNetwork::allocate(NodeId node, int in_port, InputVc& vc) {
   // 2. Escape layer: dimension-order port, dateline-disciplined VC class.
   std::uint8_t next_class = head.escape_class;
   if (best_port < 0 && config_.disable_escape) {
+    probes_.on_alloc_stall();
     return false;  // no escape lanes: wait (possibly forever — deadlock)
   }
   if (best_port < 0) {
@@ -128,7 +129,10 @@ bool WormholeNetwork::allocate(NodeId node, int in_port, InputVc& vc) {
     }
     const int v = int(next_class);
     const OutputVc& out = output_vc(node, p, v);
-    if (out.allocated || out.credits == 0) return false;  // wait
+    if (out.allocated || out.credits == 0) {
+      (out.allocated ? probes_.on_alloc_stall() : probes_.on_credit_stall());
+      return false;  // wait
+    }
     best_port = p;
     best_vc = v;
   }
@@ -136,6 +140,7 @@ bool WormholeNetwork::allocate(NodeId node, int in_port, InputVc& vc) {
   // Claim the output VC; run TTL + marking once per switch, exactly at the
   // post-routing point Figure 4 prescribes.
   output_vc(node, best_port, best_vc).allocated = true;
+  probes_.on_vc_alloc();
   vc.active = true;
   vc.out_port = best_port;
   vc.out_vc = best_vc;
@@ -165,6 +170,7 @@ void WormholeNetwork::eject(NodeId node, InputVc& vc) {
       } else {
         flit.packet->delivered_at = cycle_;
         ++delivered_;
+        probes_.on_delivered();
         if (hook_) hook_(std::move(*flit.packet), node);
       }
       vc.out_port = -1;
@@ -218,7 +224,12 @@ void WormholeNetwork::switch_allocation(NodeId node) {
       InputVc& vc = state.in[unit];
       if (!vc.active || vc.out_port != out_port || vc.buffer.empty()) continue;
       OutputVc& out = output_vc(node, out_port, vc.out_vc);
-      if (out.credits == 0) continue;
+      if (out.credits == 0) {
+        probes_.on_credit_stall();
+        continue;
+      }
+      probes_.on_flit_forward();
+      probes_.on_buffer_sample(vc.buffer.size());
       Flit flit = std::move(vc.buffer.front());
       vc.buffer.pop_front();
       --out.credits;
@@ -251,6 +262,7 @@ void WormholeNetwork::step() {
   }
   staged_.clear();
   ++cycle_;
+  probes_.on_cycle(cycle_, flits_in_flight_);
   if (progress_marker_ == before && flits_in_flight_ > 0) {
     ++stall_cycles_;
   } else {

@@ -35,6 +35,7 @@
 #include "packet/packet.hpp"
 #include "routing/dor.hpp"
 #include "routing/router.hpp"
+#include "telemetry/probes.hpp"
 #include "topology/topology.hpp"
 
 namespace ddpm::wormhole {
@@ -98,6 +99,18 @@ class WormholeNetwork {
   void set_delivery_hook(DeliveryHook hook) { hook_ = std::move(hook); }
 
   int total_vcs() const noexcept { return escape_vcs_ + config_.adaptive_vcs; }
+
+  /// Registers wormhole series (VC allocations/stalls, credit stalls, flit
+  /// movement, buffer occupancy). Call before the first step().
+  void bind_telemetry(telemetry::Registry* registry) {
+    probes_.bind(registry);
+  }
+  /// Samples a flits-in-flight counter track into `tracer`, timestamped in
+  /// cycles (the wormhole clock).
+  void attach_tracer(telemetry::Tracer* tracer) {
+    probes_.attach(tracer);
+    if (tracer != nullptr) tracer->set_clock(&cycle_);
+  }
 
  private:
   struct Flit {
@@ -172,6 +185,7 @@ class WormholeNetwork {
   std::uint64_t dropped_ttl_ = 0;
   std::uint64_t stall_cycles_ = 0;
   std::uint64_t progress_marker_ = 0;  // bumps on every flit event
+  telemetry::WormholeProbes probes_;
 };
 
 }  // namespace ddpm::wormhole

@@ -126,5 +126,24 @@ TEST(Determinism, RepeatedRunsParallelMatchesSerial) {
             parallel.benign_latency_mean.mean());
 }
 
+TEST(Determinism, TelemetrySnapshotsByteIdenticalAcrossJobCounts) {
+  // Per-replication metrics snapshots merge serially in replication order,
+  // so the aggregated telemetry must serialize byte-identically whether the
+  // replications ran on one thread or eight.
+  const auto config = scenario("mesh:6x6", "adaptive", 4321);
+  const auto serial = run_replications(config, 8, 1);
+  const auto parallel = run_replications(config, 8, 8);
+  EXPECT_EQ(digest(serial.telemetry.to_json()),
+            digest(parallel.telemetry.to_json()));
+  ASSERT_EQ(serial.telemetry.to_json(), parallel.telemetry.to_json());
+  ASSERT_EQ(serial.telemetry.to_csv(), parallel.telemetry.to_csv());
+}
+
+TEST(Determinism, SweepTelemetryBitIdenticalAcrossJobCounts) {
+  const std::string serial = sweep_metrics_json(run_sweep(small_sweep(1)));
+  const std::string parallel = sweep_metrics_json(run_sweep(small_sweep(8)));
+  ASSERT_EQ(serial, parallel);
+}
+
 }  // namespace
 }  // namespace ddpm::core

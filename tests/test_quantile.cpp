@@ -85,5 +85,25 @@ TEST(P2Quantile, EmptyIsZero) {
   EXPECT_EQ(q.count(), 0u);
 }
 
+TEST(P2Quantile, SingleSampleIsThatSample) {
+  // Every target quantile of a one-sample stream is the sample itself.
+  for (double p : {0.01, 0.5, 0.99}) {
+    P2Quantile q(p);
+    q.add(-3.25);
+    EXPECT_EQ(q.count(), 1u);
+    EXPECT_DOUBLE_EQ(q.value(), -3.25);
+  }
+}
+
+TEST(P2Quantile, TwoSamplesBracketTheEstimate) {
+  P2Quantile lo(0.1), hi(0.9);
+  for (auto* q : {&lo, &hi}) {
+    q->add(10.0);
+    q->add(20.0);
+  }
+  EXPECT_DOUBLE_EQ(lo.value(), 10.0);
+  EXPECT_DOUBLE_EQ(hi.value(), 20.0);
+}
+
 }  // namespace
 }  // namespace ddpm::netsim

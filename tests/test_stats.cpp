@@ -83,6 +83,57 @@ TEST(Histogram, QuantileInterpolates) {
   EXPECT_NEAR(h.quantile(0.1), 10.0, 1.5);
 }
 
+TEST(Histogram, QuantileOnEmptyReturnsLowerBound) {
+  Histogram h(5.0, 15.0, 10);
+  EXPECT_EQ(h.quantile(0.0), 5.0);
+  EXPECT_EQ(h.quantile(0.5), 5.0);
+  EXPECT_EQ(h.quantile(1.0), 5.0);
+}
+
+TEST(Histogram, QuantileOnSingleSampleStaysInItsBin) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(7.3);
+  for (double q : {0.01, 0.5, 0.99}) {
+    EXPECT_GE(h.quantile(q), 7.0);
+    EXPECT_LE(h.quantile(q), 8.0);
+  }
+}
+
+TEST(Histogram, QuantileAllUnderflowReturnsLo) {
+  Histogram h(10.0, 20.0, 5);
+  h.add(1.0);
+  h.add(2.0);
+  EXPECT_EQ(h.quantile(0.5), 10.0);
+}
+
+TEST(Histogram, QuantileAllOverflowReturnsHi) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(50.0);
+  h.add(60.0);
+  EXPECT_EQ(h.quantile(0.5), 10.0);
+}
+
+TEST(RunningStat, MergeDisjointRanges) {
+  // Two accumulators over non-overlapping value ranges — the shape produced
+  // by per-replication snapshots that are merged serially afterwards.
+  RunningStat low, high, all;
+  for (int i = 0; i < 50; ++i) {
+    low.add(double(i));
+    all.add(double(i));
+  }
+  for (int i = 1000; i < 1050; ++i) {
+    high.add(double(i));
+    all.add(double(i));
+  }
+  low.merge(high);
+  EXPECT_EQ(low.count(), all.count());
+  EXPECT_NEAR(low.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(low.variance(), all.variance(), 1e-6);
+  EXPECT_EQ(low.min(), 0.0);
+  EXPECT_EQ(low.max(), 1049.0);
+  EXPECT_EQ(low.sum(), all.sum());
+}
+
 TEST(Histogram, ToStringProducesRows) {
   Histogram h(0.0, 10.0, 10);
   for (int i = 0; i < 100; ++i) h.add(double(i % 10));
@@ -109,6 +160,39 @@ TEST(EwmaRate, DecaysAfterTrafficStops) {
 TEST(EwmaRate, ZeroBeforeAnyObservation) {
   const EwmaRate rate(100.0);
   EXPECT_EQ(rate.rate(500), 0.0);
+}
+
+TEST(EwmaRate, ZeroTimeDeltaAccumulatesWithoutDecay) {
+  EwmaRate rate(100.0);
+  rate.observe(50);
+  const double one = rate.rate(50);
+  // Same-tick bursts must add weight without decaying the estimate.
+  rate.observe(50);
+  rate.observe(50);
+  EXPECT_NEAR(rate.rate(50), 3.0 * one, 1e-12);
+}
+
+TEST(EwmaRate, NegativeTimeDeltaDoesNotResetEstimate) {
+  EwmaRate warm(100.0), disordered(100.0);
+  for (std::uint64_t t = 0; t < 1000; t += 10) {
+    warm.observe(t);
+    disordered.observe(t);
+  }
+  // An out-of-order timestamp would wrap the unsigned subtraction to ~2^64
+  // ticks and decay the estimate to zero; it must behave like dt == 0.
+  disordered.observe(500);
+  EXPECT_GT(disordered.rate(990), warm.rate(990));
+  EXPECT_NEAR(disordered.rate(990), warm.rate(990),
+              2.0 * std::log(2.0) / 100.0);
+  // The clock must not move backwards either: a later reading still decays
+  // from tick 990, not from 500.
+  EXPECT_LT(disordered.rate(2000), disordered.rate(990) / 100.0);
+}
+
+TEST(EwmaRate, QueryBeforeLastObservationClampsToZeroDelta) {
+  EwmaRate rate(100.0);
+  rate.observe(1000);
+  EXPECT_EQ(rate.rate(999), rate.rate(1000));
 }
 
 TEST(Entropy, UniformIsLogN) {

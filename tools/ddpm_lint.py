@@ -27,6 +27,12 @@ clang-tidy knows about (registered as the `repo_lint` ctest):
                      allocation-free by design (InlineAction); a
                      std::function sneaking back in silently reintroduces
                      a heap allocation per scheduled event.
+  7. src-no-console  no std::cout/std::cerr/std::clog or printf-family
+                     writes in src/ library code. Libraries report through
+                     return values, the telemetry registry, or the tracer;
+                     stdout/stderr belong to drivers (examples/, bench/,
+                     tools). The contract layer's abort path is the
+                     canonical suppressed exception.
 
 A line may opt out of one rule with an inline suppression comment naming
 it, e.g. `#include <cstdio>  // ddpm-lint: allow(header-io)`. Suppressions
@@ -172,6 +178,26 @@ def check_netsim_no_std_function(root: Path) -> list[Violation]:
     return out
 
 
+CONSOLE_IO = re.compile(
+    r"std\s*::\s*(cout|cerr|clog)\b|(?<![\w:])(printf|fprintf|puts|fputs)\s*\("
+)
+
+
+def check_src_no_console(root: Path) -> list[Violation]:
+    out = []
+    for path in iter_source(root, ("src",), (".hpp", ".cpp")):
+        for n, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+            m = CONSOLE_IO.search(strip_comments(line))
+            if m and not suppressed(line, "src-no-console"):
+                name = m.group(1) or m.group(2)
+                out.append(
+                    (path, n, "src-no-console",
+                     f"{name} in library code; report through telemetry or"
+                     " return values, print from drivers")
+                )
+    return out
+
+
 def check_using_namespace_std(root: Path) -> list[Violation]:
     pat = re.compile(r"using\s+namespace\s+std\s*;")
     out = []
@@ -199,6 +225,7 @@ def main(argv: list[str]) -> int:
         check_header_io,
         check_using_namespace_std,
         check_netsim_no_std_function,
+        check_src_no_console,
     ):
         violations.extend(check(root))
 

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Validator / summarizer for Chrome trace_event JSON emitted by the
+telemetry tracer (ddpm_sim --trace, or telemetry::Tracer::flush anywhere).
+
+Validation (the `trace_valid` ctest gate; exit 0 = valid, 1 = broken):
+
+  * the document is a JSON object with a `traceEvents` array;
+  * every event carries `name`, `ph`, `ts`, `pid` with the right types;
+  * phases are limited to the set the tracer emits:
+      X (complete, requires non-negative `dur`), i (instant),
+      C (counter, requires an `args` object), M (metadata);
+  * non-metadata timestamps are non-decreasing (the simulators' clocks are
+    monotonic and the ring flushes oldest-first, so disorder means a bug);
+  * `otherData.recorded` / `otherData.dropped`, when present, are
+    consistent with the retained event count.
+
+Summary (--summary) prints per-lane and per-name counts, span duration
+statistics, and counter-track ranges — a quick look at a run without
+opening chrome://tracing.
+
+Usage: tools/ddpm_trace.py trace.json [--summary]
+"""
+from __future__ import annotations
+
+import json
+import sys
+from collections import Counter, defaultdict
+from pathlib import Path
+
+PHASES = {"X", "i", "C", "M"}
+
+
+def fail(message: str) -> int:
+    print(f"ddpm_trace: INVALID: {message}", file=sys.stderr)
+    return 1
+
+
+def validate(doc: object, path: Path) -> tuple[int, list[dict]]:
+    if not isinstance(doc, dict):
+        return fail(f"{path}: top level is {type(doc).__name__}, want object"), []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(f"{path}: missing traceEvents array"), []
+
+    last_ts = None
+    for i, ev in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            return fail(f"{where}: not an object"), []
+        for key, kind in (("name", str), ("ph", str)):
+            if not isinstance(ev.get(key), kind):
+                return fail(f"{where}: bad or missing '{key}'"), []
+        ph = ev["ph"]
+        if ph not in PHASES:
+            return fail(f"{where}: unknown phase {ph!r}"), []
+        if ph == "M":
+            continue  # metadata events carry no timeline semantics
+        if not isinstance(ev.get("ts"), (int, float)):
+            return fail(f"{where}: bad or missing 'ts'"), []
+        if not isinstance(ev.get("pid"), int):
+            return fail(f"{where}: bad or missing 'pid'"), []
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                return fail(f"{where}: complete event needs non-negative 'dur'"), []
+        if ph == "C" and not isinstance(ev.get("args"), dict):
+            return fail(f"{where}: counter event needs an 'args' object"), []
+        if last_ts is not None and ev["ts"] < last_ts:
+            return fail(
+                f"{where}: ts went backwards ({ev['ts']} after {last_ts})"
+            ), []
+        last_ts = ev["ts"]
+
+    other = doc.get("otherData", {})
+    if isinstance(other, dict) and "recorded" in other:
+        retained = sum(1 for ev in events if ev.get("ph") != "M")
+        recorded = other.get("recorded", 0)
+        dropped = other.get("dropped", 0)
+        if recorded != retained + dropped:
+            return fail(
+                f"{path}: otherData says recorded={recorded} dropped={dropped}"
+                f" but {retained} events are retained"
+            ), []
+    return 0, events
+
+
+def summarize(events: list[dict]) -> None:
+    timeline = [ev for ev in events if ev.get("ph") != "M"]
+    lanes: dict[int, Counter] = defaultdict(Counter)
+    durations: dict[str, list[float]] = defaultdict(list)
+    counters: dict[str, list[float]] = defaultdict(list)
+    for ev in timeline:
+        lanes[ev["pid"]][ev["name"]] += 1
+        if ev["ph"] == "X":
+            durations[ev["name"]].append(float(ev["dur"]))
+        elif ev["ph"] == "C":
+            value = ev.get("args", {}).get("value")
+            if isinstance(value, (int, float)):
+                counters[ev["name"]].append(float(value))
+
+    names = {
+        ev.get("args", {}).get("name"): ev.get("pid")
+        for ev in events
+        if ev.get("ph") == "M" and ev.get("name") == "process_name"
+    }
+    lane_name = {pid: label for label, pid in names.items() if label}
+
+    span = (
+        f"{timeline[0]['ts']}..{timeline[-1]['ts']} us" if timeline else "empty"
+    )
+    print(f"{len(timeline)} events, {span}")
+    for pid in sorted(lanes):
+        label = lane_name.get(pid, f"pid {pid}")
+        total = sum(lanes[pid].values())
+        print(f"  [{label}] {total} events")
+        for name, count in lanes[pid].most_common():
+            print(f"    {name:<28} {count}")
+    if durations:
+        print("span durations (us):")
+        for name in sorted(durations):
+            ds = durations[name]
+            print(
+                f"  {name:<28} n={len(ds)} mean={sum(ds) / len(ds):.1f}"
+                f" max={max(ds):.0f}"
+            )
+    if counters:
+        print("counter tracks:")
+        for name in sorted(counters):
+            vs = counters[name]
+            print(
+                f"  {name:<28} n={len(vs)} min={min(vs):.0f} max={max(vs):.0f}"
+                f" last={vs[-1]:.0f}"
+            )
+
+
+def main(argv: list[str]) -> int:
+    args = [a for a in argv[1:] if a != "--summary"]
+    want_summary = "--summary" in argv[1:]
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = Path(args[0])
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as err:
+        return fail(f"{path}: {err}")
+    status, events = validate(doc, path)
+    if status != 0:
+        return status
+    if want_summary:
+        summarize(events)
+    else:
+        timeline = sum(1 for ev in events if ev.get("ph") != "M")
+        print(f"ddpm_trace: valid ({timeline} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
