@@ -24,6 +24,12 @@ class TrafficPattern {
   virtual ~TrafficPattern() = default;
   virtual std::string name() const = 0;
   virtual NodeId pick_dest(NodeId src, netsim::Rng& rng) const = 0;
+
+ protected:
+  // C.67: suppress public copy through the base handle (slicing).
+  TrafficPattern() = default;
+  TrafficPattern(const TrafficPattern&) = default;
+  TrafficPattern& operator=(const TrafficPattern&) = default;
 };
 
 /// Uniformly random destination.

@@ -39,6 +39,12 @@ class Detector {
   std::optional<netsim::SimTime> alarm_time() const noexcept { return alarm_time_; }
 
  protected:
+  // C.67: a Detector sliced through the base handle would shed the derived
+  // detector's window state and latch spuriously.
+  Detector() = default;
+  Detector(const Detector&) = default;
+  Detector& operator=(const Detector&) = default;
+
   void latch(netsim::SimTime now) {
     if (!alarm_time_) alarm_time_ = now;
   }

@@ -50,6 +50,13 @@ class MarkingScheme {
   virtual void on_forward(pkt::Packet& packet, NodeId current, NodeId next) = 0;
 
  protected:
+  // C.67: copying through a MarkingScheme handle would slice off the
+  // derived scheme's tables. Derived classes stay copyable through their
+  // own types; only base-handle copies are closed off.
+  MarkingScheme() = default;
+  MarkingScheme(const MarkingScheme&) = default;
+  MarkingScheme& operator=(const MarkingScheme&) = default;
+
   /// Scheme implementations report through these hooks; inert until
   /// bind_telemetry(), and compiled out with DDPM_TELEMETRY=OFF.
   telemetry::MarkProbes probes_;
@@ -70,6 +77,13 @@ class SourceIdentifier {
 
   /// Drops accumulated state (new detection episode).
   virtual void reset() {}
+
+ protected:
+  // C.67: slicing an identifier through a base handle would drop its
+  // accumulated reconstruction state mid-episode.
+  SourceIdentifier() = default;
+  SourceIdentifier(const SourceIdentifier&) = default;
+  SourceIdentifier& operator=(const SourceIdentifier&) = default;
 };
 
 }  // namespace ddpm::mark

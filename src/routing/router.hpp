@@ -42,6 +42,12 @@ class LinkStateView {
   /// prefer smaller values. The default (0 everywhere) makes congestion
   /// selection degrade to first-candidate order.
   virtual double congestion(NodeId, Port) const { return 0.0; }
+
+ protected:
+  // C.67: suppress public copy through the base handle (slicing).
+  LinkStateView() = default;
+  LinkStateView(const LinkStateView&) = default;
+  LinkStateView& operator=(const LinkStateView&) = default;
 };
 
 /// LinkStateView over topology geometry plus an optional failure set;
@@ -98,6 +104,12 @@ class Router {
   const topo::Topology& topology() const noexcept { return topo_; }
 
  protected:
+  // C.67: a Router copied through the base handle would lose the derived
+  // algorithm's state; keep copies within the derived types.
+  Router(const Router&) = default;
+  // The reference member makes assignment unimplementable anyway.
+  Router& operator=(const Router&) = delete;
+
   const topo::Topology& topo_;
 };
 

@@ -81,6 +81,12 @@ class Topology {
   virtual std::string spec() const = 0;
 
   bool contains(NodeId id) const noexcept { return id < num_nodes(); }
+
+ protected:
+  // C.67: suppress public copy through the base handle (slicing).
+  Topology() = default;
+  Topology(const Topology&) = default;
+  Topology& operator=(const Topology&) = default;
 };
 
 /// Mutable set of failed (bidirectional) links, used to reproduce the

@@ -1,0 +1,40 @@
+// ddpm_analyze fixture: capture-lifetime MUST-FLAG cases.
+// A lambda handed to the scheduler runs later; reference captures dangle
+// once the enclosing frame is gone.
+#include <cstdint>
+#include <functional>
+
+namespace fx {
+
+using SimTime = std::uint64_t;
+
+class Queue {
+ public:
+  void schedule(SimTime at, std::function<void()> action) {
+    last_at_ = at;
+    last_ = std::move(action);
+  }
+  void schedule_in(SimTime delay, std::function<void()> action) {
+    schedule(delay, std::move(action));
+  }
+
+ private:
+  SimTime last_at_ = 0;
+  std::function<void()> last_;
+};
+
+void arm_timeout(Queue& q) {
+  int retries = 3;
+  q.schedule(100, [&retries]() {  // ddpm-analyze: expect(capture-lifetime)
+    retries -= 1;
+  });
+}
+
+void arm_default_ref(Queue& q) {
+  int budget = 7;
+  q.schedule_in(50, [&]() {  // ddpm-analyze: expect(capture-lifetime)
+    budget += 1;
+  });
+}
+
+}  // namespace fx

@@ -1,0 +1,19 @@
+// ddpm_analyze fixture: narrowing-in-marking MUST-FLAG cases.
+// Integer promotion widens 16-bit operands to int; storing the arithmetic
+// result back into a 16-bit marking field silently truncates.
+#include <cstdint>
+
+namespace fx {
+
+std::uint16_t combine(std::uint16_t hi, std::uint16_t lo) {
+  std::uint16_t word = hi << 8;  // ddpm-analyze: expect(narrowing-in-marking)
+  std::uint16_t sum = hi + lo;   // ddpm-analyze: expect(narrowing-in-marking)
+  return word + sum > 0xffff ? word : sum;
+}
+
+std::uint16_t scale(std::uint16_t distance) {
+  std::uint16_t scaled = distance * 3;  // ddpm-analyze: expect(narrowing-in-marking)
+  return scaled;
+}
+
+}  // namespace fx

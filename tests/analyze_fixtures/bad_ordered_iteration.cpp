@@ -1,0 +1,47 @@
+// ddpm_analyze fixture: ordered-iteration MUST-FLAG cases.
+// Iterating an unordered container inside (or reachable from) a
+// result-path function leaks hash order into reported output.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fx {
+
+class FlowTable {
+ public:
+  std::string to_json() const;             // result-path seed by name
+  std::uint64_t merge_counts() const;      // result-path seed by name
+  std::uint64_t helper_total() const;      // reachable from to_json()
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint64_t> flows_;
+  std::unordered_set<std::uint32_t> marked_;
+};
+
+std::uint64_t FlowTable::helper_total() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, count] : flows_) {  // ddpm-analyze: expect(ordered-iteration)
+    total += count * id;
+  }
+  return total;
+}
+
+std::string FlowTable::to_json() const {
+  std::string out = "{";
+  for (const std::uint32_t id : marked_) {  // ddpm-analyze: expect(ordered-iteration)
+    out += std::to_string(id);
+  }
+  out += std::to_string(helper_total());
+  return out + "}";
+}
+
+std::uint64_t FlowTable::merge_counts() const {
+  std::uint64_t sum = 0;
+  for (auto it = flows_.begin(); it != flows_.end(); ++it) {  // ddpm-analyze: expect(ordered-iteration)
+    sum += it->second;
+  }
+  return sum;
+}
+
+}  // namespace fx

@@ -1,0 +1,20 @@
+// ddpm_analyze fixture: shared-mutable-static MUST-FLAG cases.
+// Mutable globals couple parallel sweep jobs to each other; results then
+// depend on scheduling.
+#include <cstdint>
+#include <vector>
+
+namespace fx {
+
+static std::uint64_t g_packet_count = 0;  // ddpm-analyze: expect(no-shared-mutable-static)
+
+static std::vector<int> g_scratch;  // ddpm-analyze: expect(no-shared-mutable-static)
+
+void bump() {
+  static int calls = 0;  // ddpm-analyze: expect(no-shared-mutable-static)
+  calls += 1;
+  g_packet_count += static_cast<std::uint64_t>(calls);
+  g_scratch.push_back(calls);
+}
+
+}  // namespace fx

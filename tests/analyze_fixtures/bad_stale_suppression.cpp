@@ -1,0 +1,14 @@
+// ddpm_analyze fixture: stale-suppression MUST-FLAG case.
+// An allow() comment on a line that no longer violates its rule is debt
+// that hides future regressions; the analyzer reports it.
+#include <cstdint>
+
+namespace fx {
+
+std::uint64_t tick(std::uint64_t now) {
+  // The wall-clock call was removed but the suppression stayed behind.
+  std::uint64_t t = now + 1;  // ddpm-analyze: allow(no-wall-clock) ddpm-analyze: expect(stale-suppression)
+  return t;
+}
+
+}  // namespace fx

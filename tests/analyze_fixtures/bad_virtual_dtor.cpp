@@ -1,0 +1,21 @@
+// ddpm_analyze fixture: virtual-dtor MUST-FLAG cases.
+#include <string>
+
+namespace fx {
+
+// Virtual method but non-virtual public destructor: deleting a derived
+// object via a Base* is undefined behaviour.
+class Base {  // ddpm-analyze: expect(virtual-dtor)
+ public:
+  virtual std::string name() const { return "base"; }
+};
+
+// Virtual destructor but copy operations left public and implicit: callers
+// can slice a derived object through the base handle (C.67).
+class Sliceable {  // ddpm-analyze: expect(virtual-dtor)
+ public:
+  virtual ~Sliceable() = default;
+  virtual int id() const { return 0; }
+};
+
+}  // namespace fx

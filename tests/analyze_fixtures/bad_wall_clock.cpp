@@ -1,0 +1,27 @@
+// ddpm_analyze fixture: no-wall-clock MUST-FLAG cases.
+// Wall-clock reads make simulation results depend on when they ran.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace fx {
+
+long stamp_run() {
+  auto now = std::chrono::system_clock::now();  // ddpm-analyze: expect(no-wall-clock)
+  return now.time_since_epoch().count();
+}
+
+long measure_phase() {
+  auto t0 = std::chrono::steady_clock::now();  // ddpm-analyze: expect(no-wall-clock)
+  return t0.time_since_epoch().count();
+}
+
+long legacy_seed() {
+  return static_cast<long>(time(nullptr));  // ddpm-analyze: expect(no-wall-clock)
+}
+
+bool env_toggle() {
+  return std::getenv("DDPM_FAST") != nullptr;  // ddpm-analyze: expect(no-wall-clock)
+}
+
+}  // namespace fx

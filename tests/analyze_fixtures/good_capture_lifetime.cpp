@@ -1,0 +1,44 @@
+// ddpm_analyze fixture: capture-lifetime MUST-PASS cases.
+// By-value captures survive the enclosing frame; reference captures are
+// fine in lambdas that run immediately (not scheduled).
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace fx {
+
+using SimTime = std::uint64_t;
+
+class Queue {
+ public:
+  void schedule(SimTime at, std::function<void()> action) {
+    last_at_ = at;
+    last_ = std::move(action);
+  }
+
+ private:
+  SimTime last_at_ = 0;
+  std::function<void()> last_;
+};
+
+void arm_by_value(Queue& q, std::uint32_t node) {
+  int retries = 3;
+  q.schedule(100, [retries, node]() mutable {
+    retries -= 1;
+    (void)node;
+  });
+}
+
+void arm_default_copy(Queue& q) {
+  int budget = 7;
+  q.schedule(50, [=]() { (void)budget; });
+}
+
+int count_big(const std::vector<int>& xs, int floor) {
+  // Immediate lambda: reference capture is fine, it never outlives the frame.
+  return static_cast<int>(
+      std::count_if(xs.begin(), xs.end(), [&](int x) { return x > floor; }));
+}
+
+}  // namespace fx

@@ -1,0 +1,27 @@
+// ddpm_analyze fixture: narrowing-in-marking MUST-PASS cases.
+#include <cstdint>
+
+namespace fx {
+
+std::uint16_t combine(std::uint16_t hi, std::uint16_t lo) {
+  // Explicit cast: truncation is acknowledged at the call site.
+  std::uint16_t word = static_cast<std::uint16_t>(hi << 8);
+  std::uint16_t sum = static_cast<std::uint16_t>(hi + lo);
+  return word > sum ? word : sum;
+}
+
+std::uint32_t widen(std::uint16_t hi, std::uint16_t lo) {
+  // Widening target: the promoted int result fits, nothing narrows.
+  std::uint32_t word = hi + lo;
+  return word;
+}
+
+std::uint16_t copy_through(std::uint16_t field) {
+  // Plain copy with no arithmetic: nothing to truncate.
+  std::uint16_t mirror = field;
+  // Bitwise AND of two 16-bit operands cannot exceed 16 bits.
+  std::uint16_t masked = field & 0x0fff;
+  return mirror > masked ? mirror : masked;
+}
+
+}  // namespace fx

@@ -1,0 +1,49 @@
+// ddpm_analyze fixture: ordered-iteration MUST-PASS cases.
+// Ordered containers on result paths, unordered containers off them, and
+// sort-before-emit are all fine.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace fx {
+
+class GoodTable {
+ public:
+  std::string to_json() const;        // result path, but walks std::map
+  std::uint64_t hot_lookup() const;   // walks unordered_map, NOT on a result path
+
+ private:
+  std::map<std::uint32_t, std::uint64_t> ordered_;
+  std::unordered_map<std::uint32_t, std::uint64_t> cache_;
+};
+
+std::string GoodTable::to_json() const {
+  std::string out = "{";
+  for (const auto& [id, count] : ordered_) {  // std::map: deterministic order
+    out += std::to_string(id) + ":" + std::to_string(count);
+  }
+  // Sort-before-emit: copy the unordered container into a vector first.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> rows(cache_.begin(),
+                                                            cache_.end());
+  std::sort(rows.begin(), rows.end());
+  for (const auto& [id, count] : rows) {
+    out += std::to_string(id + count);
+  }
+  return out + "}";
+}
+
+std::uint64_t GoodTable::hot_lookup() const {
+  // Unordered iteration is fine here: hot_lookup is not reachable from any
+  // result-path function, so hash order never escapes into output.
+  std::uint64_t total = 0;
+  for (const auto& [id, count] : cache_) {
+    total += count + id;
+  }
+  return total;
+}
+
+}  // namespace fx

@@ -1,0 +1,26 @@
+// ddpm_analyze fixture: shared-mutable-static MUST-PASS cases.
+#include <array>
+#include <cstdint>
+
+namespace fx {
+
+// Immutable statics are fine: constexpr / const / constinit-const.
+static constexpr std::uint32_t kMaxPorts = 8;
+static const std::array<int, 3> kWeights = {1, 2, 3};
+constexpr double kAlpha = 0.25;
+
+// Function-local constants are fine too.
+int lookup(int i) {
+  static constexpr std::array<int, 4> kTable = {0, 1, 4, 9};
+  return kTable[static_cast<std::size_t>(i) % kTable.size()] +
+         static_cast<int>(kMaxPorts) + kWeights[0] + static_cast<int>(kAlpha);
+}
+
+// Non-static locals never trip the rule.
+int accumulate(int n) {
+  int total = 0;
+  for (int i = 0; i < n; ++i) total += i;
+  return total;
+}
+
+}  // namespace fx

@@ -1,0 +1,19 @@
+// ddpm_analyze fixture: suppression MUST-PASS case.
+// Real violations carrying an `allow(rule)` comment are reported as
+// suppressed, not as new findings, so this fixture must come out clean.
+#include <chrono>
+#include <cstdint>
+
+namespace fx {
+
+long profiling_stamp() {
+  // Deliberate wall-clock read (imagine a profiling-only code path).
+  auto t = std::chrono::steady_clock::now();  // ddpm-analyze: allow(no-wall-clock)
+  return t.time_since_epoch().count();
+}
+
+static std::uint64_t g_debug_probe = 0;  // ddpm-analyze: allow(no-shared-mutable-static)
+
+void poke() { g_debug_probe += 1; }
+
+}  // namespace fx

@@ -1,0 +1,43 @@
+// ddpm_analyze fixture: virtual-dtor MUST-PASS cases.
+#include <string>
+
+namespace fx {
+
+// The repo's house pattern: virtual dtor + protected defaulted copies.
+class GoodBase {
+ public:
+  virtual ~GoodBase() = default;
+  virtual std::string name() const = 0;
+
+ protected:
+  GoodBase() = default;
+  GoodBase(const GoodBase&) = default;
+  GoodBase& operator=(const GoodBase&) = default;
+};
+
+// Derived classes are exempt: the base already gatekeeps.
+class Derived final : public GoodBase {
+ public:
+  std::string name() const override { return "derived"; }
+};
+
+// Deleted copies work too.
+class NonCopyable {
+ public:
+  virtual ~NonCopyable() = default;
+  virtual int id() const { return 1; }
+  NonCopyable() = default;
+  NonCopyable(const NonCopyable&) = delete;
+  NonCopyable& operator=(const NonCopyable&) = delete;
+};
+
+// No virtual members at all: plain value type, rule does not apply.
+class Value {
+ public:
+  int x() const { return x_; }
+
+ private:
+  int x_ = 0;
+};
+
+}  // namespace fx

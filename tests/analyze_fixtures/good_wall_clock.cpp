@@ -1,0 +1,24 @@
+// ddpm_analyze fixture: no-wall-clock MUST-PASS cases.
+// Simulation time comes from the event queue; durations are plain integers.
+#include <cstdint>
+
+namespace fx {
+
+using SimTime = std::uint64_t;
+
+class Clock {
+ public:
+  SimTime now() const noexcept { return now_; }
+  void advance(SimTime dt) noexcept { now_ += dt; }
+
+ private:
+  SimTime now_ = 0;
+};
+
+SimTime deadline(const Clock& clock, SimTime timeout) {
+  // "time" as an identifier fragment (timeout, SimTime) must not trip the
+  // wall-clock rule; only real clock calls do.
+  return clock.now() + timeout;
+}
+
+}  // namespace fx

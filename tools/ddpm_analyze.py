@@ -1,0 +1,1703 @@
+#!/usr/bin/env python3
+"""AST-level determinism & hot-path analyzer for the DDPM reproduction.
+
+Registered as the `static_analyze` ctest. The paper's headline claim — a
+single marked packet identifies the true source — is only reproducible
+because result tables are byte-identical run-to-run and across --jobs
+values. This tool enforces the invariants that keep that true but that the
+regex linter (tools/ddpm_lint.py) cannot express, because they need types,
+scopes, and a call graph:
+
+  ordered-iteration        no range-for / iterator walk over
+                           std::unordered_map/set in any function reachable
+                           from snapshot/merge/report/JSON-emit paths
+                           (iteration order leaks into output).
+  no-wall-clock            no system_clock/steady_clock/time()/clock()/
+                           getenv outside the allowlist — simulation time
+                           is the only clock a result may depend on.
+  capture-lifetime         event-schedule lambdas (schedule_in/schedule_at/
+                           InlineAction) must not capture by reference:
+                           parked actions outlive the scheduling frame.
+  virtual-dtor             polymorphic bases (declare a new virtual member)
+                           must have a virtual destructor AND explicitly
+                           suppress or protect copy/move (C.67 — slicing
+                           through a base handle corrupts results quietly).
+  narrowing-in-marking     implicit integral narrowing into 16-bit
+                           marking-field arithmetic outside
+                           src/packet/marking_field.* — truncation is the
+                           semantics only inside the codec.
+  no-shared-mutable-static non-const statics in src/ (namespace scope,
+                           function-local, or static data members): the
+                           parallel sweep runner assumes replications share
+                           nothing.
+  stale-suppression        an `allow(rule)` comment on a line that no
+                           longer violates that rule must be removed.
+
+Frontends
+---------
+The primary frontend is libclang (python `clang.cindex`) driven by a
+`compile_commands.json`; CI installs it explicitly. When libclang is not
+importable the bundled *textual* frontend runs instead: a comment/string-
+stripping lexer plus a scope-tracking parser that recovers classes, member/
+param/local declarations, function extents, and a name-based call graph.
+It is deliberately conservative (unresolvable range expressions are not
+flagged) but covers every rule, so local runs without libclang still gate.
+`--frontend libclang` makes libclang mandatory; if it is unavailable the
+tool exits 77 (ctest SKIP_RETURN_CODE) rather than failing.
+
+Suppressions & ratchet
+----------------------
+A line opts out of one rule with `// ddpm-analyze: allow(rule)` (reason
+after a colon). Pre-existing debt lives in tools/ddpm_analyze_baseline.json
+keyed by line-number-insensitive fingerprints (rule + file + context +
+normalized line text + occurrence); baselined findings are reported but do
+not fail, new ones do. `--update-baseline` rewrites the file; stale
+baseline entries and stale allow() comments fail the run so debt only
+ratchets down.
+
+Usage:
+  tools/ddpm_analyze.py [--compile-commands build/compile_commands.json]
+                        [--baseline tools/ddpm_analyze_baseline.json]
+                        [--frontend auto|libclang|textual] [--json OUT]
+                        [--update-baseline] [--self-test DIR] [ROOT]
+
+Exit codes: 0 clean, 1 findings/self-test failure, 2 usage error,
+77 skipped (requested frontend unavailable).
+"""
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+SKIP_EXIT = 77
+
+RULES = (
+    "ordered-iteration",
+    "no-wall-clock",
+    "capture-lifetime",
+    "virtual-dtor",
+    "narrowing-in-marking",
+    "no-shared-mutable-static",
+)
+META_RULES = ("stale-suppression",)
+
+# Functions whose (simple) name marks the start of a result path: anything
+# they reach transitively is output-order-sensitive. `entropy`/`observe`/
+# `identify` are result paths in the paper's sense: they produce the values
+# Tables 1-3 are built from.
+RESULT_PATH_SEED = re.compile(
+    r"(?:^|_)(to_json|to_csv|to_dot|snapshot|merge|report|summary|summarize|"
+    r"emit|write|digest|entropy|ranked|identify|observe)(?:_|$)|"
+    r"^(to_string)$",
+    re.IGNORECASE,
+)
+
+UNORDERED_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
+
+WALL_CLOCK_IDENTS = {
+    "system_clock", "steady_clock", "high_resolution_clock",
+    "gettimeofday", "localtime", "gmtime", "strftime", "getenv",
+}
+# Bare `time`/`clock` only count as the C library calls when not accessed
+# as a member (`.time()`) or qualified by a project namespace.
+WALL_CLOCK_CALLS = {"time", "clock"}
+
+SCHEDULE_CALLEES = {"schedule", "schedule_in", "schedule_at", "InlineAction"}
+
+ALLOW_RE = re.compile(r"ddpm-analyze:\s*allow\(([\w-]+(?:\s*,\s*[\w-]+)*)\)")
+EXPECT_RE = re.compile(r"ddpm-analyze:\s*expect\(([\w-]+(?:\s*,\s*[\w-]+)*)\)")
+
+CXX_KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "decltype", "static_assert", "static_cast", "dynamic_cast",
+    "reinterpret_cast", "const_cast", "new", "delete", "throw", "noexcept",
+    "assert", "defined", "alignas", "typeid", "co_await", "co_return",
+}
+
+U16_TYPES = re.compile(r"^(?:std\s*::\s*)?uint16_t$|^unsigned\s+short(?:\s+int)?$")
+# Binary operators whose int-promoted result can exceed 16 bits. Bitwise
+# &/|/^ of two narrow operands cannot, so they are deliberately absent.
+ARITH_OPS = {"+", "-", "*", "<<"}
+EXPLICIT_NARROW_RE = re.compile(
+    r"static_cast\s*<\s*(?:std\s*::\s*)?uint16_t\s*>|"
+    r"(?:std\s*::\s*)?uint16_t\s*\(|narrow"
+)
+
+
+# --------------------------------------------------------------------------
+# Shared fact model (both frontends emit these)
+# --------------------------------------------------------------------------
+
+@dataclass
+class FunctionInfo:
+    qname: str           # e.g. "ddpm::telemetry::Registry::snapshot"
+    name: str            # simple name: "snapshot"
+    cls: str             # enclosing class simple name, "" for free functions
+    file: str
+    line: int
+    calls: set = field(default_factory=set)  # simple callee names
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    file: str
+    line: int
+    has_bases: bool = False             # derived classes are out of scope
+    declares_virtual: bool = False      # a new virtual member (not the dtor)
+    has_virtual_dtor: bool = False
+    dtor_declared: bool = False
+    dtor_access: str = "public"
+    copy_declared: bool = False         # copy ctor or copy-assign declared
+    copy_access: str = "public"         # access of the declared copy op
+    copy_deleted: bool = False
+
+
+@dataclass
+class Fact:
+    """A site a rule may turn into a finding."""
+    rule: str
+    file: str
+    line: int
+    context: str         # enclosing function qname or class name
+    detail: str
+
+
+@dataclass
+class Finding:
+    rule: str
+    file: str            # repo-relative posix path
+    line: int
+    context: str
+    message: str
+    fingerprint: str = ""
+    baselined: bool = False
+    suppressed: bool = False
+
+
+@dataclass
+class Facts:
+    functions: dict = field(default_factory=dict)     # qname -> FunctionInfo
+    classes: dict = field(default_factory=dict)       # name -> ClassInfo
+    sites: list = field(default_factory=list)         # [Fact]
+    frontend: str = "textual"
+
+    def merge(self, other: "Facts") -> None:
+        for q, fn in other.functions.items():
+            if q in self.functions:
+                self.functions[q].calls |= fn.calls
+            else:
+                self.functions[q] = fn
+        for n, ci in other.classes.items():
+            self.classes.setdefault(n, ci)
+        seen = {(f.rule, f.file, f.line, f.detail) for f in self.sites}
+        for f in other.sites:
+            if (f.rule, f.file, f.line, f.detail) not in seen:
+                self.sites.append(f)
+
+
+# --------------------------------------------------------------------------
+# Textual frontend: lexer
+# --------------------------------------------------------------------------
+
+def blank_comments_and_strings(text: str) -> str:
+    """Returns text with comments and string/char literals replaced by
+    spaces, preserving length and newlines (so offsets/lines line up)."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif c == "/" and nxt == "*":
+            out[i] = out[i + 1] = " "
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = " "
+                if i + 1 < n:
+                    out[i + 1] = " "
+                i += 2
+        elif c == "R" and nxt == '"':
+            j = i + 2
+            while j < n and text[j] not in "(":
+                j += 1
+            delim = text[i + 2:j]
+            end = text.find(")" + delim + '"', j)
+            end = n if end == -1 else end + len(delim) + 2
+            for k in range(i, min(end, n)):
+                if text[k] != "\n":
+                    out[k] = " "
+            i = end
+        elif c in "\"'":
+            quote = c
+            out[i] = " "
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out[i] = " "
+                    i += 1
+                    if i < n and text[i] != "\n":
+                        out[i] = " "
+                    i += 1
+                    continue
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = " "
+                i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+TOKEN_RE = re.compile(
+    r"[A-Za-z_]\w*|::|->\*?|<<=?|>>=?|<=|>=|==|!=|&&|\|\||\+\+|--|[+\-*/%^&|~!<>=]=?"
+    r"|\d[\w.']*|\.\.\.|[\[\](){};:,.?#\\]"
+)
+
+
+@dataclass
+class Tok:
+    s: str
+    pos: int
+    line: int
+
+
+def tokenize(clean: str):
+    line_starts = [0]
+    for m in re.finditer("\n", clean):
+        line_starts.append(m.end())
+    toks = []
+    import bisect
+    for m in TOKEN_RE.finditer(clean):
+        ln = bisect.bisect_right(line_starts, m.start())
+        toks.append(Tok(m.group(0), m.start(), ln))
+    return toks
+
+
+# --------------------------------------------------------------------------
+# Textual frontend: scope-tracking parser
+# --------------------------------------------------------------------------
+
+@dataclass
+class _Scope:
+    kind: str            # "namespace" | "class" | "function" | "block" | "enum"
+    name: str = ""
+    qname: str = ""      # for functions
+    access: str = "public"
+
+
+class TextualUnit:
+    """Facts extracted from one source file by the textual frontend."""
+
+    def __init__(self, path: Path, rel: str, text: str):
+        self.path = path
+        self.rel = rel
+        self.text = text
+        self.clean = blank_comments_and_strings(text)
+        self.lines = text.splitlines()
+        self.toks = tokenize(self.clean)
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.members: dict[str, dict[str, str]] = {}   # class -> name -> type
+        self.locals_u16: set = set()
+        self.sites: list[Fact] = []
+        self._parse()
+
+    # -- helpers ----------------------------------------------------------
+
+    def _stmt_text(self, toks) -> str:
+        return " ".join(t.s for t in toks)
+
+    def _match_forward(self, i: int, open_s: str, close_s: str) -> int:
+        """Index of the token closing the bracket opened at toks[i]."""
+        depth = 0
+        t = self.toks
+        while i < len(t):
+            if t[i].s == open_s:
+                depth += 1
+            elif t[i].s == close_s:
+                depth -= 1
+                if depth == 0:
+                    return i
+            i += 1
+        return len(t) - 1
+
+    # -- main parse -------------------------------------------------------
+
+    def _parse(self) -> None:
+        toks = self.toks
+        scopes: list[_Scope] = []
+        ns_stack: list[str] = []
+        stmt_start = 0          # token index where current statement began
+        i = 0
+
+        def cur_fn() -> str:
+            for sc in reversed(scopes):
+                if sc.kind == "function":
+                    return sc.qname
+            return ""
+
+        def cur_class() -> str:
+            for sc in reversed(scopes):
+                if sc.kind == "class":
+                    return sc.name
+                if sc.kind == "function":
+                    return ""
+            return ""
+
+        def at_class_body() -> bool:
+            return bool(scopes) and scopes[-1].kind == "class"
+
+        def at_fn_body() -> bool:
+            return any(sc.kind == "function" for sc in scopes)
+
+        while i < len(toks):
+            t = toks[i]
+            s = t.s
+
+            if s == "#":  # skip preprocessor line
+                ln = t.line
+                while i < len(toks) and toks[i].line == ln:
+                    i += 1
+                stmt_start = i
+                continue
+
+            if s in ("public", "private", "protected") and i + 1 < len(toks) \
+                    and toks[i + 1].s == ":" and at_class_body():
+                scopes[-1].access = s
+                i += 2
+                stmt_start = i
+                continue
+
+            if s == "{":
+                scopes.append(self._classify_brace(stmt_start, i, scopes, ns_stack))
+                if scopes[-1].kind == "namespace":
+                    ns_stack.append(scopes[-1].name)
+                i += 1
+                stmt_start = i
+                continue
+
+            if s == "}":
+                if scopes:
+                    closing = scopes.pop()
+                    if closing.kind == "namespace" and ns_stack:
+                        ns_stack.pop()
+                i += 1
+                stmt_start = i
+                continue
+
+            if s == ";":
+                self._handle_statement(toks[stmt_start:i], scopes, ns_stack)
+                i += 1
+                stmt_start = i
+                continue
+
+            # range-for detection: for ( ... : ... )
+            if s == "for" and i + 1 < len(toks) and toks[i + 1].s == "(":
+                close = self._match_forward(i + 1, "(", ")")
+                inner = toks[i + 2:close]
+                self._handle_for(t.line, inner, cur_fn(), cur_class())
+                # fall through: body brace handled normally; skip the header
+                # so `;` inside classic for() doesn't end the statement.
+                i = close + 1
+                stmt_start = i
+                continue
+
+            if at_fn_body():
+                self._scan_in_function(i, cur_fn(), cur_class())
+
+            # wall-clock idents can appear anywhere (incl. member init lists)
+            if s in WALL_CLOCK_IDENTS and not self._qualified_by_project(i):
+                self.sites.append(Fact("no-wall-clock", self.rel, t.line,
+                                       cur_fn() or cur_class(), s))
+            if s in WALL_CLOCK_CALLS and i + 1 < len(toks) \
+                    and toks[i + 1].s == "(" \
+                    and (i == 0 or toks[i - 1].s not in (".", "->", "::", "~")) \
+                    and not self._is_decl_name(i):
+                self.sites.append(Fact("no-wall-clock", self.rel, t.line,
+                                       cur_fn() or cur_class(), s + "()"))
+
+            i += 1
+
+    def _qualified_by_project(self, i: int) -> bool:
+        """True when `chrono`-style ident is qualified by a non-std scope
+        (e.g. our own `sim::steady_clock` shim in fixtures is still flagged;
+        only `foo.system_clock` member access is excused)."""
+        return i > 0 and self.toks[i - 1].s in (".", "->")
+
+    def _is_decl_name(self, i: int) -> bool:
+        """`SimTime time(...)` — a declaration/definition named `time`."""
+        if i == 0:
+            return False
+        prev = self.toks[i - 1].s
+        return bool(re.match(r"[A-Za-z_]", prev)) or prev in ("&", "*", ">")
+
+    # -- brace classification --------------------------------------------
+
+    def _classify_brace(self, stmt_start: int, brace_i: int,
+                        scopes: list, ns_stack: list) -> _Scope:
+        toks = self.toks
+        head = toks[stmt_start:brace_i]
+        words = [t.s for t in head]
+
+        if "namespace" in words:
+            k = words.index("namespace")
+            name = "::".join(w for w in words[k + 1:] if re.match(r"[A-Za-z_]", w))
+            return _Scope("namespace", name or "<anon>")
+
+        if "enum" in words:
+            return _Scope("enum")
+
+        for kw in ("class", "struct"):
+            if kw in words:
+                k = words.index(kw)
+                rest = words[k + 1:]
+                name = ""
+                for w in rest:
+                    if re.match(r"[A-Za-z_]\w*$", w) and w not in ("final", "alignas"):
+                        name = w
+                        break
+                # `struct X { ... } var;` and template specializations all
+                # land here; a trailing `(` would mean function-try etc.
+                if name:
+                    ci = self.classes.setdefault(
+                        name, ClassInfo(name, self.rel,
+                                        head[0].line if head else toks[brace_i].line))
+                    ci.has_bases = ci.has_bases or ":" in rest
+                    self.members.setdefault(name, {})
+                    default_access = "private" if kw == "class" else "public"
+                    return _Scope("class", name, access=default_access)
+                return _Scope("block")
+
+        # function definition?  ... name ( params ) [quals] {
+        if any(sc.kind == "function" for sc in scopes):
+            return _Scope("block")  # nested brace inside a function
+        close_paren = None
+        for j in range(len(head) - 1, -1, -1):
+            if head[j].s == ")":
+                close_paren = j
+                break
+            if head[j].s in ("const", "noexcept", "override", "final", "try",
+                             "&", "&&", "->") or re.match(r"[\w:<>,\s]", head[j].s):
+                continue
+            break
+        if close_paren is not None:
+            depth = 0
+            open_paren = None
+            for j in range(close_paren, -1, -1):
+                if head[j].s == ")":
+                    depth += 1
+                elif head[j].s == "(":
+                    depth -= 1
+                    if depth == 0:
+                        open_paren = j
+                        break
+            if open_paren is not None and open_paren > 0:
+                before = head[open_paren - 1].s
+                if before not in CXX_KEYWORDS and re.match(r"[A-Za-z_~]", before):
+                    qname, simple, cls = self._function_name(head, open_paren,
+                                                            scopes, ns_stack)
+                    if qname:
+                        # Inline-bodied members never reach _handle_statement
+                        # (no terminating `;`), so record the special-member
+                        # flags from the head here.
+                        if scopes and scopes[-1].kind == "class":
+                            self._class_member_flags(
+                                words, scopes[-1].name, scopes[-1].access)
+                        fn = FunctionInfo(qname, simple, cls, self.rel,
+                                          head[open_paren - 1].line)
+                        self.functions.setdefault(qname, fn)
+                        self._parse_params(head[open_paren + 1:close_paren], qname)
+                        sc = _Scope("function", simple)
+                        sc.qname = qname
+                        return sc
+        return _Scope("block")
+
+    def _function_name(self, head, open_paren, scopes, ns_stack):
+        parts = []
+        j = open_paren - 1
+        while j >= 0:
+            w = head[j].s
+            if re.match(r"[A-Za-z_~]\w*$", w):
+                parts.append(w)
+                if j >= 2 and head[j - 1].s == "::":
+                    j -= 2
+                    # skip template args on the qualifier: Foo<T>::bar
+                    if j >= 0 and head[j].s == ">":
+                        depth = 0
+                        while j >= 0:
+                            if head[j].s == ">":
+                                depth += 1
+                            elif head[j].s == "<":
+                                depth -= 1
+                                if depth == 0:
+                                    j -= 1
+                                    break
+                            j -= 1
+                    continue
+                break
+            break
+        if not parts:
+            return "", "", ""
+        parts.reverse()
+        simple = parts[-1]
+        cls = parts[-2] if len(parts) > 1 else ""
+        encl_cls = ""
+        for sc in reversed(scopes):
+            if sc.kind == "class":
+                encl_cls = sc.name
+                break
+        if not cls and encl_cls:
+            cls = encl_cls
+            parts = [encl_cls] + parts
+        q = "::".join([n for n in ns_stack if n != "<anon>"] + parts)
+        return q, simple, cls
+
+    def _parse_params(self, ptoks, fn_qname: str) -> None:
+        if not ptoks:
+            return
+        depth = 0
+        groups, cur = [], []
+        for t in ptoks:
+            if t.s in ("<", "(", "["):
+                depth += 1
+            elif t.s in (">", ")", "]"):
+                depth -= 1
+            if t.s == "," and depth == 0:
+                groups.append(cur)
+                cur = []
+            else:
+                cur.append(t)
+        groups.append(cur)
+        for g in groups:
+            names = [t.s for t in g if re.match(r"[A-Za-z_]\w*$", t.s)]
+            if len(names) < 2:
+                continue
+            name = names[-1]
+            type_str = " ".join(t.s for t in g[:-1])
+            self._record_local(fn_qname, name, type_str)
+
+    def _record_local(self, fn_qname: str, name: str, type_str: str) -> None:
+        key = (fn_qname, name)
+        if UNORDERED_RE.search(type_str):
+            self._local_types.setdefault(key, type_str)
+        elif U16_TYPES.match(type_str.replace(" ", "")) or "uint16_t" in type_str:
+            self.locals_u16.add(key)
+            self._local_types.setdefault(key, type_str)
+        else:
+            self._local_types.setdefault(key, type_str)
+
+    _local_types: dict
+
+    def _class_member_flags(self, words, cls: str, access: str) -> None:
+        """Updates special-member facts for `cls` from a member head/decl.
+
+        Called for both `;`-terminated declarations (_handle_statement) and
+        inline-bodied definitions (_classify_brace), so virtual methods with
+        bodies are seen exactly as libclang sees them.
+        """
+        ci = self.classes[cls]
+        if "virtual" in words:
+            if "~" in words:
+                ci.has_virtual_dtor = True
+                ci.dtor_declared = True
+                ci.dtor_access = access
+            else:
+                ci.declares_virtual = True
+        elif "~" in words:
+            ci.dtor_declared = True
+            ci.dtor_access = access
+        if "operator" in words:
+            k = words.index("operator")
+            if k + 1 < len(words) and words[k + 1] == "=" and cls in words[:k]:
+                ci.copy_declared = True
+                ci.copy_access = access
+                ci.copy_deleted = ci.copy_deleted or "delete" in words
+        # copy ctor:  Cls ( const Cls & ... )
+        if words[:1] == [cls] and len(words) > 3 and words[1] == "(":
+            inner = words[2:]
+            if cls in inner and "&" in inner and "&&" not in inner:
+                ci.copy_declared = True
+                ci.copy_access = access
+                ci.copy_deleted = ci.copy_deleted or "delete" in words
+
+    # -- statements -------------------------------------------------------
+
+    def _handle_statement(self, stoks, scopes, ns_stack) -> None:
+        if not stoks:
+            return
+        words = [t.s for t in stoks]
+        line = stoks[0].line
+        in_class = bool(scopes) and scopes[-1].kind == "class"
+        in_fn = any(sc.kind == "function" for sc in scopes)
+        at_ns = not in_class and not in_fn and not any(
+            sc.kind in ("enum",) for sc in scopes)
+
+        # -- class member declarations & special members ------------------
+        if in_class:
+            cls = scopes[-1].name
+            access = scopes[-1].access
+            self._class_member_flags(words, cls, access)
+            # member variable? no parens -> record type
+            if "(" not in words and "operator" not in words and \
+                    words[0] not in ("using", "friend", "typedef", "template",
+                                     "enum", "class", "struct"):
+                names = [w for w in words if re.match(r"[A-Za-z_]\w*$", w)]
+                if len(names) >= 2:
+                    eq = words.index("=") if "=" in words else len(words)
+                    decl_words = words[:eq]
+                    decl_names = [w for w in decl_words
+                                  if re.match(r"[A-Za-z_]\w*$", w)
+                                  and w not in ("const", "static", "mutable",
+                                                "constexpr", "inline", "std")]
+                    if decl_names:
+                        var = decl_names[-1]
+                        self.members.setdefault(cls, {})[var] = " ".join(decl_words)
+            # static data member (shared mutable state)
+            self._check_static(stoks, words, line, context=cls)
+            return
+
+        # -- namespace-scope statements -----------------------------------
+        if at_ns:
+            self._check_static(stoks, words, line, context="::".join(ns_stack))
+            return
+
+        # -- inside a function --------------------------------------------
+        if in_fn:
+            fn = next(sc.qname for sc in reversed(scopes) if sc.kind == "function")
+            self._check_static(stoks, words, line, context=fn)
+            self._maybe_local_decl(stoks, words, fn, line)
+
+    def _check_static(self, stoks, words, line, context) -> None:
+        if "static" not in words:
+            return
+        k = words.index("static")
+        rest = words[k + 1:]
+        if not rest:
+            return
+        if "(" in rest:            # function declaration/definition
+            return
+        if "const" in rest[:4] or "constexpr" in rest[:4] or \
+                words[max(0, k - 2):k].count("constexpr"):
+            return
+        if "using" in words[:k] or "typedef" in words[:k]:
+            return
+        self.sites.append(Fact("no-shared-mutable-static", self.rel, line,
+                               context, " ".join(words[:6])))
+
+    def _maybe_local_decl(self, stoks, words, fn, line) -> None:
+        # TYPE NAME [= ...] ;   (no leading keyword, contains no '(' before NAME)
+        if not words or words[0] in CXX_KEYWORDS or words[0] in (
+                "return", "delete", "goto", "break", "continue", "case"):
+            return
+        eq = words.index("=") if "=" in words else None
+        decl = words[:eq] if eq is not None else words
+        if "(" in decl:
+            return
+        names = [w for w in decl if re.match(r"[A-Za-z_]\w*$", w)
+                 and w not in ("const", "auto", "std", "static", "constexpr")]
+        if len(names) < 2:
+            return
+        var = names[-1]
+        type_str = " ".join(decl)
+        self._record_local(fn, var, type_str)
+        # narrowing-in-marking: uint16 decl initialised from arithmetic.
+        # (Plain re-assignments are left to -Wconversion: cindex cannot
+        # recover the operator of a BINARY_OPERATOR '=' portably, and the
+        # two frontends must agree on what they flag.)
+        if eq is not None and ("uint16_t" in decl):
+            self._check_narrowing(words[eq + 1:], fn, line)
+
+    @staticmethod
+    def _rhs_has_arith(words) -> bool:
+        """True when the expression holds a *binary* widening operator —
+        an operand-shaped token on both sides (rules out unary &/*/-)."""
+        operand_end = re.compile(r"[\w)\]]$")
+        operand_start = re.compile(r"^[\w(]")
+        for k, w in enumerate(words):
+            if w in ARITH_OPS and 0 < k < len(words) - 1 \
+                    and operand_end.search(words[k - 1]) \
+                    and operand_start.search(words[k + 1]):
+                return True
+        return False
+
+    def _check_narrowing(self, rhs_words, fn: str, line: int) -> None:
+        rhs = " ".join(rhs_words)
+        if self._rhs_has_arith(rhs_words) and not EXPLICIT_NARROW_RE.search(rhs):
+            self.sites.append(Fact("narrowing-in-marking", self.rel, line,
+                                   fn, rhs[:60]))
+
+    # -- per-token scanning inside function bodies ------------------------
+
+    def _scan_in_function(self, i: int, fn_qname: str, cls: str) -> None:
+        toks = self.toks
+        t = toks[i]
+        # call edges: ident (   — not a keyword, not a declaration
+        if re.match(r"[A-Za-z_]\w*$", t.s) and t.s not in CXX_KEYWORDS \
+                and i + 1 < len(toks) and toks[i + 1].s == "(":
+            if fn_qname in self.functions:
+                self.functions[fn_qname].calls.add(t.s)
+            if t.s in SCHEDULE_CALLEES:
+                self._check_schedule_call(i, fn_qname)
+
+    def _check_schedule_call(self, i: int, fn_qname: str) -> None:
+        toks = self.toks
+        close = self._match_forward(i + 1, "(", ")")
+        j = i + 1
+        while j < close:
+            if toks[j].s == "[" and toks[j - 1].s in ("(", ",", "=", "return"):
+                k = self._match_forward(j, "[", "]")
+                cap = [toks[m].s for m in range(j + 1, k)]
+                if "&" in cap or "&&" in cap:
+                    self.sites.append(Fact(
+                        "capture-lifetime", self.rel, toks[j].line, fn_qname,
+                        "[" + " ".join(cap) + "]"))
+                j = k
+            j += 1
+
+    # -- range-for --------------------------------------------------------
+
+    def _handle_for(self, line: int, inner, fn_qname: str, cls: str) -> None:
+        colon = None
+        depth = 0
+        for k, t in enumerate(inner):
+            if t.s in ("<", "(", "[", "{"):
+                depth += 1
+            elif t.s in (">", ")", "]", "}"):
+                depth -= 1
+            elif t.s == ";":
+                # classic for: detect iterator walk `x.begin()`
+                self._handle_iter_walk(line, inner, fn_qname, cls)
+                return
+            elif t.s == ":" and depth == 0:
+                if k > 0 and inner[k - 1].s == ":":
+                    continue
+                if k + 1 < len(inner) and inner[k + 1].s == ":":
+                    continue
+                colon = k
+                break
+        if colon is None:
+            return
+        range_toks = inner[colon + 1:]
+        rtype = self._resolve_expr_type(range_toks, fn_qname, cls)
+        if rtype and UNORDERED_RE.search(rtype):
+            self.sites.append(Fact(
+                "ordered-iteration", self.rel, line, fn_qname or cls,
+                "range-for over " + " ".join(t.s for t in range_toks)[:50]))
+
+    def _handle_iter_walk(self, line, inner, fn_qname, cls) -> None:
+        words = [t.s for t in inner]
+        for k in range(len(words) - 3):
+            if words[k + 1] == "." and words[k + 2] == "begin" and words[k + 3] == "(":
+                rtype = self._resolve_name_type(words[k], fn_qname, cls)
+                if rtype and UNORDERED_RE.search(rtype):
+                    self.sites.append(Fact(
+                        "ordered-iteration", self.rel, line, fn_qname or cls,
+                        "iterator walk over " + words[k]))
+
+    def _resolve_expr_type(self, rtoks, fn_qname, cls):
+        words = [t.s for t in rtoks if t.s not in ("*", "&")]
+        if not words:
+            return None
+        if words[-1] == ")":  # function call result: not resolved
+            return None
+        # strip leading this-> / obj. qualifiers, keep last identifier
+        name = words[-1]
+        if not re.match(r"[A-Za-z_]\w*$", name):
+            return None
+        explicit_member = len(words) >= 2 and words[-2] in (".", "->")
+        return self._resolve_name_type(name, fn_qname, cls,
+                                       member_only=explicit_member and
+                                       (len(words) < 3 or words[-3] == "this"))
+
+    def _resolve_name_type(self, name, fn_qname, cls, member_only=False):
+        if not member_only and (fn_qname, name) in self._local_types:
+            return self._local_types[(fn_qname, name)]
+        if cls and name in self.members.get(cls, {}):
+            return self.members[cls][name]
+        return None
+
+
+class TextualFrontend:
+    name = "textual"
+
+    def __init__(self):
+        self._global_members: dict[str, dict[str, str]] = {}
+
+    def extract(self, files: list, root: Path) -> Facts:
+        facts = Facts(frontend=self.name)
+        units = []
+        for path in files:
+            try:
+                text = path.read_text(encoding="utf-8", errors="replace")
+            except OSError:
+                continue
+            rel = path.relative_to(root).as_posix()
+            TextualUnit._local_types = {}
+            unit = TextualUnit.__new__(TextualUnit)
+            unit._local_types = {}
+            unit.__init__(path, rel, text)
+            units.append(unit)
+        # classes/members are declared in headers but used in .cpp files:
+        # build a global class->members table, then re-resolve.
+        members: dict[str, dict[str, str]] = {}
+        for u in units:
+            for c, mm in u.members.items():
+                members.setdefault(c, {}).update(mm)
+        for u in units:
+            u.members = {c: dict(members.get(c, {})) for c in members}
+            # re-run range-for resolution with global member knowledge
+            u.sites = [f for f in u.sites if f.rule != "ordered-iteration"]
+            u2 = _ReResolve(u)
+            u.sites.extend(u2.sites)
+        for u in units:
+            facts.merge(self._unit_facts(u))
+        return facts
+
+    @staticmethod
+    def _unit_facts(u: TextualUnit) -> Facts:
+        f = Facts(frontend="textual")
+        f.functions = dict(u.functions)
+        f.classes = dict(u.classes)
+        f.sites = list(u.sites)
+        return f
+
+
+class _ReResolve:
+    """Second pass: redo range-for/iter-walk resolution once the global
+    class->member table is known (headers parsed after the .cpp)."""
+
+    def __init__(self, unit: TextualUnit):
+        self.sites: list[Fact] = []
+        self.u = unit
+        toks = unit.toks
+        scopes: list[_Scope] = []
+        ns_stack: list[str] = []
+        stmt_start = 0
+        i = 0
+        while i < len(toks):
+            s = toks[i].s
+            if s == "#":
+                ln = toks[i].line
+                while i < len(toks) and toks[i].line == ln:
+                    i += 1
+                stmt_start = i
+                continue
+            if s == "{":
+                scopes.append(unit._classify_brace(stmt_start, i, scopes, ns_stack))
+                if scopes[-1].kind == "namespace":
+                    ns_stack.append(scopes[-1].name)
+                i += 1
+                stmt_start = i
+                continue
+            if s == "}":
+                if scopes:
+                    c = scopes.pop()
+                    if c.kind == "namespace" and ns_stack:
+                        ns_stack.pop()
+                i += 1
+                stmt_start = i
+                continue
+            if s == ";":
+                i += 1
+                stmt_start = i
+                continue
+            if s == "for" and i + 1 < len(toks) and toks[i + 1].s == "(":
+                close = unit._match_forward(i + 1, "(", ")")
+                fn = next((sc.qname for sc in reversed(scopes)
+                           if sc.kind == "function"), "")
+                cls = next((sc.name for sc in reversed(scopes)
+                            if sc.kind == "class"), "")
+                if not cls and fn:
+                    cls = self.u.functions.get(fn).cls if fn in self.u.functions else ""
+                saved = unit.sites
+                unit.sites = []
+                unit._handle_for(toks[i].line, toks[i + 2:close], fn, cls)
+                self.sites.extend(unit.sites)
+                unit.sites = saved
+                i = close + 1
+                stmt_start = i
+                continue
+            i += 1
+
+
+# --------------------------------------------------------------------------
+# libclang frontend
+# --------------------------------------------------------------------------
+
+class LibclangFrontend:
+    name = "libclang"
+
+    def __init__(self, compile_commands: Path):
+        import clang.cindex as ci  # noqa: raises ImportError if absent
+        self.ci = ci
+        self.index = ci.Index.create()  # raises LibclangError if no .so
+        self.ccjson = json.loads(compile_commands.read_text())
+        self.ccdir = compile_commands.parent
+
+    def extract(self, files: list, root: Path) -> Facts:
+        ci = self.ci
+        facts = Facts(frontend=self.name)
+        wanted = {p.resolve() for p in files}
+        seen_tu = set()
+        for entry in self.ccjson:
+            src = Path(entry.get("file", ""))
+            if not src.is_absolute():
+                src = Path(entry.get("directory", ".")) / src
+            src = src.resolve()
+            if src in seen_tu:
+                continue
+            if not any(str(src).startswith(str(root / d)) for d in ("src", "tests")) \
+                    and src not in wanted:
+                continue
+            seen_tu.add(src)
+            args = self._args(entry)
+            try:
+                tu = self.index.parse(str(src), args=args)
+            except ci.TranslationUnitLoadError:
+                continue
+            facts.merge(self._walk_tu(tu, root, wanted))
+        # fixture files not in compile_commands: parse standalone
+        for p in wanted - seen_tu:
+            if p.suffix not in (".cpp", ".cc", ".cxx"):
+                continue
+            if any(str(p) == str(s) for s in seen_tu):
+                continue
+            try:
+                tu = self.index.parse(str(p), args=["-std=c++20",
+                                                    "-I" + str(root / "src")])
+            except ci.TranslationUnitLoadError:
+                continue
+            facts.merge(self._walk_tu(tu, root, wanted))
+        return facts
+
+    def _args(self, entry):
+        if "arguments" in entry:
+            raw = entry["arguments"][1:]
+        else:
+            import shlex
+            raw = shlex.split(entry.get("command", ""))[1:]
+        args, skip = [], False
+        for a in raw:
+            if skip:
+                skip = False
+                continue
+            if a in ("-o", "-c"):
+                skip = a == "-o"
+                continue
+            if a.endswith((".cpp", ".cc", ".o")):
+                continue
+            args.append(a)
+        return args
+
+    def _rel(self, loc, root: Path):
+        if not loc.file:
+            return None
+        p = Path(str(loc.file)).resolve()
+        try:
+            return p.relative_to(root).as_posix()
+        except ValueError:
+            return None
+
+    def _walk_tu(self, tu, root: Path, wanted) -> Facts:
+        ci = self.ci
+        K = ci.CursorKind
+        facts = Facts(frontend=self.name)
+
+        def qname(cur):
+            parts = []
+            c = cur
+            while c is not None and c.kind != K.TRANSLATION_UNIT:
+                if c.spelling:
+                    parts.append(c.spelling)
+                c = c.semantic_parent
+            return "::".join(reversed(parts))
+
+        def enclosing_class(cur):
+            c = cur.semantic_parent
+            while c is not None and c.kind != K.TRANSLATION_UNIT:
+                if c.kind in (K.CLASS_DECL, K.STRUCT_DECL, K.CLASS_TEMPLATE):
+                    return c.spelling
+                c = c.semantic_parent
+            return ""
+
+        def visit(cur, fn_info):
+            rel = self._rel(cur.location, root)
+            in_repo = rel is not None and (rel.startswith("src/")
+                                           or Path(root, rel).resolve() in wanted)
+            kind = cur.kind
+
+            if kind in (K.FUNCTION_DECL, K.CXX_METHOD, K.CONSTRUCTOR,
+                        K.DESTRUCTOR, K.FUNCTION_TEMPLATE) and cur.is_definition():
+                q = qname(cur)
+                fi = facts.functions.setdefault(
+                    q, FunctionInfo(q, cur.spelling, enclosing_class(cur),
+                                    rel or "", cur.location.line))
+                fn_info = fi
+
+            if in_repo and kind in (K.CLASS_DECL, K.STRUCT_DECL) \
+                    and cur.is_definition():
+                self._class_facts(cur, rel, facts)
+
+            if fn_info is not None:
+                if kind == K.CALL_EXPR and cur.spelling:
+                    fn_info.calls.add(cur.spelling)
+                    if in_repo and cur.spelling in SCHEDULE_CALLEES:
+                        self._capture_facts(cur, rel, fn_info, facts)
+                if in_repo and kind == K.CXX_FOR_RANGE_STMT:
+                    self._range_for_facts(cur, rel, fn_info, facts)
+                if in_repo and kind in (K.FOR_STMT, K.WHILE_STMT):
+                    self._iter_walk_facts(cur, rel, fn_info, facts)
+                if in_repo and kind in (K.DECL_REF_EXPR, K.TYPE_REF) \
+                        and any(w in (cur.spelling or "")
+                                for w in WALL_CLOCK_IDENTS):
+                    hit = next(w for w in WALL_CLOCK_IDENTS
+                               if w in (cur.spelling or ""))
+                    facts.sites.append(Fact("no-wall-clock", rel,
+                                            cur.location.line,
+                                            fn_info.qname, hit))
+                if in_repo and kind == K.CALL_EXPR \
+                        and cur.spelling in (WALL_CLOCK_CALLS | WALL_CLOCK_IDENTS):
+                    ref = cur.referenced
+                    sysname = ref is None or self._rel(ref.location, root) is None
+                    if sysname:
+                        facts.sites.append(Fact("no-wall-clock", rel,
+                                                cur.location.line,
+                                                fn_info.qname,
+                                                cur.spelling + "()"))
+                if in_repo and kind == K.VAR_DECL:
+                    self._narrowing_facts(cur, rel, fn_info, facts)
+                if in_repo and kind == K.VAR_DECL \
+                        and cur.storage_class == ci.StorageClass.STATIC:
+                    t = cur.type
+                    if not t.is_const_qualified() \
+                            and "constexpr" not in [tk.spelling for tk in
+                                                    cur.get_tokens()][:3]:
+                        facts.sites.append(Fact(
+                            "no-shared-mutable-static", rel, cur.location.line,
+                            fn_info.qname, cur.spelling))
+            elif in_repo and kind == K.VAR_DECL and cur.semantic_parent is not None \
+                    and cur.semantic_parent.kind in (K.NAMESPACE,
+                                                     K.TRANSLATION_UNIT,
+                                                     K.CLASS_DECL, K.STRUCT_DECL):
+                t = cur.type
+                is_static_member = cur.semantic_parent.kind in (K.CLASS_DECL,
+                                                                K.STRUCT_DECL)
+                toks = [tk.spelling for tk in cur.get_tokens()][:4]
+                if not t.is_const_qualified() and "constexpr" not in toks \
+                        and (is_static_member is False or "static" in toks):
+                    facts.sites.append(Fact(
+                        "no-shared-mutable-static", rel, cur.location.line,
+                        qname(cur.semantic_parent), cur.spelling))
+
+            for ch in cur.get_children():
+                visit(ch, fn_info)
+
+        visit(tu.cursor, None)
+        return facts
+
+    def _class_facts(self, cur, rel, facts) -> None:
+        K = self.ci.CursorKind
+        name = cur.spelling
+        ci_rec = facts.classes.setdefault(
+            name, ClassInfo(name, rel, cur.location.line))
+        for ch in cur.get_children():
+            if ch.kind == K.CXX_BASE_SPECIFIER:
+                ci_rec.has_bases = True
+            if ch.kind == K.CXX_METHOD and ch.is_virtual_method():
+                ci_rec.declares_virtual = True
+            if ch.kind == K.DESTRUCTOR:
+                ci_rec.dtor_declared = True
+                ci_rec.has_virtual_dtor = ch.is_virtual_method()
+                ci_rec.dtor_access = str(ch.access_specifier).split(".")[-1].lower()
+            if ch.kind == K.CONSTRUCTOR and ch.is_copy_constructor():
+                ci_rec.copy_declared = True
+                ci_rec.copy_access = str(ch.access_specifier).split(".")[-1].lower()
+                ci_rec.copy_deleted = ci_rec.copy_deleted or ch.is_deleted_method() \
+                    if hasattr(ch, "is_deleted_method") else ci_rec.copy_deleted
+            if ch.kind == K.CXX_METHOD and ch.spelling == "operator=":
+                ci_rec.copy_declared = True
+                ci_rec.copy_access = str(ch.access_specifier).split(".")[-1].lower()
+
+    def _capture_facts(self, call, rel, fn_info, facts) -> None:
+        K = self.ci.CursorKind
+
+        def find_lambdas(c):
+            if c.kind == K.LAMBDA_EXPR:
+                yield c
+            for ch in c.get_children():
+                yield from find_lambdas(ch)
+
+        for lam in find_lambdas(call):
+            toks = []
+            for tk in lam.get_tokens():
+                toks.append(tk.spelling)
+                if tk.spelling == "]":
+                    break
+            cap = toks[1:-1] if toks else []
+            if "&" in cap or "&&" in cap:
+                facts.sites.append(Fact("capture-lifetime", rel,
+                                        lam.location.line, fn_info.qname,
+                                        "[" + " ".join(cap) + "]"))
+
+    def _range_for_facts(self, cur, rel, fn_info, facts) -> None:
+        for ch in cur.get_children():
+            t = ch.type.get_canonical().spelling if ch.type else ""
+            if UNORDERED_RE.search(t or ""):
+                facts.sites.append(Fact(
+                    "ordered-iteration", rel, cur.location.line,
+                    fn_info.qname, "range-for over " + (t or "?")[:50]))
+                return
+
+    def _iter_walk_facts(self, cur, rel, fn_info, facts) -> None:
+        """Classic `for (auto it = m.begin(); ...)` over an unordered
+        container: inspect the loop header (every child but the body)."""
+        K = self.ci.CursorKind
+        children = list(cur.get_children())
+        if len(children) < 2:
+            return
+
+        def scan(c):
+            if c.kind == K.CALL_EXPR and c.spelling in ("begin", "cbegin"):
+                for sub in c.get_children():
+                    t = sub.type.get_canonical().spelling if sub.type else ""
+                    if UNORDERED_RE.search(t or ""):
+                        facts.sites.append(Fact(
+                            "ordered-iteration", rel, c.location.line,
+                            fn_info.qname, "iterator walk over " + t[:50]))
+                        return
+            for sub in c.get_children():
+                scan(sub)
+
+        for header_child in children[:-1]:
+            scan(header_child)
+
+    def _narrowing_facts(self, cur, rel, fn_info, facts) -> None:
+        """u16 VAR_DECL initialised from widening arithmetic with no
+        explicit cast. Explicit-cast subtrees are pruned; the operator is
+        recovered from tokens (cindex has no portable opcode accessor)."""
+        K = self.ci.CursorKind
+        t = cur.type.get_canonical().spelling if cur.type else ""
+        if t not in ("unsigned short", "uint16_t", "std::uint16_t"):
+            return
+        wide = ("int", "unsigned int", "long", "unsigned long",
+                "unsigned long long", "long long")
+        hit = []
+
+        def scan(c):
+            if c.kind in (K.CXX_STATIC_CAST_EXPR, K.CXX_FUNCTIONAL_CAST_EXPR,
+                          K.CSTYLE_CAST_EXPR):
+                return  # explicit truncation: the author opted in
+            if c.kind == K.BINARY_OPERATOR and not hit:
+                toks = {tk.spelling for tk in c.get_tokens()}
+                operands_wide = any(
+                    (sub.type.get_canonical().spelling if sub.type else "")
+                    in wide for sub in c.get_children())
+                if operands_wide and toks & ARITH_OPS:
+                    hit.append(c)
+                    return
+            for sub in c.get_children():
+                scan(sub)
+
+        for ch in cur.get_children():
+            scan(ch)
+        if hit:
+            facts.sites.append(Fact(
+                "narrowing-in-marking", rel, cur.location.line,
+                fn_info.qname, cur.spelling))
+
+
+# --------------------------------------------------------------------------
+# Rule engine
+# --------------------------------------------------------------------------
+
+MESSAGES = {
+    "ordered-iteration": "iteration over an unordered container on a result "
+                         "path — order leaks into output; sort first or use "
+                         "std::map/set",
+    "no-wall-clock": "wall-clock/environment read — results may only depend "
+                     "on simulation time",
+    "capture-lifetime": "scheduled action captures by reference — the parked "
+                        "action outlives this stack frame; capture by value "
+                        "(this + copies)",
+    "virtual-dtor": "polymorphic base without compliant special members",
+    "narrowing-in-marking": "implicit narrowing into 16-bit marking-field "
+                            "arithmetic — make the truncation explicit with "
+                            "static_cast<std::uint16_t> (semantics live in "
+                            "packet/marking_field.*)",
+    "no-shared-mutable-static": "non-const static — replications must share "
+                                "nothing (parallel sweep runner)",
+    "stale-suppression": "allow() comment on a line that no longer violates "
+                         "the rule — remove it",
+}
+
+NARROWING_EXEMPT = re.compile(r"src/packet/marking_field\.")
+WALLCLOCK_ALLOW = re.compile(r"$^")  # no allowlisted files in src/ today
+
+
+def result_path_functions(functions: dict) -> set:
+    """Forward closure (by simple name) of seed functions."""
+    by_name: dict[str, list] = {}
+    for fi in functions.values():
+        by_name.setdefault(fi.name, []).append(fi)
+    seeds = [fi for fi in functions.values() if RESULT_PATH_SEED.search(fi.name)]
+    reach = set()
+    work = list(seeds)
+    while work:
+        fi = work.pop()
+        if fi.qname in reach:
+            continue
+        reach.add(fi.qname)
+        for callee in fi.calls:
+            for target in by_name.get(callee, []):
+                if target.qname not in reach:
+                    work.append(target)
+    return reach
+
+
+def evaluate(facts: Facts, scope_prefixes: tuple) -> list:
+    """Turns facts into findings (suppression/baseline not yet applied)."""
+    findings: list[Finding] = []
+    reach = result_path_functions(facts.functions)
+
+    def in_scope(rel: str) -> bool:
+        return any(rel.startswith(p) for p in scope_prefixes)
+
+    for f in facts.sites:
+        if not in_scope(f.file):
+            continue
+        if f.rule == "ordered-iteration":
+            if f.context and f.context not in reach \
+                    and not RESULT_PATH_SEED.search(f.context.split("::")[-1]):
+                continue
+            msg = MESSAGES[f.rule] + f" ({f.detail}; via result path "
+            msg += f"'{f.context.split('::')[-1]}')"
+        elif f.rule == "no-wall-clock":
+            if WALLCLOCK_ALLOW.search(f.file):
+                continue
+            msg = MESSAGES[f.rule] + f" ({f.detail})"
+        elif f.rule == "narrowing-in-marking":
+            if NARROWING_EXEMPT.search(f.file):
+                continue
+            msg = MESSAGES[f.rule] + f" ({f.detail})"
+        else:
+            msg = MESSAGES[f.rule] + f" ({f.detail})"
+        findings.append(Finding(f.rule, f.file, f.line, f.context, msg))
+
+    for ci_rec in facts.classes.values():
+        if not in_scope(ci_rec.file) or not ci_rec.declares_virtual:
+            continue
+        # Derived classes (any base clause) are out of scope: the rule
+        # targets the polymorphic bases users hold handles to, and cindex
+        # cannot portably tell an override from a new virtual.
+        if ci_rec.has_bases:
+            continue
+        if not ci_rec.has_virtual_dtor and ci_rec.dtor_access == "public":
+            findings.append(Finding(
+                "virtual-dtor", ci_rec.file, ci_rec.line, ci_rec.name,
+                f"polymorphic base '{ci_rec.name}' lacks a virtual (or "
+                "protected) destructor — deleting via a base pointer is UB"))
+        if not ci_rec.copy_declared:
+            findings.append(Finding(
+                "virtual-dtor", ci_rec.file, ci_rec.line, ci_rec.name,
+                f"polymorphic base '{ci_rec.name}' leaves copy operations "
+                "implicit (C.67): default/delete them as protected to "
+                "prevent slicing through a base reference"))
+        elif ci_rec.copy_access == "public" and not ci_rec.copy_deleted:
+            findings.append(Finding(
+                "virtual-dtor", ci_rec.file, ci_rec.line, ci_rec.name,
+                f"polymorphic base '{ci_rec.name}' has public non-deleted "
+                "copy operations — slicing hazard (C.67); make them "
+                "protected or deleted"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Suppressions, fingerprints, baseline
+# --------------------------------------------------------------------------
+
+def collect_allow_comments(files, root: Path):
+    """{(rel, line) -> set(rules)} from `// ddpm-analyze: allow(a,b)`."""
+    out = {}
+    for path in files:
+        try:
+            text = path.read_text(encoding="utf-8", errors="replace")
+        except OSError:
+            continue
+        rel = path.relative_to(root).as_posix()
+        for n, line in enumerate(text.splitlines(), 1):
+            m = ALLOW_RE.search(line)
+            if m:
+                rules = {r.strip() for r in m.group(1).split(",")}
+                out[(rel, n)] = rules
+    return out
+
+
+def fingerprint(finding: Finding, line_text: str, occurrence: int) -> str:
+    norm = re.sub(r"\s+", " ", line_text.strip())
+    blob = "|".join([finding.rule, finding.file, finding.context, norm,
+                     str(occurrence)])
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def assign_fingerprints(findings, root: Path) -> None:
+    counts: dict[str, int] = {}
+    texts: dict[str, list] = {}
+    for f in findings:
+        if f.file not in texts:
+            try:
+                texts[f.file] = (root / f.file).read_text(
+                    encoding="utf-8", errors="replace").splitlines()
+            except OSError:
+                texts[f.file] = []
+        lines = texts[f.file]
+        lt = lines[f.line - 1] if 0 < f.line <= len(lines) else ""
+        norm = re.sub(r"\s+", " ", lt.strip())
+        key = f"{f.rule}|{f.file}|{f.context}|{norm}"
+        occ = counts.get(key, 0)
+        counts[key] = occ + 1
+        f.fingerprint = fingerprint(f, lt, occ)
+
+
+def load_baseline(path: Path) -> dict:
+    if not path.is_file():
+        return {}
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {}
+    return data.get("entries", {})
+
+
+def write_baseline(path: Path, findings) -> None:
+    entries = {
+        f.fingerprint: {"rule": f.rule, "file": f.file, "context": f.context}
+        for f in findings
+    }
+    data = {
+        "version": 1,
+        "tool": "ddpm_analyze",
+        "comment": "Ratchet baseline: pre-existing findings tracked by "
+                   "line-insensitive fingerprint. New findings fail; fix "
+                   "debt and regenerate with --update-baseline.",
+        "entries": dict(sorted(entries.items())),
+    }
+    path.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def apply_suppressions_and_baseline(findings, allows, baseline):
+    """Marks findings suppressed/baselined; returns (new, stale_allows,
+    stale_baseline, used_allow_keys)."""
+    used = set()
+    for f in findings:
+        rules = allows.get((f.file, f.line))
+        if rules and f.rule in rules:
+            f.suppressed = True
+            used.add((f.file, f.line, f.rule))
+        elif f.fingerprint in baseline:
+            f.baselined = True
+    stale_allows = []
+    for (rel, line), rules in sorted(allows.items()):
+        for rule in sorted(rules):
+            if rule not in RULES:
+                stale_allows.append(Finding(
+                    "stale-suppression", rel, line, "",
+                    f"allow({rule}) names an unknown rule"))
+            elif (rel, line, rule) not in used:
+                stale_allows.append(Finding(
+                    "stale-suppression", rel, line, "",
+                    f"allow({rule}) " + MESSAGES["stale-suppression"]))
+    live = {f.fingerprint for f in findings}
+    stale_baseline = sorted(fp for fp in baseline if fp not in live)
+    new = [f for f in findings if not f.suppressed and not f.baselined]
+    return new, stale_allows, stale_baseline
+
+
+# --------------------------------------------------------------------------
+# Frontend selection & run driver
+# --------------------------------------------------------------------------
+
+def make_frontend(choice: str, compile_commands: Path | None):
+    if choice in ("auto", "libclang"):
+        try:
+            if compile_commands is None or not compile_commands.is_file():
+                raise RuntimeError("no compile_commands.json")
+            fe = LibclangFrontend(compile_commands)
+            return fe, None
+        except Exception as e:  # ImportError, LibclangError, RuntimeError
+            if choice == "libclang":
+                return None, f"libclang frontend unavailable: {e}"
+            reason = f"libclang unavailable ({e.__class__.__name__}); " \
+                     "using bundled textual frontend"
+            fe = TextualFrontend()
+            fe.note = reason
+            return fe, None
+    if choice == "textual":
+        return TextualFrontend(), None
+    return None, f"unknown frontend '{choice}'"
+
+
+def gather_files(root: Path, dirs):
+    files = []
+    for d in dirs:
+        base = root / d
+        if base.is_file():
+            files.append(base)
+            continue
+        if not base.is_dir():
+            continue
+        for p in sorted(base.rglob("*")):
+            if p.suffix in (".hpp", ".h", ".cpp", ".cc") and p.is_file():
+                files.append(p)
+    return files
+
+
+def run_analysis(root: Path, dirs, frontend, scope_prefixes):
+    files = gather_files(root, dirs)
+    facts = frontend.extract(files, root)
+    findings = evaluate(facts, scope_prefixes)
+    assign_fingerprints(findings, root)
+    allows = collect_allow_comments(files, root)
+    return findings, allows, facts
+
+
+def print_findings(findings, stream=sys.stdout):
+    for f in sorted(findings, key=lambda x: (x.file, x.line, x.rule)):
+        tag = ""
+        if f.baselined:
+            tag = " [baselined]"
+        elif f.suppressed:
+            tag = " [suppressed]"
+        print(f"{f.file}:{f.line}: [{f.rule}]{tag} {f.message} "
+              f"(fp {f.fingerprint})", file=stream)
+
+
+# --------------------------------------------------------------------------
+# Fixture self-test
+# --------------------------------------------------------------------------
+
+def collect_expectations(path: Path):
+    out = {}
+    for n, line in enumerate(path.read_text(encoding="utf-8",
+                                            errors="replace").splitlines(), 1):
+        m = EXPECT_RE.search(line)
+        if m:
+            out.setdefault(n, set()).update(
+                r.strip() for r in m.group(1).split(","))
+    return out
+
+
+def self_test(root: Path, fixture_dir: Path, frontend) -> int:
+    failures = []
+    passed = 0
+    fixtures = sorted(fixture_dir.glob("*.cpp"))
+    if not fixtures:
+        print(f"self-test: no fixtures in {fixture_dir}", file=sys.stderr)
+        return 1
+    for fx in fixtures:
+        rel = fx.relative_to(root).as_posix()
+        findings, allows, _ = run_analysis(
+            root, [rel], frontend, scope_prefixes=(rel,))
+        new, stale_allows, _ = apply_suppressions_and_baseline(
+            findings, allows, baseline={})
+        reported = {}
+        for f in new + stale_allows:
+            reported.setdefault(f.line, set()).add(f.rule)
+        expected = collect_expectations(fx)
+        name = fx.name
+        ok = True
+        for line, rules in sorted(expected.items()):
+            for rule in sorted(rules):
+                if rule not in reported.get(line, set()):
+                    failures.append(f"{name}:{line}: expected [{rule}] "
+                                    "but the analyzer did not flag it")
+                    ok = False
+        for line, rules in sorted(reported.items()):
+            for rule in sorted(rules):
+                if rule not in expected.get(line, set()):
+                    failures.append(f"{name}:{line}: unexpected [{rule}] "
+                                    "finding")
+                    ok = False
+        if name.startswith("good_") and reported:
+            ok = False  # already reported above as unexpected
+        if ok:
+            passed += 1
+            must = "must-flag" if expected else "must-pass"
+            print(f"self-test: PASS {name} ({must}, "
+                  f"{sum(len(r) for r in expected.values())} expectation(s))")
+    rc = 0
+    # ratchet + fingerprint mechanics, exercised on the first bad fixture
+    bad = next((f for f in fixtures if f.name.startswith("bad_")), None)
+    if bad is not None:
+        rc |= _self_test_ratchet(root, bad, frontend)
+    if failures:
+        print(f"self-test: frontend={frontend.name}", file=sys.stderr)
+        for msg in failures:
+            print("self-test: FAIL " + msg, file=sys.stderr)
+    total_note = f"{passed}/{len(fixtures)} fixtures clean, frontend={frontend.name}"
+    if failures or rc:
+        print(f"self-test: FAILED ({total_note})", file=sys.stderr)
+        return 1
+    print(f"self-test: OK ({total_note})")
+    return 0
+
+
+def _self_test_ratchet(root: Path, bad_fixture: Path, frontend) -> int:
+    """Baseline round-trip: baselined findings don't fail; fingerprints
+    survive line shifts; removing the violation strands the baseline."""
+    import tempfile
+
+    rel = bad_fixture.relative_to(root).as_posix()
+    findings, allows, _ = run_analysis(root, [rel], frontend, (rel,))
+    findings = [f for f in findings if not allows.get((f.file, f.line))]
+    if not findings:
+        print("self-test: FAIL ratchet: no findings in " + rel, file=sys.stderr)
+        return 1
+    with tempfile.TemporaryDirectory(dir=str(root / "tests")) as td:
+        bl = Path(td) / "baseline.json"
+        write_baseline(bl, findings)
+        baseline = load_baseline(bl)
+        new, _, stale_bl = apply_suppressions_and_baseline(
+            findings, {}, baseline)
+        if new:
+            print("self-test: FAIL ratchet: baselined findings still "
+                  "reported as new", file=sys.stderr)
+            return 1
+        if stale_bl:
+            print("self-test: FAIL ratchet: live findings reported stale",
+                  file=sys.stderr)
+            return 1
+        # line-shift stability: prepend blank lines, re-analyze a copy
+        shifted_dir = Path(td)
+        shifted = shifted_dir / ("shift_" + bad_fixture.name)
+        shifted.write_text("\n\n\n" + bad_fixture.read_text())
+        srel = shifted.relative_to(root).as_posix()
+        f2, _, _ = run_analysis(root, [srel], frontend, (srel,))
+        fp1 = sorted({f.fingerprint for f in findings})
+        fp2 = sorted({f.fingerprint.replace("", "") for f in f2})
+        # fingerprints hash file path too; compare via rule+context+count
+        sig1 = sorted((f.rule, f.context.split("::")[-1]) for f in findings)
+        sig2 = sorted((f.rule, f.context.split("::")[-1]) for f in f2)
+        if sig1 != sig2:
+            print("self-test: FAIL ratchet: line-shifted copy changed the "
+                  f"finding set ({sig1} vs {sig2})", file=sys.stderr)
+            return 1
+        del fp1, fp2
+    print("self-test: PASS ratchet mechanics (baseline round-trip, "
+          "line-shift stability)")
+    return 0
+
+
+# --------------------------------------------------------------------------
+# main
+# --------------------------------------------------------------------------
+
+def find_compile_commands(root: Path, explicit: str | None):
+    if explicit:
+        return Path(explicit)
+    for cand in sorted(root.glob("build*/compile_commands.json")):
+        return cand
+    return None
+
+
+def main(argv) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("root", nargs="?", default=".", help="repo root")
+    ap.add_argument("--compile-commands", default=None)
+    ap.add_argument("--baseline", default="tools/ddpm_analyze_baseline.json")
+    ap.add_argument("--frontend", choices=("auto", "libclang", "textual"),
+                    default="auto")
+    ap.add_argument("--update-baseline", action="store_true")
+    ap.add_argument("--self-test", metavar="DIR", default=None)
+    ap.add_argument("--json", metavar="OUT", default=None)
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args(argv[1:])
+
+    if args.list_rules:
+        for r in RULES + META_RULES:
+            print(f"{r}: {MESSAGES[r]}")
+        return 0
+
+    root = Path(args.root).resolve()
+    if not (root / "src").is_dir():
+        print(f"ddpm_analyze: {root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+
+    cc = find_compile_commands(root, args.compile_commands)
+    frontend, err = make_frontend(args.frontend, cc)
+    if frontend is None:
+        print(f"ddpm_analyze: SKIPPED — {err}", file=sys.stderr)
+        return SKIP_EXIT
+    if getattr(frontend, "note", None):
+        print(f"ddpm_analyze: note: {frontend.note}")
+
+    if args.self_test:
+        st = self_test(root, Path(args.self_test).resolve(), frontend)
+        if st != 0:
+            return st
+
+    findings, allows, facts = run_analysis(
+        root, ["src"], frontend, scope_prefixes=("src/",))
+    baseline_path = root / args.baseline
+    if args.update_baseline:
+        keep = [f for f in findings
+                if not (allows.get((f.file, f.line)) or set()) & {f.rule}]
+        write_baseline(baseline_path, keep)
+        print(f"ddpm_analyze: baseline updated with {len(keep)} entr"
+              f"{'y' if len(keep) == 1 else 'ies'} -> {args.baseline}")
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    new, stale_allows, stale_baseline = apply_suppressions_and_baseline(
+        findings, allows, baseline)
+
+    print_findings(findings)
+    for f in stale_allows:
+        print(f"{f.file}:{f.line}: [stale-suppression] {f.message}")
+
+    if args.json:
+        payload = {
+            "frontend": frontend.name,
+            "findings": [vars(f) for f in findings + stale_allows],
+            "stale_baseline": stale_baseline,
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+
+    n_sup = sum(1 for f in findings if f.suppressed)
+    n_base = sum(1 for f in findings if f.baselined)
+    print(f"ddpm_analyze: frontend={frontend.name} files=src/ "
+          f"functions={len(facts.functions)} classes={len(facts.classes)} | "
+          f"{len(new)} new, {n_base} baselined, {n_sup} suppressed, "
+          f"{len(stale_allows)} stale suppression(s), "
+          f"{len(stale_baseline)} stale baseline entr"
+          f"{'y' if len(stale_baseline) == 1 else 'ies'}")
+
+    if stale_baseline:
+        for fp in stale_baseline:
+            e = baseline.get(fp, {})
+            print(f"ddpm_analyze: stale baseline entry {fp} "
+                  f"({e.get('rule')} in {e.get('file')}) — debt was fixed; "
+                  "regenerate with --update-baseline", file=sys.stderr)
+    if new or stale_allows or stale_baseline:
+        return 1
+    print("ddpm_analyze: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

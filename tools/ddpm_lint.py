@@ -37,7 +37,11 @@ clang-tidy knows about (registered as the `repo_lint` ctest):
 A line may opt out of one rule with an inline suppression comment naming
 it, e.g. `#include <cstdio>  // ddpm-lint: allow(header-io)`. Suppressions
 are deliberate, reviewable exceptions — the contract layer's abort path is
-the canonical one.
+the canonical one. A suppression that no longer matches a violation on its
+line (the offending code was fixed or moved, the comment stayed behind) is
+itself reported as `stale-suppression`: dead allow() comments hide future
+regressions. The summary line counts the suppressions still in use so the
+exception budget stays visible in CI logs.
 
 Usage: tools/ddpm_lint.py [repo-root]   (exit 0 = clean, 1 = violations)
 """
@@ -51,10 +55,24 @@ Violation = tuple[Path, int, str, str]  # file, line, rule, message
 
 ALLOW = re.compile(r"ddpm-lint:\s*allow\(([\w-]+)\)")
 
+KNOWN_RULES = frozenset({
+    "pragma-once", "rng-containment", "float-compare", "header-io",
+    "no-using-std", "netsim-no-std-function", "src-no-console",
+})
 
-def suppressed(line: str, rule: str) -> bool:
+# (path, line, rule) triples whose allow() comment actually silenced a
+# violation during this run; filled by suppressed(), read by
+# check_stale_suppressions.
+_USED_SUPPRESSIONS: set[tuple[Path, int, str]] = set()
+
+
+def suppressed(line: str, rule: str, path: Path | None = None,
+               line_no: int = 0) -> bool:
     m = ALLOW.search(line)
-    return m is not None and m.group(1) == rule
+    hit = m is not None and m.group(1) == rule
+    if hit and path is not None:
+        _USED_SUPPRESSIONS.add((path, line_no, rule))
+    return hit
 
 
 def strip_comments(line: str) -> str:
@@ -112,7 +130,9 @@ def check_rng_containment(root: Path) -> list[Violation]:
             continue
         for n, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
             code = strip_comments(line)
-            if RNG_PATTERN.search(code) and not suppressed(line, "rng-containment"):
+            if RNG_PATTERN.search(code) and not suppressed(
+                line, "rng-containment", path, n
+            ):
                 out.append(
                     (path, n, "rng-containment",
                      "raw RNG outside src/netsim/rng.* breaks seeded determinism")
@@ -136,7 +156,9 @@ def check_float_compare(root: Path) -> list[Violation]:
     for path in targets:
         for n, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
             code = strip_comments(line)
-            if FLOAT_EQ.search(code) and not suppressed(line, "float-compare"):
+            if FLOAT_EQ.search(code) and not suppressed(
+                line, "float-compare", path, n
+            ):
                 out.append(
                     (path, n, "float-compare",
                      "exact floating-point comparison; use a tolerance")
@@ -152,7 +174,7 @@ def check_header_io(root: Path) -> list[Violation]:
     for path in iter_source(root, ("src",), (".hpp",)):
         for n, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
             m = HEADER_IO.search(strip_comments(line))
-            if m and not suppressed(line, "header-io"):
+            if m and not suppressed(line, "header-io", path, n):
                 out.append(
                     (path, n, "header-io",
                      f"<{m.group(1)}> in a library header; include it in the .cpp")
@@ -168,7 +190,7 @@ def check_netsim_no_std_function(root: Path) -> list[Violation]:
     for path in iter_source(root, ("src/netsim",), (".hpp", ".h")):
         for n, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
             if STD_FUNCTION.search(strip_comments(line)) and not suppressed(
-                line, "netsim-no-std-function"
+                line, "netsim-no-std-function", path, n
             ):
                 out.append(
                     (path, n, "netsim-no-std-function",
@@ -179,7 +201,8 @@ def check_netsim_no_std_function(root: Path) -> list[Violation]:
 
 
 CONSOLE_IO = re.compile(
-    r"std\s*::\s*(cout|cerr|clog)\b|(?<![\w:])(printf|fprintf|puts|fputs)\s*\("
+    r"std\s*::\s*(cout|cerr|clog)\b"
+    r"|(?:(?<![\w:])|std\s*::\s*)(printf|fprintf|puts|fputs)\s*\("
 )
 
 
@@ -188,7 +211,7 @@ def check_src_no_console(root: Path) -> list[Violation]:
     for path in iter_source(root, ("src",), (".hpp", ".cpp")):
         for n, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
             m = CONSOLE_IO.search(strip_comments(line))
-            if m and not suppressed(line, "src-no-console"):
+            if m and not suppressed(line, "src-no-console", path, n):
                 name = m.group(1) or m.group(2)
                 out.append(
                     (path, n, "src-no-console",
@@ -205,9 +228,36 @@ def check_using_namespace_std(root: Path) -> list[Violation]:
                             (".hpp", ".cpp")):
         for n, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
             if pat.search(strip_comments(line)) and not suppressed(
-                line, "no-using-std"
+                line, "no-using-std", path, n
             ):
                 out.append((path, n, "no-using-std", "using namespace std"))
+    return out
+
+
+def check_stale_suppressions(root: Path) -> list[Violation]:
+    """allow() comments that silenced nothing this run.
+
+    Must run AFTER every other check: _USED_SUPPRESSIONS is only complete
+    once all rules have scanned their files. An allow() naming an unknown
+    rule is reported too — it is a typo that silences nothing forever.
+    """
+    out = []
+    for path in iter_source(root, ("src", "tests", "bench", "examples"),
+                            (".hpp", ".h", ".cpp")):
+        for n, line in enumerate(path.read_text(encoding="utf-8",
+                                                errors="replace")
+                                 .splitlines(), 1):
+            for m in ALLOW.finditer(line):
+                rule = m.group(1)
+                if rule not in KNOWN_RULES:
+                    out.append(
+                        (path, n, "stale-suppression",
+                         f"allow({rule}) names an unknown rule"))
+                elif (path, n, rule) not in _USED_SUPPRESSIONS:
+                    out.append(
+                        (path, n, "stale-suppression",
+                         f"allow({rule}) no longer matches a violation on "
+                         "this line; remove it"))
     return out
 
 
@@ -226,6 +276,7 @@ def main(argv: list[str]) -> int:
         check_using_namespace_std,
         check_netsim_no_std_function,
         check_src_no_console,
+        check_stale_suppressions,  # must be last: audits the allow() comments
     ):
         violations.extend(check(root))
 
@@ -233,10 +284,18 @@ def main(argv: list[str]) -> int:
         rel = path.relative_to(root).as_posix()
         print(f"{rel}:{line}: [{rule}] {message}")
 
+    by_rule: dict[str, int] = {}
+    for _, _, rule in _USED_SUPPRESSIONS:
+        by_rule[rule] = by_rule.get(rule, 0) + 1
+    detail = ", ".join(f"{r}={n}" for r, n in sorted(by_rule.items()))
+    summary = (f"{len(_USED_SUPPRESSIONS)} suppression(s) in use"
+               + (f" ({detail})" if detail else ""))
+
     if violations:
-        print(f"ddpm_lint: {len(violations)} violation(s)", file=sys.stderr)
+        print(f"ddpm_lint: {len(violations)} violation(s), {summary}",
+              file=sys.stderr)
         return 1
-    print("ddpm_lint: clean")
+    print(f"ddpm_lint: clean, {summary}")
     return 0
 
 
