@@ -1,0 +1,111 @@
+// ddpm_verify — static design-space verifier (docs/VERIFICATION.md).
+//
+// Proves, without simulating a single cycle:
+//   --cdg          channel-dependency deadlock verdicts for every
+//                  Topology x Router factory combo,
+//   --invariant    the telescoping marking identity V = D - S (D ^ S on
+//                  hypercubes) at every route prefix, exhaustively on
+//                  small radices and sampled above,
+//   --injectivity  that no two sources share a field value for a fixed
+//                  destination,
+//   --width        the paper's Tables 1-3 bit budgets against the real
+//                  DdpmCodec layout and factory limits.
+//
+// --all (the default) runs everything. --json FILE writes the verdict
+// table the `verify` CI job diffs against tools/ddpm_verify_baseline.json;
+// --markdown prints the tables EXPERIMENTS.md embeds. Exit status is the
+// number of failing verdicts (0 = the design space is certified).
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "verify/design_space.hpp"
+#include "verify/width_cert.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--all] [--cdg] [--invariant] [--injectivity] [--width]\n"
+               "       [--json FILE] [--markdown]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool want_cdg = false, want_invariant = false, want_injectivity = false,
+       want_width = false, markdown = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--all") {
+      want_cdg = want_invariant = want_injectivity = want_width = true;
+    } else if (arg == "--cdg") {
+      want_cdg = true;
+    } else if (arg == "--invariant") {
+      want_invariant = true;
+    } else if (arg == "--injectivity") {
+      want_injectivity = true;
+    } else if (arg == "--width") {
+      want_width = true;
+    } else if (arg == "--markdown") {
+      markdown = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (!want_cdg && !want_invariant && !want_injectivity && !want_width) {
+    want_cdg = want_invariant = want_injectivity = want_width = true;
+  }
+
+  ddpm::verify::Report report;
+  if (want_cdg) report.cdg = ddpm::verify::run_cdg_suite();
+  if (want_invariant) report.invariant = ddpm::verify::run_invariant_suite();
+  if (want_injectivity) {
+    report.injectivity = ddpm::verify::run_injectivity_suite();
+  }
+  if (want_width) report.width = ddpm::verify::certify_widths();
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "ddpm_verify: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << report.to_json();
+  }
+  if (markdown) {
+    std::cout << report.to_markdown();
+  } else {
+    std::cout << "ddpm_verify: " << report.rows() << " verdicts, "
+              << report.failures() << " failing\n";
+    for (const auto& v : report.cdg) {
+      if (v.pass) continue;
+      std::cout << "  FAIL cdg " << v.topology << " x " << v.router << ": "
+                << v.note << "\n";
+      for (const auto& name : v.cycle) std::cout << "       " << name << "\n";
+    }
+    for (const auto& v : report.invariant) {
+      if (!v.pass) {
+        std::cout << "  FAIL invariant " << v.topology << ": " << v.note
+                  << "\n";
+      }
+    }
+    for (const auto& v : report.injectivity) {
+      if (!v.pass) {
+        std::cout << "  FAIL injectivity " << v.topology << ": " << v.note
+                  << "\n";
+      }
+    }
+    for (const auto& v : report.width) {
+      if (!v.pass) {
+        std::cout << "  FAIL width " << v.check << ": " << v.note << "\n";
+      }
+    }
+  }
+  return report.failures() == 0 ? 0 : 1;
+}

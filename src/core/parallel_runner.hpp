@@ -16,10 +16,11 @@
 #include <atomic>
 #include <cstddef>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "core/thread_annotations.hpp"
 
 namespace ddpm::core {
 
@@ -43,8 +44,7 @@ class ParallelRunner {
       return;
     }
     std::atomic<std::size_t> next{0};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
+    ErrorSlot error;
     auto worker = [&]() {
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -52,8 +52,8 @@ class ParallelRunner {
         try {
           fn(i);
         } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
+          const MutexLock lock(error.mutex);
+          if (!error.first) error.first = std::current_exception();
           next.store(n, std::memory_order_relaxed);  // stop claiming work
         }
       }
@@ -63,7 +63,11 @@ class ParallelRunner {
     pool.reserve(workers);
     for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
     for (std::thread& t : pool) t.join();
-    if (first_error) std::rethrow_exception(first_error);
+    // The joins order every worker's write before this read, but the
+    // thread-safety analysis reasons in capabilities, not happens-before:
+    // take the lock so the guarded read is provably consistent.
+    const MutexLock lock(error.mutex);
+    if (error.first) std::rethrow_exception(error.first);
   }
 
   /// Maps fn over [0, n) and returns the results in index order — the
@@ -76,6 +80,13 @@ class ParallelRunner {
   }
 
  private:
+  /// First exception thrown by any work item, captured under its mutex so
+  /// Clang's thread-safety analysis can verify every access.
+  struct ErrorSlot {
+    Mutex mutex;
+    std::exception_ptr first DDPM_GUARDED_BY(mutex);
+  };
+
   std::size_t jobs_;
 };
 

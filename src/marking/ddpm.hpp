@@ -49,6 +49,10 @@ class DdpmCodec {
   std::size_t num_dims() const noexcept { return slices_.size(); }
   bool is_hypercube() const noexcept { return hypercube_; }
 
+  /// Bit slice assigned to dimension d — the verifier's hook for auditing
+  /// the layout (contiguity, width sums) against the Table 3 bit budgets.
+  const pkt::FieldSlice& slice(std::size_t d) const { return slices_.at(d); }
+
  private:
   std::vector<pkt::FieldSlice> slices_;  // one per dimension
   bool hypercube_;

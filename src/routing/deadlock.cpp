@@ -1,0 +1,47 @@
+#include "routing/deadlock.hpp"
+
+#include <stdexcept>
+
+namespace ddpm::route {
+
+std::string to_string(DeadlockClass cls) {
+  switch (cls) {
+    case DeadlockClass::kAcyclic: return "acyclic";
+    case DeadlockClass::kNeedsEscapeVcs: return "needs-escape-vcs";
+  }
+  return "unknown";
+}
+
+DeadlockClass declared_deadlock_class(const std::string& router_name,
+                                      const topo::Topology& topo) {
+  if (router_name == "dor" || router_name == "xy" || router_name == "ecube") {
+    // Dimension-order is acyclic on meshes and hypercubes (strictly
+    // monotone dimension traversal); torus wrap rings reintroduce a cycle
+    // per ring, broken by the substrate's two dateline VCs.
+    return topo.kind() == topo::TopologyKind::kTorus
+               ? DeadlockClass::kNeedsEscapeVcs
+               : DeadlockClass::kAcyclic;
+  }
+  if (router_name == "west-first" || router_name == "north-last" ||
+      router_name == "negative-first") {
+    // Turn models prohibit enough turns to break every cycle on the 2-D
+    // mesh — the only topology the factory constructs them for.
+    return DeadlockClass::kAcyclic;
+  }
+  // Fully adaptive (± misrouting), the BFS oracle, and Valiant all permit
+  // every turn somewhere, so their CDGs are cyclic on any topology with a
+  // cycle; unknown names get the same conservative treatment.
+  return DeadlockClass::kNeedsEscapeVcs;
+}
+
+void require_deadlock_safe(const Router& router, bool escape_vcs_available) {
+  if (declared_deadlock_class(router) == DeadlockClass::kNeedsEscapeVcs &&
+      !escape_vcs_available) {
+    throw std::invalid_argument(
+        "router '" + router.name() + "' on " + router.topology().spec() +
+        " has a cyclic channel dependency graph; a blocking substrate must "
+        "provide escape virtual channels (see docs/VERIFICATION.md)");
+  }
+}
+
+}  // namespace ddpm::route

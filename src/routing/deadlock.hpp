@@ -1,0 +1,54 @@
+// Declared deadlock discipline per (router, topology) factory combo.
+//
+// Dally & Seitz: a routing function is deadlock-free on a blocking
+// (wormhole / virtual-cut-through) substrate iff its channel dependency
+// graph is acyclic. Every router the factory can construct therefore
+// carries a declaration here: either its CDG is acyclic as-is, or it is
+// only safe when the substrate supplies escape virtual channels (Duato's
+// criterion — the escape subnetwork, dimension-order with torus dateline
+// VCs in this codebase, must itself be acyclic).
+//
+// The declaration is the factory gate: `require_deadlock_safe` throws when
+// a blocking substrate instantiates a combo without the VCs its
+// declaration demands, and `ddpm_verify --cdg` (the tier-1 `verify_cdg`
+// test) recomputes every combo's CDG and fails the build when a
+// declaration contradicts the graph — a wrong entry here cannot ship.
+// The packet-switched cluster model is exempt by construction: its
+// output-queued switches drop on full rather than block, so they never
+// hold a channel while waiting for another (see docs/VERIFICATION.md).
+#pragma once
+
+#include <string>
+
+#include "routing/router.hpp"
+
+namespace ddpm::route {
+
+enum class DeadlockClass {
+  /// Channel dependency graph is acyclic with a single virtual channel:
+  /// safe on any substrate with no further mechanism.
+  kAcyclic,
+  /// CDG is (or may be) cyclic; safe on a blocking substrate only when
+  /// packets can always fall back to an acyclic escape subnetwork
+  /// (dimension-order, with two dateline VCs per torus ring).
+  kNeedsEscapeVcs,
+};
+
+std::string to_string(DeadlockClass cls);
+
+/// The discipline declared for `router` on its topology. Matches the
+/// factory's name set (`make_router`); unknown names map to
+/// kNeedsEscapeVcs — the conservative default for anything unvetted.
+DeadlockClass declared_deadlock_class(const std::string& router_name,
+                                      const topo::Topology& topo);
+
+inline DeadlockClass declared_deadlock_class(const Router& router) {
+  return declared_deadlock_class(router.name(), router.topology());
+}
+
+/// The gate for blocking substrates: throws std::invalid_argument when the
+/// combo is declared kNeedsEscapeVcs and `escape_vcs_available` is false.
+/// Queue-and-drop substrates (the cluster model) need not call this.
+void require_deadlock_safe(const Router& router, bool escape_vcs_available);
+
+}  // namespace ddpm::route

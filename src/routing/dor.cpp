@@ -15,9 +15,8 @@ constexpr Port cartesian_port(std::size_t dim, int dir) noexcept {
 int productive_direction(const topo::Topology& topo, std::size_t d, int a, int b) {
   if (a == b) return 0;
   if (topo.kind() == topo::TopologyKind::kTorus) {
-    const int k = topo.dim_size(d);
-    int delta = ((b - a) % k + k) % k;  // in (0, k)
-    return (delta <= k / 2) ? +1 : -1;  // shorter way round; ties go positive
+    // Shorter way round; ring_shortest_delta ties go positive.
+    return topo::ring_shortest_delta(a, b, topo.dim_size(d)) > 0 ? +1 : -1;
   }
   return b > a ? +1 : -1;
 }

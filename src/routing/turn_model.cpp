@@ -75,6 +75,12 @@ std::vector<Port> TurnModelRouter::candidates(NodeId current, NodeId dest,
       if (dy > 0) out.push_back(kSouth);
       break;
   }
+  // 180-degree reversal is prohibited by every model. Minimal routing can
+  // never produce one, but after a fallback misroute the minimal set DOES
+  // contain the port straight back — the reachable-state CDG verifier
+  // (src/verify/cdg.cpp) convicts the resulting south->north/north->south
+  // dependency cycle, so the ban must live here, not only in the fallback.
+  if (arrived_on != kLocalPort) drop(out, arrived_on);
   return out;
 }
 

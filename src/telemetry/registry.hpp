@@ -16,9 +16,13 @@
 //     independent replications merge in replication order, which keeps
 //     aggregate telemetry bit-identical for any --jobs value.
 //
-// The registry is deliberately single-threaded, like the simulator that
-// feeds it: one registry per ClusterNetwork / replication, merged after the
-// fact — never shared across workers.
+// Threading contract: the hot path (handles) is single-writer, like the
+// simulator that feeds it — one registry per ClusterNetwork / replication,
+// merged after the fact, never shared across workers. The cold paths
+// (registration, snapshot, reset) ARE serialized by an annotated mutex so
+// concurrent model construction under the parallel runner cannot corrupt
+// the slot maps; Clang's -Wthread-safety proves the locking discipline at
+// compile time (src/core/thread_annotations.hpp, docs/STATIC_ANALYSIS.md).
 #pragma once
 
 #include <cstdint>
@@ -27,6 +31,8 @@
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "core/thread_annotations.hpp"
 
 namespace ddpm::telemetry {
 
@@ -160,21 +166,25 @@ class Registry {
 
   bool enabled() const noexcept { return enabled_; }
 
-  Counter counter(std::string_view name, std::string_view labels = {});
-  Gauge gauge(std::string_view name, std::string_view labels = {});
+  Counter counter(std::string_view name, std::string_view labels = {})
+      DDPM_EXCLUDES(mutex_);
+  Gauge gauge(std::string_view name, std::string_view labels = {})
+      DDPM_EXCLUDES(mutex_);
   HistogramHandle histogram(std::string_view name, std::string_view labels,
-                            double lo, double hi, std::size_t bins);
+                            double lo, double hi, std::size_t bins)
+      DDPM_EXCLUDES(mutex_);
 
   /// Number of registered series.
-  std::size_t size() const noexcept {
+  std::size_t size() const DDPM_EXCLUDES(mutex_) {
+    const core::MutexLock lock(mutex_);
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
   /// Freezes current values, sorted by key.
-  MetricsSnapshot snapshot() const;
+  MetricsSnapshot snapshot() const DDPM_EXCLUDES(mutex_);
 
   /// Zeroes every slot; registrations (and outstanding handles) survive.
-  void reset() noexcept;
+  void reset() DDPM_EXCLUDES(mutex_);
 
   static std::string make_key(std::string_view name, std::string_view labels);
 
@@ -182,16 +192,25 @@ class Registry {
   template <typename SlotT>
   SlotT* find_or_create(std::deque<std::pair<std::string, SlotT>>& slots,
                         std::unordered_map<std::string, SlotT*>& index,
-                        std::string key);
+                        std::string key) DDPM_REQUIRES(mutex_);
 
   bool enabled_;
+  /// Serializes registration/snapshot/reset; the handles' slot writes are
+  /// outside its scope by design (single-writer hot path, see file comment).
+  mutable core::Mutex mutex_;
   // Deques: slot addresses must stay stable as registration continues.
-  std::deque<std::pair<std::string, std::uint64_t>> counters_;
-  std::deque<std::pair<std::string, Gauge::Slot>> gauges_;
-  std::deque<std::pair<std::string, HistogramHandle::Slot>> histograms_;
-  std::unordered_map<std::string, std::uint64_t*> counter_index_;
-  std::unordered_map<std::string, Gauge::Slot*> gauge_index_;
-  std::unordered_map<std::string, HistogramHandle::Slot*> histogram_index_;
+  std::deque<std::pair<std::string, std::uint64_t>> counters_
+      DDPM_GUARDED_BY(mutex_);
+  std::deque<std::pair<std::string, Gauge::Slot>> gauges_
+      DDPM_GUARDED_BY(mutex_);
+  std::deque<std::pair<std::string, HistogramHandle::Slot>> histograms_
+      DDPM_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::uint64_t*> counter_index_
+      DDPM_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, Gauge::Slot*> gauge_index_
+      DDPM_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, HistogramHandle::Slot*> histogram_index_
+      DDPM_GUARDED_BY(mutex_);
 };
 
 }  // namespace ddpm::telemetry

@@ -94,4 +94,20 @@ struct CoordHash {
   std::size_t operator()(const Coord& c) const noexcept { return c.hash(); }
 };
 
+/// Shortest signed ring displacement from coordinate `a` to coordinate `b`
+/// on a ring of size `k`, in (-k/2, k/2]; an even k with |delta| == k/2
+/// reports +k/2 (ties go the positive way round). Both coordinates must
+/// already be in [0, k).
+///
+/// This helper — together with the coordinate<->id math in
+/// CartesianTopology and Torus::ring_delta, which delegates here — is the
+/// sanctioned home for modular arithmetic on torus coordinates. Raw `%`/`/`
+/// on coordinates anywhere else is flagged by the `torus-wrap` analyzer
+/// rule (docs/STATIC_ANALYSIS.md): ad-hoc wraparound math is exactly the
+/// class of bug the ddpm_verify invariant checker otherwise catches late.
+constexpr int ring_shortest_delta(int a, int b, int k) noexcept {
+  const int delta = ((b - a) % k + k) % k;  // in [0, k)
+  return delta > k / 2 ? delta - k : delta;
+}
+
 }  // namespace ddpm::topo

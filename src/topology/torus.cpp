@@ -52,10 +52,8 @@ int Torus::ring_delta(int a, int b, std::size_t d) const noexcept {
   const int k = dim_size(d);
   DDPM_CHECK(a >= 0 && a < k && b >= 0 && b < k,
              "ring_delta: coordinate outside [0, k)");
-  int delta = ((b - a) % k + k) % k;  // in [0, k)
-  if (delta > k / 2) delta -= k;
-  // k even and delta == k/2: keep +k/2 (positive direction), per contract.
-  return delta;
+  // k even and delta == k/2: +k/2 (positive direction), per contract.
+  return ring_shortest_delta(a, b, k);
 }
 
 int Torus::min_hops(NodeId a, NodeId b) const {

@@ -1,0 +1,125 @@
+#include "verify/design_space.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "routing/deadlock.hpp"
+#include "routing/router.hpp"
+#include "topology/factory.hpp"
+#include "verify/cdg.hpp"
+#include "verify/width_cert.hpp"
+
+namespace ddpm::verify {
+
+std::vector<std::string> cdg_topologies() {
+  return {"mesh:4x4",  "mesh:3x3x3",  "torus:4x4",
+          "torus:3x3x3", "hypercube:3", "hypercube:4"};
+}
+
+std::vector<std::string> cdg_routers() {
+  return {"dor",      "west-first", "north-last", "negative-first",
+          "adaptive", "adaptive-misroute", "oracle", "valiant"};
+}
+
+CdgVerdict verify_combo(const std::string& topology_spec,
+                        const std::string& router_name) {
+  CdgVerdict verdict;
+  verdict.topology = topology_spec;
+  verdict.router = router_name;
+  const auto topo = topo::make_topology(topology_spec);
+  std::unique_ptr<route::Router> router;
+  try {
+    router = route::make_router(router_name, *topo);
+  } catch (const std::invalid_argument&) {
+    verdict.supported = false;
+    verdict.pass = true;
+    verdict.note = "factory rejects this combo";
+    return verdict;
+  }
+  verdict.supported = true;
+  const route::DeadlockClass declared =
+      route::declared_deadlock_class(*router);
+  verdict.declared = route::to_string(declared);
+
+  const CdgResult full = build_cdg(*topo, *router);
+  verdict.channels = full.channels;
+  verdict.dependencies = full.dependencies;
+  verdict.cyclic = full.cyclic;
+  verdict.cycle = full.cycle;
+  const CdgResult escape = build_escape_cdg(*topo);
+  verdict.escape_acyclic = !escape.cyclic;
+
+  if (declared == route::DeadlockClass::kAcyclic) {
+    // A cyclic graph under an acyclic declaration is the finding that
+    // gates the factory: the declaration (and the wormhole gate built on
+    // it) would admit a deadlockable combo.
+    verdict.pass = !verdict.cyclic;
+    if (!verdict.pass) {
+      verdict.note = "declared acyclic but the reachable CDG has a cycle";
+    }
+  } else {
+    // kNeedsEscapeVcs is honest about the cycle; safety rests entirely on
+    // the escape subnetwork, which must therefore be provably acyclic.
+    verdict.pass = verdict.escape_acyclic;
+    if (!verdict.pass) {
+      verdict.note = "escape subnetwork CDG has a cycle";
+    } else if (!verdict.cyclic) {
+      verdict.note = "stricter than declared: full CDG is acyclic anyway";
+    }
+  }
+  return verdict;
+}
+
+std::vector<CdgVerdict> run_cdg_suite() {
+  std::vector<CdgVerdict> out;
+  for (const std::string& spec : cdg_topologies()) {
+    for (const std::string& router : cdg_routers()) {
+      out.push_back(verify_combo(spec, router));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Size ladder shared by the invariant and injectivity suites. The first
+/// group closes exhaustively under the default options; the second is
+/// sampled (pairs drawn at random, one random minimal route each).
+const char* const kInvariantLadder[] = {
+    // exhaustive
+    "mesh:4x4", "torus:5x5", "mesh:8x8", "torus:8x8", "hypercube:4",
+    "hypercube:8", "mesh:3x3x3x3", "torus:3x3x3x3",
+    // sampled
+    "mesh:32x32", "torus:16x16", "mesh:8x8x8x8", "torus:8x8x8x8",
+    "hypercube:16",
+};
+
+}  // namespace
+
+std::vector<InvariantVerdict> run_invariant_suite(const InvariantOptions& opt) {
+  std::vector<InvariantVerdict> out;
+  for (const char* spec : kInvariantLadder) {
+    out.push_back(check_invariant(*topo::make_topology(spec), opt));
+  }
+  return out;
+}
+
+std::vector<InjectivityVerdict> run_injectivity_suite(
+    const InvariantOptions& opt) {
+  std::vector<InjectivityVerdict> out;
+  for (const char* spec : kInvariantLadder) {
+    out.push_back(check_injectivity(*topo::make_topology(spec), opt));
+  }
+  return out;
+}
+
+Report run_all(const InvariantOptions& opt) {
+  Report report;
+  report.cdg = run_cdg_suite();
+  report.invariant = run_invariant_suite(opt);
+  report.injectivity = run_injectivity_suite(opt);
+  report.width = certify_widths();
+  return report;
+}
+
+}  // namespace ddpm::verify

@@ -1,0 +1,47 @@
+// Design-space enumeration for ddpm_verify (docs/VERIFICATION.md).
+//
+// The verifier's value is coverage of the FACTORY design space, not of one
+// hand-picked config: these drivers walk every Topology x Router combo the
+// factories accept (CDG deadlock verdicts) and a ladder of topology sizes
+// (marking invariant, injectivity, field widths) and return the verdict
+// rows the CLI renders. tests/test_verify.cpp and the `verify` CI job both
+// call the same drivers, so the artifact and the tier-1 gate cannot drift.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/invariant.hpp"
+#include "verify/verdict.hpp"
+
+namespace ddpm::verify {
+
+/// Topology specs the CDG suite covers (small enough to close the
+/// reachable-state BFS in milliseconds, large enough to exhibit every
+/// wrap/turn cycle class).
+std::vector<std::string> cdg_topologies();
+
+/// Router factory names the CDG suite covers — the full `make_router` set.
+std::vector<std::string> cdg_routers();
+
+/// Builds a CDG verdict for one combo. Unsupported combos (the factory
+/// throws) pass trivially with supported == false.
+CdgVerdict verify_combo(const std::string& topology_spec,
+                        const std::string& router_name);
+
+/// CDG verdicts for the whole Topology x Router grid.
+std::vector<CdgVerdict> run_cdg_suite();
+
+/// Marking-invariant verdicts over the size ladder: exhaustive pair
+/// enumeration up to radix 8 / 4 dimensions, randomized sampling above.
+std::vector<InvariantVerdict> run_invariant_suite(
+    const InvariantOptions& opt = {});
+
+/// Injectivity verdicts over the same ladder.
+std::vector<InjectivityVerdict> run_injectivity_suite(
+    const InvariantOptions& opt = {});
+
+/// The full report: CDG + invariant + injectivity + field widths.
+Report run_all(const InvariantOptions& opt = {});
+
+}  // namespace ddpm::verify

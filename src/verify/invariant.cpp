@@ -1,0 +1,345 @@
+#include "verify/invariant.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "core/check.hpp"
+#include "marking/ddpm.hpp"
+#include "netsim/rng.hpp"
+#include "packet/packet.hpp"
+
+namespace ddpm::verify {
+
+using topo::Coord;
+using topo::NodeId;
+using topo::Port;
+
+namespace {
+
+/// The claimed identity: accumulated V after reaching `at` from `src`.
+Coord expected_vector(const topo::Topology& topo, const Coord& src_coord,
+                      NodeId at) {
+  const Coord here = topo.coord_of(at);
+  return topo.kind() == topo::TopologyKind::kHypercube ? (here ^ src_coord)
+                                                       : (here - src_coord);
+}
+
+struct PathChecker {
+  const topo::Topology& topo;
+  mark::DdpmScheme scheme;
+  mark::DdpmIdentifier identifier;
+  netsim::Rng rng;
+  std::uint64_t hops = 0;
+  std::string failure;  // first counterexample, empty while the proof holds
+
+  PathChecker(const topo::Topology& t, std::uint64_t seed)
+      : topo(t), scheme(t), identifier(t), rng(seed) {}
+
+  bool ok() const { return failure.empty(); }
+
+  void fail(NodeId src, NodeId dst, NodeId at, const char* what) {
+    if (!failure.empty()) return;
+    std::ostringstream os;
+    os << what << " at node " << at << " on route " << src << "->" << dst;
+    failure = os.str();
+  }
+
+  /// Drives the real scheme along `path` (path.front() == S), asserting
+  /// the telescoping identity and victim-side identification after the
+  /// injection and after every hop.
+  void check_path(const std::vector<NodeId>& path) {
+    if (!ok()) return;
+    const NodeId src = path.front();
+    const Coord src_coord = topo.coord_of(src);
+    pkt::Packet packet;
+    packet.true_source = src;
+    packet.dest_node = path.back();
+    // Pre-load attacker garbage: on_injection must zero the field.
+    packet.set_marking_field(std::uint16_t(rng.next_below(0x10000)));
+    scheme.on_injection(packet, src);
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      const NodeId at = path[i];
+      const Coord got = scheme.codec().decode(packet.marking_field());
+      if (got != expected_vector(topo, src_coord, at)) {
+        return fail(src, path.back(), at, "V != D - S prefix identity");
+      }
+      const auto back = identifier.identify(at, packet.marking_field());
+      if (!back || *back != src) {
+        return fail(src, path.back(), at, "identify(X, V) != S");
+      }
+      ++hops;
+      if (i + 1 < path.size()) {
+        scheme.on_forward(packet, at, path[i + 1]);
+      }
+    }
+  }
+};
+
+/// Depth-first enumeration of minimal routes from src to dst, capped.
+/// Returns true if the cap truncated the enumeration.
+bool enumerate_minimal(const topo::Topology& topo, NodeId src, NodeId dst,
+                       std::uint64_t cap,
+                       std::vector<std::vector<NodeId>>& out) {
+  std::vector<NodeId> path{src};
+  bool truncated = false;
+  // Explicit stack of (node, next port to try) frames.
+  std::vector<std::pair<NodeId, Port>> stack{{src, 0}};
+  while (!stack.empty()) {
+    const NodeId node = stack.back().first;
+    if (node == dst) {
+      out.push_back(path);
+      if (out.size() >= cap) {
+        truncated = true;
+        break;
+      }
+      stack.pop_back();
+      path.pop_back();
+      continue;
+    }
+    bool descended = false;
+    while (stack.back().second < topo.num_ports()) {
+      const Port p = stack.back().second++;  // resume point when we unwind
+      const auto next = topo.neighbor(node, p);
+      if (!next) continue;
+      if (topo.min_hops(*next, dst) != topo.min_hops(node, dst) - 1) continue;
+      path.push_back(*next);
+      stack.emplace_back(*next, 0);
+      descended = true;
+      break;
+    }
+    if (!descended) {
+      stack.pop_back();
+      path.pop_back();
+    }
+  }
+  return truncated;
+}
+
+/// One random minimal route (uniform productive neighbor per hop).
+std::vector<NodeId> random_minimal(const topo::Topology& topo, NodeId src,
+                                   NodeId dst, netsim::Rng& rng) {
+  std::vector<NodeId> path{src};
+  NodeId current = src;
+  while (current != dst) {
+    std::vector<NodeId> productive;
+    for (Port p = 0; p < topo.num_ports(); ++p) {
+      const auto next = topo.neighbor(current, p);
+      if (next && topo.min_hops(*next, dst) == topo.min_hops(current, dst) - 1) {
+        productive.push_back(*next);
+      }
+    }
+    DDPM_CHECK(!productive.empty(), "no productive neighbor on a minimal walk");
+    current = productive[rng.next_below(productive.size())];
+    path.push_back(current);
+  }
+  return path;
+}
+
+/// Inserts an x -> n -> x round trip at a random interior position: the
+/// detour's two contributions cancel exactly, so the prefix identity must
+/// keep holding at n and after the return.
+std::vector<NodeId> perturb(const topo::Topology& topo,
+                            const std::vector<NodeId>& path,
+                            netsim::Rng& rng) {
+  const std::size_t pos = rng.next_below(path.size());
+  const NodeId x = path[pos];
+  std::vector<NodeId> neighbors;
+  for (Port p = 0; p < topo.num_ports(); ++p) {
+    if (const auto n = topo.neighbor(x, p)) neighbors.push_back(*n);
+  }
+  const NodeId n = neighbors[rng.next_below(neighbors.size())];
+  std::vector<NodeId> detoured(path.begin(),
+                               path.begin() + std::ptrdiff_t(pos) + 1);
+  detoured.push_back(n);
+  detoured.push_back(x);
+  detoured.insert(detoured.end(), path.begin() + std::ptrdiff_t(pos) + 1,
+                  path.end());
+  return detoured;
+}
+
+/// Odometer over the full displacement domain: decode(encode(v)) == v for
+/// every representable legal vector, encode rejects out-of-slice values,
+/// and identify returns nullopt when D - V leaves the coordinate space.
+bool codec_roundtrip(const topo::Topology& topo, std::string& note) {
+  const mark::DdpmCodec codec(topo);
+  const mark::DdpmIdentifier identifier(topo);
+  const bool cube = topo.kind() == topo::TopologyKind::kHypercube;
+  const std::size_t dims = topo.num_dims();
+  std::vector<int> lo(dims), hi(dims);
+  std::uint64_t domain = 1;
+  for (std::size_t d = 0; d < dims; ++d) {
+    lo[d] = cube ? 0 : -(topo.dim_size(d) - 1);
+    hi[d] = cube ? 1 : topo.dim_size(d) - 1;
+    domain *= std::uint64_t(hi[d] - lo[d] + 1);
+  }
+  DDPM_CHECK(domain <= (1u << 17), "displacement domain too large to sweep");
+  std::vector<int> v(lo);
+  while (true) {
+    Coord c(dims);
+    for (std::size_t d = 0; d < dims; ++d) c[d] = Coord::value_type(v[d]);
+    const std::uint16_t field = codec.encode(c);
+    if (codec.decode(field) != c) {
+      note = "codec round-trip failed";
+      return false;
+    }
+    // Odometer increment.
+    std::size_t d = 0;
+    while (d < dims) {
+      if (++v[d] <= hi[d]) break;
+      v[d] = lo[d];
+      ++d;
+    }
+    if (d == dims) break;
+  }
+  if (!cube) {
+    // Components one past the slice range must throw, not wrap silently.
+    Coord over(dims);
+    over[0] = Coord::value_type(1 << (codec.slice(0).width - 1));
+    bool threw = false;
+    try {
+      (void)codec.encode(over);
+    } catch (const std::range_error&) {
+      threw = true;
+    }
+    if (!threw) {
+      note = "encode accepted an out-of-slice component";
+      return false;
+    }
+    // identify must reject fields whose implied source leaves the grid:
+    // from the origin, any positive displacement does.
+    Coord off_grid(dims);
+    off_grid[0] = 1;
+    if (identifier.identify(topo.id_of(Coord(dims)), codec.encode(off_grid))) {
+      note = "identify accepted an off-grid source";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+InvariantVerdict check_invariant(const topo::Topology& topo,
+                                 const InvariantOptions& opt) {
+  InvariantVerdict verdict;
+  verdict.topology = topo.spec();
+  const NodeId n = topo.num_nodes();
+  const std::uint64_t all_pairs = std::uint64_t(n) * std::uint64_t(n);
+  verdict.exhaustive_pairs = all_pairs <= opt.max_exhaustive_pairs;
+  const std::uint64_t path_cap =
+      topo.kind() == topo::TopologyKind::kHypercube
+          ? opt.hypercube_paths_per_pair
+          : opt.max_paths_per_pair;
+
+  verdict.codec_roundtrip = codec_roundtrip(topo, verdict.note);
+  PathChecker checker(topo, opt.seed);
+  netsim::Rng pair_rng(opt.seed ^ 0x9e3779b97f4a7c15ULL);
+
+  const auto check_pair = [&](NodeId src, NodeId dst) {
+    ++verdict.pairs;
+    std::vector<std::vector<NodeId>> paths;
+    if (enumerate_minimal(topo, src, dst, path_cap, paths)) {
+      ++verdict.truncated_pairs;
+    }
+    for (std::uint64_t i = 0; i < opt.detour_variants && !paths.empty(); ++i) {
+      paths.push_back(perturb(topo, paths.front(), checker.rng));
+    }
+    for (const auto& path : paths) {
+      checker.check_path(path);
+      ++verdict.paths;
+      if (!checker.ok()) return false;
+    }
+    return true;
+  };
+
+  if (verdict.exhaustive_pairs) {
+    for (NodeId src = 0; src < n && checker.ok(); ++src) {
+      for (NodeId dst = 0; dst < n; ++dst) {
+        if (!check_pair(src, dst)) break;
+      }
+    }
+  } else {
+    for (std::uint64_t i = 0; i < opt.sampled_pairs; ++i) {
+      const NodeId src = NodeId(pair_rng.next_below(n));
+      const NodeId dst = NodeId(pair_rng.next_below(n));
+      // Sampled regime: one random minimal route + detours beats the DFS
+      // prefix bias on big radices.
+      ++verdict.pairs;
+      std::vector<std::vector<NodeId>> paths{
+          random_minimal(topo, src, dst, pair_rng)};
+      for (std::uint64_t d = 0; d < opt.detour_variants; ++d) {
+        paths.push_back(perturb(topo, paths.front(), checker.rng));
+      }
+      for (const auto& path : paths) {
+        checker.check_path(path);
+        ++verdict.paths;
+      }
+      if (!checker.ok()) break;
+    }
+  }
+
+  verdict.hops = checker.hops;
+  verdict.holds = checker.ok();
+  if (!checker.ok()) verdict.note = checker.failure;
+  verdict.pass = verdict.holds && verdict.codec_roundtrip;
+  return verdict;
+}
+
+InjectivityVerdict check_injectivity(const topo::Topology& topo,
+                                     const InvariantOptions& opt) {
+  InjectivityVerdict verdict;
+  verdict.topology = topo.spec();
+  const mark::DdpmCodec codec(topo);
+  const mark::DdpmIdentifier identifier(topo);
+  const bool cube = topo.kind() == topo::TopologyKind::kHypercube;
+  const NodeId n = topo.num_nodes();
+  netsim::Rng rng(opt.seed ^ 0xda3e39cb94b95bdbULL);
+
+  const bool all_dests = std::uint64_t(n) <= opt.injectivity_dest_cap;
+  const bool all_sources = std::uint64_t(n) <= opt.injectivity_source_cap;
+  verdict.exhaustive = all_dests && all_sources;
+  verdict.destinations = all_dests ? n : opt.injectivity_sampled_dests;
+  verdict.sources = all_sources ? n : opt.injectivity_source_cap;
+
+  // Per-destination uniqueness over the 16-bit field space, epoch-stamped
+  // so the 64 KiB scratch is allocated once.
+  std::vector<std::uint32_t> stamp(1u << 16, 0);
+  std::vector<NodeId> owner(1u << 16, 0);
+  std::uint32_t epoch = 0;
+  verdict.injective = true;
+
+  for (std::uint64_t di = 0; di < verdict.destinations && verdict.injective;
+       ++di) {
+    const NodeId dst = all_dests ? NodeId(di) : NodeId(rng.next_below(n));
+    const Coord dst_coord = topo.coord_of(dst);
+    ++epoch;
+    for (std::uint64_t si = 0; si < verdict.sources; ++si) {
+      const NodeId src = all_sources ? NodeId(si) : NodeId(rng.next_below(n));
+      const Coord src_coord = topo.coord_of(src);
+      const Coord v = cube ? (dst_coord ^ src_coord) : (dst_coord - src_coord);
+      const std::uint16_t field = codec.encode(v);
+      if (stamp[field] == epoch && owner[field] != src) {
+        verdict.injective = false;
+        std::ostringstream os;
+        os << "sources " << owner[field] << " and " << src
+           << " collide on field " << field << " for destination " << dst;
+        verdict.note = os.str();
+        break;
+      }
+      stamp[field] = epoch;
+      owner[field] = src;
+      const auto back = identifier.identify(dst, field);
+      if (!back || *back != src) {
+        verdict.injective = false;
+        std::ostringstream os;
+        os << "identify(" << dst << ", " << field << ") != " << src;
+        verdict.note = os.str();
+        break;
+      }
+    }
+  }
+  verdict.pass = verdict.injective;
+  return verdict;
+}
+
+}  // namespace ddpm::verify

@@ -1,0 +1,52 @@
+// Symbolic marking-invariant checker (docs/VERIFICATION.md).
+//
+// DDPM's correctness rests on one telescoping identity: after any route
+// prefix S = x0 -> x1 -> ... -> xi, the accumulated marking vector equals
+// coord(xi) - coord(S) EXACTLY (XOR of coordinates on the hypercube) — no
+// modular reduction, because each hop contributes the raw coordinate
+// difference of the link it crosses (a torus wrap hop contributes -(k-1),
+// which IS the coordinate difference). The checker proves this by driving
+// the real DdpmScheme/DdpmCodec over every minimal route (plus bounded
+// non-minimal detour perturbations) of every (S, D) pair on small radices,
+// and over randomly sampled pairs/routes above the exhaustive bound,
+// asserting the identity and victim-side identification at EVERY prefix.
+// It also round-trips the codec over the full displacement domain and
+// checks injectivity: for a fixed victim D, distinct sources always yield
+// distinct field values.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/topology.hpp"
+#include "verify/verdict.hpp"
+
+namespace ddpm::verify {
+
+struct InvariantOptions {
+  std::uint64_t seed = 0x5eed;
+  /// All (S, D) pairs are enumerated when n*n is at most this; above it,
+  /// `sampled_pairs` random pairs are checked instead.
+  std::uint64_t max_exhaustive_pairs = 70000;
+  std::uint64_t sampled_pairs = 512;
+  /// DFS cap on minimal routes per pair (hypercubes explode factorially).
+  std::uint64_t max_paths_per_pair = 24;
+  std::uint64_t hypercube_paths_per_pair = 8;
+  /// Non-minimal perturbations (x -> n -> x round trips) added per pair.
+  std::uint64_t detour_variants = 2;
+  /// Injectivity: all destinations when n is at most this, else sampled.
+  std::uint64_t injectivity_dest_cap = 4096;
+  std::uint64_t injectivity_sampled_dests = 64;
+  std::uint64_t injectivity_source_cap = 4096;
+};
+
+/// Proves (or refutes, with a witness in `note`) the per-prefix marking
+/// invariant and victim-side identification on `topo`.
+InvariantVerdict check_invariant(const topo::Topology& topo,
+                                 const InvariantOptions& opt = {});
+
+/// Proves that source identification is injective for fixed destinations:
+/// no two sources map to the same marking-field value.
+InjectivityVerdict check_injectivity(const topo::Topology& topo,
+                                     const InvariantOptions& opt = {});
+
+}  // namespace ddpm::verify

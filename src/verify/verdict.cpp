@@ -1,0 +1,178 @@
+#include "verify/verdict.hpp"
+
+#include <sstream>
+
+namespace ddpm::verify {
+
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+void field(std::ostream& os, const char* key, const std::string& value,
+           bool first = false) {
+  os << (first ? "" : ", ") << '"' << key << "\": \"";
+  json_escape(os, value);
+  os << '"';
+}
+
+void field(std::ostream& os, const char* key, bool value, bool first = false) {
+  os << (first ? "" : ", ") << '"' << key << "\": "
+     << (value ? "true" : "false");
+}
+
+void field(std::ostream& os, const char* key, std::uint64_t value,
+           bool first = false) {
+  os << (first ? "" : ", ") << '"' << key << "\": " << value;
+}
+
+const char* mark(bool pass) { return pass ? "pass" : "FAIL"; }
+
+}  // namespace
+
+bool Report::all_pass() const noexcept { return failures() == 0; }
+
+std::size_t Report::rows() const noexcept {
+  return cdg.size() + invariant.size() + injectivity.size() + width.size();
+}
+
+std::size_t Report::failures() const noexcept {
+  std::size_t n = 0;
+  for (const auto& v : cdg) n += !v.pass;
+  for (const auto& v : invariant) n += !v.pass;
+  for (const auto& v : injectivity) n += !v.pass;
+  for (const auto& v : width) n += !v.pass;
+  return n;
+}
+
+std::string Report::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"tool\": \"ddpm_verify\",\n  \"cdg\": [";
+  for (std::size_t i = 0; i < cdg.size(); ++i) {
+    const CdgVerdict& v = cdg[i];
+    os << (i ? "," : "") << "\n    {";
+    field(os, "topology", v.topology, true);
+    field(os, "router", v.router);
+    field(os, "supported", v.supported);
+    field(os, "declared", v.declared);
+    field(os, "channels", std::uint64_t(v.channels));
+    field(os, "dependencies", std::uint64_t(v.dependencies));
+    field(os, "cyclic", v.cyclic);
+    field(os, "escape_acyclic", v.escape_acyclic);
+    os << ", \"cycle\": [";
+    for (std::size_t c = 0; c < v.cycle.size(); ++c) {
+      os << (c ? ", " : "") << '"';
+      json_escape(os, v.cycle[c]);
+      os << '"';
+    }
+    os << ']';
+    field(os, "pass", v.pass);
+    field(os, "note", v.note);
+    os << '}';
+  }
+  os << (cdg.empty() ? "" : "\n  ") << "],\n  \"invariant\": [";
+  for (std::size_t i = 0; i < invariant.size(); ++i) {
+    const InvariantVerdict& v = invariant[i];
+    os << (i ? "," : "") << "\n    {";
+    field(os, "topology", v.topology, true);
+    field(os, "exhaustive_pairs", v.exhaustive_pairs);
+    field(os, "pairs", v.pairs);
+    field(os, "paths", v.paths);
+    field(os, "hops", v.hops);
+    field(os, "truncated_pairs", v.truncated_pairs);
+    field(os, "codec_roundtrip", v.codec_roundtrip);
+    field(os, "holds", v.holds);
+    field(os, "pass", v.pass);
+    field(os, "note", v.note);
+    os << '}';
+  }
+  os << (invariant.empty() ? "" : "\n  ") << "],\n  \"injectivity\": [";
+  for (std::size_t i = 0; i < injectivity.size(); ++i) {
+    const InjectivityVerdict& v = injectivity[i];
+    os << (i ? "," : "") << "\n    {";
+    field(os, "topology", v.topology, true);
+    field(os, "destinations", v.destinations);
+    field(os, "sources", v.sources);
+    field(os, "exhaustive", v.exhaustive);
+    field(os, "injective", v.injective);
+    field(os, "pass", v.pass);
+    field(os, "note", v.note);
+    os << '}';
+  }
+  os << (injectivity.empty() ? "" : "\n  ") << "],\n  \"width\": [";
+  for (std::size_t i = 0; i < width.size(); ++i) {
+    const WidthVerdict& v = width[i];
+    os << (i ? "," : "") << "\n    {";
+    field(os, "check", v.check, true);
+    field(os, "detail", v.detail);
+    field(os, "pass", v.pass);
+    field(os, "note", v.note);
+    os << '}';
+  }
+  os << (width.empty() ? "" : "\n  ") << "],\n  \"all_pass\": "
+     << (all_pass() ? "true" : "false") << "\n}\n";
+  return os.str();
+}
+
+std::string Report::to_markdown() const {
+  std::ostringstream os;
+  if (!cdg.empty()) {
+    os << "### Channel-dependency deadlock verdicts\n\n"
+       << "| Topology | Router | Declared | CDG | Escape CDG | Verdict |\n"
+       << "|---|---|---|---|---|---|\n";
+    for (const CdgVerdict& v : cdg) {
+      os << "| " << v.topology << " | " << v.router << " | ";
+      if (!v.supported) {
+        os << "— | — | — | pass (factory rejects) |\n";
+        continue;
+      }
+      os << v.declared << " | " << (v.cyclic ? "cyclic" : "acyclic") << " | "
+         << (v.declared == "acyclic" ? "n/a"
+                                     : (v.escape_acyclic ? "acyclic" : "CYCLIC"))
+         << " | " << mark(v.pass) << " |\n";
+    }
+    os << '\n';
+  }
+  if (!invariant.empty()) {
+    os << "### Marking invariant (V = D − S at every prefix)\n\n"
+       << "| Topology | Pairs | Routes | Hop checks | Coverage | Codec "
+          "round-trip | Verdict |\n"
+       << "|---|---|---|---|---|---|---|\n";
+    for (const InvariantVerdict& v : invariant) {
+      os << "| " << v.topology << " | " << v.pairs << " | " << v.paths
+         << " | " << v.hops << " | "
+         << (v.exhaustive_pairs ? "exhaustive pairs" : "sampled pairs")
+         << " | " << (v.codec_roundtrip ? "yes" : "NO") << " | "
+         << mark(v.pass) << " |\n";
+    }
+    os << '\n';
+  }
+  if (!injectivity.empty()) {
+    os << "### Identification injectivity (fixed D, distinct S ⇒ distinct "
+          "V)\n\n"
+       << "| Topology | Destinations | Sources each | Coverage | Verdict |\n"
+       << "|---|---|---|---|---|\n";
+    for (const InjectivityVerdict& v : injectivity) {
+      os << "| " << v.topology << " | " << v.destinations << " | "
+         << v.sources << " | " << (v.exhaustive ? "exhaustive" : "sampled")
+         << " | " << mark(v.pass) << " |\n";
+    }
+    os << '\n';
+  }
+  if (!width.empty()) {
+    os << "### Field-width certification (Tables 1–3)\n\n"
+       << "| Check | Detail | Verdict |\n|---|---|---|\n";
+    for (const WidthVerdict& v : width) {
+      os << "| " << v.check << " | " << v.detail << " | " << mark(v.pass)
+         << " |\n";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ddpm::verify

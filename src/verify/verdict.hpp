@@ -1,0 +1,82 @@
+// Verdict model for the static design-space verifier (docs/VERIFICATION.md).
+//
+// Each checker in src/verify fills typed verdict rows; the Report
+// aggregates them and renders deterministic JSON (the `verify` CI job
+// diffs it against tools/ddpm_verify_baseline.json, ratchet-style) and a
+// Markdown table (pasted into EXPERIMENTS.md "Verified configurations").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ddpm::verify {
+
+/// One Topology x Router factory combo's channel-dependency-graph verdict.
+struct CdgVerdict {
+  std::string topology;  ///< topology spec, e.g. "torus:4x4"
+  std::string router;    ///< factory name, e.g. "adaptive"
+  bool supported = false;  ///< false when the factory rejects the combo
+  std::string declared;    ///< declared deadlock class (routing/deadlock.hpp)
+  std::size_t channels = 0;      ///< directed channels in the graph
+  std::size_t dependencies = 0;  ///< distinct reachable dependency edges
+  bool cyclic = false;           ///< computed CDG has a cycle
+  bool escape_acyclic = false;   ///< escape subnetwork CDG proven acyclic
+  std::vector<std::string> cycle;  ///< witness cycle (channel names), if any
+  bool pass = false;  ///< declaration consistent with the computed graph
+  std::string note;
+};
+
+/// One topology's marking-invariant verdict: V == D - S (or D ^ S) at
+/// every path prefix, for every enumerated/sampled route.
+struct InvariantVerdict {
+  std::string topology;
+  bool exhaustive_pairs = false;  ///< all (S, D) pairs enumerated
+  std::uint64_t pairs = 0;        ///< (S, D) pairs checked
+  std::uint64_t paths = 0;        ///< routes walked (minimal + perturbed)
+  std::uint64_t hops = 0;         ///< per-hop prefix assertions
+  std::uint64_t truncated_pairs = 0;  ///< pairs whose path set hit the cap
+  bool codec_roundtrip = false;   ///< decode(encode(v)) == v over the domain
+  bool holds = false;             ///< the telescoping invariant held
+  bool pass = false;
+  std::string note;
+};
+
+/// One topology's identification-injectivity verdict: for a fixed victim D
+/// no two sources share a marking-field value.
+struct InjectivityVerdict {
+  std::string topology;
+  std::uint64_t destinations = 0;
+  std::uint64_t sources = 0;  ///< sources checked per destination
+  bool exhaustive = false;
+  bool injective = false;
+  bool pass = false;
+  std::string note;
+};
+
+/// One field-width certification check (Tables 1-3 cross-checks, codec
+/// layout audit, factory overflow scan).
+struct WidthVerdict {
+  std::string check;   ///< stable check id, e.g. "table3-ddpm"
+  std::string detail;  ///< what was compared
+  bool pass = false;
+  std::string note;
+};
+
+struct Report {
+  std::vector<CdgVerdict> cdg;
+  std::vector<InvariantVerdict> invariant;
+  std::vector<InjectivityVerdict> injectivity;
+  std::vector<WidthVerdict> width;
+
+  bool all_pass() const noexcept;
+  std::size_t rows() const noexcept;
+  std::size_t failures() const noexcept;
+
+  /// Deterministic machine-readable form (the CI artifact).
+  std::string to_json() const;
+  /// Markdown verdict tables (EXPERIMENTS.md "Verified configurations").
+  std::string to_markdown() const;
+};
+
+}  // namespace ddpm::verify

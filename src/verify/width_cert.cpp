@@ -1,0 +1,290 @@
+#include "verify/width_cert.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "marking/ddpm.hpp"
+#include "marking/scalability.hpp"
+#include "topology/factory.hpp"
+
+namespace ddpm::verify {
+
+namespace {
+
+using mark::SchemeKind;
+
+struct PinnedRow {
+  const char* topology;
+  const char* formula;
+  const char* max_cluster;
+  std::uint64_t max_nodes;
+};
+
+struct PinnedTable {
+  const char* check;
+  SchemeKind scheme;
+  PinnedRow mesh;
+  PinnedRow cube;
+};
+
+// The paper's Tables 1-3, transcribed verbatim (formula strings in the
+// paper's notation, maxima as printed). The certifier recomputes every
+// cell from marking/scalability and demands bit-for-bit equality.
+constexpr PinnedTable kTables[] = {
+    {"table1-simple-ppm",
+     SchemeKind::kSimplePpm,
+     {"n x n mesh, torus", "logn^2 + logn^2 + log2n", "8 x 8 (64 nodes)", 64},
+     {"n-cube hypercube", "2log2^n + loglog2^n", "6-cube (64 nodes)", 64}},
+    {"table2-bitdiff-ppm",
+     SchemeKind::kBitDiffPpm,
+     {"n x n mesh, torus", "logn^2 + loglogn^2 + log2n", "16 x 16 (256 nodes)",
+      256},
+     {"n-cube hypercube", "log2^n + 2loglog2^n", "8-cube (256 nodes)", 256}},
+    {"table3-ddpm",
+     SchemeKind::kDdpm,
+     {"n x n mesh, torus", "2(logn + 1)", "128 x 128 (16384 nodes)", 16384},
+     {"n-cube hypercube", "log2^n", "16-cube (65536 nodes)", 65536}},
+};
+
+WidthVerdict make_verdict(const std::string& check, const std::string& detail,
+                          bool pass, const std::string& note = "") {
+  WidthVerdict v;
+  v.check = check;
+  v.detail = detail;
+  v.pass = pass;
+  v.note = note;
+  return v;
+}
+
+bool row_matches(const mark::ScalabilityRow& got, const PinnedRow& want,
+                 std::string& note) {
+  if (got.topology != want.topology || got.formula != want.formula ||
+      got.max_cluster != want.max_cluster || got.max_nodes != want.max_nodes) {
+    note = "computed \"" + got.formula + "\" / \"" + got.max_cluster +
+           "\" differs from the paper's row";
+    return false;
+  }
+  return true;
+}
+
+WidthVerdict check_table(const PinnedTable& table) {
+  const auto rows = mark::scalability_table(table.scheme);
+  std::string note;
+  bool pass = rows.size() == 2;
+  if (!pass) note = "expected one mesh row and one hypercube row";
+  pass = pass && row_matches(rows[0], table.mesh, note);
+  pass = pass && row_matches(rows[1], table.cube, note);
+  return make_verdict(table.check,
+                      to_string(table.scheme) +
+                          " scalability row vs the paper's printed table",
+                      pass, note);
+}
+
+WidthVerdict check_codec_vs_mesh2d() {
+  std::string note;
+  bool pass = true;
+  for (const int n : {2, 3, 4, 5, 7, 8, 9, 16, 27, 32, 100, 128}) {
+    const std::string side = std::to_string(n);
+    for (const char* kind : {"mesh", "torus"}) {
+      if (std::string(kind) == "torus" && n < 3) continue;  // min radix 3
+      const auto topo = topo::make_topology(std::string(kind) + ":" + side +
+                                            "x" + side);
+      const int codec = mark::DdpmCodec::required_bits(*topo);
+      const int table = mark::required_bits_mesh2d(SchemeKind::kDdpm, n);
+      if (codec != table) {
+        std::ostringstream os;
+        os << kind << ":" << n << "x" << n << " codec needs " << codec
+           << " bits, Table 3 formula says " << table;
+        note = os.str();
+        pass = false;
+      }
+    }
+  }
+  return make_verdict("ddpm-codec-vs-table3-mesh2d",
+                      "DdpmCodec::required_bits == 2(logn + 1) on n x n "
+                      "mesh/torus, n in {2..128}",
+                      pass, note);
+}
+
+WidthVerdict check_codec_vs_hypercube() {
+  std::string note;
+  bool pass = true;
+  for (int n = 1; n <= 16; ++n) {
+    const auto topo = topo::make_topology("hypercube:" + std::to_string(n));
+    const int codec = mark::DdpmCodec::required_bits(*topo);
+    if (codec != n ||
+        codec != mark::required_bits_hypercube(SchemeKind::kDdpm, n)) {
+      note = "hypercube:" + std::to_string(n) + " codec needs " +
+             std::to_string(codec) + " bits, Table 3 says n";
+      pass = false;
+    }
+  }
+  return make_verdict("ddpm-codec-vs-table3-hypercube",
+                      "DdpmCodec::required_bits == n on the n-cube, n in "
+                      "{1..16}",
+                      pass, note);
+}
+
+WidthVerdict check_slice_layout() {
+  std::string note;
+  bool pass = true;
+  for (const char* spec : {"mesh:4x4", "mesh:8x8", "torus:5x5", "torus:8x8",
+                           "mesh:3x3x3x3", "torus:8x8x8x8", "hypercube:4",
+                           "hypercube:16", "mesh:128x128"}) {
+    const auto topo = topo::make_topology(spec);
+    const mark::DdpmCodec codec(*topo);
+    unsigned offset = 0;
+    for (std::size_t d = 0; d < codec.num_dims() && pass; ++d) {
+      const pkt::FieldSlice slice = codec.slice(d);
+      if (!slice.valid() || slice.offset != offset) {
+        note = std::string(spec) + ": slice " + std::to_string(d) +
+               " is not contiguous from bit 0";
+        pass = false;
+      }
+      offset += slice.width;
+    }
+    if (pass && int(offset) != mark::DdpmCodec::required_bits(*topo)) {
+      note = std::string(spec) + ": slice widths do not sum to required_bits";
+      pass = false;
+    }
+    if (pass && offset > 16) {
+      note = std::string(spec) + ": layout exceeds the 16-bit field";
+      pass = false;
+    }
+    if (!pass) break;
+    // Extremes round-trip: the widest legal displacement each way.
+    const bool cube = topo->kind() == topo::TopologyKind::kHypercube;
+    topo::Coord hi(topo->num_dims());
+    topo::Coord lo(topo->num_dims());
+    for (std::size_t d = 0; d < topo->num_dims(); ++d) {
+      hi[d] = topo::Coord::value_type(cube ? 1 : topo->dim_size(d) - 1);
+      lo[d] = topo::Coord::value_type(cube ? 0 : -(topo->dim_size(d) - 1));
+    }
+    if (codec.decode(codec.encode(hi)) != hi ||
+        codec.decode(codec.encode(lo)) != lo) {
+      note = std::string(spec) + ": extreme displacement does not round-trip";
+      pass = false;
+      break;
+    }
+  }
+  return make_verdict("ddpm-slice-layout",
+                      "per-dimension slices contiguous, widths sum to "
+                      "required_bits, extremes round-trip",
+                      pass, note);
+}
+
+/// True iff constructing the codec on `spec` throws std::invalid_argument.
+bool codec_rejects(const std::string& spec) {
+  const auto topo = topo::make_topology(spec);
+  try {
+    const mark::DdpmCodec codec(*topo);
+  } catch (const std::invalid_argument&) {
+    return true;
+  }
+  return false;
+}
+
+WidthVerdict check_factory_overflow() {
+  std::string note;
+  bool pass = true;
+  // 2-D meshes and tori across the Table 3 boundary (128 fits, 129 does
+  // not): fits() must agree with required_bits and the constructor.
+  for (int n = 2; n <= 200 && pass; ++n) {
+    for (const char* kind : {"mesh", "torus"}) {
+      if (std::string(kind) == "torus" && n < 3) continue;
+      const std::string spec =
+          std::string(kind) + ":" + std::to_string(n) + "x" + std::to_string(n);
+      const auto topo = topo::make_topology(spec);
+      const bool fits = mark::DdpmCodec::fits(*topo);
+      if (fits != (mark::DdpmCodec::required_bits(*topo) <= 16) ||
+          fits == codec_rejects(spec)) {
+        note = spec + ": fits()/required_bits/constructor disagree";
+        pass = false;
+      }
+      if (n == 128 && !fits) {
+        note = spec + " must fit (Table 3 maximum)";
+        pass = false;
+      }
+      if (n == 129 && fits) {
+        note = spec + " must overflow the 16-bit field";
+        pass = false;
+      }
+    }
+  }
+  // Hypercubes: every factory-constructible dimension (1..16) fits; 17 is
+  // already rejected by the topology factory itself.
+  for (int n = 1; n <= 16 && pass; ++n) {
+    const std::string spec = "hypercube:" + std::to_string(n);
+    if (!mark::DdpmCodec::fits(*topo::make_topology(spec)) ||
+        codec_rejects(spec)) {
+      note = spec + " must fit the 16-bit field";
+      pass = false;
+    }
+  }
+  if (pass) {
+    bool threw = false;
+    try {
+      (void)topo::make_topology("hypercube:17");
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    if (!threw) {
+      note = "hypercube:17 must be rejected by the topology factory";
+      pass = false;
+    }
+  }
+  // Multi-dimensional spot checks across the boundary.
+  if (pass && (codec_rejects("mesh:8x8x8x8") ||        // 4*(3+1) = 16: fits
+               codec_rejects("torus:8x8x8x8") ||       // same budget
+               !codec_rejects("mesh:9x9x9x9") ||       // 4*(4+1) = 20: over
+               !codec_rejects("torus:9x9x9x9"))) {
+    note = "4-D boundary: 8^4 must fit, 9^4 must overflow";
+    pass = false;
+  }
+  return make_verdict("factory-overflow",
+                      "every constructible topology either fits 16 bits or "
+                      "the codec rejects it",
+                      pass, note);
+}
+
+WidthVerdict check_paper_maxima() {
+  struct Maxima {
+    SchemeKind scheme;
+    int mesh_pow2, mesh_exact, cube;
+  };
+  constexpr Maxima kMaxima[] = {
+      {SchemeKind::kSimplePpm, 8, 8, 6},
+      {SchemeKind::kBitDiffPpm, 16, 16, 8},
+      {SchemeKind::kDdpm, 128, 128, 16},
+  };
+  std::string note;
+  bool pass = true;
+  for (const Maxima& m : kMaxima) {
+    if (mark::max_mesh2d_side(m.scheme) != m.mesh_pow2 ||
+        mark::max_mesh2d_side_exact(m.scheme) != m.mesh_exact ||
+        mark::max_hypercube_dim(m.scheme) != m.cube) {
+      note = to_string(m.scheme) + " maxima differ from the paper";
+      pass = false;
+    }
+  }
+  return make_verdict("paper-maxima-exact",
+                      "largest-fitting sides/dimensions match Tables 1-3 "
+                      "(incl. exact non-power-of-two sides)",
+                      pass, note);
+}
+
+}  // namespace
+
+std::vector<WidthVerdict> certify_widths() {
+  std::vector<WidthVerdict> out;
+  for (const PinnedTable& table : kTables) out.push_back(check_table(table));
+  out.push_back(check_codec_vs_mesh2d());
+  out.push_back(check_codec_vs_hypercube());
+  out.push_back(check_slice_layout());
+  out.push_back(check_factory_overflow());
+  out.push_back(check_paper_maxima());
+  return out;
+}
+
+}  // namespace ddpm::verify

@@ -1,0 +1,21 @@
+// Field-width certifier (docs/VERIFICATION.md).
+//
+// Recomputes the paper's Tables 1-3 bit budgets from marking/scalability
+// and pins them against the exact published numbers, then cross-checks the
+// DDPM formula rows against the bit layout the real DdpmCodec builds:
+// per-dimension slice widths, contiguity, totals, and — the check the
+// others exist to protect — that every factory-constructible topology
+// either fits the 16-bit Marking Field or is rejected by the codec before
+// a truncated mark can ever be emitted.
+#pragma once
+
+#include "verify/verdict.hpp"
+
+#include <vector>
+
+namespace ddpm::verify {
+
+/// Runs every width-certification check; one verdict per check id.
+std::vector<WidthVerdict> certify_widths();
+
+}  // namespace ddpm::verify

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "routing/deadlock.hpp"
+
 namespace ddpm::wormhole {
 
 WormholeNetwork::WormholeNetwork(const topo::Topology& topo,
@@ -18,6 +20,13 @@ WormholeNetwork::WormholeNetwork(const topo::Topology& topo,
                       ? 0
                       : (topo.kind() == topo::TopologyKind::kTorus ? 2 : 1)),
       rng_(config.seed) {
+  // Factory deadlock gate (routing/deadlock.hpp): a blocking substrate
+  // must carry the escape VCs the routing declaration demands. The
+  // `disable_escape` negative control opts out explicitly — it exists to
+  // demonstrate the deadlock the gate otherwise forbids.
+  if (!config.disable_escape) {
+    route::require_deadlock_safe(router, escape_vcs_ > 0);
+  }
   const int V = total_vcs();
   nodes_.resize(topo.num_nodes());
   for (NodeState& node : nodes_) {

@@ -1,0 +1,33 @@
+// Self-test fixture: hand-rolled wrap arithmetic on Coord-typed values.
+// The torus-wrap rule must flag exactly the lines carrying an expect()
+// marker — raw % or / on a line that reads a Coord local/param, outside
+// the audited ring helpers.
+
+namespace ddpm::topo {
+
+struct Coord {
+  int v[4] = {0, 0, 0, 0};
+  int& at(int i) { return v[i]; }
+  int get(int i) const { return v[i]; }
+  int& operator[](int i) { return v[i]; }
+  int operator[](int i) const { return v[i]; }
+};
+
+}  // namespace ddpm::topo
+
+namespace fixture {
+
+// A torus neighbor computed with inline modular reduction instead of the
+// ring helpers: classic off-by-one territory when dir can be negative.
+int wrap_neighbor(const ddpm::topo::Coord& c, int k) {
+  const int plus = (c[0] + 1) % k;  // ddpm-analyze: expect(torus-wrap)
+  return plus;
+}
+
+int fold_distance(ddpm::topo::Coord a, int k) {
+  int d = a[1] % k;  // ddpm-analyze: expect(torus-wrap)
+  d += a[2] / 2;  // ddpm-analyze: expect(torus-wrap)
+  return d;
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Self-test fixture: wrap arithmetic the torus-wrap rule must NOT flag —
+// the audited ring_delta context itself, plain-int modular arithmetic with
+// no Coord on the line, and Coord reads without any division.
+
+namespace ddpm::topo {
+
+struct Coord {
+  int v[4] = {0, 0, 0, 0};
+  int& operator[](int i) { return v[i]; }
+  int operator[](int i) const { return v[i]; }
+};
+
+}  // namespace ddpm::topo
+
+namespace fixture {
+
+// The canonical helper: modular reduction on ring coordinates is its job,
+// so the rule exempts any function named ring_delta by context.
+int ring_delta(const ddpm::topo::Coord& c, int k) {
+  return ((c[0] % k) + k) % k;
+}
+
+// Plain ints wrap freely — no Coord-typed operand anywhere on the line.
+int plain_modulo(int a, int k) { return ((a % k) + k) % k; }
+
+// Coord reads without % or / are fine in any function.
+int manhattan(const ddpm::topo::Coord& a, const ddpm::topo::Coord& b) {
+  int d = 0;
+  for (int i = 0; i < 4; ++i) d += (a[i] > b[i]) ? a[i] - b[i] : b[i] - a[i];
+  return d;
+}
+
+}  // namespace fixture

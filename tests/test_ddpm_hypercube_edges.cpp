@@ -1,0 +1,114 @@
+// DDPM identification edge cases on hypercubes: the degenerate and
+// saturating ends of the dimension range (0 rejected, 1 minimal, 16 fills
+// the Marking Field exactly, 17 unconstructible) plus self-addressed
+// packets on every topology family.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "marking/ddpm.hpp"
+#include "marking/scalability.hpp"
+#include "marking/walk.hpp"
+#include "routing/dor.hpp"
+#include "topology/factory.hpp"
+
+namespace mark = ddpm::mark;
+namespace route = ddpm::route;
+namespace topo = ddpm::topo;
+
+namespace {
+
+TEST(HypercubeEdges, DimensionZeroIsRejected) {
+  EXPECT_THROW((void)topo::make_topology("hypercube:0"), std::invalid_argument);
+}
+
+TEST(HypercubeEdges, DimensionSeventeenIsRejected) {
+  EXPECT_THROW((void)topo::make_topology("hypercube:17"),
+               std::invalid_argument);
+}
+
+TEST(HypercubeEdges, OneDimensionalCubeIdentifiesBothWays) {
+  const auto t = topo::make_topology("hypercube:1");
+  ASSERT_EQ(t->num_nodes(), 2u);
+  const route::DimensionOrderRouter router(*t);
+  mark::DdpmScheme scheme(*t);
+  const mark::DdpmIdentifier identifier(*t);
+  for (const topo::NodeId src : {0u, 1u}) {
+    const topo::NodeId dst = 1u - src;
+    const auto walk =
+        mark::walk_packet(*t, router, &scheme, src, dst, {}, 0xffff);
+    ASSERT_TRUE(walk.delivered());
+    EXPECT_EQ(walk.hops, 1);
+    const auto back = identifier.identify(dst, walk.packet.marking_field());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, src);
+  }
+}
+
+TEST(HypercubeEdges, SixteenDimensionsSaturateTheFieldExactly) {
+  const auto t = topo::make_topology("hypercube:16");
+  EXPECT_EQ(t->num_nodes(), 65536u);
+  EXPECT_EQ(mark::DdpmCodec::required_bits(*t), 16);
+  EXPECT_TRUE(mark::DdpmCodec::fits(*t));
+  EXPECT_EQ(mark::required_bits_hypercube(mark::SchemeKind::kDdpm, 16), 16);
+  // All sixteen 1-bit slices tile the field contiguously.
+  const mark::DdpmCodec codec(*t);
+  unsigned offset = 0;
+  for (std::size_t d = 0; d < 16; ++d) {
+    EXPECT_EQ(codec.slice(d).offset, offset);
+    EXPECT_EQ(codec.slice(d).width, 1u);
+    ++offset;
+  }
+  // The all-ones displacement (antipodal route) round-trips at the brim.
+  topo::Coord ones(16);
+  for (std::size_t d = 0; d < 16; ++d) ones[d] = 1;
+  EXPECT_EQ(codec.decode(codec.encode(ones)), ones);
+}
+
+TEST(HypercubeEdges, AntipodalWalkOnTheSaturatingCubeIdentifies) {
+  const auto t = topo::make_topology("hypercube:16");
+  const route::DimensionOrderRouter router(*t);
+  mark::DdpmScheme scheme(*t);
+  const mark::DdpmIdentifier identifier(*t);
+  struct Pair {
+    topo::NodeId src, dst;
+  };
+  // Antipodes (full 16-hop diameter, every slice flips), plus asymmetric
+  // pairs exercising high and low bit slices.
+  for (const Pair p : {Pair{0u, 0xffffu}, Pair{0xffffu, 0u},
+                       Pair{0x8001u, 0x7ffeu}, Pair{0x1234u, 0x4321u}}) {
+    const auto walk =
+        mark::walk_packet(*t, router, &scheme, p.src, p.dst, {}, 0xabcd);
+    ASSERT_TRUE(walk.delivered());
+    EXPECT_EQ(walk.hops,
+              (topo::Coord(t->coord_of(p.src)) ^ t->coord_of(p.dst))
+                  .nonzero_count());
+    const auto back = identifier.identify(p.dst, walk.packet.marking_field());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, p.src);
+  }
+}
+
+TEST(SelfAddressed, InjectionZeroesTheFieldAndIdentifiesTheVictimItself) {
+  // S == D: the packet never leaves its switch; the mark must be the zero
+  // vector (even with attacker garbage pre-loaded) and identification must
+  // return the victim's own node.
+  for (const char* spec : {"mesh:4x4", "torus:5x5", "hypercube:4"}) {
+    const auto t = topo::make_topology(spec);
+    const route::DimensionOrderRouter router(*t);
+    mark::DdpmScheme scheme(*t);
+    const mark::DdpmIdentifier identifier(*t);
+    for (topo::NodeId node = 0; node < t->num_nodes(); ++node) {
+      const auto walk =
+          mark::walk_packet(*t, router, &scheme, node, node, {}, 0xdead);
+      ASSERT_TRUE(walk.delivered()) << spec;
+      EXPECT_EQ(walk.hops, 0) << spec;
+      EXPECT_EQ(walk.packet.marking_field(), 0u) << spec;
+      const auto back = identifier.identify(node, walk.packet.marking_field());
+      ASSERT_TRUE(back.has_value()) << spec;
+      EXPECT_EQ(*back, node) << spec;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+// Unit coverage for the static design-space verifier (src/verify): the
+// CDG builder's classic verdicts, the escape-subnetwork proof, the
+// declaration gate, the marking-invariant/injectivity checkers, the
+// Tables 1-3 certification and the report renderers.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "routing/deadlock.hpp"
+#include "routing/router.hpp"
+#include "topology/factory.hpp"
+#include "verify/cdg.hpp"
+#include "verify/design_space.hpp"
+#include "verify/invariant.hpp"
+#include "verify/width_cert.hpp"
+
+namespace verify = ddpm::verify;
+namespace route = ddpm::route;
+namespace topo = ddpm::topo;
+
+namespace {
+
+verify::CdgResult cdg_of(const std::string& spec, const std::string& router) {
+  const auto t = topo::make_topology(spec);
+  const auto r = route::make_router(router, *t);
+  return verify::build_cdg(*t, *r);
+}
+
+TEST(Cdg, DimensionOrderOnMeshIsAcyclic) {
+  const auto result = cdg_of("mesh:4x4", "dor");
+  EXPECT_FALSE(result.cyclic);
+  EXPECT_TRUE(result.cycle.empty());
+  EXPECT_EQ(result.channels, 2u * 24u);  // 24 undirected links
+  EXPECT_GT(result.dependencies, 0u);
+}
+
+TEST(Cdg, DimensionOrderOnTorusIsCyclicWithWitness) {
+  const auto result = cdg_of("torus:4x4", "dor");
+  EXPECT_TRUE(result.cyclic);
+  // The witness is a real loop of named channels (the wrap ring).
+  ASSERT_GE(result.cycle.size(), 3u);
+}
+
+TEST(Cdg, UnrestrictedAdaptiveOnMeshIsCyclic) {
+  // The intentionally unrestricted minimal-adaptive router admits every
+  // turn — the classic deadlockable config the verifier must convict.
+  EXPECT_TRUE(cdg_of("mesh:4x4", "adaptive").cyclic);
+  EXPECT_TRUE(cdg_of("mesh:4x4", "adaptive-misroute").cyclic);
+}
+
+TEST(Cdg, TurnModelsOnMeshAreAcyclic) {
+  EXPECT_FALSE(cdg_of("mesh:4x4", "west-first").cyclic);
+  EXPECT_FALSE(cdg_of("mesh:4x4", "north-last").cyclic);
+  EXPECT_FALSE(cdg_of("mesh:4x4", "negative-first").cyclic);
+}
+
+TEST(Cdg, EscapeSubnetworkIsAcyclicOnEveryVerifiedTopology) {
+  for (const std::string& spec : verify::cdg_topologies()) {
+    const auto t = topo::make_topology(spec);
+    const auto escape = verify::build_escape_cdg(*t);
+    EXPECT_FALSE(escape.cyclic) << spec;
+  }
+}
+
+TEST(Cdg, HypercubeDimensionOrderIsAcyclic) {
+  EXPECT_FALSE(cdg_of("hypercube:4", "dor").cyclic);
+}
+
+TEST(DeadlockClass, DeclarationsMatchTheClassicResults) {
+  const auto mesh = topo::make_topology("mesh:4x4");
+  const auto torus = topo::make_topology("torus:4x4");
+  EXPECT_EQ(route::declared_deadlock_class("dor", *mesh),
+            route::DeadlockClass::kAcyclic);
+  EXPECT_EQ(route::declared_deadlock_class("dor", *torus),
+            route::DeadlockClass::kNeedsEscapeVcs);
+  EXPECT_EQ(route::declared_deadlock_class("west-first", *mesh),
+            route::DeadlockClass::kAcyclic);
+  EXPECT_EQ(route::declared_deadlock_class("adaptive", *mesh),
+            route::DeadlockClass::kNeedsEscapeVcs);
+  EXPECT_EQ(route::declared_deadlock_class("valiant", *torus),
+            route::DeadlockClass::kNeedsEscapeVcs);
+  // Unvetted names get the conservative default.
+  EXPECT_EQ(route::declared_deadlock_class("experimental", *mesh),
+            route::DeadlockClass::kNeedsEscapeVcs);
+}
+
+TEST(DeadlockClass, GateThrowsExactlyWhenEscapeVcsAreMissing) {
+  const auto mesh = topo::make_topology("mesh:4x4");
+  const auto adaptive = route::make_router("adaptive", *mesh);
+  const auto dor = route::make_router("dor", *mesh);
+  EXPECT_THROW(route::require_deadlock_safe(*adaptive, false),
+               std::invalid_argument);
+  EXPECT_NO_THROW(route::require_deadlock_safe(*adaptive, true));
+  EXPECT_NO_THROW(route::require_deadlock_safe(*dor, false));
+}
+
+TEST(DesignSpace, EveryFactoryComboPassesAndACycleWasFound) {
+  const auto verdicts = verify::run_cdg_suite();
+  EXPECT_EQ(verdicts.size(),
+            verify::cdg_topologies().size() * verify::cdg_routers().size());
+  bool saw_cyclic_supported = false;
+  bool saw_unsupported = false;
+  for (const auto& v : verdicts) {
+    EXPECT_TRUE(v.pass) << v.topology << " x " << v.router << ": " << v.note;
+    saw_cyclic_supported |= (v.supported && v.cyclic);
+    saw_unsupported |= !v.supported;  // turn models off the 2-D mesh
+  }
+  EXPECT_TRUE(saw_cyclic_supported);
+  EXPECT_TRUE(saw_unsupported);
+}
+
+TEST(Invariant, HoldsExhaustivelyOnSmallRadices) {
+  for (const char* spec : {"mesh:4x4", "torus:5x5", "hypercube:4"}) {
+    const auto t = topo::make_topology(spec);
+    const auto v = verify::check_invariant(*t);
+    EXPECT_TRUE(v.pass) << spec << ": " << v.note;
+    EXPECT_TRUE(v.exhaustive_pairs) << spec;
+    EXPECT_TRUE(v.codec_roundtrip) << spec;
+    EXPECT_EQ(v.pairs,
+              std::uint64_t(t->num_nodes()) * std::uint64_t(t->num_nodes()))
+        << spec;
+    EXPECT_GT(v.hops, v.pairs) << spec;
+  }
+}
+
+TEST(Invariant, SampledRegimeAboveTheExhaustiveBound) {
+  verify::InvariantOptions opt;
+  opt.sampled_pairs = 64;
+  const auto t = topo::make_topology("mesh:32x32");
+  const auto v = verify::check_invariant(*t, opt);
+  EXPECT_TRUE(v.pass) << v.note;
+  EXPECT_FALSE(v.exhaustive_pairs);
+  EXPECT_EQ(v.pairs, 64u);
+}
+
+TEST(Injectivity, ExhaustiveOnSmallTopologies) {
+  for (const char* spec : {"mesh:8x8", "torus:8x8", "hypercube:8"}) {
+    const auto t = topo::make_topology(spec);
+    const auto v = verify::check_injectivity(*t);
+    EXPECT_TRUE(v.pass) << spec << ": " << v.note;
+    EXPECT_TRUE(v.exhaustive) << spec;
+  }
+}
+
+TEST(WidthCert, AllChecksPass) {
+  const auto verdicts = verify::certify_widths();
+  ASSERT_GE(verdicts.size(), 7u);
+  for (const auto& v : verdicts) {
+    EXPECT_TRUE(v.pass) << v.check << ": " << v.note;
+  }
+  // The three paper tables are certified under stable check ids.
+  for (const char* id : {"table1-simple-ppm", "table2-bitdiff-ppm",
+                         "table3-ddpm", "factory-overflow"}) {
+    bool found = false;
+    for (const auto& v : verdicts) found |= (v.check == id);
+    EXPECT_TRUE(found) << id;
+  }
+}
+
+TEST(Report, JsonAndMarkdownRenderDeterministically) {
+  verify::Report report;
+  report.width = verify::certify_widths();
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"tool\": \"ddpm_verify\""), std::string::npos);
+  EXPECT_NE(json.find("\"all_pass\": true"), std::string::npos);
+  EXPECT_EQ(json, report.to_json());
+  const std::string md = report.to_markdown();
+  EXPECT_NE(md.find("### Field-width certification"), std::string::npos);
+  EXPECT_NE(md.find("| table3-ddpm |"), std::string::npos);
+}
+
+}  // namespace

@@ -30,6 +30,14 @@ scopes, and a call graph:
                            function-local, or static data members): the
                            parallel sweep runner assumes replications share
                            nothing.
+  torus-wrap               raw `%` / `/` arithmetic on a line that reads a
+                           Coord-typed local or parameter, outside the
+                           audited ring helpers (src/topology/coord.*,
+                           src/topology/cartesian.*, or a function named
+                           ring_delta). Hand-rolled wrap arithmetic that
+                           disagrees with ring_shortest_delta by even one
+                           breaks the V = D - S telescoping the identifier
+                           depends on.
   stale-suppression        an `allow(rule)` comment on a line that no
                            longer violates that rule must be removed.
 
@@ -83,6 +91,7 @@ RULES = (
     "virtual-dtor",
     "narrowing-in-marking",
     "no-shared-mutable-static",
+    "torus-wrap",
 )
 META_RULES = ("stale-suppression",)
 
@@ -127,6 +136,13 @@ EXPLICIT_NARROW_RE = re.compile(
     r"static_cast\s*<\s*(?:std\s*::\s*)?uint16_t\s*>|"
     r"(?:std\s*::\s*)?uint16_t\s*\(|narrow"
 )
+
+# torus-wrap: a declared type naming Coord, and a binary % or / (an
+# operand-shaped token on both sides, ruling out comments already blanked
+# and pointer declarations). The lexical operator check is shared verbatim
+# between the two frontends so they flag the same lines.
+COORD_TYPE_RE = re.compile(r"\bCoord\b")
+TORUS_WRAP_OP_RE = re.compile(r"[\w\)\]]\s*[%/]\s*[\w\(]")
 
 
 # --------------------------------------------------------------------------
@@ -309,7 +325,9 @@ class TextualUnit:
         self.text = text
         self.clean = blank_comments_and_strings(text)
         self.lines = text.splitlines()
+        self.clean_lines = self.clean.splitlines()
         self.toks = tokenize(self.clean)
+        self._wrap_lines: set = set()
         self.functions: dict[str, FunctionInfo] = {}
         self.classes: dict[str, ClassInfo] = {}
         self.members: dict[str, dict[str, str]] = {}   # class -> name -> type
@@ -753,6 +771,19 @@ class TextualUnit:
                 self.functions[fn_qname].calls.add(t.s)
             if t.s in SCHEDULE_CALLEES:
                 self._check_schedule_call(i, fn_qname)
+        # torus-wrap: this token reads a Coord-typed local/param and the
+        # (comment-blanked) line carries a binary % or /. One finding per
+        # line; exemptions for the ring helpers live in evaluate().
+        if t.line not in self._wrap_lines and re.match(r"[A-Za-z_]\w*$", t.s):
+            ty = self._local_types.get((fn_qname, t.s))
+            if ty and COORD_TYPE_RE.search(ty):
+                lt = self.clean_lines[t.line - 1] \
+                    if 0 < t.line <= len(self.clean_lines) else ""
+                if TORUS_WRAP_OP_RE.search(lt):
+                    self._wrap_lines.add(t.line)
+                    self.sites.append(Fact(
+                        "torus-wrap", self.rel, t.line, fn_qname,
+                        re.sub(r"\s+", " ", lt.strip())[:60]))
 
     def _check_schedule_call(self, i: int, fn_qname: str) -> None:
         toks = self.toks
@@ -948,6 +979,8 @@ class LibclangFrontend:
         self.index = ci.Index.create()  # raises LibclangError if no .so
         self.ccjson = json.loads(compile_commands.read_text())
         self.ccdir = compile_commands.parent
+        self._wrap_seen: set = set()       # (rel, line) torus-wrap dedupe
+        self._blank_cache: dict = {}       # abs path -> blanked lines
 
     def extract(self, files: list, root: Path) -> Facts:
         ci = self.ci
@@ -1079,6 +1112,15 @@ class LibclangFrontend:
                                                 cur.location.line,
                                                 fn_info.qname,
                                                 cur.spelling + "()"))
+                if in_repo and kind == K.DECL_REF_EXPR:
+                    ref = cur.referenced
+                    if ref is not None and ref.kind in (K.VAR_DECL,
+                                                        K.PARM_DECL):
+                        tname = (ref.type.spelling or "") + "|" + \
+                            (ref.type.get_canonical().spelling or "")
+                        if COORD_TYPE_RE.search(tname):
+                            self._torus_wrap_facts(cur, rel, root,
+                                                   fn_info, facts)
                 if in_repo and kind == K.VAR_DECL:
                     self._narrowing_facts(cur, rel, fn_info, facts)
                 if in_repo and kind == K.VAR_DECL \
@@ -1186,6 +1228,33 @@ class LibclangFrontend:
         for header_child in children[:-1]:
             scan(header_child)
 
+    def _blank_lines(self, path: Path) -> list:
+        key = str(path)
+        if key not in self._blank_cache:
+            try:
+                text = path.read_text(encoding="utf-8", errors="replace")
+            except OSError:
+                text = ""
+            self._blank_cache[key] = \
+                blank_comments_and_strings(text).splitlines()
+        return self._blank_cache[key]
+
+    def _torus_wrap_facts(self, cur, rel, root, fn_info, facts) -> None:
+        """A Coord-typed local/param is read on a line with a binary % or /.
+        The operator check is the shared TORUS_WRAP_OP_RE lexical test on
+        the comment-blanked line, so both frontends flag identical lines
+        (and produce identical baseline fingerprints)."""
+        line = cur.location.line
+        if (rel, line) in self._wrap_seen:
+            return
+        lines = self._blank_lines(root / rel)
+        lt = lines[line - 1] if 0 < line <= len(lines) else ""
+        if TORUS_WRAP_OP_RE.search(lt):
+            self._wrap_seen.add((rel, line))
+            facts.sites.append(Fact(
+                "torus-wrap", rel, line, fn_info.qname,
+                re.sub(r"\s+", " ", lt.strip())[:60]))
+
     def _narrowing_facts(self, cur, rel, fn_info, facts) -> None:
         """u16 VAR_DECL initialised from widening arithmetic with no
         explicit cast. Explicit-cast subtrees are pruned; the operator is
@@ -1241,12 +1310,21 @@ MESSAGES = {
                             "packet/marking_field.*)",
     "no-shared-mutable-static": "non-const static — replications must share "
                                 "nothing (parallel sweep runner)",
+    "torus-wrap": "raw % or / on a Coord-typed value — wrap arithmetic "
+                  "belongs in the audited ring helpers "
+                  "(ring_shortest_delta / Torus::ring_delta); a hand-rolled "
+                  "wrap that is off by one breaks V = D - S telescoping",
     "stale-suppression": "allow() comment on a line that no longer violates "
                          "the rule — remove it",
 }
 
 NARROWING_EXEMPT = re.compile(r"src/packet/marking_field\.")
 WALLCLOCK_ALLOW = re.compile(r"$^")  # no allowlisted files in src/ today
+# The ring helpers themselves are the one audited home for wrap arithmetic:
+# the coord.hpp free functions, the CartesianTopology id<->coord codec, and
+# any function named ring_delta (Torus::ring_delta and its fixtures).
+TORUS_WRAP_EXEMPT_FILE = re.compile(r"src/topology/(coord|cartesian)\.")
+TORUS_WRAP_EXEMPT_FN = ("ring_delta", "ring_shortest_delta")
 
 
 def result_path_functions(functions: dict) -> set:
@@ -1292,6 +1370,12 @@ def evaluate(facts: Facts, scope_prefixes: tuple) -> list:
             msg = MESSAGES[f.rule] + f" ({f.detail})"
         elif f.rule == "narrowing-in-marking":
             if NARROWING_EXEMPT.search(f.file):
+                continue
+            msg = MESSAGES[f.rule] + f" ({f.detail})"
+        elif f.rule == "torus-wrap":
+            if TORUS_WRAP_EXEMPT_FILE.search(f.file):
+                continue
+            if f.context.split("::")[-1] in TORUS_WRAP_EXEMPT_FN:
                 continue
             msg = MESSAGES[f.rule] + f" ({f.detail})"
         else:

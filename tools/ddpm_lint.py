@@ -33,6 +33,13 @@ clang-tidy knows about (registered as the `repo_lint` ctest):
                      stdout/stderr belong to drivers (examples/, bench/,
                      tools). The contract layer's abort path is the
                      canonical suppressed exception.
+  8. required-docs   the tracked top-level documents (README.md,
+                     ROADMAP.md, CHANGES.md, ISSUE.md, EXPERIMENTS.md,
+                     DESIGN.md, PAPER.md) and docs/ARCHITECTURE.md exist
+                     and are non-empty. Sessions hand work to each other
+                     through these files; a deleted or emptied one breaks
+                     the next session's context, so their presence is a
+                     repo invariant, not a convention.
 
 A line may opt out of one rule with an inline suppression comment naming
 it, e.g. `#include <cstdio>  // ddpm-lint: allow(header-io)`. Suppressions
@@ -58,7 +65,14 @@ ALLOW = re.compile(r"ddpm-lint:\s*allow\(([\w-]+)\)")
 KNOWN_RULES = frozenset({
     "pragma-once", "rng-containment", "float-compare", "header-io",
     "no-using-std", "netsim-no-std-function", "src-no-console",
+    "required-docs",
 })
+
+# Documents every session relies on finding; see rule 8 in the docstring.
+REQUIRED_DOCS = (
+    "README.md", "ROADMAP.md", "CHANGES.md", "ISSUE.md", "EXPERIMENTS.md",
+    "DESIGN.md", "PAPER.md", "docs/ARCHITECTURE.md",
+)
 
 # (path, line, rule) triples whose allow() comment actually silenced a
 # violation during this run; filled by suppressed(), read by
@@ -234,6 +248,19 @@ def check_using_namespace_std(root: Path) -> list[Violation]:
     return out
 
 
+def check_required_docs(root: Path) -> list[Violation]:
+    out = []
+    for name in REQUIRED_DOCS:
+        path = root / name
+        if not path.is_file():
+            out.append((path, 1, "required-docs",
+                        f"{name} is missing; sessions depend on it"))
+        elif not path.read_text(encoding="utf-8", errors="replace").strip():
+            out.append((path, 1, "required-docs",
+                        f"{name} is empty; sessions depend on its content"))
+    return out
+
+
 def check_stale_suppressions(root: Path) -> list[Violation]:
     """allow() comments that silenced nothing this run.
 
@@ -276,6 +303,7 @@ def main(argv: list[str]) -> int:
         check_using_namespace_std,
         check_netsim_no_std_function,
         check_src_no_console,
+        check_required_docs,
         check_stale_suppressions,  # must be last: audits the allow() comments
     ):
         violations.extend(check(root))

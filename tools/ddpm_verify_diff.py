@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Ratchet gate for the static design-space verifier's verdicts.
+
+The `verify` CI job runs `ddpm_verify --all --json verify.json` and calls
+this script to diff the verdicts against the committed baseline
+(tools/ddpm_verify_baseline.json). The comparison projects each verdict
+row onto its STABLE fields — identities and booleans, not counters or
+free-text notes — so refactors that change dependency counts or wording
+don't churn the baseline, while any change to a verdict's outcome
+(a combo turning cyclic, a table row drifting, a new/removed combo) fails
+the job until the baseline is regenerated deliberately with --update.
+
+Any verdict with pass == false fails the gate regardless of the baseline:
+the baseline records the shape of the design space, never a tolerated
+failure.
+
+Usage:
+  tools/ddpm_verify_diff.py VERIFY_JSON [--baseline FILE] [--update]
+
+Exit codes: 0 = verdicts match baseline and all pass, 1 = drift or
+failures, 2 = usage/IO error.
+"""
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "ddpm_verify_baseline.json"
+
+# Stable projection per section: (key fields, outcome fields).
+PROJECTIONS = {
+    "cdg": (("topology", "router"),
+            ("supported", "declared", "cyclic", "escape_acyclic", "pass")),
+    "invariant": (("topology",),
+                  ("exhaustive_pairs", "codec_roundtrip", "holds", "pass")),
+    "injectivity": (("topology",), ("exhaustive", "injective", "pass")),
+    "width": (("check",), ("pass",)),
+}
+
+
+def project(report: dict) -> dict:
+    out: dict[str, dict[str, dict]] = {}
+    for section, (keys, fields) in PROJECTIONS.items():
+        rows = {}
+        for row in report.get(section, []):
+            key = "|".join(str(row.get(k, "")) for k in keys)
+            rows[key] = {f: row.get(f) for f in fields}
+        out[section] = rows
+    return out
+
+
+def main(argv: list[str]) -> int:
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    update = "--update" in argv
+    baseline_path = DEFAULT_BASELINE
+    if "--baseline" in argv:
+        baseline_path = Path(argv[argv.index("--baseline") + 1])
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    verify_path = Path(args[0])
+    if not verify_path.is_file():
+        print(f"ddpm_verify_diff: {verify_path} not found", file=sys.stderr)
+        return 2
+
+    report = json.loads(verify_path.read_text(encoding="utf-8"))
+    current = project(report)
+
+    failures = 0
+    for section, rows in current.items():
+        for key, fields in rows.items():
+            if fields.get("pass") is not True:
+                print(f"FAIL {section} {key}: pass={fields.get('pass')}")
+                failures += 1
+
+    if update:
+        baseline_path.write_text(
+            json.dumps(current, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        print(f"ddpm_verify_diff: baseline written to {baseline_path}")
+        return 1 if failures else 0
+
+    if not baseline_path.is_file():
+        print(f"ddpm_verify_diff: no baseline at {baseline_path}; "
+              "run with --update to create it", file=sys.stderr)
+        return 1
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+
+    drift = 0
+    for section in PROJECTIONS:
+        base_rows = baseline.get(section, {})
+        cur_rows = current.get(section, {})
+        for key in sorted(set(base_rows) | set(cur_rows)):
+            if key not in cur_rows:
+                print(f"REMOVED {section} {key} (in baseline, not in report)")
+                drift += 1
+            elif key not in base_rows:
+                print(f"ADDED   {section} {key} (not in baseline)")
+                drift += 1
+            elif base_rows[key] != cur_rows[key]:
+                print(f"CHANGED {section} {key}: "
+                      f"{base_rows[key]} -> {cur_rows[key]}")
+                drift += 1
+
+    total_rows = sum(len(v) for v in current.values())
+    if drift or failures:
+        print(f"ddpm_verify_diff: {drift} drifted, {failures} failing "
+              f"of {total_rows} verdicts (regenerate with --update if "
+              "intentional)", file=sys.stderr)
+        return 1
+    print(f"ddpm_verify_diff: {total_rows} verdicts match the baseline, "
+          "all passing")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
