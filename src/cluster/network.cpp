@@ -35,6 +35,8 @@ ClusterNetwork::ClusterNetwork(const ClusterConfig& config)
   switch_env_.link_bandwidth = config.link_bandwidth;
   switch_env_.link_latency = config.link_latency;
   switch_env_.queue_capacity = config.queue_capacity;
+  port_labels_ = telemetry_port_labels(*topo_);
+  switch_env_.port_labels = &port_labels_;
 
   node_env_.sim = &sim_;
   node_env_.topo = topo_.get();

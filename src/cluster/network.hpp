@@ -153,6 +153,8 @@ class ClusterNetwork {
   detect::BlockingFilter filter_;
   attack::AttackConfig attack_;
   QueueLinkState link_state_;
+  /// One label set shared by every switch through Env::port_labels.
+  std::vector<std::string> port_labels_;
   Switch::Env switch_env_;
   ComputeNode::Env node_env_;
   std::vector<Switch> switches_;

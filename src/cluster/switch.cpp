@@ -8,17 +8,23 @@ std::vector<std::string> telemetry_port_labels(const topo::Topology& topo) {
   std::vector<std::string> labels;
   labels.reserve(std::size_t(topo.num_ports()));
   for (int p = 0; p < topo.num_ports(); ++p) {
+    // Built with += (not operator+) to dodge a GCC 12 -O3 -Wrestrict
+    // false positive in the const char* + string&& overload.
+    std::string label;
     if (topo.kind() == topo::TopologyKind::kHypercube) {
-      labels.push_back("d" + std::to_string(p));
-      continue;
-    }
-    const int dim = p / 2;
-    const char sign = (p % 2 == 0) ? '-' : '+';
-    if (dim < 4) {
-      labels.push_back(std::string(1, sign) + "xyzw"[dim]);
+      label += 'd';
+      label += std::to_string(p);
     } else {
-      labels.push_back(std::string(1, sign) + "dim" + std::to_string(dim));
+      const int dim = p / 2;
+      label += (p % 2 == 0) ? '-' : '+';
+      if (dim < 4) {
+        label += "xyzw"[dim];
+      } else {
+        label += "dim";
+        label += std::to_string(dim);
+      }
     }
+    labels.push_back(std::move(label));
   }
   return labels;
 }
@@ -28,7 +34,18 @@ Switch::Switch(NodeId id, Env* env, netsim::Rng rng)
       env_(env),
       rng_(rng),
       ports_(std::size_t(env->topo->num_ports())) {
-  probes_.bind(env_->registry, id_, telemetry_port_labels(*env_->topo));
+  for (OutputPort& port : ports_) {
+    port.queue.reserve(env_->queue_capacity);
+    port.in_flight.reserve(env_->queue_capacity);
+  }
+  // Labels are a function of the topology alone; the owning network builds
+  // them once and shares them (hoisted out of this ctor, which used to
+  // allocate the full label set per switch).
+  if (env_->port_labels != nullptr) {
+    probes_.bind(env_->registry, id_, *env_->port_labels);
+  } else {
+    probes_.bind(env_->registry, id_, telemetry_port_labels(*env_->topo));
+  }
 }
 
 void Switch::inject(pkt::Packet&& packet) {
@@ -36,7 +53,7 @@ void Switch::inject(pkt::Packet&& packet) {
   handle(std::move(packet), route::kLocalPort);
 }
 
-void Switch::handle(pkt::Packet&& packet, Port arrived_on) {
+DDPM_HOT void Switch::handle(pkt::Packet&& packet, Port arrived_on) {
   if (packet.dest_node == id_) {
     packet.delivered_at = env_->sim->now();
     probes_.on_local_delivery();
@@ -73,7 +90,7 @@ void Switch::handle(pkt::Packet&& packet, Port arrived_on) {
   start_transmission(*port);
 }
 
-void Switch::start_transmission(Port port) {
+DDPM_HOT void Switch::start_transmission(Port port) {
   OutputPort& out = ports_[std::size_t(port)];
   if (out.busy || out.queue.empty()) return;
   out.busy = true;

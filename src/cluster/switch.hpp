@@ -11,11 +11,12 @@
 // route -> decrement TTL -> mark with (current, next).
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <vector>
 
 #include "cluster/metrics.hpp"
+#include "core/hot_path.hpp"
+#include "core/ring.hpp"
 #include "marking/scheme.hpp"
 #include "netsim/rng.hpp"
 #include "netsim/simulator.hpp"
@@ -42,6 +43,10 @@ class Switch {
     /// Event tracer for drop instants and link-transmission spans. Owned by
     /// the driver; the network rebinds it on all switches via set_tracer().
     telemetry::Tracer* tracer = nullptr;
+    /// Telemetry port labels, built once by the owning network and shared
+    /// by every switch (they are identical across a topology). Nullable:
+    /// a standalone switch builds its own.
+    const std::vector<std::string>* port_labels = nullptr;
     /// Hands a packet to the local compute node.
     std::function<void(pkt::Packet&&, NodeId at)> deliver;
     /// Hands a packet to the neighbor switch (already past the link).
@@ -69,13 +74,15 @@ class Switch {
 
  private:
   struct OutputPort {
-    std::deque<pkt::Packet> queue;
+    /// Bounded by Env::queue_capacity and reserved to it at construction,
+    /// so steady-state enqueue/dequeue never touches the allocator.
+    core::RingBuffer<pkt::Packet> queue;
     /// Serialized onto the link, still propagating. Arrival events complete
     /// strictly in transmission order (serialization is sequential and the
     /// latency constant), so a FIFO here lets the arrival event capture
     /// just [this, port] instead of hauling the packet through the event
     /// queue — the capture stays inside InlineAction's inline buffer.
-    std::deque<pkt::Packet> in_flight;
+    core::RingBuffer<pkt::Packet> in_flight;
     bool busy = false;
   };
 

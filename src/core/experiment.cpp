@@ -30,9 +30,10 @@ RunOutcome run_scenario_once(const ScenarioConfig& config) {
   return out;
 }
 
-ExperimentSummary summarize(const std::vector<RunOutcome>& outcomes) {
+ExperimentSummary summarize(const RunOutcome* outcomes, std::size_t n) {
   ExperimentSummary summary;
-  for (const RunOutcome& run : outcomes) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const RunOutcome& run = outcomes[i];
     ++summary.runs;
     if (run.detected) {
       ++summary.detected_runs;
@@ -50,6 +51,10 @@ ExperimentSummary summarize(const std::vector<RunOutcome>& outcomes) {
     summary.telemetry.merge(run.telemetry);
   }
   return summary;
+}
+
+ExperimentSummary summarize(const std::vector<RunOutcome>& outcomes) {
+  return summarize(outcomes.data(), outcomes.size());
 }
 
 ExperimentSummary run_repeated(const ScenarioConfig& config,

@@ -58,7 +58,10 @@ struct ExperimentSummary {
 /// half of every repeated-run entry point.
 RunOutcome run_scenario_once(const ScenarioConfig& config);
 
-/// Folds outcomes into a summary in vector order (deterministic merge).
+/// Folds `n` outcomes into a summary in array order (deterministic merge).
+/// The span form lets callers summarize a slice of a larger result vector
+/// (the sweep grid's per-cell replication runs) without copying it first.
+ExperimentSummary summarize(const RunOutcome* outcomes, std::size_t n);
 ExperimentSummary summarize(const std::vector<RunOutcome>& outcomes);
 
 /// Runs `config` once per seed (overriding config.cluster.seed) and

@@ -1,0 +1,53 @@
+// Hot-path annotations for the static performance auditor.
+//
+// `tools/ddpm_analyze.py` builds a call graph over the tree and treats
+// every function marked DDPM_HOT — plus everything reachable from it —
+// as flit-critical: the hot-no-alloc / hot-no-virtual / hot-no-lock /
+// hot-no-throw-io rules then prove (statically, both frontends) that the
+// steady-state loop performs no heap allocation, no per-flit virtual
+// dispatch, no locking, and no throwing or console I/O. The macros are
+// deliberately lexical tokens: the analyzer's bundled textual frontend
+// recognizes them without preprocessing, so local runs without libclang
+// enforce the same closure CI does.
+//
+// DDPM_HOT            annotates a function *definition* as a hot-path
+//                     root (place it before the return type).
+// DDPM_HOT_STATE      annotates a struct/class whose layout is
+//                     flit-critical (per-flit or per-VC state). Every
+//                     DDPM_HOT_STATE type must carry a matching
+//                     DDPM_HOT_LAYOUT declaration or the layout-certified
+//                     rule fails.
+// DDPM_HOT_LAYOUT(T, size, align)
+//                     certifies the expected size/alignment of T on the
+//                     LP64 reference platform. Expands to a static_assert
+//                     (so silent layout drift breaks the build) and is
+//                     cross-checked against the real record layout by the
+//                     analyzer's libclang frontend — which runs at
+//                     configure time, before any compile.
+//
+// Contract-macro interaction: DDPM_CHECK/DDPM_DCHECK bodies live behind
+// their macros, so the hot rules never see the (cold, allocation-free)
+// abort path — contract checks stay legal in hot code by construction.
+#pragma once
+
+#include <cstddef>
+
+#if defined(__clang__)
+#define DDPM_HOT __attribute__((annotate("ddpm_hot")))
+#define DDPM_HOT_STATE __attribute__((annotate("ddpm_hot_state")))
+#elif defined(__GNUC__)
+#define DDPM_HOT
+#define DDPM_HOT_STATE
+#else
+#define DDPM_HOT
+#define DDPM_HOT_STATE
+#endif
+
+// Layout certification only binds on LP64 (the reference platform CI
+// runs); other ABIs compile the assertion away rather than fail builds
+// the numbers were never written for.
+#define DDPM_HOT_LAYOUT(TYPE, SIZE, ALIGN)                                   \
+  static_assert(sizeof(void*) != 8 ||                                        \
+                    (sizeof(TYPE) == (SIZE) && alignof(TYPE) == (ALIGN)),    \
+                "hot-path layout drifted: " #TYPE " (update the "            \
+                "DDPM_HOT_LAYOUT declaration deliberately)")

@@ -66,11 +66,12 @@ std::vector<SweepCell> run_sweep(const SweepSpec& spec) {
         return run_scenario_once(run_config);
       });
 
-  // Deterministic merge: replication order within each cell.
+  // Deterministic merge: replication order within each cell. Summarize each
+  // cell's slice in place — the old copy into a temporary vector hauled
+  // every outcome's telemetry snapshot (keys, bins) through the allocator
+  // once per cell.
   for (std::size_t c = 0; c < cells.size(); ++c) {
-    const auto first = outcomes.begin() + std::ptrdiff_t(c * reps);
-    cells[c].summary =
-        summarize(std::vector<RunOutcome>(first, first + std::ptrdiff_t(reps)));
+    cells[c].summary = summarize(outcomes.data() + c * reps, reps);
   }
   return cells;
 }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/check.hpp"
+#include "core/hot_path.hpp"
 
 namespace ddpm::mark {
 
@@ -50,9 +51,12 @@ bool DdpmCodec::fits(const topo::Topology& topo) {
   return required_bits(topo) <= 16;
 }
 
-std::uint16_t DdpmCodec::encode(const topo::Coord& v) const {
+DDPM_HOT std::uint16_t DdpmCodec::encode(const topo::Coord& v) const {
   if (v.size() != slices_.size()) {
-    throw std::invalid_argument("DdpmCodec::encode: dimensionality mismatch");
+    // Cold precondition guard: per-hop callers feed encode() the vector
+    // decode() just produced, whose size is fixed at construction.
+    throw std::invalid_argument(  // ddpm-analyze: allow(hot-no-throw-io)
+        "DdpmCodec::encode: dimensionality mismatch");
   }
   std::uint16_t field = 0;
   for (std::size_t d = 0; d < slices_.size(); ++d) {
@@ -67,7 +71,7 @@ std::uint16_t DdpmCodec::encode(const topo::Coord& v) const {
   return field;
 }
 
-topo::Coord DdpmCodec::decode(std::uint16_t field) const {
+DDPM_HOT topo::Coord DdpmCodec::decode(std::uint16_t field) const {
   topo::Coord v(slices_.size());
   for (std::size_t d = 0; d < slices_.size(); ++d) {
     v[d] = static_cast<topo::Coord::value_type>(
@@ -81,7 +85,8 @@ void DdpmScheme::on_injection(pkt::Packet& packet, NodeId /*at*/) {
   packet.set_marking_field(codec_.encode(topo::Coord(topo_.num_dims())));
 }
 
-void DdpmScheme::on_forward(pkt::Packet& packet, NodeId current, NodeId next) {
+DDPM_HOT void DdpmScheme::on_forward(pkt::Packet& packet, NodeId current,
+                                     NodeId next) {
   const topo::Coord v = codec_.decode(packet.marking_field());
   // Hypercube hops flip one coordinate bit, so the per-hop delta and the
   // accumulation are both XOR; elsewhere they are signed differences/sums.

@@ -4,7 +4,7 @@
 
 namespace ddpm::netsim {
 
-EventId EventQueue::schedule(SimTime when, Action action) {
+DDPM_HOT EventId EventQueue::schedule(SimTime when, Action action) {
   DDPM_CHECK(when >= last_popped_, "event scheduled in the simulated past");
   const std::uint32_t ticket = acquire_ticket();
   Ticket& slot = tickets_[ticket];
@@ -35,7 +35,7 @@ bool EventQueue::cancel(EventId id) {
   return true;
 }
 
-std::pair<SimTime, EventQueue::Action> EventQueue::pop() {
+DDPM_HOT std::pair<SimTime, EventQueue::Action> EventQueue::pop() {
   DDPM_CHECK(live_ != 0, "pop on empty queue");
   prune_dead_top();
   const Entry top = heap_.front();

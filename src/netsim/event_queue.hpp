@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/check.hpp"
+#include "core/hot_path.hpp"
 #include "netsim/inline_action.hpp"
 
 namespace ddpm::netsim {
@@ -86,11 +87,14 @@ class EventQueue {
 
  private:
   /// Trivially copyable; sift operations shuffle these, never an Action.
-  struct Entry {
+  /// Three words: the 4-ary heap's per-level cost is exactly one Entry
+  /// copy, which the layout certification pins.
+  struct DDPM_HOT_STATE Entry {
     SimTime when;
     std::uint64_t seq;
     std::uint32_t ticket;
   };
+  DDPM_HOT_LAYOUT(Entry, 24, 8);
 
   /// Stable slot for one scheduled action. `generation` advances every
   /// time the slot is released, invalidating all prior EventIds for it.

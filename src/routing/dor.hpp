@@ -17,6 +17,8 @@ class DimensionOrderRouter final : public Router {
 
   std::string name() const override { return "dor"; }
   bool is_deterministic() const noexcept override { return true; }
+  // One port, chosen from (current, dest) coordinates alone.
+  bool has_static_candidates() const noexcept override { return true; }
 
   std::vector<Port> candidates(NodeId current, NodeId dest,
                                Port arrived_on) const override;

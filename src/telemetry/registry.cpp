@@ -126,20 +126,50 @@ std::uint64_t MetricsSnapshot::counter_sum_prefix(
 namespace {
 
 /// Merges `from` into the key-sorted vector `into`: matching keys fold via
-/// `fold`, new keys are inserted in sorted position.
+/// `fold`, new keys land in sorted position. Replication merges dominate
+/// (summarize folds N identical-shaped snapshots), so the aligned cases are
+/// fast paths: an empty accumulator adopts `from` wholesale, and identical
+/// key sets fold element-wise with no allocation. Disjoint shapes fall back
+/// to a single linear two-pointer merge — never per-entry vector::insert.
 template <typename Entry, typename Fold>
 void merge_sorted(std::vector<Entry>& into, const std::vector<Entry>& from,
                   Fold fold) {
-  for (const Entry& e : from) {
-    const auto it = std::lower_bound(
-        into.begin(), into.end(), e,
-        [](const Entry& a, const Entry& b) { return a.key < b.key; });
-    if (it != into.end() && it->key == e.key) {
-      fold(*it, e);
-    } else {
-      into.insert(it, e);
+  if (from.empty()) return;
+  if (into.empty()) {
+    into = from;
+    return;
+  }
+  if (into.size() == from.size()) {
+    bool aligned = true;
+    for (std::size_t i = 0; i < into.size(); ++i) {
+      if (into[i].key != from[i].key) {
+        aligned = false;
+        break;
+      }
+    }
+    if (aligned) {
+      for (std::size_t i = 0; i < into.size(); ++i) fold(into[i], from[i]);
+      return;
     }
   }
+  std::vector<Entry> merged;
+  merged.reserve(into.size() + from.size());
+  auto a = into.begin();
+  auto b = from.begin();
+  while (a != into.end() && b != from.end()) {
+    if (a->key < b->key) {
+      merged.push_back(std::move(*a++));
+    } else if (b->key < a->key) {
+      merged.push_back(*b++);
+    } else {
+      fold(*a, *b);
+      merged.push_back(std::move(*a++));
+      ++b;
+    }
+  }
+  for (; a != into.end(); ++a) merged.push_back(std::move(*a));
+  for (; b != from.end(); ++b) merged.push_back(*b);
+  into = std::move(merged);
 }
 
 /// Doubles render with max_digits10 round-trip precision so a snapshot's

@@ -27,14 +27,101 @@ WormholeNetwork::WormholeNetwork(const topo::Topology& topo,
   if (!config.disable_escape) {
     route::require_deadlock_safe(router, escape_vcs_ > 0);
   }
+  num_nodes_ = int(topo.num_nodes());
+  num_ports_ = topo.num_ports();
   const int V = total_vcs();
-  nodes_.resize(topo.num_nodes());
+  nodes_.resize(std::size_t(num_nodes_));
   for (NodeState& node : nodes_) {
-    node.in.resize(std::size_t(topo.num_ports() + 1) * std::size_t(V));
-    node.out.resize(std::size_t(topo.num_ports()) * std::size_t(V));
+    node.in.resize(std::size_t(num_ports_ + 1) * std::size_t(V));
+    node.out.resize(std::size_t(num_ports_) * std::size_t(V));
     for (OutputVc& out : node.out) out.credits = config_.buffer_flits;
-    node.rr.assign(std::size_t(topo.num_ports()), 0);
+    node.rr.assign(std::size_t(num_ports_), 0);
+    // Switch-port buffers are credit-bounded at buffer_flits: reserving
+    // that depth up front makes steady-state push/pop allocation-free
+    // (tests/test_wormhole_steady_alloc.cpp proves it at runtime, the
+    // hot-no-alloc rule statically). The injection units (ports >= P*V)
+    // stay unreserved — they are unbounded and grow only in inject(),
+    // which is off the hot path.
+    for (std::size_t unit = 0; unit < std::size_t(num_ports_) * std::size_t(V);
+         ++unit) {
+      node.in[unit].buffer.reserve(std::size_t(config_.buffer_flits));
+    }
   }
+  node_flits_.assign(std::size_t(num_nodes_), 0);
+  // At most one flit per output port per node lands per cycle.
+  staged_.reserve(std::size_t(num_nodes_) * std::size_t(num_ports_));
+  unit_port_.resize(std::size_t(num_ports_ + 1) * std::size_t(V));
+  unit_vc_.resize(std::size_t(num_ports_ + 1) * std::size_t(V));
+  for (int unit = 0; unit < (num_ports_ + 1) * V; ++unit) {
+    unit_port_[std::size_t(unit)] = unit / V;
+    unit_vc_[std::size_t(unit)] = unit % V;
+  }
+  build_route_tables();
+}
+
+void WormholeNetwork::build_route_tables() {
+  const std::size_t N = std::size_t(num_nodes_);
+  const std::size_t P = std::size_t(num_ports_);
+
+  // Link tables (always built — O(N*P)): the hot loop reads these instead
+  // of dispatching through the virtual Topology interface per flit.
+  neighbor_.assign(N * P, topo::kInvalidNode);
+  reverse_port_.assign(N * P, Port(-1));
+  wrap_link_.assign(N * P, 0);
+  for (NodeId n = 0; n < NodeId(N); ++n) {
+    for (Port p = 0; p < num_ports_; ++p) {
+      const auto nbr = topo_.neighbor(n, p);
+      if (!nbr.has_value()) continue;
+      neighbor_[std::size_t(n) * P + std::size_t(p)] = *nbr;
+      reverse_port_[std::size_t(n) * P + std::size_t(p)] = *topo_.port_to(*nbr, n);
+      if (escape_vcs_ > 1) {
+        // Dateline flag: on the torus, ports follow the cartesian
+        // convention (port = 2*dim + dir), and a link whose coordinate
+        // delta in its dimension is not +-1 is a wraparound link.
+        const std::size_t dim = std::size_t(p / 2);
+        const topo::Coord here = topo_.coord_of(n);
+        const topo::Coord there = topo_.coord_of(*nbr);
+        const int delta = int(there[dim]) - int(here[dim]);
+        if (delta != 1 && delta != -1) {
+          wrap_link_[std::size_t(n) * P + std::size_t(p)] = 1;
+        }
+      }
+    }
+  }
+
+  // Per-(node, dest) tables are O(N^2); honor the budget.
+  if (!config_.use_route_tables || N > config_.route_table_max_nodes) return;
+
+  // Escape next hop: dimension-order routing is deterministic and ignores
+  // the arrival port, so a single port per (node, dest) captures it.
+  escape_port_.assign(N * N, Port(-1));
+  for (NodeId n = 0; n < NodeId(N); ++n) {
+    for (NodeId d = 0; d < NodeId(N); ++d) {
+      const auto cands = escape_router_.candidates(n, d, route::kLocalPort);
+      if (!cands.empty()) {
+        escape_port_[std::size_t(n) * N + std::size_t(d)] = cands.front();
+      }
+    }
+  }
+
+  // Adaptive candidate bitmasks: only for routers that declare their
+  // candidate set arrival-invariant, and only if the declared order is
+  // verifiably ascending — mask iteration then replays the virtual
+  // candidate order bit for bit (test_wormhole RouteTableByteIdentity).
+  if (!router_.has_static_candidates() || num_ports_ > 32) return;
+  std::vector<std::uint32_t> masks(N * N, 0);
+  for (NodeId n = 0; n < NodeId(N); ++n) {
+    for (NodeId d = 0; d < NodeId(N); ++d) {
+      const auto cands = router_.candidates(n, d, route::kLocalPort);
+      Port prev = -1;
+      for (Port p : cands) {
+        if (p <= prev || p < 0 || p >= num_ports_) return;  // not ascending
+        prev = p;
+        masks[std::size_t(n) * N + std::size_t(d)] |= (1u << unsigned(p));
+      }
+    }
+  }
+  cand_mask_ = std::move(masks);
 }
 
 void WormholeNetwork::inject(pkt::Packet&& packet, NodeId src) {
@@ -52,6 +139,7 @@ void WormholeNetwork::inject(pkt::Packet&& packet, NodeId src) {
     vc.buffer.push_back(std::move(flit));
   }
   flits_in_flight_ += flits;
+  node_flits_[src] += flits;
 }
 
 std::uint64_t WormholeNetwork::injection_backlog() const {
@@ -59,7 +147,7 @@ std::uint64_t WormholeNetwork::injection_backlog() const {
   const int V = total_vcs();
   for (const NodeState& node : nodes_) {
     for (int vc = 0; vc < V; ++vc) {
-      total += node.in[std::size_t(topo_.num_ports()) * std::size_t(V) +
+      total += node.in[std::size_t(num_ports_) * std::size_t(V) +
                        std::size_t(vc)]
                    .buffer.size();
     }
@@ -67,15 +155,19 @@ std::uint64_t WormholeNetwork::injection_backlog() const {
   return total;
 }
 
-void WormholeNetwork::return_credit(NodeId node, int in_port, int vc) {
+DDPM_HOT void WormholeNetwork::return_credit(NodeId node, int in_port,
+                                             int vc) {
   if (in_port == injection_port()) return;  // injection queue is unbounded
-  const NodeId upstream = *topo_.neighbor(node, in_port);
-  const Port up_port = *topo_.port_to(upstream, node);
+  const std::size_t link = std::size_t(node) * std::size_t(num_ports_) +
+                           std::size_t(in_port);
+  const NodeId upstream = neighbor_[link];
+  const Port up_port = reverse_port_[link];
   OutputVc& out = output_vc(upstream, up_port, vc);
   if (out.credits < config_.buffer_flits) ++out.credits;
 }
 
-bool WormholeNetwork::allocate(NodeId node, int in_port, InputVc& vc) {
+DDPM_HOT bool WormholeNetwork::allocate(NodeId node, int in_port,
+                                        InputVc& vc) {
   const Flit& head = vc.buffer.front();
   pkt::Packet& packet = *head.packet;
   const Port arrived_on =
@@ -94,18 +186,40 @@ bool WormholeNetwork::allocate(NodeId node, int in_port, InputVc& vc) {
 
   // 1. Adaptive VCs on any productive port: pick the (port, vc) with the
   //    most downstream credits (congestion-aware), first-wins on ties.
-  const auto candidates =
-      router_.candidates(node, packet.dest_node, arrived_on);
+  //    Fast path: replay the precomputed candidate mask in ascending port
+  //    order (verified identical to the router's order at construction).
   Port best_port = -1;
   int best_vc = -1;
   int best_credits = 0;
-  for (Port p : candidates) {
-    for (int v = escape_vcs_; v < total_vcs(); ++v) {
-      const OutputVc& out = output_vc(node, p, v);
-      if (!out.allocated && out.credits > best_credits) {
-        best_credits = out.credits;
-        best_port = p;
-        best_vc = v;
+  if (!cand_mask_.empty()) {
+    std::uint32_t mask = cand_mask_[std::size_t(node) * std::size_t(num_nodes_) +
+                                    std::size_t(packet.dest_node)];
+    while (mask != 0) {
+      const Port p = Port(__builtin_ctz(mask));
+      mask &= mask - 1;
+      for (int v = escape_vcs_; v < total_vcs(); ++v) {
+        const OutputVc& out = output_vc(node, p, v);
+        if (!out.allocated && out.credits > best_credits) {
+          best_credits = out.credits;
+          best_port = p;
+          best_vc = v;
+        }
+      }
+    }
+  } else {
+    // Cold fallback (tables disabled or over budget): the per-flit virtual
+    // dispatch and candidate-vector allocation this branch performs are
+    // exactly what the tables remove.
+    const auto candidates = router_.candidates(  // ddpm-analyze: allow(hot-no-virtual)
+        node, packet.dest_node, arrived_on);
+    for (Port p : candidates) {
+      for (int v = escape_vcs_; v < total_vcs(); ++v) {
+        const OutputVc& out = output_vc(node, p, v);
+        if (!out.allocated && out.credits > best_credits) {
+          best_credits = out.credits;
+          best_port = p;
+          best_vc = v;
+        }
       }
     }
   }
@@ -117,24 +231,32 @@ bool WormholeNetwork::allocate(NodeId node, int in_port, InputVc& vc) {
     return false;  // no escape lanes: wait (possibly forever — deadlock)
   }
   if (best_port < 0) {
-    const auto escape = escape_router_.candidates(node, packet.dest_node,
-                                                  arrived_on);
-    if (escape.empty()) return false;  // only possible if already at dest
-    const Port p = escape.front();
-    const NodeId next = *topo_.neighbor(node, p);
+    Port p = -1;
+    if (!escape_port_.empty()) {
+      p = escape_port_[std::size_t(node) * std::size_t(num_nodes_) +
+                       std::size_t(packet.dest_node)];
+      if (p < 0) return false;  // only possible if already at dest
+    } else {
+      // escape_router_ is a concrete member (no virtual dispatch here);
+      // the vector it returns is the cost the escape_port_ table removes.
+      const auto escape =
+          escape_router_.candidates(node, packet.dest_node, arrived_on);
+      if (escape.empty()) return false;  // only possible if already at dest
+      p = escape.front();
+    }
     if (escape_vcs_ > 1) {
       // Torus dateline: entering a new dimension resets the class; taking
-      // the wraparound link promotes it.
+      // the wraparound link (precomputed wrap_link_) promotes it.
       const std::size_t dim = std::size_t(p / 2);
-      const topo::Coord here = topo_.coord_of(node);
-      const topo::Coord there = topo_.coord_of(next);
       bool same_dim_as_arrival = false;
       if (arrived_on != route::kLocalPort) {
         same_dim_as_arrival = (std::size_t(arrived_on / 2) == dim);
       }
       if (!same_dim_as_arrival) next_class = 0;
-      const int delta = int(there[dim]) - int(here[dim]);
-      if (delta != 1 && delta != -1) next_class = 1;  // wrap crossing
+      if (wrap_link_[std::size_t(node) * std::size_t(num_ports_) +
+                     std::size_t(p)] != 0) {
+        next_class = 1;  // wrap crossing
+      }
     }
     const int v = int(next_class);
     const OutputVc& out = output_vc(node, p, v);
@@ -153,23 +275,28 @@ bool WormholeNetwork::allocate(NodeId node, int in_port, InputVc& vc) {
   vc.active = true;
   vc.out_port = best_port;
   vc.out_vc = best_vc;
-  const NodeId next = *topo_.neighbor(node, best_port);
+  const NodeId next = neighbor_[std::size_t(node) * std::size_t(num_ports_) +
+                                std::size_t(best_port)];
   packet.header.decrement_ttl();
-  if (scheme_ != nullptr) scheme_->on_forward(packet, node, next);
+  // Scheme polymorphism is the experiment's independent variable — the
+  // one virtual call the hot path keeps, by design.
+  if (scheme_ != nullptr) scheme_->on_forward(packet, node, next);  // ddpm-analyze: allow(hot-no-virtual)
   ++packet.hops;
-  if (!packet.trace.empty()) packet.trace.push_back(next);
+  // Path tracing is opt-in (trace seeded non-empty) and bounded by TTL.
+  if (!packet.trace.empty()) packet.trace.push_back(next);  // ddpm-analyze: allow(hot-no-alloc)
   // Record the downstream escape class on the (future) head flit.
   vc.buffer.front().escape_class = next_class;
   return true;
 }
 
-void WormholeNetwork::eject(NodeId node, InputVc& vc) {
+DDPM_HOT void WormholeNetwork::eject(NodeId node, InputVc& vc) {
   // Consume every buffered flit of the packet being ejected this cycle
   // (infinite ejection bandwidth, a standard simulator simplification).
   while (!vc.buffer.empty()) {
     Flit flit = std::move(vc.buffer.front());
     vc.buffer.pop_front();
     --flits_in_flight_;
+    --node_flits_[node];
     ++progress_marker_;
     const bool tail = flit.tail;
     if (tail) {
@@ -188,17 +315,17 @@ void WormholeNetwork::eject(NodeId node, InputVc& vc) {
   }
 }
 
-void WormholeNetwork::switch_allocation(NodeId node) {
+DDPM_HOT void WormholeNetwork::switch_allocation(NodeId node) {
   NodeState& state = nodes_[node];
   const int V = total_vcs();
-  const int in_units = (topo_.num_ports() + 1) * V;
+  const int in_units = (num_ports_ + 1) * V;
 
   // VC allocation + ejection/discard for heads at buffer fronts.
   for (int unit = 0; unit < in_units; ++unit) {
     InputVc& vc = state.in[std::size_t(unit)];
     if (vc.buffer.empty()) continue;
-    const int in_port = unit / V;
-    const int in_vc = unit % V;
+    const int in_port = int(unit_port_[std::size_t(unit)]);
+    const int in_vc = int(unit_vc_[std::size_t(unit)]);
     if (!vc.active) {
       const Flit& front = vc.buffer.front();
       if (!front.head) continue;  // body flits of an ejected/advancing head
@@ -226,10 +353,11 @@ void WormholeNetwork::switch_allocation(NodeId node) {
   }
 
   // Switch traversal: each output port forwards at most one flit.
-  for (Port out_port = 0; out_port < topo_.num_ports(); ++out_port) {
+  for (Port out_port = 0; out_port < num_ports_; ++out_port) {
     std::size_t& rr = state.rr[std::size_t(out_port)];
-    for (int probe = 0; probe < in_units; ++probe) {
-      const std::size_t unit = (rr + std::size_t(probe)) % std::size_t(in_units);
+    std::size_t unit = rr;  // wraps by conditional subtract, never %
+    for (int probe = 0; probe < in_units;
+         ++probe, unit = (unit + 1 == std::size_t(in_units)) ? 0 : unit + 1) {
       InputVc& vc = state.in[unit];
       if (!vc.active || vc.out_port != out_port || vc.buffer.empty()) continue;
       OutputVc& out = output_vc(node, out_port, vc.out_vc);
@@ -241,12 +369,15 @@ void WormholeNetwork::switch_allocation(NodeId node) {
       probes_.on_buffer_sample(vc.buffer.size());
       Flit flit = std::move(vc.buffer.front());
       vc.buffer.pop_front();
+      --node_flits_[node];
       --out.credits;
-      const int in_port = int(unit) / total_vcs();
-      const int in_vc = int(unit) % total_vcs();
+      const int in_port = int(unit_port_[unit]);
+      const int in_vc = int(unit_vc_[unit]);
       return_credit(node, in_port, in_vc);
-      const NodeId next = *topo_.neighbor(node, out_port);
-      const int next_in_port = *topo_.port_to(next, node);
+      const std::size_t link = std::size_t(node) * std::size_t(num_ports_) +
+                               std::size_t(out_port);
+      const NodeId next = neighbor_[link];
+      const int next_in_port = reverse_port_[link];
       if (flit.tail) {
         out.allocated = false;
         vc.active = false;
@@ -254,19 +385,25 @@ void WormholeNetwork::switch_allocation(NodeId node) {
       }
       staged_.push_back(Staged{next, next_in_port, vc.out_vc,
                                std::move(flit)});
-      rr = (unit + 1) % std::size_t(in_units);
+      rr = (unit + 1 == std::size_t(in_units)) ? 0 : unit + 1;
       break;  // one flit per output port per cycle
     }
   }
 }
 
-void WormholeNetwork::step() {
+DDPM_HOT void WormholeNetwork::step() {
   const std::uint64_t before = progress_marker_;
-  for (NodeId node = 0; node < topo_.num_nodes(); ++node) {
+  const NodeId n_nodes = NodeId(num_nodes_);
+  for (NodeId node = 0; node < n_nodes; ++node) {
+    // A node with no buffered flits has no allocation, traversal, or
+    // ejection work: skipping it is observationally identical (no probes
+    // fire, no round-robin pointer moves on an all-empty switch).
+    if (node_flits_[node] == 0) continue;
     switch_allocation(node);
   }
   progress_marker_ += staged_.size();
   for (Staged& s : staged_) {
+    ++node_flits_[s.node];
     input_vc(s.node, s.in_port, s.vc).buffer.push_back(std::move(s.flit));
   }
   staged_.clear();

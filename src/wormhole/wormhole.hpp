@@ -22,14 +22,26 @@
 // The network is stepped one cycle at a time (per cycle: allocation, then
 // one flit per output port, then ejection), which makes load-latency
 // sweeps (bench_wormhole_loadlatency) and deadlock tests deterministic.
+//
+// Steady-state performance: the per-flit loop is annotated DDPM_HOT and
+// audited by the hot-path analyzer rules (docs/STATIC_ANALYSIS.md). At
+// construction the network precomputes flat tables — neighbor/reverse-port
+// per (node, port), dateline wrap flags, the escape router's
+// dimension-order next hop per (node, dest), and, for routers that declare
+// arrival-invariant candidates, the candidate port set as a bitmask per
+// (node, dest) — so the steady-state loop performs no virtual dispatch and
+// no heap allocation (flit queues are flat RingBuffers, reserved to credit
+// depth). Table-driven routing is byte-identical to the virtual path; the
+// `use_route_tables` toggle exists so tests can prove it.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "core/hot_path.hpp"
+#include "core/ring.hpp"
 #include "marking/scheme.hpp"
 #include "netsim/rng.hpp"
 #include "packet/packet.hpp"
@@ -54,6 +66,14 @@ struct WormholeConfig {
   bool disable_escape = false;
   std::uint8_t initial_ttl = 255;
   std::uint64_t seed = 1;
+  /// Precompute per-(node, dest) routing tables at construction so the
+  /// steady-state loop never calls the virtual Router/Topology interfaces.
+  /// Off = always route through the virtual path (the reference the route
+  /// byte-identity test compares against).
+  bool use_route_tables = true;
+  /// Per-(node, dest) tables are O(N^2); beyond this many nodes the
+  /// network falls back to the virtual path rather than burn memory.
+  std::size_t route_table_max_nodes = 4096;
 };
 
 class WormholeNetwork {
@@ -93,6 +113,11 @@ class WormholeNetwork {
   std::uint64_t injection_backlog() const;
   std::uint64_t dropped_ttl() const noexcept { return dropped_ttl_; }
 
+  /// True when construction built the per-(node, dest) candidate table for
+  /// `router` (arrival-invariant candidates, N within budget). Exposed so
+  /// tests can assert the fast path is actually exercised.
+  bool using_route_tables() const noexcept { return !cand_mask_.empty(); }
+
   /// Called with each fully ejected packet; delivered_at is the cycle the
   /// tail flit left the network.
   using DeliveryHook = std::function<void(pkt::Packet&&, NodeId)>;
@@ -113,24 +138,27 @@ class WormholeNetwork {
   }
 
  private:
-  struct Flit {
+  struct DDPM_HOT_STATE Flit {
+    std::shared_ptr<pkt::Packet> packet;  // shared by all flits of a packet
     bool head = false;
     bool tail = false;
-    std::shared_ptr<pkt::Packet> packet;  // shared by all flits of a packet
     std::uint8_t escape_class = 0;        // torus dateline state
   };
+  DDPM_HOT_LAYOUT(Flit, 24, 8);
 
-  struct InputVc {
-    std::deque<Flit> buffer;
+  struct DDPM_HOT_STATE InputVc {
+    core::RingBuffer<Flit> buffer;
     bool active = false;  // head has been routed and holds an output VC
     Port out_port = -1;
     int out_vc = -1;
   };
+  DDPM_HOT_LAYOUT(InputVc, 56, 8);
 
-  struct OutputVc {
+  struct DDPM_HOT_STATE OutputVc {
     bool allocated = false;
     int credits = 0;
   };
+  DDPM_HOT_LAYOUT(OutputVc, 8, 4);
 
   struct NodeState {
     // Input units: [physical ports 0..P-1][injection port P], each with V VCs.
@@ -146,7 +174,11 @@ class WormholeNetwork {
     return nodes_[n].out[std::size_t(port) * std::size_t(total_vcs()) + std::size_t(vc)];
   }
 
-  int injection_port() const noexcept { return topo_.num_ports(); }
+  int injection_port() const noexcept { return num_ports_; }
+
+  /// Builds neighbor_/reverse_port_/wrap_link_ (always) and the
+  /// per-(node, dest) escape + candidate tables (when within budget).
+  void build_route_tables();
 
   /// Route + VC allocation for the head flit at the front of an input VC.
   /// Returns true if an output VC was claimed.
@@ -168,7 +200,33 @@ class WormholeNetwork {
   WormholeConfig config_;
   int escape_vcs_;
   netsim::Rng rng_;
+
+  // Construction-time caches of the virtual Topology interface: the hot
+  // loop indexes these flat tables instead of dispatching per flit.
+  int num_nodes_ = 0;
+  int num_ports_ = 0;
+  std::vector<NodeId> neighbor_;        // N*P; kInvalidNode where no link
+  std::vector<Port> reverse_port_;      // N*P; port on neighbor back to node
+  std::vector<std::uint8_t> wrap_link_; // N*P; 1 = torus wraparound link
+  /// Escape next hop per (node, dest); -1 at node == dest. Dimension-order
+  /// routing is deterministic and arrival-invariant, so one port suffices.
+  std::vector<Port> escape_port_;       // N*N, or empty (fallback)
+  /// Adaptive candidate ports per (node, dest) as an ascending bitmask.
+  /// Built only when router_.has_static_candidates() and the returned
+  /// order is verified ascending, so mask iteration reproduces the virtual
+  /// candidate order bit for bit.
+  std::vector<std::uint32_t> cand_mask_; // N*N, or empty (fallback)
+  /// unit -> (in_port, in_vc) decomposition, precomputed so the per-probe
+  /// scans in switch_allocation never divide (unit / V and unit % V were
+  /// measurable on the cycle loop; V is runtime-sized).
+  std::vector<std::int32_t> unit_port_;  // (P+1)*V
+  std::vector<std::int32_t> unit_vc_;    // (P+1)*V
+
   std::vector<NodeState> nodes_;
+  /// Flits buffered at each node's input units; lets step() skip nodes
+  /// with no work this cycle.
+  std::vector<std::uint32_t> node_flits_;
+
   // Flits sent this cycle land in downstream buffers only after the full
   // pass, so a flit cannot traverse two links in one cycle.
   struct Staged {

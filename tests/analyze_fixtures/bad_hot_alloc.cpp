@@ -1,0 +1,23 @@
+// ddpm_analyze fixture: hot-no-alloc MUST-FLAG case.
+// A DDPM_HOT function (and its call-graph closure) may not allocate:
+// operator new is flagged directly, and container growth is flagged when
+// no dominating reserve() for that receiver appears in the file.
+#include <vector>
+
+#define DDPM_HOT
+
+namespace fx {
+
+void fill(std::vector<int>& xs) {
+  xs.push_back(1);  // ddpm-analyze: expect(hot-no-alloc)
+}
+
+DDPM_HOT int hot_tick(std::vector<int>& xs) {
+  fill(xs);  // pulls fill() into the hot closure
+  int* scratch = new int(3);  // ddpm-analyze: expect(hot-no-alloc)
+  const int v = *scratch + int(xs.size());
+  delete scratch;
+  return v;
+}
+
+}  // namespace fx

@@ -1,0 +1,17 @@
+// ddpm_analyze fixture: layout-certified MUST-FLAG case.
+// Every DDPM_HOT_STATE record needs a DDPM_HOT_LAYOUT(size, align) pin in
+// the same file, so accidental growth (a debug field, a fatter handle)
+// shows up in review instead of silently bloating the hot working set.
+#define DDPM_HOT_STATE
+#define DDPM_HOT_LAYOUT(TYPE, SIZE, ALIGN)
+
+namespace fx {
+
+struct DDPM_HOT_STATE Slot {  // ddpm-analyze: expect(layout-certified)
+  int credits;
+  int occupancy;
+};
+
+inline int peek(const Slot& s) { return s.credits + s.occupancy; }
+
+}  // namespace fx

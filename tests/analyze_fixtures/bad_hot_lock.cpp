@@ -1,0 +1,23 @@
+// ddpm_analyze fixture: hot-no-lock MUST-FLAG case.
+// The simulator hot loop is single-threaded by design; a lock or an
+// atomic RMW reachable from a DDPM_HOT function is pure overhead.
+#include <atomic>
+#include <mutex>
+
+#define DDPM_HOT
+
+namespace fx {
+
+struct Guarded {
+  std::mutex m;
+  std::atomic<int> hits{0};
+  int v = 0;
+};
+
+DDPM_HOT int hot_count(Guarded& g) {
+  std::lock_guard<std::mutex> lock(g.m);  // ddpm-analyze: expect(hot-no-lock)
+  g.hits.fetch_add(1);  // ddpm-analyze: expect(hot-no-lock)
+  return ++g.v;
+}
+
+}  // namespace fx

@@ -1,0 +1,12 @@
+// ddpm_analyze fixture: stale hot-rule suppression MUST-FLAG case.
+// The allocation was hoisted out of the hot path but its allow() comment
+// stayed behind; the analyzer reports the dead suppression as debt.
+#define DDPM_HOT
+
+namespace fx {
+
+DDPM_HOT int hot_add(int x) {
+  return x + 1;  // ddpm-analyze: allow(hot-no-alloc) ddpm-analyze: expect(stale-suppression)
+}
+
+}  // namespace fx

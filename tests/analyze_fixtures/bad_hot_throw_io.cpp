@@ -1,0 +1,20 @@
+// ddpm_analyze fixture: hot-no-throw-io MUST-FLAG case.
+// Throwing and console I/O reachable from a DDPM_HOT function stall the
+// pipeline (unwinding tables, syscalls); report through counters instead.
+#include <cstdio>
+
+#define DDPM_HOT
+
+namespace fx {
+
+int checked(int x) {
+  if (x < 0) throw x;  // ddpm-analyze: expect(hot-no-throw-io)
+  std::printf("x=%d\n", x);  // ddpm-analyze: expect(hot-no-throw-io)
+  return x;
+}
+
+DDPM_HOT int hot_step(int x) {
+  return checked(x);  // pulls checked() into the hot closure
+}
+
+}  // namespace fx

@@ -1,0 +1,23 @@
+// ddpm_analyze fixture: hot-no-virtual MUST-FLAG case.
+// A member call through a receiver whose declared type is a class that
+// declares virtual members is unresolvable dispatch on the hot path.
+#define DDPM_HOT
+
+namespace fx {
+
+class Base {
+ public:
+  virtual ~Base() = default;
+  virtual int route(int x) const = 0;
+
+ protected:
+  Base() = default;
+  Base(const Base&) = default;
+  Base& operator=(const Base&) = delete;
+};
+
+DDPM_HOT int hot_pick(const Base& b) {
+  return b.route(3);  // ddpm-analyze: expect(hot-no-virtual)
+}
+
+}  // namespace fx

@@ -1,0 +1,24 @@
+// ddpm_analyze fixture: hot-no-alloc MUST-PASS case.
+// Growth calls whose receiver is reserve()d in the same file are
+// slab-backed in steady state (the reserve-dominates heuristic), and
+// allocation in functions outside the hot closure is free to stay.
+#include <vector>
+
+#define DDPM_HOT
+
+namespace fx {
+
+void warm_up(std::vector<int>& xs) {
+  // Not reachable from any DDPM_HOT function: allocation is fine here.
+  int* scratch = new int(7);
+  xs.push_back(*scratch);
+  delete scratch;
+}
+
+DDPM_HOT int hot_tick(std::vector<int>& xs) {
+  xs.reserve(16);
+  xs.push_back(1);  // reserve() above dominates: no finding
+  return int(xs.size());
+}
+
+}  // namespace fx

@@ -1,0 +1,18 @@
+// ddpm_analyze fixture: layout-certified MUST-PASS case.
+// The DDPM_HOT_LAYOUT pin matches the real LP64 layout of the record
+// (two ints: 8 bytes, 4-byte alignment), so the libclang cross-check and
+// the textual presence check both come out clean.
+#define DDPM_HOT_STATE
+#define DDPM_HOT_LAYOUT(TYPE, SIZE, ALIGN)
+
+namespace fx {
+
+struct DDPM_HOT_STATE Slot {
+  int credits;
+  int occupancy;
+};
+DDPM_HOT_LAYOUT(Slot, 8, 4);
+
+inline int peek(const Slot& s) { return s.credits + s.occupancy; }
+
+}  // namespace fx

@@ -1,0 +1,26 @@
+// ddpm_analyze fixture: hot-no-lock MUST-PASS case.
+// Synchronization in registration/merge paths outside the hot closure is
+// legitimate (the parallel sweep runner merges under a mutex).
+#include <mutex>
+
+#define DDPM_HOT
+
+namespace fx {
+
+struct Guarded {
+  std::mutex m;
+  int v = 0;
+};
+
+int merge_results(Guarded& g, int delta) {
+  // Not reachable from any DDPM_HOT function.
+  std::lock_guard<std::mutex> lock(g.m);
+  g.v += delta;
+  return g.v;
+}
+
+DDPM_HOT int hot_count(Guarded& g) {
+  return g.v + 1;  // reads a plain field: no synchronization on the hot path
+}
+
+}  // namespace fx

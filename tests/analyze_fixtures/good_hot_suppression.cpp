@@ -1,0 +1,16 @@
+// ddpm_analyze fixture: hot-rule suppression MUST-PASS case.
+// A deliberate hot-path violation carrying an allow() on the flagged line
+// is reported as suppressed, not new (here: opt-in path tracing that
+// pushes into an unreserved vector, mirroring src/wormhole/wormhole.cpp).
+#include <vector>
+
+#define DDPM_HOT
+
+namespace fx {
+
+DDPM_HOT int hot_trace(std::vector<int>& trace, int hop) {
+  trace.push_back(hop);  // ddpm-analyze: allow(hot-no-alloc)
+  return int(trace.size());
+}
+
+}  // namespace fx

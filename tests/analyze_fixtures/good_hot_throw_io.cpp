@@ -1,0 +1,21 @@
+// ddpm_analyze fixture: hot-no-throw-io MUST-PASS case.
+// Precondition validation that throws is fine in cold setup paths; the
+// hot function reports failure through its return value.
+#include <cstdio>
+
+#define DDPM_HOT
+
+namespace fx {
+
+void validate_config(int x) {
+  // Construction-time validation, not reachable from any DDPM_HOT root.
+  if (x < 0) throw x;
+  std::printf("configured x=%d\n", x);
+}
+
+DDPM_HOT int hot_step(int x) {
+  if (x < 0) return -1;  // failure is a value, not an exception
+  return x + 1;
+}
+
+}  // namespace fx

@@ -1,0 +1,29 @@
+// ddpm_analyze fixture: hot-no-virtual MUST-PASS case.
+// Calling through a concrete derived type devirtualizes: the receiver's
+// declared class introduces no virtuals of its own (`override` only), so
+// the compiler can bind the call statically.
+#define DDPM_HOT
+
+namespace fx {
+
+class Base {
+ public:
+  virtual ~Base() = default;
+  virtual int route(int x) const = 0;
+
+ protected:
+  Base() = default;
+  Base(const Base&) = default;
+  Base& operator=(const Base&) = delete;
+};
+
+class Mesh final : public Base {
+ public:
+  int route(int x) const override { return x + 1; }
+};
+
+DDPM_HOT int hot_pick(const Mesh& m) {
+  return m.route(3);  // concrete final receiver: statically bound
+}
+
+}  // namespace fx

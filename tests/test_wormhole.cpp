@@ -312,5 +312,85 @@ TEST(Wormhole, InterleavedFlowsDoNotCorruptPackets) {
   EXPECT_EQ(correct, 100);
 }
 
+// -- route-table byte-identity ---------------------------------------------
+// The precomputed tables (escape next hop, adaptive candidate bitmasks,
+// neighbor/wrap caches) are an optimization only: every routing decision,
+// and therefore every delivered byte, must match the virtual-dispatch
+// reference path exactly. Full per-packet evidence: delivery order, hop
+// count, delivery cycle, final marking field, and the complete node trace.
+
+struct DeliveryEvidence {
+  NodeId at;
+  NodeId true_source;
+  std::uint32_t hops;
+  std::uint64_t delivered_at;
+  std::uint16_t marking;
+  std::vector<NodeId> trace;
+
+  bool operator==(const DeliveryEvidence&) const = default;
+};
+
+std::vector<DeliveryEvidence> run_traced_scenario(const char* spec,
+                                                  const char* router_name,
+                                                  bool use_tables) {
+  const auto topo = topo::make_topology(spec);
+  const auto router = route::make_router(router_name, *topo);
+  mark::DdpmScheme scheme(*topo);
+  WormholeConfig config;
+  config.use_route_tables = use_tables;
+  WormholeNetwork net(*topo, *router, &scheme, config);
+  EXPECT_EQ(net.using_route_tables(), use_tables);
+  std::vector<DeliveryEvidence> evidence;
+  net.set_delivery_hook([&](pkt::Packet&& p, NodeId at) {
+    evidence.push_back(DeliveryEvidence{at, p.true_source, p.hops,
+                                        p.delivered_at, p.marking_field(),
+                                        p.trace});
+  });
+  netsim::Rng rng(17);
+  for (int i = 0; i < 400; ++i) {
+    const auto s = NodeId(rng.next_below(topo->num_nodes()));
+    auto d = NodeId(rng.next_below(topo->num_nodes()));
+    if (d == s) d = (d + 1) % topo->num_nodes();
+    auto p = make_packet(*topo, s, d);
+    p.trace.push_back(s);  // opt into per-hop path tracing
+    net.inject(std::move(p), s);
+  }
+  EXPECT_TRUE(net.drain(2000000)) << spec << " " << router_name
+                                  << " tables=" << use_tables;
+  EXPECT_EQ(evidence.size(), 400u);
+  return evidence;
+}
+
+TEST(Wormhole, RouteTablesAreByteIdenticalToVirtualPath) {
+  for (const char* spec : {"mesh:8x8", "torus:4x4"}) {
+    for (const char* router_name : {"dor", "adaptive"}) {
+      const auto fast = run_traced_scenario(spec, router_name, true);
+      const auto reference = run_traced_scenario(spec, router_name, false);
+      ASSERT_EQ(fast.size(), reference.size()) << spec << " " << router_name;
+      for (std::size_t i = 0; i < fast.size(); ++i) {
+        EXPECT_EQ(fast[i], reference[i])
+            << spec << " " << router_name << " packet " << i << " diverged "
+            << "(delivered at " << fast[i].at << " vs " << reference[i].at
+            << ", hops " << fast[i].hops << " vs " << reference[i].hops
+            << ")";
+      }
+    }
+  }
+}
+
+TEST(Wormhole, RouteTablesRespectNodeBudget) {
+  // Over budget -> the network must fall back to the virtual path (and
+  // still work) rather than build O(N^2) tables.
+  const auto topo = topo::make_topology("mesh:4x4");
+  const auto router = route::make_router("adaptive", *topo);
+  WormholeConfig config;
+  config.route_table_max_nodes = 8;  // below the 16 nodes of mesh:4x4
+  WormholeNetwork net(*topo, *router, nullptr, config);
+  EXPECT_FALSE(net.using_route_tables());
+  net.inject(make_packet(*topo, 0, 15), 0);
+  ASSERT_TRUE(net.drain(10000));
+  EXPECT_EQ(net.delivered(), 1u);
+}
+
 }  // namespace
 }  // namespace ddpm::wormhole

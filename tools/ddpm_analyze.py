@@ -92,6 +92,11 @@ RULES = (
     "narrowing-in-marking",
     "no-shared-mutable-static",
     "torus-wrap",
+    "hot-no-alloc",
+    "hot-no-virtual",
+    "hot-no-lock",
+    "hot-no-throw-io",
+    "layout-certified",
 )
 META_RULES = ("stale-suppression",)
 
@@ -144,6 +149,54 @@ EXPLICIT_NARROW_RE = re.compile(
 COORD_TYPE_RE = re.compile(r"\bCoord\b")
 TORUS_WRAP_OP_RE = re.compile(r"[\w\)\]]\s*[%/]\s*[\w\(]")
 
+# -- hot-path ruleset (src/core/hot_path.hpp) ------------------------------
+# A function whose definition head carries DDPM_HOT is a hot-path root;
+# the rules apply to it and to its call-graph closure (simple-name edges,
+# same resolution as result_path_functions — a deliberate overapproximation:
+# a virtual callee pulls every same-named implementation in). The scanning
+# pass is textual for BOTH frontends, so the flagged lines — and therefore
+# the ratchet fingerprints — are identical by construction; libclang adds
+# only real record layouts for the layout-certified cross-check.
+HOT_FN_MACRO = "DDPM_HOT"
+HOT_STATE_RE = re.compile(r"\b(?:struct|class)\s+DDPM_HOT_STATE\s+([A-Za-z_]\w*)")
+HOT_LAYOUT_RE = re.compile(
+    r"\bDDPM_HOT_LAYOUT\s*\(\s*([A-Za-z_]\w*)\s*,\s*(\d+)\s*,\s*(\d+)\s*\)")
+HOT_ALLOC_RES = (
+    (re.compile(r"\bnew\b"), "operator new"),
+    (re.compile(r"\bmake_(?:unique|shared)\s*<"), "make_unique/make_shared"),
+    (re.compile(r"\bstd\s*::\s*function\s*<"), "std::function construction"),
+)
+# Container growth: receiver.method() where the receiver's declared type is
+# growth-prone and no `receiver.reserve(...)` appears anywhere in the same
+# file (the reserve-dominates heuristic: a reserved container's steady-state
+# pushes stay inside the slab).
+HOT_GROWTH_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*(?:\.|->)\s*(push_back|emplace_back|emplace_front|"
+    r"push_front|emplace|insert|append|resize|assign)\s*\(")
+HOT_GROWTH_TYPES = re.compile(r"\b(?:vector|deque|string|basic_string|RingBuffer)\b")
+HOT_RESERVE_RE = re.compile(r"\b([A-Za-z_]\w*)\s*(?:\.|->)\s*reserve\s*\(")
+HOT_MEMBER_CALL_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*(?:\.|->)\s*([A-Za-z_]\w*)\s*\(")
+HOT_LOCK_RES = (
+    (re.compile(r"\b(?:mutex|timed_mutex|recursive_mutex|shared_mutex|"
+                r"lock_guard|unique_lock|scoped_lock|shared_lock|"
+                r"condition_variable|MutexLock)\b"), "lock/condvar"),
+    (re.compile(r"(?:\.|->)\s*(?:lock|unlock|try_lock)\s*\("),
+     "explicit lock call"),
+    (re.compile(r"\b(?:fetch_add|fetch_sub|fetch_and|fetch_or|fetch_xor|"
+                r"compare_exchange_weak|compare_exchange_strong|notify_one|"
+                r"notify_all)\s*\("), "atomic RMW / condvar notify"),
+    (re.compile(r"\batomic\s*<"), "atomic declaration"),
+)
+HOT_THROW_IO_RES = (
+    (re.compile(r"\bthrow\b"), "throw expression"),
+    (re.compile(r"\b(?:cout|cerr|clog|endl)\b"), "iostream console I/O"),
+    (re.compile(r"\b(?:printf|fprintf|sprintf|snprintf|vprintf|puts|fputs|"
+                r"putchar)\s*\("), "printf-family I/O"),
+    (re.compile(r"\b(?:stringstream|ostringstream|istringstream|ofstream|"
+                r"ifstream|fstream)\b"), "stream construction"),
+)
+
 
 # --------------------------------------------------------------------------
 # Shared fact model (both frontends emit these)
@@ -157,6 +210,7 @@ class FunctionInfo:
     file: str
     line: int
     calls: set = field(default_factory=set)  # simple callee names
+    hot: bool = False    # definition head carries DDPM_HOT
 
 
 @dataclass
@@ -201,14 +255,20 @@ class Facts:
     functions: dict = field(default_factory=dict)     # qname -> FunctionInfo
     classes: dict = field(default_factory=dict)       # name -> ClassInfo
     sites: list = field(default_factory=list)         # [Fact]
+    # class simple name -> (sizeof, alignof) in bytes; populated only by the
+    # libclang frontend, consumed by the layout-certified cross-check.
+    class_layout: dict = field(default_factory=dict)
     frontend: str = "textual"
 
     def merge(self, other: "Facts") -> None:
         for q, fn in other.functions.items():
             if q in self.functions:
                 self.functions[q].calls |= fn.calls
+                self.functions[q].hot = self.functions[q].hot or fn.hot
             else:
                 self.functions[q] = fn
+        for n, layout in other.class_layout.items():
+            self.class_layout.setdefault(n, layout)
         for n, ci in other.classes.items():
             self.classes.setdefault(n, ci)
         seen = {(f.rule, f.file, f.line, f.detail) for f in self.sites}
@@ -314,6 +374,8 @@ class _Scope:
     name: str = ""
     qname: str = ""      # for functions
     access: str = "public"
+    hot: bool = False    # function head carried DDPM_HOT
+    start_line: int = 0  # function head line (extent recording)
 
 
 class TextualUnit:
@@ -333,7 +395,23 @@ class TextualUnit:
         self.members: dict[str, dict[str, str]] = {}   # class -> name -> type
         self.locals_u16: set = set()
         self.sites: list[Fact] = []
+        # (qname, start_line, end_line) per function *definition* — one entry
+        # per body even when a qname is defined twice (#if variants), so a
+        # hot-line scan never swallows the region between two definitions.
+        self.fn_extents: list[tuple] = []
         self._parse()
+        # Hot-path state/layout declarations are recognized lexically on the
+        # blanked text so both frontends see the identical set (the macros
+        # expand to attributes/static_asserts under clang, to nothing under
+        # gcc — neither expansion is visible here).
+        self.hot_states: list[tuple] = []    # (class name, line)
+        self.hot_layouts: list[tuple] = []   # (class name, size, align, line)
+        for n, cl in enumerate(self.clean_lines, 1):
+            for m in HOT_STATE_RE.finditer(cl):
+                self.hot_states.append((m.group(1), n))
+            for m in HOT_LAYOUT_RE.finditer(cl):
+                self.hot_layouts.append(
+                    (m.group(1), int(m.group(2)), int(m.group(3)), n))
 
     # -- helpers ----------------------------------------------------------
 
@@ -414,6 +492,10 @@ class TextualUnit:
                     closing = scopes.pop()
                     if closing.kind == "namespace" and ns_stack:
                         ns_stack.pop()
+                    if closing.kind == "function" and closing.qname:
+                        self.fn_extents.append(
+                            (closing.qname, closing.start_line or t.line,
+                             t.line))
                 i += 1
                 stmt_start = i
                 continue
@@ -486,7 +568,8 @@ class TextualUnit:
                 rest = words[k + 1:]
                 name = ""
                 for w in rest:
-                    if re.match(r"[A-Za-z_]\w*$", w) and w not in ("final", "alignas"):
+                    if re.match(r"[A-Za-z_]\w*$", w) and \
+                            w not in ("final", "alignas", "DDPM_HOT_STATE"):
                         name = w
                         break
                 # `struct X { ... } var;` and template specializations all
@@ -538,10 +621,14 @@ class TextualUnit:
                                 words, scopes[-1].name, scopes[-1].access)
                         fn = FunctionInfo(qname, simple, cls, self.rel,
                                           head[open_paren - 1].line)
-                        self.functions.setdefault(qname, fn)
+                        fn_rec = self.functions.setdefault(qname, fn)
+                        if HOT_FN_MACRO in words:
+                            fn_rec.hot = True
                         self._parse_params(head[open_paren + 1:close_paren], qname)
                         sc = _Scope("function", simple)
                         sc.qname = qname
+                        sc.hot = HOT_FN_MACRO in words
+                        sc.start_line = head[0].line if head else 0
                         return sc
         return _Scope("block")
 
@@ -863,39 +950,48 @@ class TextualUnit:
         return None
 
 
+def build_textual_units(files: list, root: Path) -> list:
+    """Parses every file into a TextualUnit with the global class->member
+    table already resolved. Shared by the textual frontend (its whole fact
+    source) and by the hot-path pass, which runs textually under BOTH
+    frontends so the flagged lines are frontend-independent."""
+    units = []
+    for path in files:
+        try:
+            text = path.read_text(encoding="utf-8", errors="replace")
+        except OSError:
+            continue
+        rel = path.relative_to(root).as_posix()
+        TextualUnit._local_types = {}
+        unit = TextualUnit.__new__(TextualUnit)
+        unit._local_types = {}
+        unit.__init__(path, rel, text)
+        units.append(unit)
+    # classes/members are declared in headers but used in .cpp files:
+    # build a global class->members table, then re-resolve.
+    members: dict[str, dict[str, str]] = {}
+    for u in units:
+        for c, mm in u.members.items():
+            members.setdefault(c, {}).update(mm)
+    for u in units:
+        u.members = {c: dict(members.get(c, {})) for c in members}
+        # re-run range-for resolution with global member knowledge
+        u.sites = [f for f in u.sites if f.rule != "ordered-iteration"]
+        u2 = _ReResolve(u)
+        u.sites.extend(u2.sites)
+    return units
+
+
 class TextualFrontend:
     name = "textual"
 
     def __init__(self):
-        self._global_members: dict[str, dict[str, str]] = {}
+        self.units: list = []
 
     def extract(self, files: list, root: Path) -> Facts:
         facts = Facts(frontend=self.name)
-        units = []
-        for path in files:
-            try:
-                text = path.read_text(encoding="utf-8", errors="replace")
-            except OSError:
-                continue
-            rel = path.relative_to(root).as_posix()
-            TextualUnit._local_types = {}
-            unit = TextualUnit.__new__(TextualUnit)
-            unit._local_types = {}
-            unit.__init__(path, rel, text)
-            units.append(unit)
-        # classes/members are declared in headers but used in .cpp files:
-        # build a global class->members table, then re-resolve.
-        members: dict[str, dict[str, str]] = {}
-        for u in units:
-            for c, mm in u.members.items():
-                members.setdefault(c, {}).update(mm)
-        for u in units:
-            u.members = {c: dict(members.get(c, {})) for c in members}
-            # re-run range-for resolution with global member knowledge
-            u.sites = [f for f in u.sites if f.rule != "ordered-iteration"]
-            u2 = _ReResolve(u)
-            u.sites.extend(u2.sites)
-        for u in units:
+        self.units = build_textual_units(files, root)
+        for u in self.units:
             facts.merge(self._unit_facts(u))
         return facts
 
@@ -1174,6 +1270,15 @@ class LibclangFrontend:
             if ch.kind == K.CXX_METHOD and ch.spelling == "operator=":
                 ci_rec.copy_declared = True
                 ci_rec.copy_access = str(ch.access_specifier).split(".")[-1].lower()
+        # Real record layout for the layout-certified cross-check. Dependent
+        # (template) records report non-positive sizes; skip those.
+        try:
+            size = cur.type.get_size()
+            align = cur.type.get_align()
+            if size > 0 and align > 0:
+                facts.class_layout.setdefault(name, (size, align))
+        except Exception:
+            pass
 
     def _capture_facts(self, call, rel, fn_info, facts) -> None:
         K = self.ci.CursorKind
@@ -1316,6 +1421,20 @@ MESSAGES = {
                   "wrap that is off by one breaks V = D - S telescoping",
     "stale-suppression": "allow() comment on a line that no longer violates "
                          "the rule — remove it",
+    "hot-no-alloc": "heap allocation reachable from a DDPM_HOT function — "
+                    "hoist into pooled/pre-reserved state built at "
+                    "construction",
+    "hot-no-virtual": "virtual dispatch reachable from a DDPM_HOT function — "
+                      "precompute through a table or devirtualize via a "
+                      "concrete member",
+    "hot-no-lock": "lock/atomic-RMW reachable from a DDPM_HOT function — "
+                   "the simulator hot loop is single-threaded by design; "
+                   "synchronization there is pure overhead",
+    "hot-no-throw-io": "throw or console I/O reachable from a DDPM_HOT "
+                       "function — report through counters/return values",
+    "layout-certified": "DDPM_HOT_STATE layout not certified — every "
+                        "hot-state record needs a DDPM_HOT_LAYOUT(size, "
+                        "align) pin so growth shows up in review",
 }
 
 NARROWING_EXEMPT = re.compile(r"src/packet/marking_field\.")
@@ -1345,6 +1464,135 @@ def result_path_functions(functions: dict) -> set:
                 if target.qname not in reach:
                     work.append(target)
     return reach
+
+
+# --------------------------------------------------------------------------
+# Hot-path pass (shared by both frontends)
+# --------------------------------------------------------------------------
+
+def hot_closure(units: list) -> set:
+    """Qnames reachable (by simple-name call edges) from DDPM_HOT roots.
+
+    Same resolution as result_path_functions: a call through a virtual pulls
+    in every same-named definition. That overapproximation is deliberate —
+    a hot loop cannot prove at the call site which override runs, so every
+    candidate implementation inherits the hot budget."""
+    fns: dict[str, FunctionInfo] = {}
+    for u in units:
+        for q, fi in u.functions.items():
+            if q in fns:
+                fns[q].calls |= fi.calls
+                fns[q].hot = fns[q].hot or fi.hot
+            else:
+                fns[q] = FunctionInfo(fi.qname, fi.name, fi.cls, fi.file,
+                                      fi.line, set(fi.calls), fi.hot)
+    by_name: dict[str, list] = {}
+    for fi in fns.values():
+        by_name.setdefault(fi.name, []).append(fi)
+    reach: set = set()
+    work = [fi for fi in fns.values() if fi.hot]
+    while work:
+        fi = work.pop()
+        if fi.qname in reach:
+            continue
+        reach.add(fi.qname)
+        for callee in fi.calls:
+            for target in by_name.get(callee, []):
+                if target.qname not in reach:
+                    work.append(target)
+    return reach
+
+
+def hot_pass_sites(units: list, class_layout: dict) -> list:
+    """Hot-path rule sites: lexical scans over the line extents of every
+    function in the DDPM_HOT closure, plus layout certification. Runs on
+    TextualUnits for BOTH frontends, so findings (and ratchet fingerprints)
+    are identical by construction; `class_layout` (libclang only) merely
+    adds the declared-vs-real cross-check."""
+    reach = hot_closure(units)
+    virt: set = set()
+    for u in units:
+        for cname, ci_rec in u.classes.items():
+            if ci_rec.declares_virtual:
+                virt.add(cname)
+    sites: list[Fact] = []
+    for u in units:
+        # reserve-dominates: a receiver reserved anywhere in this file is
+        # treated as slab-backed for its growth calls.
+        reserved = {m.group(1) for m in HOT_RESERVE_RE.finditer(u.clean)}
+        flagged: set = set()
+
+        def emit(rule, line, ctx, detail):
+            if (rule, line) in flagged:
+                return
+            flagged.add((rule, line))
+            sites.append(Fact(rule, u.rel, line, ctx, detail))
+
+        def recv_type(recv: str, qname: str):
+            t = u._local_types.get((qname, recv))
+            if t:
+                return t
+            fi = u.functions.get(qname)
+            cls = fi.cls if fi else ""
+            if cls and recv in u.members.get(cls, {}):
+                return u.members[cls][recv]
+            hits = {u.members[c][recv] for c in u.members
+                    if recv in u.members[c]}
+            if len(hits) == 1:
+                return next(iter(hits))
+            return None  # unknown or ambiguous: stay silent
+
+        for qname, start, end in u.fn_extents:
+            if qname not in reach:
+                continue
+            for n in range(start, min(end, len(u.clean_lines)) + 1):
+                lt = u.clean_lines[n - 1]
+                for rx, what in HOT_ALLOC_RES:
+                    if rx.search(lt):
+                        emit("hot-no-alloc", n, qname, what)
+                for m in HOT_GROWTH_RE.finditer(lt):
+                    recv, meth = m.group(1), m.group(2)
+                    if recv in reserved:
+                        continue
+                    t = recv_type(recv, qname)
+                    if t and HOT_GROWTH_TYPES.search(t):
+                        emit("hot-no-alloc", n, qname,
+                             f"{recv}.{meth}() may grow without a "
+                             "dominating reserve()")
+                for m in HOT_MEMBER_CALL_RE.finditer(lt):
+                    recv, meth = m.group(1), m.group(2)
+                    t = recv_type(recv, qname)
+                    if not t:
+                        continue
+                    hit = next((w for w in re.findall(r"[A-Za-z_]\w*", t)
+                                if w in virt), None)
+                    if hit:
+                        emit("hot-no-virtual", n, qname,
+                             f"{recv}->{meth}() dispatches through "
+                             f"polymorphic '{hit}'")
+                for rx, what in HOT_LOCK_RES:
+                    if rx.search(lt):
+                        emit("hot-no-lock", n, qname, what)
+                for rx, what in HOT_THROW_IO_RES:
+                    if rx.search(lt):
+                        emit("hot-no-throw-io", n, qname, what)
+    for u in units:
+        declared = {name: (size, align, line)
+                    for name, size, align, line in u.hot_layouts}
+        for name, line in u.hot_states:
+            if name not in declared:
+                sites.append(Fact(
+                    "layout-certified", u.rel, line, name,
+                    f"DDPM_HOT_STATE '{name}' has no DDPM_HOT_LAYOUT pin "
+                    "in this file"))
+        for name, (size, align, line) in declared.items():
+            real = class_layout.get(name)
+            if real is not None and (real[0] != size or real[1] != align):
+                sites.append(Fact(
+                    "layout-certified", u.rel, line, name,
+                    f"declared ({size}, {align}) but the real layout is "
+                    f"({real[0]}, {real[1]})"))
+    return sites
 
 
 def evaluate(facts: Facts, scope_prefixes: tuple) -> list:
@@ -1553,6 +1801,13 @@ def gather_files(root: Path, dirs):
 def run_analysis(root: Path, dirs, frontend, scope_prefixes):
     files = gather_files(root, dirs)
     facts = frontend.extract(files, root)
+    # The hot-path pass is textual under both frontends so the flagged lines
+    # match exactly; the textual frontend's already-parsed units are reused,
+    # the libclang frontend pays one extra lexical pass.
+    units = getattr(frontend, "units", None)
+    if not units:
+        units = build_textual_units(files, root)
+    facts.sites.extend(hot_pass_sites(units, facts.class_layout))
     findings = evaluate(facts, scope_prefixes)
     assign_fingerprints(findings, root)
     allows = collect_allow_comments(files, root)
