@@ -115,8 +115,9 @@ Result bench_wormhole(std::uint64_t cycles) {
   attack::UniformPattern pattern(*topo);
   netsim::Rng rng(1234);
   const auto start = Clock::now();
+  const topo::NodeId n_nodes = topo->num_nodes();  // hoist the virtual call
   for (std::uint64_t cycle = 0; cycle < cycles; ++cycle) {
-    for (topo::NodeId n = 0; n < topo->num_nodes(); ++n) {
+    for (topo::NodeId n = 0; n < n_nodes; ++n) {
       if (rng.next_bool(0.06)) {
         pkt::Packet p;
         const auto dest = pattern.pick_dest(n, rng);
@@ -199,7 +200,10 @@ int main(int argc, char** argv) {
     results.push_back(bench_schedule_pop(400000, 4));
     results.push_back(bench_churn(10000, 2000000));
     results.push_back(bench_cancel(200000, 4));
-    results.push_back(bench_wormhole(20000));
+    // 100k cycles ≈ 0.5 s at the SoA engine's rate: long enough that the
+    // steps/s figure is stable run to run (at 20k the window was ~0.1 s
+    // and the metric swung ±10% with scheduler noise).
+    results.push_back(bench_wormhole(100000));
   }
 
   // End-to-end sweep cell: serial, then parallel, same workload.

@@ -97,7 +97,9 @@ DDPM_HOT void Switch::start_transmission(Port port) {
   pkt::Packet packet = std::move(out.queue.front());
   out.queue.pop_front();
   const auto tx_ticks = netsim::SimTime(
-      std::ceil(double(packet.wire_bytes()) / env_->link_bandwidth));
+      // Floating-point divide (bandwidth scaling), not an integer one;
+      // the textual frontend cannot type-check the operands.
+      std::ceil(double(packet.wire_bytes()) / env_->link_bandwidth));  // ddpm-analyze: allow(hot-no-div)
   const NodeId next = *env_->topo->neighbor(id_, port);
   // The span covers serialization + propagation; both durations are known
   // at schedule time, so one complete event suffices (no open/close pair).

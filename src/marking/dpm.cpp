@@ -23,6 +23,7 @@ DpmScheme::DpmScheme(HashInput input, int bits_per_hop)
   if (bits_per_hop < 1 || 16 % bits_per_hop != 0) {
     throw std::invalid_argument("DpmScheme: bits_per_hop must divide 16");
   }
+  slot_mask_ = 16u / unsigned(bits_per_hop) - 1u;
 }
 
 std::uint16_t DpmScheme::mark_value(NodeId current, NodeId next) const noexcept {
@@ -41,9 +42,8 @@ void DpmScheme::on_forward(pkt::Packet& packet, NodeId current, NodeId next) {
   // The switch decremented TTL just before this hook (see walk.hpp and the
   // cluster Switch), so consecutive switches see consecutive TTL values and
   // write consecutive (b-bit) field positions.
-  const unsigned slots = 16u / unsigned(bits_per_hop_);
   const unsigned position =
-      (packet.header.ttl() % slots) * unsigned(bits_per_hop_);
+      (packet.header.ttl() & slot_mask_) * unsigned(bits_per_hop_);
   const pkt::FieldSlice slice{position, unsigned(bits_per_hop_)};
   packet.set_marking_field(pkt::write_unsigned(
       packet.marking_field(), slice, mark_value(current, next)));

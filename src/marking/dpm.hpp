@@ -63,6 +63,9 @@ class DpmScheme final : public MarkingScheme {
  private:
   HashInput input_;
   int bits_per_hop_;
+  // 16/b - 1, precomputed: every divisor of 16 is a power of two, so
+  // TTL mod (16/b) is TTL & slot_mask_ — no divide on the marking path.
+  unsigned slot_mask_;
 };
 
 /// Victim-side DPM. The victim is assumed to know the interconnect map and

@@ -72,7 +72,9 @@ class Rng {
     unsigned __int128 m = mul(x, bound);
     auto lo = static_cast<std::uint64_t>(m);
     if (lo < bound) {
-      const std::uint64_t threshold = -bound % bound;
+      // Lemire rejection threshold: this modulo runs only on the rare
+      // reject branch (probability < bound / 2^64), never steady-state.
+      const std::uint64_t threshold = -bound % bound;  // ddpm-analyze: allow(hot-no-div)
       while (lo < threshold) {
         x = next_u64();
         m = mul(x, bound);

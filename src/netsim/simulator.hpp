@@ -1,11 +1,19 @@
 // Simulation kernel: owns the clock and the event queue, and drives the
 // model by firing events in timestamp order.
+//
+// The queue is the calendar-wheel variant (netsim/event_wheel.hpp): the
+// cluster Switch's forwarding events and the wormhole link clock
+// (wormhole/wheel_runner.hpp) are regular short-horizon cadences, which
+// the wheel schedules and pops in O(1); irregular timers (attack onsets,
+// long backoffs) overflow to its embedded 4-ary heap. Semantics are
+// identical to EventQueue — the differential stress test pins that — so
+// swapping the member type is invisible to models.
 #pragma once
 
 #include <cstdint>
 #include <limits>
 
-#include "netsim/event_queue.hpp"
+#include "netsim/event_wheel.hpp"
 #include "telemetry/probes.hpp"
 
 namespace ddpm::netsim {
@@ -16,7 +24,7 @@ class Simulator {
   SimTime now() const noexcept { return now_; }
 
   /// Schedules `action` to fire `delay` ticks from now.
-  EventId schedule_in(SimTime delay, EventQueue::Action action) {
+  EventId schedule_in(SimTime delay, EventWheel::Action action) {
     return queue_.schedule(now_ + delay, std::move(action));
   }
 
@@ -25,7 +33,7 @@ class Simulator {
   /// (in scheduling order) rather than corrupting the clock. Each clamp is
   /// counted (see clamped_events()): a model that relies on the clamp is
   /// usually mis-computing timestamps, and the counter makes that visible.
-  EventId schedule_at(SimTime when, EventQueue::Action action) {
+  EventId schedule_at(SimTime when, EventWheel::Action action) {
     if (when < now_) {
       ++clamped_;
       probes_.on_clamp();
@@ -72,7 +80,7 @@ class Simulator {
   telemetry::Tracer* tracer() const noexcept { return probes_.tracer(); }
 
  private:
-  EventQueue queue_;
+  EventWheel queue_;
   SimTime now_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t clamped_ = 0;

@@ -17,7 +17,9 @@ void RunningStat::add(double x) noexcept {
   ++n_;
   sum_ += x;
   const double delta = x - mean_;
-  mean_ += delta / double(n_);
+  // Welford update: floating-point divide by the running count is the
+  // algorithm's definition, not an integer divide.
+  mean_ += delta / double(n_);  // ddpm-analyze: allow(hot-no-div)
   m2_ += delta * (x - mean_);
 }
 
@@ -49,7 +51,9 @@ void Histogram::add(double x) noexcept {
   } else if (x >= hi_) {
     ++overflow_;
   } else {
-    ++counts_[static_cast<std::size_t>((x - lo_) / width_)];
+    // Floating-point bin scaling; a reciprocal multiply would move bin
+    // boundaries by an ulp and silently reshuffle edge samples.
+    ++counts_[static_cast<std::size_t>((x - lo_) / width_)];  // ddpm-analyze: allow(hot-no-div)
   }
 }
 

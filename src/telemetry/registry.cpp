@@ -5,8 +5,7 @@
 
 namespace ddpm::telemetry {
 
-void HistogramHandle::add(double x) noexcept {
-  if (slot_ == nullptr) return;
+void HistogramHandle::add_bound(double x) noexcept {
   ++slot_->total;
   slot_->sum += x;
   if (x < slot_->lo) {
@@ -14,7 +13,10 @@ void HistogramHandle::add(double x) noexcept {
   } else if (x >= slot_->hi) {
     ++slot_->overflow;
   } else {
-    ++slot_->bins[static_cast<std::size_t>((x - slot_->lo) / slot_->width)];
+    // Floating-point bin scaling (see netsim/stats.cpp for why not a
+    // reciprocal multiply).
+    ++slot_->bins[static_cast<std::size_t>(
+        (x - slot_->lo) / slot_->width)];  // ddpm-analyze: allow(hot-no-div)
   }
 }
 

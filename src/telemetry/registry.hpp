@@ -134,9 +134,17 @@ class Gauge {
 class HistogramHandle {
  public:
   HistogramHandle() = default;
-  void add(double x) noexcept;
+  /// The unbound check is inline so a disabled handle costs one predictable
+  /// branch at the call site — the wormhole loop samples buffer depth on
+  /// every forwarded flit, and an out-of-line call for a no-op was
+  /// measurable there. The bound path stays out of line (bin math is cold
+  /// relative to the null check).
+  void add(double x) noexcept {
+    if (slot_ != nullptr) add_bound(x);
+  }
 
  private:
+  void add_bound(double x) noexcept;
   friend class Registry;
   struct Slot {
     double lo = 0.0;

@@ -43,8 +43,10 @@ void Tracer::record(char phase, const char* name, std::uint32_t pid,
     return;
   }
   // Ring is full: overwrite the oldest slot, keep the most recent window.
+  // (Branch, not modulo: capacity_ is runtime-chosen, and a compare-select
+  // beats the divider on this per-event path.)
   ring_[next_] = e;
-  next_ = (next_ + 1) % capacity_;
+  next_ = next_ + 1 == capacity_ ? 0 : next_ + 1;
   wrapped_ = true;
   ++dropped_;
 }

@@ -18,8 +18,10 @@ std::optional<NodeId> Torus::neighbor(NodeId node, Port port) const {
   const int k = dim_size(dim);
   // Wrap in unsigned space: coord + dir + k is in [k-1, 2k] for a valid
   // coordinate, so the modular reduction never touches signed overflow.
+  // Audited wrap arithmetic (neighbor codec); hot paths read the
+  // precomputed neighbor tables instead of re-deriving this.
   const unsigned wrapped =
-      (unsigned(int(c[dim]) + dir + k)) % unsigned(k);
+      (unsigned(int(c[dim]) + dir + k)) % unsigned(k);  // ddpm-analyze: allow(hot-no-div)
   c[dim] = static_cast<Coord::value_type>(wrapped);
   return id_of(c);
 }

@@ -1,0 +1,38 @@
+#include "wormhole/wheel_runner.hpp"
+
+#include "core/check.hpp"
+
+namespace ddpm::wormhole {
+
+namespace {
+
+/// Self-rescheduling link-clock tick. 32 bytes — comfortably inside
+/// InlineAction's inline buffer, so the steady-state reschedule never
+/// allocates.
+struct WheelTick {
+  netsim::Simulator* sim;
+  WormholeNetwork* net;
+  std::uint64_t remaining;
+  netsim::SimTime period;
+
+  void operator()() {
+    net->step();
+    if (--remaining > 0) sim->schedule_in(period, *this);
+  }
+};
+
+static_assert(netsim::InlineAction::fits_inline<WheelTick>,
+              "link-clock tick must stay on the allocation-free path");
+
+}  // namespace
+
+std::uint64_t run_on_wheel(netsim::Simulator& sim, WormholeNetwork& net,
+                           std::uint64_t cycles, netsim::SimTime tick_period,
+                           netsim::SimTime until) {
+  DDPM_CHECK(tick_period > 0, "link clock period must be positive");
+  if (cycles == 0) return sim.run(until);
+  sim.schedule_in(tick_period, WheelTick{&sim, &net, cycles, tick_period});
+  return sim.run(until);
+}
+
+}  // namespace ddpm::wormhole

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/check.hpp"
 #include "routing/deadlock.hpp"
 
 namespace ddpm::wormhole {
@@ -30,24 +31,8 @@ WormholeNetwork::WormholeNetwork(const topo::Topology& topo,
   num_nodes_ = int(topo.num_nodes());
   num_ports_ = topo.num_ports();
   const int V = total_vcs();
-  nodes_.resize(std::size_t(num_nodes_));
-  for (NodeState& node : nodes_) {
-    node.in.resize(std::size_t(num_ports_ + 1) * std::size_t(V));
-    node.out.resize(std::size_t(num_ports_) * std::size_t(V));
-    for (OutputVc& out : node.out) out.credits = config_.buffer_flits;
-    node.rr.assign(std::size_t(num_ports_), 0);
-    // Switch-port buffers are credit-bounded at buffer_flits: reserving
-    // that depth up front makes steady-state push/pop allocation-free
-    // (tests/test_wormhole_steady_alloc.cpp proves it at runtime, the
-    // hot-no-alloc rule statically). The injection units (ports >= P*V)
-    // stay unreserved — they are unbounded and grow only in inject(),
-    // which is off the hot path.
-    for (std::size_t unit = 0; unit < std::size_t(num_ports_) * std::size_t(V);
-         ++unit) {
-      node.in[unit].buffer.reserve(std::size_t(config_.buffer_flits));
-    }
-  }
-  node_flits_.assign(std::size_t(num_nodes_), 0);
+  DDPM_CHECK(config_.buffer_flits > 0 && config_.buffer_flits <= 0x7fff,
+             "buffer_flits out of range for credit counters");
   // At most one flit per output port per node lands per cycle.
   staged_.reserve(std::size_t(num_nodes_) * std::size_t(num_ports_));
   unit_port_.resize(std::size_t(num_ports_ + 1) * std::size_t(V));
@@ -57,6 +42,72 @@ WormholeNetwork::WormholeNetwork(const topo::Topology& topo,
     unit_vc_[std::size_t(unit)] = unit % V;
   }
   build_route_tables();
+  if (config_.use_soa_engine && (num_ports_ + 1) * V <= 64) {
+    build_soa();
+  } else {
+    nodes_.resize(std::size_t(num_nodes_));
+    for (NodeState& node : nodes_) {
+      node.in.resize(std::size_t(num_ports_ + 1) * std::size_t(V));
+      node.out.resize(std::size_t(num_ports_) * std::size_t(V));
+      for (OutputVc& out : node.out) out.credits = config_.buffer_flits;
+      node.rr.assign(std::size_t(num_ports_), 0);
+      // Switch-port buffers are credit-bounded at buffer_flits: reserving
+      // that depth up front makes steady-state push/pop allocation-free
+      // (tests/test_wormhole_steady_alloc.cpp proves it at runtime, the
+      // hot-no-alloc rule statically). The injection units (ports >= P*V)
+      // stay unreserved — they are unbounded and grow only in inject(),
+      // which is off the hot path.
+      for (std::size_t unit = 0;
+           unit < std::size_t(num_ports_) * std::size_t(V); ++unit) {
+        node.in[unit].buffer.reserve(std::size_t(config_.buffer_flits));
+      }
+    }
+    node_flits_.assign(std::size_t(num_nodes_), 0);
+  }
+}
+
+void WormholeNetwork::build_soa() {
+  const int V = total_vcs();
+  soa_units_ = (num_ports_ + 1) * V;
+  soa_switch_units_ = num_ports_ * V;
+  const std::size_t N = std::size_t(num_nodes_);
+  const std::size_t U = std::size_t(soa_units_);
+  // The slab preallocates every switch unit at full credit depth — the
+  // same total footprint the per-unit RingBuffer reservations had, but
+  // contiguous, so steady-state push/pop touches no queue metadata beyond
+  // the unit's own control record.
+  fbuf_.assign(N * std::size_t(soa_switch_units_) *
+                   std::size_t(config_.buffer_flits),
+               Flit{});
+  inj_buf_.clear();
+  inj_buf_.resize(N * std::size_t(V));
+  soa_in_.assign(N * U, UnitCtl{});
+  soa_out_.assign(N * std::size_t(num_ports_) * std::size_t(V), OutCtl{});
+  for (OutCtl& out : soa_out_) out.credits = std::int16_t(config_.buffer_flits);
+  soa_rr_.assign(N * std::size_t(num_ports_), 0);
+  occ_.assign(N, 0);
+  req_.assign(N * std::size_t(num_ports_), 0);
+  node_mask_.assign((N + 63) / 64, 0);
+  group_mask_.assign((node_mask_.size() + 63) / 64, 0);
+  soa_staged_.reserve(N * std::size_t(num_ports_));
+  // Static link-derived tables: the hot loop's per-pop credit target and
+  // per-forward landing target collapse to one table load each.
+  credit_slot_.assign(N * U, -1);
+  link_dst_.assign(N * std::size_t(num_ports_), LinkDst{});
+  for (NodeId n = 0; n < NodeId(N); ++n) {
+    for (Port p = 0; p < num_ports_; ++p) {
+      const std::size_t link = std::size_t(n) * std::size_t(num_ports_) +
+                               std::size_t(p);
+      const NodeId up = neighbor_[link];
+      if (up == topo::kInvalidNode) continue;
+      const Port up_port = reverse_port_[link];
+      for (int vc = 0; vc < V; ++vc) {
+        credit_slot_[std::size_t(n) * U + std::size_t(p * V + vc)] =
+            std::int32_t(soa_out_index(up, up_port, vc));
+      }
+      link_dst_[link] = LinkDst{up, std::uint16_t(up_port * V)};
+    }
+  }
 }
 
 void WormholeNetwork::build_route_tables() {
@@ -127,24 +178,52 @@ void WormholeNetwork::build_route_tables() {
 void WormholeNetwork::inject(pkt::Packet&& packet, NodeId src) {
   if (scheme_ != nullptr) scheme_->on_injection(packet, src);
   packet.header.set_ttl(config_.initial_ttl);
-  auto shared = std::make_shared<pkt::Packet>(std::move(packet));
   const std::uint32_t flits = std::max<std::uint32_t>(
-      1, (shared->wire_bytes() + config_.flit_bytes - 1) / config_.flit_bytes);
-  InputVc& vc = input_vc(src, injection_port(), 0);
-  for (std::uint32_t i = 0; i < flits; ++i) {
-    Flit flit;
-    flit.head = (i == 0);
-    flit.tail = (i + 1 == flits);
-    flit.packet = shared;
-    vc.buffer.push_back(std::move(flit));
+      1, (packet.wire_bytes() + config_.flit_bytes - 1) / config_.flit_bytes);
+  std::uint32_t id;
+  if (!pkt_free_.empty()) {
+    id = pkt_free_.back();
+    pkt_free_.pop_back();
+    pkt_pool_[id] = std::move(packet);
+  } else {
+    id = std::uint32_t(pkt_pool_.size());
+    pkt_pool_.push_back(std::move(packet));
+    // Keep the freelist's capacity at least the pool's: the tail-ejection
+    // release in the hot loop must never allocate.
+    pkt_free_.reserve(pkt_pool_.capacity());
+  }
+  if (soa_units_ != 0) {
+    const int unit = soa_switch_units_;  // injection port, VC 0
+    core::RingBuffer<Flit>& buf = inj_queue(src, unit);
+    for (std::uint32_t i = 0; i < flits; ++i) {
+      Flit flit;
+      flit.head = (i == 0);
+      flit.tail = (i + 1 == flits);
+      flit.pkt = id;
+      buf.push_back(std::move(flit));
+    }
+    soa_note_push(src, unit);
+  } else {
+    InputVc& vc = input_vc(src, injection_port(), 0);
+    for (std::uint32_t i = 0; i < flits; ++i) {
+      Flit flit;
+      flit.head = (i == 0);
+      flit.tail = (i + 1 == flits);
+      flit.pkt = id;
+      vc.buffer.push_back(std::move(flit));
+    }
+    node_flits_[src] += flits;
   }
   flits_in_flight_ += flits;
-  node_flits_[src] += flits;
 }
 
 std::uint64_t WormholeNetwork::injection_backlog() const {
   std::uint64_t total = 0;
   const int V = total_vcs();
+  if (soa_units_ != 0) {
+    for (const core::RingBuffer<Flit>& q : inj_buf_) total += q.size();
+    return total;
+  }
   for (const NodeState& node : nodes_) {
     for (int vc = 0; vc < V; ++vc) {
       total += node.in[std::size_t(num_ports_) * std::size_t(V) +
@@ -154,6 +233,12 @@ std::uint64_t WormholeNetwork::injection_backlog() const {
   }
   return total;
 }
+
+// --------------------------------------------------------------------------
+// Reference engine (object graph). Kept verbatim as the semantic oracle:
+// the SoA engine below must reproduce its delivery evidence and telemetry
+// byte for byte (tests/test_wormhole.cpp pins it).
+// --------------------------------------------------------------------------
 
 DDPM_HOT void WormholeNetwork::return_credit(NodeId node, int in_port,
                                              int vc) {
@@ -169,7 +254,7 @@ DDPM_HOT void WormholeNetwork::return_credit(NodeId node, int in_port,
 DDPM_HOT bool WormholeNetwork::allocate(NodeId node, int in_port,
                                         InputVc& vc) {
   const Flit& head = vc.buffer.front();
-  pkt::Packet& packet = *head.packet;
+  pkt::Packet& packet = pkt_pool_[head.pkt];
   const Port arrived_on =
       in_port == injection_port() ? route::kLocalPort : Port(in_port);
 
@@ -304,11 +389,12 @@ DDPM_HOT void WormholeNetwork::eject(NodeId node, InputVc& vc) {
       if (vc.out_port == -2) {
         ++dropped_ttl_;
       } else {
-        flit.packet->delivered_at = cycle_;
+        pkt_pool_[flit.pkt].delivered_at = cycle_;
         ++delivered_;
         probes_.on_delivered();
-        if (hook_) hook_(std::move(*flit.packet), node);
+        if (hook_) hook_(std::move(pkt_pool_[flit.pkt]), node);
       }
+      pkt_free_.push_back(flit.pkt);  // tail is the packet's last use
       vc.out_port = -1;
       return;
     }
@@ -329,7 +415,7 @@ DDPM_HOT void WormholeNetwork::switch_allocation(NodeId node) {
     if (!vc.active) {
       const Flit& front = vc.buffer.front();
       if (!front.head) continue;  // body flits of an ejected/advancing head
-      if (front.packet->dest_node == node) {
+      if (pkt_pool_[front.pkt].dest_node == node) {
         // Local delivery path: consume and credit.
         const std::size_t consumed = vc.buffer.size();
         vc.out_port = -1;
@@ -391,8 +477,7 @@ DDPM_HOT void WormholeNetwork::switch_allocation(NodeId node) {
   }
 }
 
-DDPM_HOT void WormholeNetwork::step() {
-  const std::uint64_t before = progress_marker_;
+DDPM_HOT void WormholeNetwork::step_ref() {
   const NodeId n_nodes = NodeId(num_nodes_);
   for (NodeId node = 0; node < n_nodes; ++node) {
     // A node with no buffered flits has no allocation, traversal, or
@@ -407,6 +492,294 @@ DDPM_HOT void WormholeNetwork::step() {
     input_vc(s.node, s.in_port, s.vc).buffer.push_back(std::move(s.flit));
   }
   staged_.clear();
+}
+
+// --------------------------------------------------------------------------
+// SoA engine. Same cycle semantics, driven by bitmasks: the allocation
+// pass walks the occupancy mask (one ctz per occupied unit), traversal
+// arbitration walks req & occ rotated to the round-robin pointer, and the
+// node loop walks the two-level active bitmap — everything in the same
+// ascending order the reference engine's full scans observe, so probes
+// fire and credits move identically.
+// --------------------------------------------------------------------------
+
+DDPM_HOT void WormholeNetwork::soa_eject(NodeId node, int unit) {
+  const std::size_t g = std::size_t(node) * std::size_t(soa_units_) +
+                        std::size_t(unit);
+  UnitCtl& ctl = soa_in_[g];
+  while (soa_qsize(node, unit, ctl) > 0) {
+    const Flit flit = soa_qfront(node, unit, ctl);
+    soa_qpop(node, unit, ctl);
+    --flits_in_flight_;
+    ++progress_marker_;
+    if (flit.tail) {
+      ctl.active = 0;
+      if (ctl.out_port == -2) {
+        ++dropped_ttl_;
+      } else {
+        pkt_pool_[flit.pkt].delivered_at = cycle_;
+        ++delivered_;
+        probes_.on_delivered();
+        if (hook_) hook_(std::move(pkt_pool_[flit.pkt]), node);
+      }
+      pkt_free_.push_back(flit.pkt);  // tail is the packet's last use
+      ctl.out_port = -1;
+      break;
+    }
+  }
+  if (soa_qsize(node, unit, ctl) == 0) soa_note_empty(node, unit);
+}
+
+DDPM_HOT bool WormholeNetwork::soa_allocate(NodeId node, int in_port,
+                                            int unit) {
+  const std::size_t g = std::size_t(node) * std::size_t(soa_units_) +
+                        std::size_t(unit);
+  UnitCtl& ctl = soa_in_[g];
+  const Flit& head = soa_qfront(node, unit, ctl);
+  pkt::Packet& packet = pkt_pool_[head.pkt];
+  const Port arrived_on =
+      in_port == injection_port() ? route::kLocalPort : Port(in_port);
+
+  if (packet.header.ttl() == 0) {
+    ctl.active = 1;
+    ctl.out_port = -2;  // discard sink
+    ctl.out_vc = -1;
+    ctl.out_slot = -1;
+    return true;
+  }
+
+  Port best_port = -1;
+  int best_vc = -1;
+  int best_credits = 0;
+  if (!cand_mask_.empty()) {
+    std::uint32_t mask = cand_mask_[std::size_t(node) * std::size_t(num_nodes_) +
+                                    std::size_t(packet.dest_node)];
+    while (mask != 0) {
+      const Port p = Port(__builtin_ctz(mask));
+      mask &= mask - 1;
+      for (int v = escape_vcs_; v < total_vcs(); ++v) {
+        const OutCtl& out = soa_out_[soa_out_index(node, p, v)];
+        if (out.allocated == 0 && int(out.credits) > best_credits) {
+          best_credits = int(out.credits);
+          best_port = p;
+          best_vc = v;
+        }
+      }
+    }
+  } else {
+    // Cold fallback (tables disabled or over budget), same as the
+    // reference engine's.
+    const auto candidates = router_.candidates(  // ddpm-analyze: allow(hot-no-virtual)
+        node, packet.dest_node, arrived_on);
+    for (Port p : candidates) {
+      for (int v = escape_vcs_; v < total_vcs(); ++v) {
+        const OutCtl& out = soa_out_[soa_out_index(node, p, v)];
+        if (out.allocated == 0 && int(out.credits) > best_credits) {
+          best_credits = int(out.credits);
+          best_port = p;
+          best_vc = v;
+        }
+      }
+    }
+  }
+
+  std::uint8_t next_class = head.escape_class;
+  if (best_port < 0 && config_.disable_escape) {
+    probes_.on_alloc_stall();
+    return false;
+  }
+  if (best_port < 0) {
+    Port p = -1;
+    if (!escape_port_.empty()) {
+      p = escape_port_[std::size_t(node) * std::size_t(num_nodes_) +
+                       std::size_t(packet.dest_node)];
+      if (p < 0) return false;  // only possible if already at dest
+    } else {
+      const auto escape =
+          escape_router_.candidates(node, packet.dest_node, arrived_on);
+      if (escape.empty()) return false;  // only possible if already at dest
+      p = escape.front();
+    }
+    if (escape_vcs_ > 1) {
+      const std::size_t dim = std::size_t(p / 2);
+      bool same_dim_as_arrival = false;
+      if (arrived_on != route::kLocalPort) {
+        same_dim_as_arrival = (std::size_t(arrived_on / 2) == dim);
+      }
+      if (!same_dim_as_arrival) next_class = 0;
+      if (wrap_link_[std::size_t(node) * std::size_t(num_ports_) +
+                     std::size_t(p)] != 0) {
+        next_class = 1;  // wrap crossing
+      }
+    }
+    const int v = int(next_class);
+    const OutCtl& out = soa_out_[soa_out_index(node, p, v)];
+    if (out.allocated != 0 || out.credits == 0) {
+      (out.allocated != 0 ? probes_.on_alloc_stall()
+                          : probes_.on_credit_stall());
+      return false;  // wait
+    }
+    best_port = p;
+    best_vc = v;
+  }
+
+  const std::size_t slot = soa_out_index(node, best_port, best_vc);
+  soa_out_[slot].allocated = 1;
+  probes_.on_vc_alloc();
+  ctl.active = 1;
+  ctl.out_port = std::int16_t(best_port);
+  ctl.out_vc = std::int8_t(best_vc);
+  ctl.out_slot = std::int32_t(slot);
+  req_[std::size_t(node) * std::size_t(num_ports_) + std::size_t(best_port)] |=
+      (std::uint64_t(1) << unsigned(unit));
+  const NodeId next = neighbor_[std::size_t(node) * std::size_t(num_ports_) +
+                                std::size_t(best_port)];
+  packet.header.decrement_ttl();
+  if (scheme_ != nullptr) scheme_->on_forward(packet, node, next);  // ddpm-analyze: allow(hot-no-virtual)
+  ++packet.hops;
+  if (!packet.trace.empty()) packet.trace.push_back(next);  // ddpm-analyze: allow(hot-no-alloc)
+  soa_qfront(node, unit, ctl).escape_class = next_class;
+  return true;
+}
+
+DDPM_HOT void WormholeNetwork::soa_switch_allocation(NodeId node) {
+  const std::size_t base = std::size_t(node) * std::size_t(soa_units_);
+
+  // VC allocation + ejection/discard, over occupied units only. In-transit
+  // units (out_port claimed == some req_ bit set) are provably no-ops in
+  // this pass — the reference engine falls through both branches without
+  // firing a probe — so they are masked out up front; what remains is
+  // units awaiting allocation, ejection, or discard. The mask snapshot is
+  // safe: this pass can only empty the unit it is processing, never
+  // another unit at this node (and staged arrivals land after the full
+  // node sweep), so snapshot == live set; emptiness is still re-checked
+  // per unit like the reference engine does.
+  const std::size_t rbase = std::size_t(node) * std::size_t(num_ports_);
+  std::uint64_t transit = 0;
+  for (Port p = 0; p < num_ports_; ++p) transit |= req_[rbase + std::size_t(p)];
+  std::uint64_t occ = occ_[node] & ~transit;
+  while (occ != 0) {
+    const int unit = __builtin_ctzll(occ);
+    occ &= occ - 1;
+    UnitCtl& ctl = soa_in_[base + std::size_t(unit)];
+    if (soa_qsize(node, unit, ctl) == 0) continue;
+    if (ctl.active == 0) {
+      const Flit& front = soa_qfront(node, unit, ctl);
+      if (!front.head) continue;  // body flits of an ejected/advancing head
+      if (pkt_pool_[front.pkt].dest_node == node) {
+        const std::size_t consumed = soa_qsize(node, unit, ctl);
+        ctl.out_port = -1;
+        ctl.active = 1;  // occupy until tail passes
+        soa_eject(node, unit);
+        for (std::size_t i = 0; i < consumed - soa_qsize(node, unit, ctl);
+             ++i) {
+          soa_return_credit(base + std::size_t(unit));
+        }
+        continue;
+      }
+      if (!soa_allocate(node, int(unit_port_[std::size_t(unit)]), unit)) {
+        continue;
+      }
+    }
+    if (ctl.active != 0 && (ctl.out_port == -1 || ctl.out_port == -2)) {
+      const std::size_t before = soa_qsize(node, unit, ctl);
+      soa_eject(node, unit);
+      for (std::size_t i = 0; i < before - soa_qsize(node, unit, ctl); ++i) {
+        soa_return_credit(base + std::size_t(unit));
+      }
+    }
+  }
+
+  // Switch traversal: each output port forwards at most one flit. The
+  // candidate mask (active units routed to this port that hold a flit)
+  // is rotated to the round-robin pointer, reproducing the reference
+  // engine's wrap-around scan order — including the credit-stall probes
+  // on skipped candidates.
+  for (Port out_port = 0; out_port < num_ports_; ++out_port) {
+    const std::size_t np = rbase + std::size_t(out_port);
+    const std::uint64_t cand = req_[np] & occ_[node];
+    if (cand == 0) continue;
+    std::uint8_t& rr = soa_rr_[np];
+    const std::uint64_t high =
+        rr == 0 ? cand : (cand >> unsigned(rr)) << unsigned(rr);
+    std::uint64_t part = high != 0 ? high : (cand ^ high);
+    bool wrapped = (high == 0);
+    while (part != 0) {
+      const int unit = __builtin_ctzll(part);
+      part &= part - 1;
+      if (part == 0 && !wrapped) {
+        part = cand ^ high;  // continue the scan below the pointer
+        wrapped = true;
+      }
+      UnitCtl& ctl = soa_in_[base + std::size_t(unit)];
+      OutCtl& out = soa_out_[std::size_t(ctl.out_slot)];
+      if (out.credits == 0) {
+        probes_.on_credit_stall();
+        continue;
+      }
+      probes_.on_flit_forward();
+      probes_.on_buffer_sample(soa_qsize(node, unit, ctl));
+      const Flit flit = soa_qfront(node, unit, ctl);
+      soa_qpop(node, unit, ctl);
+      --out.credits;
+      soa_return_credit(base + std::size_t(unit));
+      const LinkDst dst = link_dst_[np];
+      if (flit.tail) {
+        out.allocated = 0;
+        ctl.active = 0;
+        ctl.out_port = -1;
+        req_[np] &= ~(std::uint64_t(1) << unsigned(unit));
+      }
+      soa_staged_.push_back(SoaStaged{
+          dst.node, std::uint16_t(dst.unit_base + unsigned(ctl.out_vc)),
+          flit});
+      if (soa_qsize(node, unit, ctl) == 0) soa_note_empty(node, unit);
+      rr = std::uint8_t(unit + 1 == soa_units_ ? 0 : unit + 1);
+      break;  // one flit per output port per cycle
+    }
+  }
+}
+
+DDPM_HOT void WormholeNetwork::step_soa() {
+  // Two-level active-node bitmap walk, ascending. Processing a node can
+  // only clear ITS OWN bits (other nodes' occupancy moves via staged_,
+  // which lands after the sweep), so word snapshots match the live set.
+  for (std::size_t grp = 0; grp < group_mask_.size(); ++grp) {
+    std::uint64_t gw = group_mask_[grp];
+    while (gw != 0) {
+      const std::size_t word = grp * 64 + std::size_t(__builtin_ctzll(gw));
+      gw &= gw - 1;
+      std::uint64_t nw = node_mask_[word];
+      while (nw != 0) {
+        const NodeId node = NodeId(word * 64 + std::size_t(__builtin_ctzll(nw)));
+        nw &= nw - 1;
+        soa_switch_allocation(node);
+      }
+    }
+  }
+  progress_marker_ += soa_staged_.size();
+  // Arrivals always land on a switch unit (links feed ports 0..P-1), so
+  // landing is a direct slab store: window base + (head + count) mod B.
+  const std::size_t depth = std::size_t(config_.buffer_flits);
+  for (const SoaStaged& s : soa_staged_) {
+    UnitCtl& ctl = soa_in_[std::size_t(s.node) * std::size_t(soa_units_) +
+                           std::size_t(s.unit)];
+    std::size_t pos = std::size_t(ctl.qhead) + std::size_t(ctl.qcount);
+    if (pos >= depth) pos -= depth;
+    fbuf_[fbase(s.node, int(s.unit)) + pos] = s.flit;
+    ++ctl.qcount;
+    soa_note_push(s.node, int(s.unit));
+  }
+  soa_staged_.clear();
+}
+
+DDPM_HOT void WormholeNetwork::step() {
+  const std::uint64_t before = progress_marker_;
+  if (soa_units_ != 0) {
+    step_soa();
+  } else {
+    step_ref();
+  }
   ++cycle_;
   probes_.on_cycle(cycle_, flits_in_flight_);
   if (progress_marker_ == before && flits_in_flight_ > 0) {

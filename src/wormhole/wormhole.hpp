@@ -33,6 +33,18 @@
 // no heap allocation (flit queues are flat RingBuffers, reserved to credit
 // depth). Table-driven routing is byte-identical to the virtual path; the
 // `use_route_tables` toggle exists so tests can prove it.
+//
+// On top of the tables sits the structure-of-arrays engine (default): all
+// per-unit control state lives in flat UnitCtl/OutCtl records indexed by
+// the global unit id, switch-port flit buffers are fixed-depth windows in
+// one contiguous slab (their ring cursors live in the control record),
+// per-node occupancy and per-(node, port) request bitmasks drive the
+// allocation and traversal passes (one ctz per occupied unit instead of a
+// scan over every unit), and a two-level active-node bitmap lets step()
+// walk exactly the switches holding flits, in ascending node order. The `use_soa_engine` toggle keeps the original
+// object-graph engine alive as the reference: delivery evidence AND the
+// telemetry snapshot must be byte-identical between the two
+// (tests/test_wormhole.cpp, SoaEngineIsByteIdenticalToLegacyPath).
 #pragma once
 
 #include <cstdint>
@@ -74,6 +86,12 @@ struct WormholeConfig {
   /// Per-(node, dest) tables are O(N^2); beyond this many nodes the
   /// network falls back to the virtual path rather than burn memory.
   std::size_t route_table_max_nodes = 4096;
+  /// Structure-of-arrays engine: flat control records plus occupancy /
+  /// request bitmasks replace the nested node->unit object walk. Engaged
+  /// when (P+1)*V fits the 64-bit unit masks; off (or oversize) runs the
+  /// original engine — the reference the SoA byte-identity test compares
+  /// against.
+  bool use_soa_engine = true;
 };
 
 class WormholeNetwork {
@@ -118,6 +136,11 @@ class WormholeNetwork {
   /// tests can assert the fast path is actually exercised.
   bool using_route_tables() const noexcept { return !cand_mask_.empty(); }
 
+  /// True when the structure-of-arrays engine is live (use_soa_engine and
+  /// the unit count fits the 64-bit masks). Exposed so tests can assert
+  /// which engine a scenario actually ran on.
+  bool using_soa_engine() const noexcept { return soa_units_ != 0; }
+
   /// Called with each fully ejected packet; delivered_at is the cycle the
   /// tail flit left the network.
   using DeliveryHook = std::function<void(pkt::Packet&&, NodeId)>;
@@ -138,13 +161,19 @@ class WormholeNetwork {
   }
 
  private:
+  // Flits carry a slab index, not ownership. All flits of a packet follow
+  // the head over the same path and VCs (wormhole invariant), so they are
+  // consumed in order at one unit and the tail is provably the last use:
+  // the slot is released on tail ejection with no reference count at all.
+  // (Previously this was a shared_ptr — one allocation plus ~2 atomic ops
+  // per flit of pure overhead in a single-threaded simulation.)
   struct DDPM_HOT_STATE Flit {
-    std::shared_ptr<pkt::Packet> packet;  // shared by all flits of a packet
+    std::uint32_t pkt = 0;          // slot in pkt_pool_
     bool head = false;
     bool tail = false;
-    std::uint8_t escape_class = 0;        // torus dateline state
+    std::uint8_t escape_class = 0;  // torus dateline state
   };
-  DDPM_HOT_LAYOUT(Flit, 24, 8);
+  DDPM_HOT_LAYOUT(Flit, 8, 4);
 
   struct DDPM_HOT_STATE InputVc {
     core::RingBuffer<Flit> buffer;
@@ -180,6 +209,8 @@ class WormholeNetwork {
   /// per-(node, dest) escape + candidate tables (when within budget).
   void build_route_tables();
 
+  // -- reference engine (object graph; use_soa_engine = false) -------------
+
   /// Route + VC allocation for the head flit at the front of an input VC.
   /// Returns true if an output VC was claimed.
   bool allocate(NodeId node, int in_port, InputVc& vc);
@@ -192,6 +223,104 @@ class WormholeNetwork {
 
   /// Credit return to the upstream output VC feeding (node, in_port, vc).
   void return_credit(NodeId node, int in_port, int vc);
+
+  void step_ref();
+
+  // -- SoA engine (flat records + bitmasks; engaged when soa_units_ != 0) --
+
+  /// Per-input-unit control record, indexed by global unit id
+  /// node * soa_units_ + unit. Switch units keep their queue cursors here
+  /// (the flits themselves live in the fbuf_ slab); injection units ignore
+  /// qhead/qcount and queue in inj_buf_.
+  struct DDPM_HOT_STATE UnitCtl {
+    std::int32_t out_slot = -1;  // claimed soa_out_ slot (cached index)
+    std::int16_t out_port = -1;  // -1 idle/eject, -2 discard sink
+    std::int8_t out_vc = -1;
+    std::uint8_t active = 0;
+    std::uint16_t qhead = 0;   // ring cursor into this unit's fbuf_ window
+    std::uint16_t qcount = 0;  // flits buffered (credits bound it <= B)
+  };
+  DDPM_HOT_LAYOUT(UnitCtl, 12, 4);
+
+  /// Per-output-VC control record, indexed by node * P * V + port * V + vc.
+  struct DDPM_HOT_STATE OutCtl {
+    std::int16_t credits = 0;
+    std::uint8_t allocated = 0;
+  };
+  DDPM_HOT_LAYOUT(OutCtl, 4, 2);
+
+  void build_soa();
+  void step_soa();
+  void soa_switch_allocation(NodeId node);
+  bool soa_allocate(NodeId node, int in_port, int unit);
+  void soa_eject(NodeId node, int unit);
+
+  /// Start of switch unit `unit`'s fixed-depth window in the fbuf_ slab.
+  std::size_t fbase(NodeId n, int unit) const noexcept {
+    return (std::size_t(n) * std::size_t(soa_switch_units_) +
+            std::size_t(unit)) *
+           std::size_t(config_.buffer_flits);
+  }
+  /// Injection queue backing an injection unit (unit >= soa_switch_units_).
+  core::RingBuffer<Flit>& inj_queue(NodeId n, int unit) noexcept {
+    return inj_buf_[std::size_t(n) * std::size_t(total_vcs()) +
+                    std::size_t(unit - soa_switch_units_)];
+  }
+
+  // Generic queue ops over a unit: switch units resolve to the slab window
+  // addressed by the UnitCtl cursors (no pointer chase, the whole depth-B
+  // window is contiguous); injection units dispatch to the unbounded ring.
+  // The branch predicts well — switch units dominate every pass.
+  std::size_t soa_qsize(NodeId n, int unit, const UnitCtl& ctl) noexcept {
+    if (unit < soa_switch_units_) return ctl.qcount;
+    return inj_queue(n, unit).size();
+  }
+  Flit& soa_qfront(NodeId n, int unit, UnitCtl& ctl) noexcept {
+    if (unit < soa_switch_units_) return fbuf_[fbase(n, unit) + ctl.qhead];
+    return inj_queue(n, unit).front();
+  }
+  void soa_qpop(NodeId n, int unit, UnitCtl& ctl) noexcept {
+    if (unit < soa_switch_units_) {
+      ctl.qhead = std::uint16_t(int(ctl.qhead) + 1 == config_.buffer_flits
+                                    ? 0
+                                    : ctl.qhead + 1);
+      --ctl.qcount;
+    } else {
+      inj_queue(n, unit).pop_front();
+    }
+  }
+  /// Credit return for a pop from global unit g = node * U + unit; the
+  /// upstream output-VC slot is precomputed in credit_slot_.
+  void soa_return_credit(std::size_t g) noexcept {
+    const std::int32_t slot = credit_slot_[g];
+    if (slot >= 0 && soa_out_[std::size_t(slot)].credits < config_.buffer_flits) {
+      ++soa_out_[std::size_t(slot)].credits;
+    }
+  }
+
+  std::size_t soa_out_index(NodeId n, Port port, int vc) const noexcept {
+    return (std::size_t(n) * std::size_t(num_ports_) + std::size_t(port)) *
+               std::size_t(total_vcs()) +
+           std::size_t(vc);
+  }
+
+  /// Marks unit's buffer non-empty: occupancy bit, node bit, summary bit.
+  void soa_note_push(NodeId n, int unit) noexcept {
+    occ_[n] |= (std::uint64_t(1) << unsigned(unit));
+    node_mask_[n >> 6] |= (std::uint64_t(1) << (n & 63));
+    group_mask_[n >> 12] |= (std::uint64_t(1) << ((n >> 6) & 63));
+  }
+  /// Clears the occupancy bit after a pop emptied unit's buffer; drops the
+  /// node out of the active bitmap when its last unit drains.
+  void soa_note_empty(NodeId n, int unit) noexcept {
+    occ_[n] &= ~(std::uint64_t(1) << unsigned(unit));
+    if (occ_[n] == 0) {
+      node_mask_[n >> 6] &= ~(std::uint64_t(1) << (n & 63));
+      if (node_mask_[n >> 6] == 0) {
+        group_mask_[n >> 12] &= ~(std::uint64_t(1) << ((n >> 6) & 63));
+      }
+    }
+  }
 
   const topo::Topology& topo_;
   const route::Router& router_;
@@ -223,9 +352,57 @@ class WormholeNetwork {
   std::vector<std::int32_t> unit_vc_;    // (P+1)*V
 
   std::vector<NodeState> nodes_;
-  /// Flits buffered at each node's input units; lets step() skip nodes
-  /// with no work this cycle.
+  /// Flits buffered at each node's input units; lets step_ref() skip nodes
+  /// with no work this cycle. Reference engine only.
   std::vector<std::uint32_t> node_flits_;
+
+  /// Packet slab (both engines). inject() acquires a slot (freelist first,
+  /// growth only when every slot is in flight — cold); tail ejection
+  /// releases it. pkt_free_'s capacity tracks the pool's so the hot-path
+  /// release push never allocates.
+  std::vector<pkt::Packet> pkt_pool_;
+  std::vector<std::uint32_t> pkt_free_;
+
+  /// SoA engine state. `soa_units_` is (P+1)*V when engaged, 0 otherwise;
+  /// records are indexed by global unit id node * soa_units_ + u. Units
+  /// below `soa_switch_units_` (= P*V) are credit-bounded switch queues
+  /// whose flits live in the fbuf_ slab; the rest are injection queues.
+  int soa_units_ = 0;
+  int soa_switch_units_ = 0;
+  /// One contiguous depth-B window per switch unit (N * P*V * B flits,
+  /// cursors in UnitCtl): at the default depth a whole window is 32 bytes,
+  /// so a unit's entire buffer shares a cache line with its neighbors —
+  /// the scattered RingBuffer-slab loads this slab replaced were the
+  /// engine's largest remaining memory cost.
+  std::vector<Flit> fbuf_;
+  /// Unbounded injection queues, one per (node, VC); grow only in inject().
+  std::vector<core::RingBuffer<Flit>> inj_buf_;  // N*V
+  std::vector<UnitCtl> soa_in_;                  // N*U
+  std::vector<OutCtl> soa_out_;                  // N*P*V
+  std::vector<std::uint8_t> soa_rr_;             // N*P round-robin pointers
+  /// Upstream output-VC slot credited when global unit g pops a flit, or
+  /// -1 for injection units (unbounded, no credits). Static per topology;
+  /// replaces two link-table loads and two index multiplies per pop.
+  std::vector<std::int32_t> credit_slot_;        // N*U
+  /// Downstream landing target per (node, out port): the neighbor node and
+  /// its input-unit base (reverse_port * V); +vc gives the unit. Static.
+  struct LinkDst {
+    NodeId node = topo::kInvalidNode;
+    std::uint16_t unit_base = 0;
+  };
+  std::vector<LinkDst> link_dst_;                // N*P
+  /// Bit u of occ_[n]: unit u at node n holds at least one flit.
+  std::vector<std::uint64_t> occ_;
+  /// Bit u of req_[n*P + p]: unit u is active and routed to out port p.
+  /// Traversal arbitration iterates req & occ instead of probing every
+  /// unit; maintained at allocation (set) and tail departure (clear).
+  std::vector<std::uint64_t> req_;
+  /// Active-node bitmap (bit n of word n/64 set = occ_[n] != 0) plus a
+  /// summary level (bit w of group_mask_[w/64] = node_mask_[w] != 0):
+  /// step_soa() visits exactly the nodes holding flits, ascending — the
+  /// same order the reference engine's full sweep observes.
+  std::vector<std::uint64_t> node_mask_;
+  std::vector<std::uint64_t> group_mask_;
 
   // Flits sent this cycle land in downstream buffers only after the full
   // pass, so a flit cannot traverse two links in one cycle.
@@ -236,6 +413,14 @@ class WormholeNetwork {
     Flit flit;
   };
   std::vector<Staged> staged_;
+  /// SoA staging record: destination is already resolved to (node, unit)
+  /// via link_dst_ at forward time, so landing is one push + bitmap note.
+  struct SoaStaged {
+    NodeId node;
+    std::uint16_t unit;
+    Flit flit;
+  };
+  std::vector<SoaStaged> soa_staged_;
   DeliveryHook hook_;
   std::uint64_t cycle_ = 0;
   std::uint64_t delivered_ = 0;

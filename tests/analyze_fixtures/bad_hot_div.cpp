@@ -1,0 +1,22 @@
+// ddpm_analyze fixture: hot-no-div MUST-FLAG case.
+// Integer division or modulo with a non-constant right operand inside the
+// DDPM_HOT call-graph closure: the hardware divider is a 20-40 cycle
+// partially-serializing unit, so a divisor that the compiler cannot
+// strength-reduce does not belong on the hot path. Callees of a DDPM_HOT
+// root inherit the budget, exactly like the other hot-path rules.
+#define DDPM_HOT
+
+namespace fx {
+
+int spread(int value, int buckets) {
+  return value % buckets;  // ddpm-analyze: expect(hot-no-div)
+}
+
+DDPM_HOT int hot_tick(int cursor, int window, int stride) {
+  const int lane = spread(cursor, window);  // pulls spread() into the closure
+  int share = cursor / stride;  // ddpm-analyze: expect(hot-no-div)
+  share /= (window - 1);  // ddpm-analyze: expect(hot-no-div)
+  return lane + share;
+}
+
+}  // namespace fx

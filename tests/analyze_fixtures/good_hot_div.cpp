@@ -1,0 +1,33 @@
+// ddpm_analyze fixture: hot-no-div MUST-PASS case.
+// Constant divisors are free: the compiler strength-reduces them to
+// shifts/multiplies, so literals, sizeof, and constant-cased identifiers
+// (kArity, BUCKET_WORDS — optionally behind Qualifier:: scopes) are all
+// exempt. Division outside the DDPM_HOT closure is also free to stay.
+#include <cstddef>
+
+#define DDPM_HOT
+
+namespace fx {
+
+constexpr int kArity = 4;
+constexpr int BUCKET_WORDS = 16;
+
+struct Wheel {
+  static constexpr int kWindow = 64;
+};
+
+int cold_average(int total, int samples) {
+  // Not reachable from any DDPM_HOT function: divide freely.
+  return total / samples;
+}
+
+DDPM_HOT int hot_tick(int cursor, std::size_t bytes) {
+  const int parent = (cursor - 1) / kArity;
+  const int word = cursor / BUCKET_WORDS;
+  const int lane = cursor % Wheel::kWindow;
+  const int cells = int(bytes / sizeof(int));
+  const int half = cursor / 2;
+  return parent + word + lane + cells + half;
+}
+
+}  // namespace fx

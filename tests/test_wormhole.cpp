@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <string>
+
+#include "telemetry/registry.hpp"
 
 #include "topology/coord.hpp"
 
@@ -330,16 +333,20 @@ struct DeliveryEvidence {
   bool operator==(const DeliveryEvidence&) const = default;
 };
 
-std::vector<DeliveryEvidence> run_traced_scenario(const char* spec,
-                                                  const char* router_name,
-                                                  bool use_tables) {
+std::vector<DeliveryEvidence> run_traced_scenario(
+    const char* spec, const char* router_name, bool use_tables,
+    bool use_soa = true, std::string* telemetry_csv = nullptr) {
   const auto topo = topo::make_topology(spec);
   const auto router = route::make_router(router_name, *topo);
   mark::DdpmScheme scheme(*topo);
   WormholeConfig config;
   config.use_route_tables = use_tables;
+  config.use_soa_engine = use_soa;
   WormholeNetwork net(*topo, *router, &scheme, config);
   EXPECT_EQ(net.using_route_tables(), use_tables);
+  EXPECT_EQ(net.using_soa_engine(), use_soa);
+  telemetry::Registry registry;
+  if (telemetry_csv != nullptr) net.bind_telemetry(&registry);
   std::vector<DeliveryEvidence> evidence;
   net.set_delivery_hook([&](pkt::Packet&& p, NodeId at) {
     evidence.push_back(DeliveryEvidence{at, p.true_source, p.hops,
@@ -356,8 +363,10 @@ std::vector<DeliveryEvidence> run_traced_scenario(const char* spec,
     net.inject(std::move(p), s);
   }
   EXPECT_TRUE(net.drain(2000000)) << spec << " " << router_name
-                                  << " tables=" << use_tables;
+                                  << " tables=" << use_tables
+                                  << " soa=" << use_soa;
   EXPECT_EQ(evidence.size(), 400u);
+  if (telemetry_csv != nullptr) *telemetry_csv = registry.snapshot().to_csv();
   return evidence;
 }
 
@@ -376,6 +385,64 @@ TEST(Wormhole, RouteTablesAreByteIdenticalToVirtualPath) {
       }
     }
   }
+}
+
+// -- SoA-engine byte-identity ----------------------------------------------
+// The structure-of-arrays engine replaces the object-graph inner loop with
+// flat control records and occupancy/request bitmasks. Like the route
+// tables it is an optimization only: delivery evidence AND the telemetry
+// stream (every probe firing, including stall probes on skipped arbitration
+// candidates and buffer-depth histogram samples) must match the legacy
+// engine exactly — bitmask iteration order is ascending precisely so that
+// same-cycle credit visibility and VC-claim ordering replay bit for bit.
+
+TEST(Wormhole, SoaEngineIsByteIdenticalToLegacyPath) {
+  for (const char* spec : {"mesh:8x8", "torus:4x4"}) {
+    for (const char* router_name : {"dor", "adaptive"}) {
+      std::string soa_csv;
+      std::string ref_csv;
+      const auto soa =
+          run_traced_scenario(spec, router_name, true, true, &soa_csv);
+      const auto reference =
+          run_traced_scenario(spec, router_name, true, false, &ref_csv);
+      ASSERT_EQ(soa.size(), reference.size()) << spec << " " << router_name;
+      for (std::size_t i = 0; i < soa.size(); ++i) {
+        EXPECT_EQ(soa[i], reference[i])
+            << spec << " " << router_name << " packet " << i << " diverged "
+            << "(delivered at " << soa[i].at << " vs " << reference[i].at
+            << ", hops " << soa[i].hops << " vs " << reference[i].hops
+            << ")";
+      }
+      EXPECT_EQ(soa_csv, ref_csv)
+          << spec << " " << router_name << " telemetry streams diverged";
+    }
+  }
+}
+
+TEST(Wormhole, SoaEngineIsByteIdenticalOnVirtualRoutingPath) {
+  // Cross check: SoA with the route tables off (virtual routing fallback
+  // inside soa_allocate) against the fully-legacy engine.
+  const auto soa = run_traced_scenario("torus:4x4", "adaptive", false, true);
+  const auto reference =
+      run_traced_scenario("torus:4x4", "adaptive", false, false);
+  ASSERT_EQ(soa.size(), reference.size());
+  for (std::size_t i = 0; i < soa.size(); ++i) {
+    EXPECT_EQ(soa[i], reference[i]) << "packet " << i << " diverged";
+  }
+}
+
+TEST(Wormhole, SoaEngineRespectsUnitMaskBudget) {
+  // (P+1)*V must fit a 64-bit mask: an adaptive_vcs burst past that budget
+  // has to fall back to the legacy engine — and still deliver.
+  const auto topo = topo::make_topology("mesh:4x4");
+  const auto router = route::make_router("adaptive", *topo);
+  WormholeConfig config;
+  config.adaptive_vcs = 13;  // (4+1)*(13+1) = 70 units > 64
+  WormholeNetwork net(*topo, *router, nullptr, config);
+  EXPECT_FALSE(net.using_soa_engine());
+  for (int i = 0; i < 50; ++i) net.inject(make_packet(*topo, 0, 15), 0);
+  ASSERT_TRUE(net.drain(1000000));
+  EXPECT_EQ(net.delivered(), 50u);
 }
 
 TEST(Wormhole, RouteTablesRespectNodeBudget) {

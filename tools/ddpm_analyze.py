@@ -96,6 +96,7 @@ RULES = (
     "hot-no-virtual",
     "hot-no-lock",
     "hot-no-throw-io",
+    "hot-no-div",
     "layout-certified",
 )
 META_RULES = ("stale-suppression",)
@@ -196,6 +197,35 @@ HOT_THROW_IO_RES = (
     (re.compile(r"\b(?:stringstream|ostringstream|istringstream|ofstream|"
                 r"ifstream|fstream)\b"), "stream construction"),
 )
+# Integer division/modulo with a non-constant divisor is a 20-40 cycle
+# partially-serializing op; a constant divisor strength-reduces to
+# shifts/multiplies at -O2. The right operand is exempt when it is a
+# numeric literal, sizeof, or a constant-cased identifier (kArity,
+# BUFFER_DEPTH) — optionally behind `Qualifier::` scopes. Everything else
+# (locals, members, parenthesized expressions) is flagged.
+HOT_DIV_QUALIFIER_RE = re.compile(r"^(?:[A-Za-z_]\w*\s*::\s*)+")
+HOT_DIV_CONST_RHS_RE = re.compile(r"\d|sizeof\b|k[A-Z]\w*|[A-Z][A-Z0-9_]+\b")
+HOT_DIV_TOKEN_RE = re.compile(r"[A-Za-z_][\w:]*|\S")
+
+
+def hot_div_matches(lt: str):
+    """Yields (operator, rhs-token) for each `/`, `%`, `/=`, `%=` on the
+    (comment/string-blanked) line whose right operand is not provably a
+    compile-time constant."""
+    for m in re.finditer(r"[/%]", lt):
+        i = m.start()
+        if lt[:i].rstrip().endswith("operator"):
+            continue  # operator/ / operator% declaration, not a division
+        j = i + 1
+        op = m.group(0)
+        if j < len(lt) and lt[j] == "=":
+            op += "="
+            j += 1
+        rhs = HOT_DIV_QUALIFIER_RE.sub("", lt[j:].lstrip())
+        if not rhs or HOT_DIV_CONST_RHS_RE.match(rhs):
+            continue
+        tok = HOT_DIV_TOKEN_RE.match(rhs)
+        yield op, tok.group(0) if tok else rhs[:1]
 
 
 # --------------------------------------------------------------------------
@@ -1432,6 +1462,11 @@ MESSAGES = {
                    "synchronization there is pure overhead",
     "hot-no-throw-io": "throw or console I/O reachable from a DDPM_HOT "
                        "function — report through counters/return values",
+    "hot-no-div": "integer division/modulo with a non-constant divisor "
+                  "reachable from a DDPM_HOT function — a hardware divide "
+                  "partially serializes the pipeline; use a power-of-two "
+                  "mask/shift, hoist the divisor to a constant, or "
+                  "precompute a table",
     "layout-certified": "DDPM_HOT_STATE layout not certified — every "
                         "hot-state record needs a DDPM_HOT_LAYOUT(size, "
                         "align) pin so growth shows up in review",
@@ -1576,6 +1611,9 @@ def hot_pass_sites(units: list, class_layout: dict) -> list:
                 for rx, what in HOT_THROW_IO_RES:
                     if rx.search(lt):
                         emit("hot-no-throw-io", n, qname, what)
+                for op, tok in hot_div_matches(lt):
+                    emit("hot-no-div", n, qname,
+                         f"'{op}' with non-constant right operand '{tok}'")
     for u in units:
         declared = {name: (size, align, line)
                     for name, size, align, line in u.hot_layouts}
