@@ -23,8 +23,11 @@
 #include "bench_util.hpp"
 #include "attack/traffic.hpp"
 #include "core/sweep_grid.hpp"
+#include "flow/trace_gen.hpp"
 #include "netsim/event_queue.hpp"
 #include "routing/router.hpp"
+#include "stream/flow_analyzer.hpp"
+#include "stream/sketch.hpp"
 #include "topology/factory.hpp"
 #include "wormhole/wormhole.hpp"
 
@@ -134,6 +137,47 @@ Result bench_wormhole(std::uint64_t cycles) {
   return {"wormhole_steps", double(cycles) / seconds_since(start), "steps/s"};
 }
 
+Result bench_sketch_update(std::uint64_t updates) {
+  // Count-min conservative update over a synthetic spoofed-source stream:
+  // every key fresh (the worst case for the conservative-update early-out),
+  // default analyzer geometry. This is the inner loop of every sketch
+  // detector, so the ratchet guards it directly.
+  stream::CountMinSketch cms(2048, 4, 0x5eed'beefULL);
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  std::uint64_t sink = 0;
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < updates; ++i) {
+    sink += cms.update(std::uint32_t(next_time_sample(x)));
+  }
+  const double elapsed = seconds_since(start);
+  if (sink == 0) std::cerr << "sketch_update: impossible zero estimate\n";
+  return {"sketch_update", double(updates) / elapsed, "updates/s"};
+}
+
+Result bench_trace_replay(std::uint32_t sources) {
+  // End-to-end streaming pipeline: generate a spoofed flood with `sources`
+  // distinct addresses and push it through the full sharded analyzer
+  // (ingest -> sketches -> window judgement). Records/s, single worker, so
+  // the number tracks per-record cost rather than thread count.
+  flow::TraceGenConfig gen;
+  gen.seed = 7;
+  gen.attack = flow::AttackShape::kFlood;
+  gen.attack_sources = sources;
+  gen.attack_start = 50'000;
+  gen.attack_duration = 400'000;
+  gen.duration = 500'000;
+  gen.attack_rate = 1.25 * double(sources) / double(gen.attack_duration);
+  flow::TraceGenerator source(gen);
+  stream::FlowAnalyzerConfig config;
+  const auto start = Clock::now();
+  const stream::StreamReport report = stream::replay(source, config);
+  const double elapsed = seconds_since(start);
+  if (!report.detection_time.has_value()) {
+    std::cerr << "WARNING: trace_replay flood went undetected\n";
+  }
+  return {"trace_replay", double(report.records) / elapsed, "records/s"};
+}
+
 core::SweepSpec sweep_spec(std::size_t seeds, std::size_t jobs) {
   core::SweepSpec spec;
   spec.topologies = {"torus:8x8"};
@@ -196,6 +240,8 @@ int main(int argc, char** argv) {
     results.push_back(bench_churn(2000, 50000));
     results.push_back(bench_cancel(10000, 2));
     results.push_back(bench_wormhole(1500));
+    results.push_back(bench_sketch_update(500000));
+    results.push_back(bench_trace_replay(50000));
   } else {
     results.push_back(bench_schedule_pop(400000, 4));
     results.push_back(bench_churn(10000, 2000000));
@@ -204,6 +250,8 @@ int main(int argc, char** argv) {
     // steps/s figure is stable run to run (at 20k the window was ~0.1 s
     // and the metric swung ±10% with scheduler noise).
     results.push_back(bench_wormhole(100000));
+    results.push_back(bench_sketch_update(20000000));
+    results.push_back(bench_trace_replay(1000000));
   }
 
   // End-to-end sweep cell: serial, then parallel, same workload.

@@ -48,6 +48,10 @@ void usage() {
       "  --spoof NAME         none|random-cluster|random-any|victim-reflect\n"
       "  --attack-start T     attack start tick (default 50000)\n\n"
       "pipeline options:\n"
+      "  --detector NAME      rate-threshold|entropy|cusum|syn-half-open|\n"
+      "                       sketch-entropy|heavy-hitter|sketch-cusum\n"
+      "                       (default rate-threshold; sketch-* run in\n"
+      "                       bounded memory, see docs/STREAMING.md)\n"
       "  --threshold R        detection rate threshold (default 0.005)\n"
       "  --pulse-period T     pulsing attack period (0 = continuous)\n"
       "  --pulse-duty R       on-fraction of each pulse period\n"
@@ -124,6 +128,8 @@ int main(int argc, char** argv) {
         config.identifier = config.cluster.scheme;
       } else if (arg == "--pattern") {
         config.cluster.pattern = value();
+      } else if (arg == "--detector") {
+        config.detector = value();
       } else if (arg == "--benign-rate") {
         config.cluster.benign_rate_per_node = std::stod(value());
       } else if (arg == "--seed") {

@@ -151,6 +151,7 @@ std::string to_json(const ScenarioConfig& config,
   json.field("benign_rate_per_node", config.cluster.benign_rate_per_node);
   json.field("seed", config.cluster.seed);
   json.field("identifier", config.identifier);
+  json.field("detector", config.detector);
   json.field("detect_rate_threshold", config.detect_rate_threshold);
   json.field("auto_block", config.auto_block);
   json.field("duration", config.duration);

@@ -43,7 +43,10 @@ std::unique_ptr<mark::SourceIdentifier> make_identifier(
 SourceIdentificationSystem::SourceIdentificationSystem(ScenarioConfig config)
     : config_(std::move(config)),
       network_(std::make_unique<cluster::ClusterNetwork>(config_.cluster)),
-      detector_(config_.detect_rate_threshold, config_.detect_half_life),
+      detector_(stream::make_detector(config_.detector,
+                                      config_.detect_rate_threshold,
+                                      config_.detect_half_life,
+                                      config_.detect_tuning)),
       rng_(config_.cluster.seed ^ 0xdddd5ULL) {
   if (config_.attack.kind != attack::AttackKind::kNone &&
       config_.attack.kind != attack::AttackKind::kWorm &&
@@ -73,10 +76,10 @@ void SourceIdentificationSystem::on_delivery(const pkt::Packet& packet,
   if (at != config_.attack.victim) return;
   const netsim::SimTime now = network_->sim().now();
 
-  detector_.observe(packet, now);
-  if (!detector_.alarmed()) return;
+  detector_->observe(packet, now);
+  if (!detector_->alarmed()) return;
   if (!report_.detection_time) {
-    report_.detection_time = detector_.alarm_time();
+    report_.detection_time = detector_->alarm_time();
     probes_.on_detector_firing(config_.attack.victim);
   }
 
@@ -134,6 +137,12 @@ ScenarioReport SourceIdentificationSystem::run() {
   ran_ = true;
   network_->start();
   network_->run_until(config_.duration);
+  const double latency =
+      report_.detection_time
+          ? double(*report_.detection_time) - double(config_.attack.start_time)
+          : 0.0;
+  probes_.on_run_end(report_.detection_time.has_value(), latency,
+                     double(detector_->memory_bytes()));
   report_.metrics = network_->metrics();
   report_.telemetry = network_->telemetry_snapshot();
   return report_;

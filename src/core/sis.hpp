@@ -19,6 +19,7 @@
 #include "cluster/network.hpp"
 #include "detect/detector.hpp"
 #include "marking/scheme.hpp"
+#include "stream/detectors.hpp"
 #include "telemetry/probes.hpp"
 #include "telemetry/registry.hpp"
 
@@ -32,9 +33,17 @@ struct ScenarioConfig {
   /// "ppm-full", "ppm-xor", "ppm-bitdiff", or "none").
   std::string identifier = "ddpm";
 
-  /// Detector: EWMA inbound rate threshold (packets/tick) at the victim.
+  /// Victim-side detector (stream::make_detector): "rate-threshold",
+  /// "entropy", "cusum", "syn-half-open", or the sublinear sketch trio
+  /// "sketch-entropy" / "heavy-hitter" / "sketch-cusum".
+  std::string detector = "rate-threshold";
+
+  /// Rate-threshold knobs: EWMA inbound rate (packets/tick) at the victim.
   double detect_rate_threshold = 0.02;
   double detect_half_life = 2000;
+
+  /// Knobs for the non-default detectors.
+  stream::SketchDetectorTuning detect_tuning;
 
   /// Classifier imperfection: probability a benign packet at the victim is
   /// handed to the identifier as if it were attack traffic (0 = the perfect
@@ -113,7 +122,7 @@ class SourceIdentificationSystem {
   Observer observer_;
   std::unique_ptr<cluster::ClusterNetwork> network_;
   std::unique_ptr<mark::SourceIdentifier> identifier_;
-  detect::RateThresholdDetector detector_;
+  std::unique_ptr<detect::Detector> detector_;
   netsim::Rng rng_;
   telemetry::PipelineProbes probes_;
   ScenarioReport report_;

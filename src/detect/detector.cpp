@@ -39,6 +39,16 @@ double EntropyDetector::current_entropy() const {
   return netsim::shannon_entropy(counts_);
 }
 
+std::size_t EntropyDetector::memory_bytes() const noexcept {
+  // Deque ring + map nodes (key, count, hash link) — approximate, but the
+  // point is the trend: this grows with DISTINCT sources in the window,
+  // capped only by kMaxWindow. stream::SketchEntropyDetector's equivalent
+  // is constant.
+  return recent_.size() * sizeof(std::uint32_t) +
+         counts_.size() *
+             (sizeof(std::uint32_t) + sizeof(std::uint64_t) + 2 * sizeof(void*));
+}
+
 void CusumDetector::advance(netsim::SimTime now) {
   const std::uint64_t current = now / window_;
   while (bucket_ < current) {

@@ -35,6 +35,10 @@ class Detector {
   virtual bool alarmed() const noexcept = 0;
   virtual void reset() = 0;
 
+  /// Approximate heap footprint of the detector's state, for the
+  /// memory-vs-scale telemetry. 0 = "constant and negligible".
+  virtual std::size_t memory_bytes() const noexcept { return 0; }
+
   /// Time of the first alarm, if any.
   std::optional<netsim::SimTime> alarm_time() const noexcept { return alarm_time_; }
 
@@ -72,17 +76,30 @@ class RateThresholdDetector final : public Detector {
 
 class EntropyDetector final : public Detector {
  public:
+  /// The window is clamped to this many packets. The cap bounds the
+  /// per-source map: this detector keeps an EXACT count per distinct
+  /// source inside the window, so without it a spoofed flood (every
+  /// packet a fresh source) would grow `counts_` without limit — the
+  /// attacker controls the detector's memory. At million-source scale use
+  /// stream::SketchEntropyDetector, whose footprint is fixed by
+  /// construction (hashed buckets, not per-source entries).
+  static constexpr std::size_t kMaxWindow = std::size_t(1) << 16;
+
   /// Alarms when the source-address entropy over the last `window` packets
   /// leaves [low_bits, high_bits]. The window must fill once first.
   EntropyDetector(std::size_t window, double low_bits, double high_bits)
-      : window_(window), low_(low_bits), high_(high_bits) {}
+      : window_(window < kMaxWindow ? window : kMaxWindow),
+        low_(low_bits),
+        high_(high_bits) {}
 
   std::string name() const override { return "source-entropy"; }
   void observe(const pkt::Packet& packet, netsim::SimTime now) override;
   bool alarmed() const noexcept override { return alarm_time_.has_value(); }
   void reset() override;
+  std::size_t memory_bytes() const noexcept override;
 
   double current_entropy() const;
+  std::size_t window() const noexcept { return window_; }
 
  private:
   std::size_t window_;

@@ -1,0 +1,124 @@
+#include "flow/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace ddpm::flow {
+
+namespace {
+
+/// Strict unsigned-decimal field parse: the whole field must be digits and
+/// fit the destination type. std::from_chars is locale-free and never
+/// allocates.
+template <typename T>
+bool parse_field(std::string_view field, T& out) {
+  if (field.empty()) return false;
+  const char* first = field.data();
+  const char* last = first + field.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+/// Splits `line` at the next comma; returns the head and shrinks `line`
+/// to the tail. `more` reports whether a comma was consumed.
+std::string_view take_field(std::string_view& line, bool& more) {
+  const std::size_t comma = line.find(',');
+  more = comma != std::string_view::npos;
+  const std::string_view head = more ? line.substr(0, comma) : line;
+  line = more ? line.substr(comma + 1) : std::string_view{};
+  return head;
+}
+
+}  // namespace
+
+bool parse_csv_line(std::string_view line, FlowRecord& out) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  bool more = true;
+  const std::string_view fields[8] = {
+      take_field(line, more), take_field(line, more), take_field(line, more),
+      take_field(line, more), take_field(line, more), take_field(line, more),
+      take_field(line, more), take_field(line, more)};
+  // Exactly eight fields: the final take must have exhausted the commas.
+  if (more) return false;
+  FlowRecord r;
+  std::uint32_t proto = 0;
+  if (!parse_field(fields[0], r.src) || !parse_field(fields[1], r.dst) ||
+      !parse_field(fields[2], r.bytes) || !parse_field(fields[3], r.packets) ||
+      !parse_field(fields[4], r.first_ts) ||
+      !parse_field(fields[5], r.last_ts) || !parse_field(fields[6], proto) ||
+      proto > 255 || fields[7].empty()) {
+    return false;
+  }
+  r.proto = static_cast<std::uint8_t>(proto);
+  r.attack = fields[7] != kBenignLabel;
+  out = r;
+  return true;
+}
+
+CsvStats read_csv(std::istream& in, const RecordSink& sink) {
+  CsvStats stats;
+  std::string line;
+  bool first_line = true;
+  netsim::SimTime prev_ts = 0;
+  while (std::getline(in, line)) {
+    std::string_view view(line);
+    if (!view.empty() && view.back() == '\r') view.remove_suffix(1);
+    if (first_line) {
+      first_line = false;
+      if (view == kCsvHeader) {
+        stats.header_ok = true;
+        continue;  // header row is not a data line
+      }
+      // Headerless input: fall through and treat it as data.
+    }
+    if (view.empty()) continue;  // blank lines (trailing newline) are noise
+    ++stats.lines;
+    FlowRecord record;
+    if (!parse_csv_line(view, record)) {
+      ++stats.malformed;
+      continue;
+    }
+    if (stats.records > 0 && record.first_ts < prev_ts) ++stats.out_of_order;
+    prev_ts = record.first_ts;
+    ++stats.records;
+    if (sink) sink(record);
+  }
+  return stats;
+}
+
+CsvStats read_csv_file(const std::string& path, const RecordSink& sink) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("flow::read_csv_file: cannot open " + path);
+  return read_csv(in, sink);
+}
+
+std::vector<FlowRecord> read_csv_file(const std::string& path,
+                                      CsvStats* stats) {
+  std::vector<FlowRecord> records;
+  const CsvStats s = read_csv_file(
+      path, [&records](const FlowRecord& r) { records.push_back(r); });
+  if (stats != nullptr) *stats = s;
+  return records;
+}
+
+void write_csv(std::ostream& out, const std::vector<FlowRecord>& records) {
+  out << kCsvHeader << '\n';
+  for (const FlowRecord& r : records) {
+    out << r.src << ',' << r.dst << ',' << r.bytes << ',' << r.packets << ','
+        << r.first_ts << ',' << r.last_ts << ',' << unsigned(r.proto) << ','
+        << (r.attack ? "ATTACK" : kBenignLabel) << '\n';
+  }
+}
+
+void write_csv_file(const std::string& path,
+                    const std::vector<FlowRecord>& records) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("flow::write_csv_file: cannot open " + path);
+  }
+  write_csv(out, records);
+}
+
+}  // namespace ddpm::flow

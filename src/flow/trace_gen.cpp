@@ -1,0 +1,190 @@
+#include "flow/trace_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.hpp"
+
+namespace ddpm::flow {
+
+namespace {
+
+/// Exponential inter-arrival advance of a double-precision clock. Rates
+/// are per tick; the clock stays fractional so low rates do not quantize
+/// to zero-length gaps.
+double exp_gap(netsim::Rng& rng, double rate) {
+  return rate > 0.0 ? rng.next_exponential(rate) : 0.0;
+}
+
+}  // namespace
+
+std::uint32_t TraceGenerator::scramble(std::uint32_t x) noexcept {
+  // Finalizer of MurmurHash3 (32-bit): every step is invertible, so the
+  // map is a bijection on uint32 — distinct inputs give distinct outputs.
+  x ^= x >> 16;
+  x *= 0x85eb'ca6bu;
+  x ^= x >> 13;
+  x *= 0xc2b2'ae35u;
+  x ^= x >> 16;
+  return x;
+}
+
+TraceGenerator::TraceGenerator(const TraceGenConfig& config)
+    : config_(config) {
+  DDPM_CHECK(config_.benign_sources > 0,
+             "TraceGenerator: benign_sources must be positive");
+  DDPM_CHECK(config_.services > 0, "TraceGenerator: services must be positive");
+  DDPM_CHECK(config_.attack == AttackShape::kNone || config_.attack_sources > 0,
+             "TraceGenerator: attack_sources must be positive");
+  // Two disjoint 2^128-draw streams off one seed: replays are reproducible
+  // and the benign mix is independent of whether an attack runs.
+  netsim::Rng root(config_.seed ^ 0xf10c'7ace'5eedULL);
+  rng_benign_ = root.jump_stream();
+  rng_attack_ = root.jump_stream();
+
+  // Zipf inverse-CDF table: weight(rank) = 1 / rank^s, normalized.
+  zipf_cdf_.resize(config_.benign_sources);
+  double acc = 0.0;
+  for (std::uint32_t r = 0; r < config_.benign_sources; ++r) {
+    acc += std::pow(double(r) + 1.0, -config_.zipf_s);
+    zipf_cdf_[r] = acc;
+  }
+  for (double& w : zipf_cdf_) w /= acc;
+
+  advance_benign();
+  advance_attack();
+}
+
+bool TraceGenerator::attack_active(netsim::SimTime t) const noexcept {
+  if (config_.attack == AttackShape::kNone) return false;
+  if (t < config_.attack_start ||
+      t >= config_.attack_start + config_.attack_duration) {
+    return false;
+  }
+  if (config_.attack == AttackShape::kPulse) {
+    const netsim::SimTime phase =
+        (t - config_.attack_start) % std::max<netsim::SimTime>(
+                                         config_.pulse_period, 1);
+    return double(phase) <
+           config_.pulse_duty * double(std::max<netsim::SimTime>(
+                                    config_.pulse_period, 1));
+  }
+  return true;
+}
+
+std::uint32_t TraceGenerator::attack_source(netsim::SimTime t) noexcept {
+  switch (config_.attack) {
+    case AttackShape::kChurn: {
+      // Membership churn: block b of the pool is active during churn
+      // period b; sources repeat within a block, then the block rotates.
+      const std::uint32_t blocks = std::max<std::uint32_t>(
+          config_.churn_blocks, 1);
+      const std::uint32_t per_block =
+          std::max<std::uint32_t>(config_.attack_sources / blocks, 1);
+      const auto period = std::max<netsim::SimTime>(config_.churn_period, 1);
+      const std::uint32_t block =
+          std::uint32_t(((t - config_.attack_start) / period)) % blocks;
+      const auto pick =
+          std::uint32_t(rng_attack_.next_below(per_block));
+      return scramble(0x4000'0000u + block * per_block + pick);
+    }
+    case AttackShape::kFlood:
+    case AttackShape::kPulse: {
+      // A fresh spoofed address per flow until the pool is exhausted, then
+      // the pool cycles — attack_sources flows touch attack_sources
+      // DISTINCT addresses (scramble is bijective).
+      const std::uint32_t idx =
+          std::uint32_t(attack_flows_ % config_.attack_sources);
+      return scramble(0x8000'0000u + idx);
+    }
+    case AttackShape::kNone:
+      break;
+  }
+  return 0;
+}
+
+void TraceGenerator::advance_benign() {
+  have_benign_ = false;
+  if (config_.benign_rate <= 0.0) return;
+  benign_clock_ += exp_gap(rng_benign_, config_.benign_rate);
+  const auto t = netsim::SimTime(benign_clock_);
+  if (t >= config_.duration) return;
+
+  // Zipf rank by binary search over the cumulative table.
+  const double u = rng_benign_.next_double();
+  const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  const auto rank = std::uint32_t(it - zipf_cdf_.begin());
+
+  FlowRecord r;
+  r.src = scramble(rank);  // sparse client address space
+  r.dst = scramble(0xc000'0000u +
+                   std::uint32_t(rng_benign_.next_below(config_.services)));
+  r.packets = 1 + std::uint32_t(rng_benign_.next_below(64));
+  r.bytes = std::uint64_t(r.packets) *
+            (40 + rng_benign_.next_below(1460));
+  r.first_ts = t;
+  r.last_ts = t + rng_benign_.next_below(2000);
+  r.proto = rng_benign_.next_bool(0.7) ? 6 : 17;
+  r.attack = false;
+  pending_benign_ = r;
+  have_benign_ = true;
+}
+
+void TraceGenerator::advance_attack() {
+  have_attack_ = false;
+  if (config_.attack == AttackShape::kNone || config_.attack_rate <= 0.0) {
+    return;
+  }
+  if (attack_clock_ < double(config_.attack_start)) {
+    attack_clock_ = double(config_.attack_start);
+  }
+  for (;;) {
+    attack_clock_ += exp_gap(rng_attack_, config_.attack_rate);
+    const auto t = netsim::SimTime(attack_clock_);
+    if (t >= config_.attack_start + config_.attack_duration ||
+        t >= config_.duration) {
+      return;  // attack phase over
+    }
+    if (!attack_active(t)) continue;  // skip the off part of a pulse
+
+    FlowRecord r;
+    r.src = attack_source(t);
+    ++attack_flows_;
+    r.dst = config_.victim;
+    r.packets = 1 + std::uint32_t(rng_attack_.next_below(3));
+    r.bytes = std::uint64_t(r.packets) * (40 + rng_attack_.next_below(64));
+    r.first_ts = t;
+    r.last_ts = t;  // single-burst spoofed flows have no duration
+    r.proto = 17;
+    r.attack = true;
+    pending_attack_ = r;
+    have_attack_ = true;
+    return;
+  }
+}
+
+bool TraceGenerator::next(FlowRecord& out) {
+  if (!have_benign_ && !have_attack_) return false;
+  // Two-way merge on first_ts; benign wins ties so the order is total.
+  const bool take_benign =
+      have_benign_ &&
+      (!have_attack_ || pending_benign_.first_ts <= pending_attack_.first_ts);
+  if (take_benign) {
+    out = pending_benign_;
+    advance_benign();
+  } else {
+    out = pending_attack_;
+    advance_attack();
+  }
+  ++emitted_;
+  return true;
+}
+
+std::vector<FlowRecord> TraceGenerator::generate() {
+  std::vector<FlowRecord> records;
+  FlowRecord r;
+  while (next(r)) records.push_back(r);
+  return records;
+}
+
+}  // namespace ddpm::flow

@@ -1,0 +1,102 @@
+// Deterministic synthetic flow-trace generator.
+//
+// Synthesizes CIC-DDoS2019-shaped workloads with millions of distinct
+// sources without ever holding the trace in memory: `next()` merges a
+// benign stream and an attack stream by timestamp, each driven by its own
+// xoshiro jump stream off one seed (same two-level hierarchy the cluster
+// model uses), so the same config reproduces the same records bit for bit
+// on any machine.
+//
+//   * Benign traffic: `benign_sources` distinct clients whose popularity
+//     follows a Zipf(s) law (rank sampled by inverse CDF over the
+//     precomputed harmonic weights), talking to a small service pool with
+//     exponential inter-arrival times.
+//   * kFlood: every attack flow claims a FRESH spoofed source — a
+//     bijective 32-bit mix of the flow counter — so `attack_sources`
+//     flows yield exactly `attack_sources` distinct addresses (the
+//     1M-distinct-source scenario the sketches must survive).
+//   * kPulse: the flood gated by a duty cycle (shrew-style bursts that
+//     evade EWMA smoothing between pulses).
+//   * kChurn: the source pool is partitioned into blocks that rotate
+//     every `churn_period` ticks — botnet membership churn, the workload
+//     that ages out per-source state.
+//
+// All attack flows target `victim`; ground truth is carried in
+// FlowRecord::attack, which generators of detection features must ignore.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/record.hpp"
+#include "netsim/rng.hpp"
+
+namespace ddpm::flow {
+
+enum class AttackShape : std::uint8_t { kNone, kFlood, kPulse, kChurn };
+
+struct TraceGenConfig {
+  std::uint64_t seed = 1;
+
+  // Benign mix.
+  std::uint32_t benign_sources = 10'000;
+  double zipf_s = 1.1;              // Zipf skew over benign source ranks
+  std::uint32_t services = 32;      // benign destination pool size
+  double benign_rate = 0.02;        // aggregate benign flows per tick
+  netsim::SimTime duration = 1'000'000;
+
+  // Attack phase.
+  AttackShape attack = AttackShape::kFlood;
+  std::uint32_t attack_sources = 100'000;  // distinct spoofed addresses
+  std::uint32_t victim = 0xC0A8'0001;      // attacked destination
+  netsim::SimTime attack_start = 200'000;
+  netsim::SimTime attack_duration = 600'000;
+  double attack_rate = 0.5;                // attack flows per tick while on
+  netsim::SimTime pulse_period = 50'000;   // kPulse on/off cycle length
+  double pulse_duty = 0.2;                 // fraction of the period on
+  netsim::SimTime churn_period = 100'000;  // kChurn block rotation
+  std::uint32_t churn_blocks = 8;          // kChurn pool partitions
+};
+
+class TraceGenerator {
+ public:
+  explicit TraceGenerator(const TraceGenConfig& config);
+
+  /// Produces the next record in non-decreasing first_ts order. Returns
+  /// false when the configured duration is exhausted.
+  bool next(FlowRecord& out);
+
+  /// Drains the whole trace into a vector (tests and small traces; a
+  /// million-source run should stream through next() instead).
+  std::vector<FlowRecord> generate();
+
+  std::uint64_t emitted() const noexcept { return emitted_; }
+  const TraceGenConfig& config() const noexcept { return config_; }
+
+  /// The bijective 32-bit mix used to turn counters/ranks into sparse
+  /// addresses (exposed for tests: distinctness follows from bijectivity).
+  static std::uint32_t scramble(std::uint32_t x) noexcept;
+
+ private:
+  void advance_benign();
+  void advance_attack();
+  /// True when the attack shape emits flows at tick `t`.
+  bool attack_active(netsim::SimTime t) const noexcept;
+  std::uint32_t attack_source(netsim::SimTime t) noexcept;
+
+  TraceGenConfig config_;
+  netsim::Rng rng_benign_;
+  netsim::Rng rng_attack_;
+  std::vector<double> zipf_cdf_;  // cumulative, normalized to [0,1]
+
+  FlowRecord pending_benign_{};
+  FlowRecord pending_attack_{};
+  bool have_benign_ = false;
+  bool have_attack_ = false;
+  double benign_clock_ = 0.0;
+  double attack_clock_ = 0.0;
+  std::uint64_t attack_flows_ = 0;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace ddpm::flow

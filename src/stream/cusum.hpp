@@ -1,0 +1,43 @@
+// CUSUM fold over sketch-derived rates (header-only).
+//
+// The one-sided cumulative-sum statistic S = max(0, S + x - mean - slack)
+// ratchets across windows, so pulsing floods that duck under a static
+// threshold between bursts still accumulate. The flow analyzer feeds it
+// per-window top-destination deltas computed from the Space-Saving
+// summary; detect::CusumDetector is the per-packet sibling.
+#pragma once
+
+#include "core/hot_path.hpp"
+
+namespace ddpm::stream {
+
+class RateCusum {
+ public:
+  /// `mean` is the expected benign per-window value, `slack` the drift
+  /// allowance (k), `threshold` the alarm level (h).
+  RateCusum(double mean, double slack, double threshold) noexcept
+      : mean_(mean), slack_(slack), threshold_(threshold) {}
+
+  /// Folds one window's value; true when the statistic crosses threshold.
+  DDPM_HOT bool fold(double value) noexcept {
+    s_ += value - mean_ - slack_;
+    if (s_ < 0.0) s_ = 0.0;
+    return s_ > threshold_;
+  }
+
+  double statistic() const noexcept { return s_; }
+  double threshold() const noexcept { return threshold_; }
+
+  /// Re-baselines the fold mid-stream (used after warm-up calibration).
+  void rebase(double mean) noexcept { mean_ = mean; }
+
+  void clear() noexcept { s_ = 0.0; }
+
+ private:
+  double mean_;
+  double slack_;
+  double threshold_;
+  double s_ = 0.0;
+};
+
+}  // namespace ddpm::stream

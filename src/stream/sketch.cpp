@@ -1,0 +1,75 @@
+#include "stream/sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.hpp"
+
+namespace ddpm::stream {
+
+CountMinSketch::CountMinSketch(std::uint32_t width, std::uint32_t depth,
+                               std::uint64_t seed, bool conservative)
+    : width_(width),
+      depth_(std::min(depth, kMaxDepth)),
+      conservative_(conservative) {
+  DDPM_CHECK(width_ > 0, "CountMinSketch: width must be positive");
+  DDPM_CHECK(depth_ > 0, "CountMinSketch: depth must be positive");
+  seeds_.reserve(depth_);
+  for (std::uint32_t row = 0; row < depth_; ++row) {
+    seeds_.push_back(mix64(seed + 0x9e37'79b9'7f4a'7c15ULL * (row + 1)));
+  }
+  counts_.assign(std::size_t(width_) * depth_, 0);
+}
+
+DDPM_HOT std::uint64_t CountMinSketch::update(std::uint32_t key,
+                                              std::uint64_t w) noexcept {
+  items_ += w;
+  std::uint32_t cols[kMaxDepth];
+  std::uint64_t est = ~0ULL;
+  std::size_t base = 0;
+  for (std::uint32_t row = 0; row < depth_; ++row, base += width_) {
+    const std::uint32_t col = range_reduce(mix64(seeds_[row] ^ key), width_);
+    cols[row] = col;
+    const std::uint64_t c = counts_[base + col];
+    if (c < est) est = c;
+  }
+  const std::uint64_t target = est + w;
+  base = 0;
+  for (std::uint32_t row = 0; row < depth_; ++row, base += width_) {
+    std::uint64_t& c = counts_[base + cols[row]];
+    if (conservative_) {
+      // Conservative update: only lift rows below the new estimate.
+      if (c < target) c = target;
+    } else {
+      c += w;
+    }
+  }
+  return target;
+}
+
+DDPM_HOT std::uint64_t CountMinSketch::estimate(
+    std::uint32_t key) const noexcept {
+  std::uint64_t est = ~0ULL;
+  std::size_t base = 0;
+  for (std::uint32_t row = 0; row < depth_; ++row, base += width_) {
+    const std::uint64_t c =
+        counts_[base + range_reduce(mix64(seeds_[row] ^ key), width_)];
+    if (c < est) est = c;
+  }
+  return est;
+}
+
+double CountMinSketch::epsilon() const noexcept {
+  return std::exp(1.0) / double(width_);
+}
+
+double CountMinSketch::delta() const noexcept {
+  return std::exp(-double(depth_));
+}
+
+void CountMinSketch::clear() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  items_ = 0;
+}
+
+}  // namespace ddpm::stream

@@ -53,6 +53,8 @@ void PipelineProbes::bind(Registry* registry, Tracer* tracer) {
   identified_correct_ = registry->counter("identify.correct");
   identified_innocent_ = registry->counter("identify.innocent");
   blocks_installed_ = registry->counter("mitigate.blocks_installed");
+  detect_latency_ = registry->gauge("detect.latency_ticks");
+  detect_memory_ = registry->gauge("detect.memory_bytes");
 }
 
 void WormholeProbes::bind(Registry* registry) {

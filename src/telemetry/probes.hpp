@@ -168,9 +168,17 @@ struct PipelineProbes {
                        double(named));
     }
   }
+  /// End-of-run gauges: detection latency (alarm minus attack start; only
+  /// set when the detector fired) and the detector's state footprint.
+  void on_run_end(bool detected, double latency_ticks, double memory_bytes) {
+    if (detected) detect_latency_.set(latency_ticks);
+    detect_memory_.set(memory_bytes);
+  }
 
  private:
   Tracer* tracer_ = nullptr;
+  Gauge detect_latency_;
+  Gauge detect_memory_;
   Counter detector_firings_;
   Counter identify_attempts_;
   Counter identify_unique_;
@@ -269,6 +277,7 @@ struct PipelineProbes {
   void on_identify(std::size_t) noexcept {}
   void on_identification(std::uint32_t, bool) noexcept {}
   void on_block(std::uint32_t) noexcept {}
+  void on_run_end(bool, double, double) noexcept {}
 };
 
 struct WormholeProbes {

@@ -83,6 +83,26 @@ TEST(EntropyDetector, NeedsFullWindow) {
   EXPECT_FALSE(detector.alarmed());  // window not yet full
 }
 
+TEST(EntropyDetector, WindowIsCappedAgainstStateExhaustion) {
+  // A spoofed flood makes every packet a fresh source; without the cap the
+  // per-source map would grow with the attacker's address pool. The window
+  // clamps to kMaxWindow, bounding distinct map entries to that many.
+  EntropyDetector detector(std::size_t(1) << 30, 0.5, 40.0);
+  EXPECT_EQ(detector.window(), EntropyDetector::kMaxWindow);
+  netsim::SimTime t = 0;
+  // Every packet a fresh source, running past the capped window (each
+  // packet past the fill recomputes O(window) entropy — keep the overrun
+  // tiny).
+  const int n = int(EntropyDetector::kMaxWindow) + 64;
+  for (int i = 0; i < n; ++i) {
+    detector.observe(make_packet(pkt::Ipv4Address(i)), ++t);
+  }
+  // Memory tracks the window, not the total distinct sources observed.
+  EXPECT_LE(detector.memory_bytes(),
+            EntropyDetector::kMaxWindow * 32)
+      << "per-source state exceeded the capped window";
+}
+
 TEST(SynDetector, IgnoresUdp) {
   SynHalfOpenDetector detector(10, 1000);
   netsim::SimTime t = 0;

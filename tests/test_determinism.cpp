@@ -13,6 +13,8 @@
 #include "core/report_json.hpp"
 #include "core/sis.hpp"
 #include "core/sweep_grid.hpp"
+#include "flow/trace_gen.hpp"
+#include "stream/flow_analyzer.hpp"
 
 namespace ddpm::core {
 namespace {
@@ -143,6 +145,33 @@ TEST(Determinism, SweepTelemetryBitIdenticalAcrossJobCounts) {
   const std::string serial = sweep_metrics_json(run_sweep(small_sweep(1)));
   const std::string parallel = sweep_metrics_json(run_sweep(small_sweep(8)));
   ASSERT_EQ(serial, parallel);
+}
+
+/// One flow-replay detection report rendered at a given worker count. The
+/// analyzer's shard count is structural (part of the config), so jobs may
+/// only change who does the work, never a byte of the answer.
+std::string flow_report_json(std::size_t jobs) {
+  flow::TraceGenConfig gen;
+  gen.seed = 31337;
+  gen.attack = flow::AttackShape::kFlood;
+  gen.attack_sources = 30'000;
+  gen.attack_start = 50'000;
+  gen.attack_duration = 150'000;
+  gen.duration = 300'000;
+  flow::TraceGenerator source(gen);
+  stream::FlowAnalyzerConfig config;
+  config.jobs = jobs;
+  return stream::replay(source, config).to_json();
+}
+
+TEST(Determinism, FlowReplayBitIdenticalAcrossJobCounts) {
+  const std::string serial = flow_report_json(1);
+  EXPECT_NE(serial.find("\"detection_time\": "), std::string::npos);
+  const std::string parallel4 = flow_report_json(4);
+  EXPECT_EQ(digest(serial), digest(parallel4));
+  ASSERT_EQ(serial, parallel4);
+  const std::string parallel8 = flow_report_json(8);
+  ASSERT_EQ(serial, parallel8);
 }
 
 }  // namespace

@@ -1,0 +1,79 @@
+// End-to-end acceptance for the streaming subsystem (ISSUE 8): a
+// 100k-distinct-source spoofed flood streamed through the sketch analyzer
+// must be detected promptly, the victim named, and the sketch footprint
+// must stay inside the 4 MiB budget. CI runs the 1M-source variant via
+// the flow_replay example in the perf job; this tier-1 test keeps the
+// sanitizer matrix fast while pinning the same contract.
+#include <gtest/gtest.h>
+
+#include "flow/trace_gen.hpp"
+#include "stream/flow_analyzer.hpp"
+
+namespace ddpm::stream {
+namespace {
+
+constexpr std::size_t kMemoryBudget = 4u << 20;  // 4 MiB
+
+flow::TraceGenConfig hundred_k_flood() {
+  flow::TraceGenConfig gen;
+  gen.seed = 2024;
+  gen.benign_sources = 10'000;
+  gen.attack = flow::AttackShape::kFlood;
+  gen.attack_sources = 100'000;
+  gen.attack_start = 200'000;
+  gen.attack_duration = 600'000;
+  gen.duration = 1'000'000;
+  // Cover the source pool: >= attack_sources flows over the attack phase.
+  gen.attack_rate = 1.25 * double(gen.attack_sources) / double(gen.attack_duration);
+  return gen;
+}
+
+TEST(FlowReplayAcceptance, HundredKSourceFloodDetectedWithinBudget) {
+  const flow::TraceGenConfig gen = hundred_k_flood();
+  flow::TraceGenerator source(gen);
+  FlowAnalyzerConfig config;
+  const StreamReport report = replay(source, config);
+
+  // Scale sanity: the trace really exercised ~100k distinct sources.
+  EXPECT_GT(report.records, 100'000u);
+
+  ASSERT_TRUE(report.detection_time.has_value());
+  const netsim::SimTime latency = *report.detection_time - gen.attack_start;
+  EXPECT_LE(latency, 2 * config.window) << "detection latency too high";
+
+  EXPECT_TRUE(report.victim_identified);
+  EXPECT_EQ(report.victim, gen.victim);
+  EXPECT_GT(report.victim_share, config.hh_share);
+
+  EXPECT_LE(report.memory_bytes, kMemoryBudget);
+}
+
+TEST(FlowReplayAcceptance, PulseAndChurnAlsoDetected) {
+  for (const flow::AttackShape shape :
+       {flow::AttackShape::kPulse, flow::AttackShape::kChurn}) {
+    flow::TraceGenConfig gen = hundred_k_flood();
+    gen.attack = shape;
+    gen.attack_sources = 20'000;
+    gen.duration = 600'000;
+    gen.attack_duration = 300'000;
+    flow::TraceGenerator source(gen);
+    const StreamReport report = replay(source, FlowAnalyzerConfig{});
+    ASSERT_TRUE(report.detection_time.has_value()) << int(shape);
+    EXPECT_TRUE(report.victim_identified) << int(shape);
+    EXPECT_EQ(report.victim, gen.victim) << int(shape);
+    EXPECT_LE(report.memory_bytes, kMemoryBudget);
+  }
+}
+
+TEST(FlowReplayAcceptance, BenignBaselineStaysQuiet) {
+  flow::TraceGenConfig gen = hundred_k_flood();
+  gen.attack = flow::AttackShape::kNone;
+  gen.duration = 500'000;
+  flow::TraceGenerator source(gen);
+  const StreamReport report = replay(source, FlowAnalyzerConfig{});
+  EXPECT_FALSE(report.detection_time.has_value());
+  EXPECT_FALSE(report.victim_identified);
+}
+
+}  // namespace
+}  // namespace ddpm::stream

@@ -33,7 +33,14 @@ clang-tidy knows about (registered as the `repo_lint` ctest):
                      stdout/stderr belong to drivers (examples/, bench/,
                      tools). The contract layer's abort path is the
                      canonical suppressed exception.
-  8. required-docs   the tracked top-level documents (README.md,
+  8. stream-no-ingest
+                     no <fstream>, stringstream parsing, or string->number
+                     conversion (stoi/stoul/strtol/atoi/sscanf/from_chars)
+                     in src/stream/. The sketch library consumes FlowRecord
+                     structs only; all trace ingestion and CSV parsing live
+                     in src/flow/, keeping the DDPM_HOT sketch paths free
+                     of I/O and locale machinery.
+  9. required-docs   the tracked top-level documents (README.md,
                      ROADMAP.md, CHANGES.md, ISSUE.md, EXPERIMENTS.md,
                      DESIGN.md, PAPER.md) and docs/ARCHITECTURE.md exist
                      and are non-empty. Sessions hand work to each other
@@ -65,7 +72,7 @@ ALLOW = re.compile(r"ddpm-lint:\s*allow\(([\w-]+)\)")
 KNOWN_RULES = frozenset({
     "pragma-once", "rng-containment", "float-compare", "header-io",
     "no-using-std", "netsim-no-std-function", "src-no-console",
-    "required-docs",
+    "stream-no-ingest", "required-docs",
 })
 
 # Documents every session relies on finding; see rule 8 in the docstring.
@@ -248,6 +255,33 @@ def check_using_namespace_std(root: Path) -> list[Violation]:
     return out
 
 
+# Input-side machinery only: <sstream> stays legal because StreamReport
+# serializes itself with an ostringstream — the rule guards ingestion, not
+# output formatting.
+STREAM_INGEST = re.compile(
+    r"#\s*include\s*<(?:fstream|charconv|cstdio|stdio\.h)>"
+    r"|\b(?:ifstream|fstream|istringstream)\b"
+    r"|(?:(?<![\w:])|std\s*::\s*)"
+    r"(?:stoi|stoul|stoull|stol|stoll|stod|stof|from_chars|"
+    r"strtol|strtoul|strtod|atoi|atol|sscanf)\s*\("
+)
+
+
+def check_stream_no_ingest(root: Path) -> list[Violation]:
+    out = []
+    for path in iter_source(root, ("src/stream",), (".hpp", ".cpp")):
+        for n, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+            if STREAM_INGEST.search(strip_comments(line)) and not suppressed(
+                line, "stream-no-ingest", path, n
+            ):
+                out.append(
+                    (path, n, "stream-no-ingest",
+                     "file/string ingestion in src/stream; parsing belongs"
+                     " in src/flow, sketches consume FlowRecord structs")
+                )
+    return out
+
+
 def check_required_docs(root: Path) -> list[Violation]:
     out = []
     for name in REQUIRED_DOCS:
@@ -303,6 +337,7 @@ def main(argv: list[str]) -> int:
         check_using_namespace_std,
         check_netsim_no_std_function,
         check_src_no_console,
+        check_stream_no_ingest,
         check_required_docs,
         check_stale_suppressions,  # must be last: audits the allow() comments
     ):
