@@ -14,8 +14,10 @@
 //             (default: hardware concurrency)
 //   --smoke   drastically shrunk workloads; used by the `perf`-labelled
 //             ctest so sanitizer suites stay fast
+#include <algorithm>
 #include <chrono>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -201,7 +203,9 @@ void write_json(const std::string& path, const std::vector<Result>& results,
         << results[i].value << ", \"unit\": \"" << results[i].unit << "\"}"
         << (i + 1 < results.size() ? "," : "") << '\n';
   }
-  out << "  ]\n}\n";
+  // Floors are absolute minima the ratchet enforces regardless of its
+  // relative tolerance: sweep_speedup must never fall below parity again.
+  out << "  ],\n  \"floors\": {\"sweep_speedup\": 0.99}\n}\n";
   std::cout << "wrote " << path << '\n';
 }
 
@@ -254,19 +258,35 @@ int main(int argc, char** argv) {
     results.push_back(bench_trace_replay(1000000));
   }
 
-  // End-to-end sweep cell: serial, then parallel, same workload.
+  // End-to-end sweep cell: serial vs parallel, same workload. Each leg is
+  // timed twice in alternating order and the minimum kept: with jobs=1 both
+  // legs run the identical inline loop, so a sustained ratio below 1.0 can
+  // only be measurement drift (allocator/page-cache warm-up, scheduler
+  // jitter) landing on whichever leg ran second — exactly how the committed
+  // speedup once recorded 0.98x. Min-of-two with alternation cancels that.
   {
     const std::size_t seeds = smoke ? 2 : 16;
-    const auto serial_start = Clock::now();
-    const auto serial = core::run_sweep(sweep_spec(seeds, 1));
-    const double serial_s = seconds_since(serial_start);
-    const auto par_start = Clock::now();
-    const auto parallel = core::run_sweep(sweep_spec(seeds, jobs));
-    const double par_s = seconds_since(par_start);
-    if (core::sweep_csv(serial) != core::sweep_csv(parallel)) {
-      std::cerr << "FATAL: sweep output diverged between jobs=1 and jobs="
-                << jobs << '\n';
-      return 1;
+    std::vector<core::SweepCell> serial, parallel;
+    double serial_s = std::numeric_limits<double>::infinity();
+    double par_s = std::numeric_limits<double>::infinity();
+    for (int pass = 0; pass < 2; ++pass) {
+      const bool serial_first = (pass == 0);
+      for (int leg = 0; leg < 2; ++leg) {
+        const bool time_serial = (leg == 0) == serial_first;
+        const auto start = Clock::now();
+        if (time_serial) {
+          serial = core::run_sweep(sweep_spec(seeds, 1));
+          serial_s = std::min(serial_s, seconds_since(start));
+        } else {
+          parallel = core::run_sweep(sweep_spec(seeds, jobs));
+          par_s = std::min(par_s, seconds_since(start));
+        }
+      }
+      if (core::sweep_csv(serial) != core::sweep_csv(parallel)) {
+        std::cerr << "FATAL: sweep output diverged between jobs=1 and jobs="
+                  << jobs << '\n';
+        return 1;
+      }
     }
     results.push_back({"sweep_serial", serial_s, "s"});
     results.push_back({"sweep_jobs" + std::to_string(jobs), par_s, "s"});

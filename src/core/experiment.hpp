@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "core/shard_annotations.hpp"
 #include "core/sis.hpp"
 
 namespace ddpm::core {
@@ -61,8 +62,12 @@ RunOutcome run_scenario_once(const ScenarioConfig& config);
 /// Folds `n` outcomes into a summary in array order (deterministic merge).
 /// The span form lets callers summarize a slice of a larger result vector
 /// (the sweep grid's per-cell replication runs) without copying it first.
-ExperimentSummary summarize(const RunOutcome* outcomes, std::size_t n);
-ExperimentSummary summarize(const std::vector<RunOutcome>& outcomes);
+/// DDPM_SHARD_MERGE: the sanctioned crossing from per-worker outcomes to
+/// the aggregate — the analyzer proves its closure det-taint-clean.
+DDPM_SHARD_MERGE ExperimentSummary summarize(const RunOutcome* outcomes,
+                                             std::size_t n);
+DDPM_SHARD_MERGE ExperimentSummary summarize(
+    const std::vector<RunOutcome>& outcomes);
 
 /// Runs `config` once per seed (overriding config.cluster.seed) and
 /// aggregates. The scenario is otherwise identical across runs. `jobs` > 1

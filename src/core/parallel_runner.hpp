@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/shard_annotations.hpp"
 #include "core/thread_annotations.hpp"
 
 namespace ddpm::core {
@@ -37,14 +38,22 @@ class ParallelRunner {
   /// after all items completed. If any fn throws, the first exception (in
   /// completion order) is rethrown after the pool drains; remaining
   /// unstarted items are skipped.
+  /// DDPM_DET_SOURCE: dispatching work across threads is the repo's
+  /// canonical nondeterminism source — anything a determinism sink
+  /// derives from a dispatch must be merged in index order, and every
+  /// sink-reachable call site must carry an explicit
+  /// `ddpm-analyze: allow(det-taint: ...)` justification.
   template <typename Fn>
-  void for_each_index(std::size_t n, Fn&& fn) const {
+  DDPM_DET_SOURCE void for_each_index(std::size_t n, Fn&& fn) const {
     // Workers beyond the hardware thread count cannot run concurrently —
     // they only add scheduler churn and cache thrash (measured: --jobs=8 on
     // one core ran 7% slower than serial). Worker count is unobservable in
     // the output (results merge in index order), so clamp it; when one
     // worker remains, skip thread start-up entirely.
-    const std::size_t hw = std::size_t(std::thread::hardware_concurrency());
+    // det-taint allowance: the worker count only clamps the pool; results
+    // merge in index order, so it is unobservable in any sink output.
+    const std::size_t hw =
+        std::size_t(std::thread::hardware_concurrency());  // ddpm-analyze: allow(det-taint)
     const std::size_t workers =
         std::min(std::min(jobs_, n), hw == 0 ? jobs_ : hw);
     if (workers <= 1 || n <= 1) {

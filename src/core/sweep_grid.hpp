@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/shard_annotations.hpp"
 
 namespace ddpm::core {
 
@@ -45,13 +46,15 @@ struct SweepCell {
 std::vector<SweepCell> run_sweep(const SweepSpec& spec);
 
 /// One CSV row per cell, plus sweep_csv_header() on top — byte-for-byte
-/// what examples/sweep.cpp prints.
+/// what examples/sweep.cpp prints. DDPM_DET_SINK: this string is the
+/// determinism suite's bit-identity artifact; nothing nondeterministic
+/// may flow into it.
 std::string sweep_csv_header();
-std::string sweep_csv(const std::vector<SweepCell>& cells);
+DDPM_DET_SINK std::string sweep_csv(const std::vector<SweepCell>& cells);
 
 /// One JSON object keyed by "topology/scheme/router/rate"; each value is
 /// the cell's merged telemetry snapshot (replications folded in order, so
 /// the document is byte-identical for any jobs count).
-std::string sweep_metrics_json(const std::vector<SweepCell>& cells);
+DDPM_DET_SINK std::string sweep_metrics_json(const std::vector<SweepCell>& cells);
 
 }  // namespace ddpm::core

@@ -1,5 +1,6 @@
 #include "flow/csv.hpp"
 
+#include <array>
 #include <charconv>
 #include <fstream>
 #include <ostream>
@@ -21,27 +22,65 @@ bool parse_field(std::string_view field, T& out) {
   return ec == std::errc{} && ptr == last;
 }
 
-/// Splits `line` at the next comma; returns the head and shrinks `line`
-/// to the tail. `more` reports whether a comma was consumed.
-std::string_view take_field(std::string_view& line, bool& more) {
+/// Splits the next field off `line` into `out` and shrinks `line` to the
+/// tail; `more` reports whether a comma was consumed. A field wrapped in
+/// double quotes may contain commas, and a doubled `""` inside is an
+/// escaped quote — when one occurs the unescaped text lives in `scratch`,
+/// which must outlive the returned view. Returns false on a malformed
+/// field (unterminated quote, or junk between the closing quote and the
+/// next comma).
+bool take_field(std::string_view& line, bool& more, std::string& scratch,
+                std::string_view& out) {
+  if (!line.empty() && line.front() == '"') {
+    bool escaped = false;
+    std::size_t i = 1;
+    for (; i < line.size(); ++i) {
+      if (line[i] != '"') continue;
+      if (i + 1 < line.size() && line[i + 1] == '"') {
+        escaped = true;
+        ++i;  // consume the doubled quote
+        continue;
+      }
+      break;  // lone quote closes the field
+    }
+    if (i >= line.size()) return false;  // unterminated quote
+    const std::string_view body = line.substr(1, i - 1);
+    const std::string_view rest = line.substr(i + 1);
+    if (!rest.empty() && rest.front() != ',') return false;
+    more = !rest.empty();
+    line = more ? rest.substr(1) : std::string_view{};
+    if (escaped) {
+      scratch.clear();
+      for (std::size_t j = 0; j < body.size(); ++j) {
+        scratch.push_back(body[j]);
+        if (body[j] == '"') ++j;  // collapse the doubling
+      }
+      out = scratch;
+    } else {
+      out = body;
+    }
+    return true;
+  }
   const std::size_t comma = line.find(',');
   more = comma != std::string_view::npos;
-  const std::string_view head = more ? line.substr(0, comma) : line;
+  out = more ? line.substr(0, comma) : line;
   line = more ? line.substr(comma + 1) : std::string_view{};
-  return head;
+  return true;
 }
 
 }  // namespace
 
 bool parse_csv_line(std::string_view line, FlowRecord& out) {
   if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  std::array<std::string, 8> scratch;
+  std::string_view fields[8];
   bool more = true;
-  const std::string_view fields[8] = {
-      take_field(line, more), take_field(line, more), take_field(line, more),
-      take_field(line, more), take_field(line, more), take_field(line, more),
-      take_field(line, more), take_field(line, more)};
-  // Exactly eight fields: the final take must have exhausted the commas.
-  if (more) return false;
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (!take_field(line, more, scratch[i], fields[i])) return false;
+  }
+  // Exactly eight fields. One trailing delimiter (a common exporter
+  // artifact) is tolerated, but anything after it is a ninth field.
+  if (more && !line.empty()) return false;
   FlowRecord r;
   std::uint32_t proto = 0;
   if (!parse_field(fields[0], r.src) || !parse_field(fields[1], r.dst) ||

@@ -29,6 +29,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/shard_annotations.hpp"
 #include "flow/record.hpp"
 
 namespace ddpm::flow {
@@ -65,7 +66,10 @@ std::vector<FlowRecord> read_csv_file(const std::string& path,
                                       CsvStats* stats = nullptr);
 
 /// Serializes records in the exact format parse_csv_line accepts.
-void write_csv(std::ostream& out, const std::vector<FlowRecord>& records);
+/// DDPM_DET_SINK: the write → parse round trip is pinned byte-identical,
+/// so serialization must not observe any nondeterministic order.
+DDPM_DET_SINK void write_csv(std::ostream& out,
+                             const std::vector<FlowRecord>& records);
 void write_csv_file(const std::string& path,
                     const std::vector<FlowRecord>& records);
 

@@ -7,9 +7,9 @@
 
 namespace ddpm::route {
 
-std::vector<Port> AdaptiveRouter::candidates(NodeId current, NodeId dest,
-                                             Port /*arrived_on*/) const {
-  std::vector<Port> out;
+PortList AdaptiveRouter::candidates(NodeId current, NodeId dest,
+                                    Port /*arrived_on*/) const {
+  PortList out;
   if (current == dest) return out;
   if (topo_.kind() == topo::TopologyKind::kHypercube) {
     const NodeId diff = current ^ dest;
@@ -29,10 +29,11 @@ std::vector<Port> AdaptiveRouter::candidates(NodeId current, NodeId dest,
   return out;
 }
 
-std::vector<Port> MisroutingAdaptiveRouter::fallback_candidates(
-    NodeId current, NodeId dest, Port arrived_on) const {
+PortList MisroutingAdaptiveRouter::fallback_candidates(NodeId current,
+                                                       NodeId dest,
+                                                       Port arrived_on) const {
   const auto productive = candidates(current, dest, arrived_on);
-  std::vector<Port> out;
+  PortList out;
   for (Port p = 0; p < topo_.num_ports(); ++p) {
     if (p == arrived_on) continue;  // no 180-degree reversal
     if (std::find(productive.begin(), productive.end(), p) != productive.end()) {

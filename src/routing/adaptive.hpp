@@ -30,8 +30,8 @@ class AdaptiveRouter : public Router {
   bool has_static_candidates() const noexcept override { return true; }
 
   /// Every productive (distance-reducing) port.
-  std::vector<Port> candidates(NodeId current, NodeId dest,
-                               Port arrived_on) const override;
+  PortList candidates(NodeId current, NodeId dest,
+                      Port arrived_on) const override;
 };
 
 class MisroutingAdaptiveRouter final : public AdaptiveRouter {
@@ -42,8 +42,8 @@ class MisroutingAdaptiveRouter final : public AdaptiveRouter {
   std::string name() const override { return "adaptive-misroute"; }
 
   /// Every existing non-productive port except the 180-degree reversal.
-  std::vector<Port> fallback_candidates(NodeId current, NodeId dest,
-                                        Port arrived_on) const override;
+  PortList fallback_candidates(NodeId current, NodeId dest,
+                               Port arrived_on) const override;
 };
 
 }  // namespace ddpm::route

@@ -21,8 +21,8 @@ int productive_direction(const topo::Topology& topo, std::size_t d, int a, int b
   return b > a ? +1 : -1;
 }
 
-std::vector<Port> DimensionOrderRouter::candidates(NodeId current, NodeId dest,
-                                                   Port /*arrived_on*/) const {
+PortList DimensionOrderRouter::candidates(NodeId current, NodeId dest,
+                                          Port /*arrived_on*/) const {
   if (current == dest) return {};
   if (topo_.kind() == topo::TopologyKind::kHypercube) {
     // e-cube: flip the lowest-order differing bit.

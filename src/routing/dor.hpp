@@ -20,8 +20,8 @@ class DimensionOrderRouter final : public Router {
   // One port, chosen from (current, dest) coordinates alone.
   bool has_static_candidates() const noexcept override { return true; }
 
-  std::vector<Port> candidates(NodeId current, NodeId dest,
-                               Port arrived_on) const override;
+  PortList candidates(NodeId current, NodeId dest,
+                      Port arrived_on) const override;
 };
 
 /// Signed step direction (-1 or +1) that dimension-order routing takes in

@@ -5,11 +5,11 @@
 
 namespace ddpm::route {
 
-std::vector<Port> OracleRouter::candidates(NodeId current, NodeId dest,
-                                           Port /*arrived_on*/) const {
+PortList OracleRouter::candidates(NodeId current, NodeId dest,
+                                  Port /*arrived_on*/) const {
   // Without link state, fall back to geometry: every port that moves
   // strictly closer by the topology's own metric.
-  std::vector<Port> out;
+  PortList out;
   if (current == dest) return out;
   const int here = topo_.min_hops(current, dest);
   for (Port p = 0; p < topo_.num_ports(); ++p) {
@@ -19,8 +19,8 @@ std::vector<Port> OracleRouter::candidates(NodeId current, NodeId dest,
   return out;
 }
 
-std::vector<Port> OracleRouter::usable_shortest_ports(
-    NodeId current, NodeId dest, const LinkStateView& links) const {
+PortList OracleRouter::usable_shortest_ports(NodeId current, NodeId dest,
+                                             const LinkStateView& links) const {
   // BFS from `dest` over usable links (treated as symmetric) gives each
   // node its usable-path distance; productive ports step down by one.
   std::vector<int> dist(topo_.num_nodes(), -1);
@@ -36,7 +36,7 @@ std::vector<Port> OracleRouter::usable_shortest_ports(
       frontier.push_back(*v);
     }
   }
-  std::vector<Port> out;
+  PortList out;
   if (dist[current] <= 0) return out;  // unreachable, or already there
   for (Port p = 0; p < topo_.num_ports(); ++p) {
     const auto next = topo_.neighbor(current, p);
@@ -55,7 +55,7 @@ std::optional<Port> OracleRouter::select_output(NodeId current, NodeId dest,
   if (ports.empty()) return std::nullopt;
   // Least congested among shortest-path ports, random tie-break.
   double best = std::numeric_limits<double>::infinity();
-  std::vector<Port> best_ports;
+  PortList best_ports;
   for (Port p : ports) {
     const double c = links.congestion(current, p);
     if (c < best) {

@@ -22,8 +22,8 @@ class OracleRouter final : public Router {
   /// Ports on a shortest usable path; empty if `dest` is unreachable. Link
   /// usability is treated as symmetric (bidirectional links), matching the
   /// cluster model.
-  std::vector<Port> candidates(NodeId current, NodeId dest,
-                               Port arrived_on) const override;
+  PortList candidates(NodeId current, NodeId dest,
+                      Port arrived_on) const override;
 
   /// Oracle candidates need the link state, which the base signature does
   /// not carry; select_output injects it via this hook before delegating.
@@ -32,8 +32,8 @@ class OracleRouter final : public Router {
                                     netsim::Rng& rng) const override;
 
  private:
-  std::vector<Port> usable_shortest_ports(NodeId current, NodeId dest,
-                                          const LinkStateView& links) const;
+  PortList usable_shortest_ports(NodeId current, NodeId dest,
+                                 const LinkStateView& links) const;
 };
 
 }  // namespace ddpm::route

@@ -10,10 +10,10 @@ namespace {
 
 /// Least-congested usable port from `ports`, random tie-break; nullopt if
 /// none is usable.
-std::optional<Port> pick(const std::vector<Port>& ports, NodeId current,
+std::optional<Port> pick(const PortList& ports, NodeId current,
                          const LinkStateView& links, netsim::Rng& rng) {
   double best = std::numeric_limits<double>::infinity();
-  std::vector<Port> best_ports;
+  PortList best_ports;
   for (Port p : ports) {
     if (!links.link_usable(current, p)) continue;
     const double c = links.congestion(current, p);

@@ -15,9 +15,9 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <vector>
 
 #include "netsim/rng.hpp"
+#include "routing/port_list.hpp"
 #include "topology/topology.hpp"
 
 namespace ddpm::route {
@@ -82,12 +82,15 @@ class Router {
 
   /// Preferred (productive) ports this algorithm permits at `current`
   /// toward `dest`. Does NOT filter by link state; `select_output` does.
-  virtual std::vector<Port> candidates(NodeId current, NodeId dest,
-                                       Port arrived_on) const = 0;
+  /// Returned by value in a fixed-capacity PortList: routing decisions
+  /// run per flit in the wormhole loop, so the candidate set must never
+  /// touch the allocator (routing/port_list.hpp).
+  virtual PortList candidates(NodeId current, NodeId dest,
+                              Port arrived_on) const = 0;
 
   /// Permitted misroute ports, consulted only when every preferred port is
   /// unusable. Empty for minimal algorithms.
-  virtual std::vector<Port> fallback_candidates(NodeId, NodeId, Port) const {
+  virtual PortList fallback_candidates(NodeId, NodeId, Port) const {
     return {};
   }
 

@@ -1,6 +1,5 @@
 #include "routing/turn_model.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
 namespace ddpm::route {
@@ -34,17 +33,15 @@ Delta delta_of(const topo::Topology& topo, NodeId current, NodeId dest) {
   return {int(b[0]) - int(a[0]), int(b[1]) - int(a[1])};
 }
 
-void drop(std::vector<Port>& ports, Port banned) {
-  ports.erase(std::remove(ports.begin(), ports.end(), banned), ports.end());
-}
+void drop(PortList& ports, Port banned) { ports.erase_value(banned); }
 
 }  // namespace
 
-std::vector<Port> TurnModelRouter::candidates(NodeId current, NodeId dest,
-                                              Port arrived_on) const {
+PortList TurnModelRouter::candidates(NodeId current, NodeId dest,
+                                     Port arrived_on) const {
   if (current == dest) return {};
   const auto [dx, dy] = delta_of(topo_, current, dest);
-  std::vector<Port> out;
+  PortList out;
   switch (model_) {
     case TurnModel::kWestFirst:
       // Westward leg is mandatory and exclusive while dx < 0.
@@ -84,12 +81,11 @@ std::vector<Port> TurnModelRouter::candidates(NodeId current, NodeId dest,
   return out;
 }
 
-std::vector<Port> TurnModelRouter::fallback_candidates(NodeId current,
-                                                       NodeId dest,
-                                                       Port arrived_on) const {
+PortList TurnModelRouter::fallback_candidates(NodeId current, NodeId dest,
+                                              Port arrived_on) const {
   if (current == dest) return {};
   const auto [dx, dy] = delta_of(topo_, current, dest);
-  std::vector<Port> out;
+  PortList out;
   switch (model_) {
     case TurnModel::kWestFirst:
       // While westbound no other direction is permitted at all.

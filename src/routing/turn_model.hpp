@@ -38,10 +38,10 @@ class TurnModelRouter final : public Router {
   std::string name() const override { return to_string(model_); }
   bool is_deterministic() const noexcept override { return false; }
 
-  std::vector<Port> candidates(NodeId current, NodeId dest,
+  PortList candidates(NodeId current, NodeId dest,
+                      Port arrived_on) const override;
+  PortList fallback_candidates(NodeId current, NodeId dest,
                                Port arrived_on) const override;
-  std::vector<Port> fallback_candidates(NodeId current, NodeId dest,
-                                        Port arrived_on) const override;
 
   static constexpr Port kWest = 0;
   static constexpr Port kEast = 1;

@@ -12,9 +12,9 @@ std::uint64_t mix(std::uint64_t z) {
   return z ^ (z >> 31);
 }
 
-std::vector<Port> productive_ports(const topo::Topology& topo, NodeId current,
-                                   NodeId target) {
-  std::vector<Port> out;
+PortList productive_ports(const topo::Topology& topo, NodeId current,
+                          NodeId target) {
+  PortList out;
   if (current == target) return out;
   if (topo.kind() == topo::TopologyKind::kHypercube) {
     const NodeId diff = current ^ target;
@@ -40,8 +40,8 @@ NodeId ValiantRouter::intermediate_for(NodeId dest) const {
                 topo_.num_nodes());
 }
 
-std::vector<Port> ValiantRouter::candidates(NodeId current, NodeId dest,
-                                            Port /*arrived_on*/) const {
+PortList ValiantRouter::candidates(NodeId current, NodeId dest,
+                                   Port /*arrived_on*/) const {
   if (current == dest) return {};
   const NodeId mid = intermediate_for(dest);
   const bool phase_two =

@@ -32,8 +32,8 @@ class ValiantRouter final : public Router {
   std::string name() const override { return "valiant"; }
   bool is_deterministic() const noexcept override { return false; }
 
-  std::vector<Port> candidates(NodeId current, NodeId dest,
-                               Port arrived_on) const override;
+  PortList candidates(NodeId current, NodeId dest,
+                      Port arrived_on) const override;
 
   /// The intermediate node used for traffic toward `dest` (tests/benches).
   NodeId intermediate_for(NodeId dest) const;

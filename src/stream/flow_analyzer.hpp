@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "core/shard_annotations.hpp"
 #include "flow/record.hpp"
 #include "flow/trace_gen.hpp"
 #include "stream/cusum.hpp"
@@ -133,10 +134,14 @@ class FlowStreamAnalyzer {
   void ingest(const flow::FlowRecord& record);
 
   /// Flushes the open window and returns the final report. Call once.
-  StreamReport finish();
+  /// DDPM_DET_SINK: the report is the byte-identity artifact the
+  /// determinism suite pins; every cross-shard read on its path must go
+  /// through a DDPM_SHARD_MERGE function.
+  DDPM_DET_SINK StreamReport finish();
 
   /// Persistent sketch footprint (excludes transient ingest buffers).
-  std::size_t memory_bytes() const noexcept;
+  /// DDPM_SHARD_MERGE: folds per-shard footprints in shard order.
+  DDPM_SHARD_MERGE std::size_t memory_bytes() const noexcept;
 
   const FlowAnalyzerConfig& config() const noexcept { return config_; }
 
@@ -161,19 +166,28 @@ class FlowStreamAnalyzer {
   };
 
   std::uint32_t shard_of(std::uint32_t key) const noexcept;
-  void close_window();
+  /// DDPM_SHARD_MERGE: drains the staging buffers into the shard
+  /// sketches (fanned, disjoint per index) and then judges/merges the
+  /// window serially in shard order.
+  DDPM_SHARD_MERGE void close_window();
   void judge_window(std::uint64_t arrivals);
-  std::vector<TopEntry> merged_top(bool sources, std::size_t k) const;
+  /// DDPM_SHARD_MERGE: folds the per-shard top-k summaries in shard
+  /// order with a total tie-break, so the result is order-stable.
+  DDPM_SHARD_MERGE std::vector<TopEntry> merged_top(bool sources,
+                                                    std::size_t k) const;
 
   FlowAnalyzerConfig config_;
-  std::vector<Shard> shards_;
+  /// DDPM_SHARD_STATE: per-shard sketches — owned by this class, crossed
+  /// only through the DDPM_SHARD_MERGE members above.
+  DDPM_SHARD_STATE std::vector<Shard> shards_;
   SlidingEntropySketch entropy_;
   std::optional<RateCusum> cusum_;      // armed after warm-up
   double warmup_sum_ = 0.0;
-  std::uint64_t open_window_ = 0;       // index of the open window
+  core::WindowIndex open_window_ = 0;   // ordinal of the open window
   std::uint64_t win_arrivals_ = 0;      // packets staged in the open window
-  std::vector<std::vector<Staged>> src_buf_;  // per-shard staging
-  std::vector<std::vector<Staged>> dst_buf_;
+  /// DDPM_SHARD_STATE: per-shard ingest staging (drained at window close).
+  DDPM_SHARD_STATE std::vector<std::vector<Staged>> src_buf_;
+  DDPM_SHARD_STATE std::vector<std::vector<Staged>> dst_buf_;
   StreamReport report_;
   bool finished_ = false;
 };

@@ -32,6 +32,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/shard_annotations.hpp"
 #include "core/thread_annotations.hpp"
 
 namespace ddpm::telemetry {
@@ -78,8 +79,9 @@ struct MetricsSnapshot {
   /// Folds `other` into this snapshot: counters and histogram bins add,
   /// gauge values add and peaks take the max, unknown keys are inserted in
   /// sorted position. Merging replication snapshots in replication order is
-  /// deterministic by construction.
-  void merge(const MetricsSnapshot& other);
+  /// deterministic by construction. DDPM_SHARD_MERGE: the sanctioned
+  /// crossing for per-replication telemetry.
+  DDPM_SHARD_MERGE void merge(const MetricsSnapshot& other);
 
   /// Stable pretty-printed JSON: {"counters": {...}, "gauges": ...}.
   std::string to_json() const;
@@ -188,8 +190,10 @@ class Registry {
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
-  /// Freezes current values, sorted by key.
-  MetricsSnapshot snapshot() const DDPM_EXCLUDES(mutex_);
+  /// Freezes current values, sorted by key. DDPM_DET_SINK: snapshots feed
+  /// the deterministic JSON/CSV artifacts, so the freeze path must walk
+  /// the key-sorted series lists, never the unordered lookup indexes.
+  DDPM_DET_SINK MetricsSnapshot snapshot() const DDPM_EXCLUDES(mutex_);
 
   /// Zeroes every slot; registrations (and outstanding handles) survive.
   void reset() DDPM_EXCLUDES(mutex_);

@@ -145,8 +145,8 @@ CdgResult build_cdg(const topo::Topology& topo, const route::Router& router,
   std::deque<std::pair<std::size_t, NodeId>> queue;
 
   const auto requests = [&](NodeId current, NodeId dest,
-                            Port arrived_on) -> std::vector<Port> {
-    std::vector<Port> out = router.candidates(current, dest, arrived_on);
+                            Port arrived_on) -> route::PortList {
+    route::PortList out = router.candidates(current, dest, arrived_on);
     if (include_fallbacks) {
       for (const Port p : router.fallback_candidates(current, dest, arrived_on))
         out.push_back(p);

@@ -1,0 +1,40 @@
+// det-taint: nondeterminism sources flowing interprocedurally into an
+// annotated determinism sink. `publish_stats` is NOT result-path-named —
+// only the DDPM_DET_SINK annotation marks it — so this is the
+// generalization over ordered-iteration (PR 4): the naming convention
+// alone cannot see any of these flows.
+//
+// The bucket_accumulate walk re-convicts the exact bug class PR 4 fixed
+// in entropy_window: a float accumulation whose value depends on
+// unordered_map iteration order.
+#define DDPM_DET_SINK
+#define DDPM_DET_SOURCE
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+struct WindowStats {
+  std::unordered_map<std::uint32_t, double> buckets;
+
+  double bucket_accumulate() const {
+    double sum = 0.0;
+    for (const auto& [k, v] : buckets) {  // ddpm-analyze: expect(det-taint)
+      sum += v;
+    }
+    return sum;
+  }
+
+  DDPM_DET_SOURCE static unsigned worker_count() {
+    return std::thread::hardware_concurrency();  // ddpm-analyze: expect(det-taint)
+  }
+
+  DDPM_DET_SINK std::string publish_stats() const {
+    double total = bucket_accumulate();
+    unsigned w = worker_count();  // ddpm-analyze: expect(det-taint)
+    std::map<const double*, int> by_addr;  // ddpm-analyze: expect(det-taint)
+    by_addr[&total] = int(w);
+    return std::to_string(total) + ":" + std::to_string(by_addr.size());
+  }
+};

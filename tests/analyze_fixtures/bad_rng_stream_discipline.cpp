@@ -1,0 +1,33 @@
+// rng-stream-discipline: RNGs constructed inside the call-graph closure
+// of a ParallelRunner dispatch site must derive from an explicit stream
+// (jump_stream()/long_jump()/a seed argument). A literal or default seed
+// gives every worker the SAME stream — replications silently correlate.
+#include <cstddef>
+#include <cstdint>
+
+// Minimal stand-ins (the rule is lexical over Rng declarations and the
+// dispatch-site vocabulary, same as the production netsim::Rng).
+struct Rng {
+  explicit Rng(std::uint64_t seed_value = 42) : state(seed_value) {}
+  std::uint64_t state;
+};
+
+struct ParallelRunner {
+  template <typename Fn>
+  void for_each_index(std::size_t n, Fn&& fn) const {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+};
+
+double simulate_one(std::uint64_t stream_id) {
+  Rng rng(1234);  // ddpm-analyze: expect(rng-stream-discipline)
+  Rng backup;     // ddpm-analyze: expect(rng-stream-discipline)
+  return double(rng.state + backup.state + stream_id);
+}
+
+double run_workers(std::size_t n) {
+  double total = 0.0;
+  const ParallelRunner pool;
+  pool.for_each_index(n, [&](std::size_t i) { total += simulate_one(i); });
+  return total;
+}

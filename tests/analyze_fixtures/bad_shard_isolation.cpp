@@ -1,0 +1,47 @@
+// shard-isolation: all three violation shapes.
+//  (a) export_total is a determinism sink (annotated, not name-matched)
+//      reading DDPM_SHARD_STATE directly instead of going through the
+//      DDPM_SHARD_MERGE function.
+//  (b) Auditor::sum touches the shard-state member name from outside the
+//      owning class (the analyzer is deliberately name-conservative:
+//      shard-state member names are reserved repo-wide).
+//  (c) fold_shards is DDPM_SHARD_MERGE but its closure reads the thread
+//      count, so the merge itself is not det-taint-clean.
+#define DDPM_SHARD_STATE
+#define DDPM_SHARD_MERGE
+#define DDPM_DET_SINK
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+class ShardedCounter {
+ public:
+  void ingest(std::size_t shard, std::uint64_t n) { slots_[shard] += n; }
+
+  DDPM_DET_SINK std::uint64_t export_total() const {
+    std::uint64_t t = 0;
+    for (std::uint64_t v : slots_) t += v;  // ddpm-analyze: expect(shard-isolation)
+    return t;
+  }
+
+  DDPM_SHARD_MERGE std::uint64_t fold_shards() const {  // ddpm-analyze: expect(shard-isolation)
+    std::uint64_t t = 0;
+    std::size_t stride = std::thread::hardware_concurrency();
+    for (std::size_t i = 0; i < slots_.size(); i += stride ? stride : 1) {
+      t += slots_[i];
+    }
+    return t;
+  }
+
+ private:
+  DDPM_SHARD_STATE std::vector<std::uint64_t> slots_;
+};
+
+struct Auditor {
+  std::vector<std::uint64_t> slots_;
+  std::uint64_t sum() const {
+    std::uint64_t t = 0;
+    for (std::uint64_t v : slots_) t += v;  // ddpm-analyze: expect(shard-isolation)
+    return t;
+  }
+};

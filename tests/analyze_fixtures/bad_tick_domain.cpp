@@ -1,0 +1,29 @@
+// tick-domain: additive/comparison arithmetic mixing SimTime (simulator
+// ticks) and WindowIndex (window ordinals) operands without an explicit
+// SimTime(...)/WindowIndex(...) conversion. Both alias to uint64_t, so
+// the compiler is silent — the analyzer tracks the declared vocabulary.
+#include <cstdint>
+
+using SimTime = std::uint64_t;
+using WindowIndex = std::uint64_t;
+
+class WindowClock {
+ public:
+  explicit WindowClock(SimTime len) : window_len_(len) {}
+
+  bool window_elapsed(SimTime now) const {
+    return now >= open_window_;  // ddpm-analyze: expect(tick-domain)
+  }
+
+  SimTime deadline() const {
+    SimTime at = open_window_ + window_len_;  // ddpm-analyze: expect(tick-domain)
+    return at;
+  }
+
+  // The sanctioned crossing: an explicit conversion on the line.
+  SimTime close_at() const { return SimTime(open_window_ + 1) * window_len_; }
+
+ private:
+  WindowIndex open_window_ = 0;
+  SimTime window_len_ = 1;
+};

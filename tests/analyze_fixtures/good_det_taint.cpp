@@ -1,0 +1,38 @@
+// det-taint, compliant: the sink walks a sorted snapshot, and the
+// environment reads live in a tuning helper that no determinism sink can
+// reach — closure scoping, not a blanket ban.
+#define DDPM_DET_SINK
+#define DDPM_DET_SOURCE
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+struct WindowStatsOk {
+  std::unordered_map<std::uint32_t, double> buckets;
+
+  std::vector<std::pair<std::uint32_t, double>> sorted_buckets() const {
+    std::vector<std::pair<std::uint32_t, double>> out(buckets.begin(),
+                                                      buckets.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  DDPM_DET_SINK std::string publish_stats() const {
+    double sum = 0.0;
+    for (const auto& kv : sorted_buckets()) {
+      sum += kv.second;
+    }
+    return std::to_string(sum);
+  }
+};
+
+// Environment reads are fine outside every sink closure: sizing a thread
+// pool is an execution concern, not a result.
+unsigned tune_pool_width() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}

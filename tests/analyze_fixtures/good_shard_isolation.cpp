@@ -1,0 +1,25 @@
+// shard-isolation, compliant: shard state is touched only by its owning
+// class; the sink path crosses shards exclusively through the
+// DDPM_SHARD_MERGE function, whose closure is det-taint-clean; the
+// per-shard ingest path never appears in any sink closure.
+#define DDPM_SHARD_STATE
+#define DDPM_SHARD_MERGE
+#define DDPM_DET_SINK
+#include <cstdint>
+#include <vector>
+
+class ShardedCounterOk {
+ public:
+  void ingest(std::size_t shard, std::uint64_t n) { lanes_[shard] += n; }
+
+  DDPM_SHARD_MERGE std::uint64_t fold_lanes() const {
+    std::uint64_t t = 0;
+    for (std::uint64_t v : lanes_) t += v;
+    return t;
+  }
+
+  DDPM_DET_SINK std::uint64_t export_total() const { return fold_lanes(); }
+
+ private:
+  DDPM_SHARD_STATE std::vector<std::uint64_t> lanes_;
+};

@@ -1,0 +1,29 @@
+// tick-domain, compliant: every crossing between the SimTime and
+// WindowIndex integer domains happens through an explicit conversion on
+// the same line, and same-domain arithmetic is never flagged.
+#include <cstdint>
+
+using SimTime = std::uint64_t;
+using WindowIndex = std::uint64_t;
+
+class WindowClockOk {
+ public:
+  explicit WindowClockOk(SimTime len) : window_len_(len) {}
+
+  WindowIndex index_of(SimTime now) const {
+    return WindowIndex(now / window_len_);
+  }
+
+  bool window_elapsed(SimTime now) const {
+    return now >= SimTime(open_window_ + 1) * window_len_;
+  }
+
+  // Same-domain arithmetic: one vocabulary, no crossing.
+  bool before(SimTime a, SimTime b) const { return a + window_len_ < b; }
+
+  void open_next() { open_window_ = open_window_ + 1; }
+
+ private:
+  WindowIndex open_window_ = 0;
+  SimTime window_len_ = 1;
+};

@@ -124,6 +124,83 @@ TEST(CsvParse, RejectsObviousGarbage) {
   EXPECT_TRUE(parse_csv_line("1,2,3,4,5,6,17,BENIGN\r", r));
 }
 
+TEST(CsvParse, QuotedFieldsWithCommasAndEscapedQuotes) {
+  FlowRecord r;
+  EXPECT_TRUE(parse_csv_line("1,2,3,4,5,6,17,\"BENIGN\"", r));
+  EXPECT_FALSE(r.attack);
+  // A quoted label may contain commas without growing the field count.
+  EXPECT_TRUE(parse_csv_line("1,2,3,4,5,6,17,\"DDoS, stage 2\"", r));
+  EXPECT_TRUE(r.attack);
+  // Quoting works on numeric fields too.
+  EXPECT_TRUE(parse_csv_line("\"1\",\"2\",3,4,5,6,17,BENIGN", r));
+  EXPECT_EQ(r.src, 1u);
+  EXPECT_EQ(r.dst, 2u);
+  // Doubled quotes escape a literal quote inside a quoted field.
+  EXPECT_TRUE(parse_csv_line("1,2,3,4,5,6,17,\"say \"\"hi\"\"\"", r));
+  EXPECT_TRUE(r.attack);
+  // Unterminated quote, junk after the closing quote, quoted-empty label.
+  EXPECT_FALSE(parse_csv_line("1,2,3,4,5,6,17,\"oops", r));
+  EXPECT_FALSE(parse_csv_line("1,2,3,4,5,6,17,\"x\"y", r));
+  EXPECT_FALSE(parse_csv_line("1,2,3,4,5,6,17,\"\"", r));
+}
+
+TEST(CsvParse, TrailingDelimiterTolerated) {
+  FlowRecord r;
+  EXPECT_TRUE(parse_csv_line("1,2,3,4,5,6,17,BENIGN,", r));
+  EXPECT_FALSE(r.attack);
+  EXPECT_TRUE(parse_csv_line("1,2,3,4,5,6,17,\"BENIGN\",", r));
+  EXPECT_TRUE(parse_csv_line("1,2,3,4,5,6,17,BENIGN,\r", r));
+  // But only ONE trailing delimiter — more than that is a ninth field.
+  EXPECT_FALSE(parse_csv_line("1,2,3,4,5,6,17,BENIGN,,", r));
+  EXPECT_FALSE(parse_csv_line("1,2,3,4,5,6,17,BENIGN,x", r));
+}
+
+TEST(CsvFuzz, EdgeCaseSerializationsRoundTrip) {
+  TraceGenConfig config;
+  config.seed = 99;
+  config.duration = 30'000;
+  config.attack_start = 5'000;
+  config.attack_duration = 20'000;
+  const std::vector<FlowRecord> records = TraceGenerator(config).generate();
+  ASSERT_GT(records.size(), 200u);
+
+  // Re-serialize by hand with deterministic edge-case decorations: CRLF
+  // line endings, quoted label (and sometimes src) fields, and trailing
+  // delimiters. The parser must see through every combination.
+  std::uint64_t x = 0x2545F4914F6CDD1Dull;
+  const auto next = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  std::ostringstream os;
+  os << kCsvHeader << "\r\n";
+  for (const FlowRecord& r : records) {
+    if (next() % 4 == 0) {
+      os << '"' << r.src << '"';
+    } else {
+      os << r.src;
+    }
+    os << ',' << r.dst << ',' << r.bytes << ',' << r.packets << ','
+       << r.first_ts << ',' << r.last_ts << ',' << unsigned(r.proto) << ',';
+    const std::string_view label = r.attack ? "ATTACK" : kBenignLabel;
+    switch (next() % 3) {
+      case 0: os << label; break;
+      case 1: os << '"' << label << '"'; break;
+      case 2: os << label << ','; break;  // trailing delimiter
+    }
+    os << (next() % 2 ? "\r\n" : "\n");
+  }
+  std::istringstream is(os.str());
+  std::vector<FlowRecord> parsed;
+  const CsvStats stats =
+      read_csv(is, [&](const FlowRecord& rec) { parsed.push_back(rec); });
+  EXPECT_TRUE(stats.header_ok);
+  EXPECT_EQ(stats.malformed, 0u);
+  EXPECT_EQ(parsed, records);
+}
+
 TEST(CsvFuzz, GenerateWriteParseRoundTripsByteIdentically) {
   TraceGenConfig config;
   config.seed = 77;

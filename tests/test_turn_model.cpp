@@ -33,7 +33,7 @@ TEST_F(TurnModelFixture, WestFirstGoesWestExclusivelyWhileNeeded) {
   // From (3,0) to (0,3): dx = -3, so only west until x matches.
   const auto from = mesh_.id_of(Coord{3, 0});
   const auto cand = router.candidates(from, mesh_.id_of(Coord{0, 3}), kLocalPort);
-  EXPECT_EQ(cand, (std::vector<Port>{TurnModelRouter::kWest}));
+  EXPECT_EQ(cand, (route::PortList{TurnModelRouter::kWest}));
   // And no fallback whatsoever while westbound.
   EXPECT_TRUE(router
                   .fallback_candidates(from, mesh_.id_of(Coord{0, 3}),
@@ -115,7 +115,7 @@ TEST_F(TurnModelFixture, NorthLastCommitsOnceHeadingNorth) {
   const auto cur = mesh_.id_of(Coord{1, 1});
   const auto dst = mesh_.id_of(Coord{3, 0});
   const auto cand = router.candidates(cur, dst, TurnModelRouter::kSouth);
-  EXPECT_EQ(cand, (std::vector<Port>{TurnModelRouter::kNorth}));
+  EXPECT_EQ(cand, (route::PortList{TurnModelRouter::kNorth}));
   EXPECT_TRUE(
       router.fallback_candidates(cur, dst, TurnModelRouter::kSouth).empty());
 }
@@ -125,11 +125,11 @@ TEST_F(TurnModelFixture, NorthLastDelaysNorthUntilXDone) {
   // dx != 0 and dy < 0: north must not be offered yet.
   const auto cand = router.candidates(mesh_.id_of(Coord{0, 2}),
                                       mesh_.id_of(Coord{2, 0}), kLocalPort);
-  EXPECT_EQ(cand, (std::vector<Port>{TurnModelRouter::kEast}));
+  EXPECT_EQ(cand, (route::PortList{TurnModelRouter::kEast}));
   // Once aligned in x, north is the only productive direction.
   const auto cand2 = router.candidates(mesh_.id_of(Coord{2, 2}),
                                        mesh_.id_of(Coord{2, 0}), kLocalPort);
-  EXPECT_EQ(cand2, (std::vector<Port>{TurnModelRouter::kNorth}));
+  EXPECT_EQ(cand2, (route::PortList{TurnModelRouter::kNorth}));
 }
 
 TEST_F(TurnModelFixture, NegativeFirstPhases) {
@@ -149,7 +149,7 @@ TEST_F(TurnModelFixture, NegativeFirstPhases) {
   // Mixed deltas (dx>0, dy<0): north (negative) first.
   const auto cand3 = router.candidates(mesh_.id_of(Coord{0, 2}),
                                        mesh_.id_of(Coord{2, 0}), kLocalPort);
-  EXPECT_EQ(cand3, (std::vector<Port>{TurnModelRouter::kNorth}));
+  EXPECT_EQ(cand3, (route::PortList{TurnModelRouter::kNorth}));
 }
 
 class TurnModelDelivery

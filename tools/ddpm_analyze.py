@@ -38,6 +38,31 @@ scopes, and a call graph:
                            disagrees with ring_shortest_delta by even one
                            breaks the V = D - S telescoping the identifier
                            depends on.
+  det-taint                interprocedural: nondeterminism sources
+                           (unordered-container iteration, pointer-keyed
+                           containers, thread identity/count, address
+                           reinterpretation, DDPM_DET_SOURCE calls) must
+                           not be reachable from a determinism sink — a
+                           result-path-named function or anything marked
+                           DDPM_DET_SINK (src/core/shard_annotations.hpp).
+                           Generalizes ordered-iteration to sinks the
+                           naming convention cannot see.
+  shard-isolation          DDPM_SHARD_STATE members may be touched only by
+                           their owning class, and on a sink path only
+                           inside the closure of a DDPM_SHARD_MERGE
+                           function — whose own closure must be
+                           det-taint-clean.
+  rng-stream-discipline    RNG construction inside the call-graph closure
+                           of a ParallelRunner dispatch site must derive
+                           from an explicit seed/jump_stream()/long_jump()
+                           argument, never a bare literal or default seed
+                           shared across workers.
+  tick-domain              additive/comparison arithmetic mixing
+                           netsim::SimTime (tick) and core::WindowIndex
+                           (window ordinal) operands; explicit
+                           SimTime(...)/WindowIndex(...) construction is
+                           the sanctioned conversion. Active only in files
+                           that use the WindowIndex vocabulary.
   stale-suppression        an `allow(rule)` comment on a line that no
                            longer violates that rule must be removed.
 
@@ -98,6 +123,10 @@ RULES = (
     "hot-no-throw-io",
     "hot-no-div",
     "layout-certified",
+    "det-taint",
+    "shard-isolation",
+    "rng-stream-discipline",
+    "tick-domain",
 )
 META_RULES = ("stale-suppression",)
 
@@ -226,6 +255,60 @@ def hot_div_matches(lt: str):
             continue
         tok = HOT_DIV_TOKEN_RE.match(rhs)
         yield op, tok.group(0) if tok else rhs[:1]
+
+
+# -- determinism-taint / shard-safety ruleset ------------------------------
+# (src/core/shard_annotations.hpp). Annotations are lexical tokens exactly
+# like DDPM_HOT: the textual parser harvests them from definition heads and
+# `;`-terminated declarations, and the whole dataflow pass runs textually
+# under BOTH frontends so flagged lines and ratchet fingerprints are
+# frontend-independent by construction.
+DET_SOURCE_MACRO = "DDPM_DET_SOURCE"
+DET_SINK_MACRO = "DDPM_DET_SINK"
+SHARD_MERGE_MACRO = "DDPM_SHARD_MERGE"
+SHARD_STATE_MACRO = "DDPM_SHARD_STATE"
+
+# Lexical nondeterminism sources: environment reads whose value depends on
+# scheduling/thread count/address layout rather than seeded simulation
+# state. Unordered iteration and DDPM_DET_SOURCE calls are handled via
+# sites/call scanning, not this table.
+DET_SOURCE_LEX = (
+    (re.compile(r"\bhardware_concurrency\s*\("),
+     "std::thread::hardware_concurrency()"),
+    (re.compile(r"\bthis_thread\s*::\s*get_id\s*\(|\bthread\s*::\s*id\b"),
+     "thread identity"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\breinterpret_cast\s*<\s*(?:std\s*::\s*)?u?intptr_t\b"),
+     "pointer value reinterpreted as integer"),
+)
+# Associative container keyed on a pointer type: iteration/sort order is
+# the allocator's address layout. Only the first template argument (the
+# key) matters; pointer-valued mapped types are fine.
+DET_POINTER_KEY_RE = re.compile(
+    r"\b(?:unordered_map|unordered_set|map|set|multimap|multiset)\s*"
+    r"<[^;{}>,]*\*")
+
+# rng-stream-discipline: worker closures are seeded from ParallelRunner
+# dispatch sites; inside them every Rng must be constructed from an
+# explicit stream derivation, never a bare literal or the default seed.
+RNG_DISPATCH_RE = re.compile(r"\bParallelRunner\b|\bfor_each_index\s*\(")
+RNG_DECL_RE = re.compile(
+    r"\b(?:netsim\s*::\s*)?Rng\s+([A-Za-z_]\w*)\s*(?:\(([^;]*)\)|\{([^;]*)\})\s*;")
+RNG_DEFAULT_DECL_RE = re.compile(r"\b(?:netsim\s*::\s*)?Rng\s+([A-Za-z_]\w*)\s*;")
+RNG_OK_ARG_RE = re.compile(
+    r"\bseed\b|seed\s*\(|_seed\b|\bjump_stream\b|\blong_jump\b|\bstream\b",
+    re.IGNORECASE)
+
+# tick-domain: declared-type vocabulary. A line mixing a tick-typed and a
+# window-typed operand across an additive/comparison operator is flagged;
+# explicit construction (SimTime(...) / WindowIndex(...)) and the scaling
+# ops * and / are the sanctioned conversions.
+TICK_DOMAIN_TYPES = (
+    (re.compile(r"\bWindowIndex\b"), "window"),
+    (re.compile(r"\bSimTime\b"), "tick"),
+)
+TICK_MIX_OP_RE = re.compile(r"[\w\)\]]\s*(?:\+=?|-=?|<=?|>=?|==|!=)\s*[\w\(]")
+TICK_CONVERT_RE = re.compile(r"\b(?:SimTime|WindowIndex)\s*\(")
 
 
 # --------------------------------------------------------------------------
@@ -429,6 +512,13 @@ class TextualUnit:
         # per body even when a qname is defined twice (#if variants), so a
         # hot-line scan never swallows the region between two definitions.
         self.fn_extents: list[tuple] = []
+        # Shard/determinism annotation harvest (shard_annotations.hpp):
+        # simple function names carrying each macro, and annotated data
+        # members as (owner class, member name, line).
+        self.det_sources: set = set()
+        self.det_sinks: set = set()
+        self.shard_merges: set = set()
+        self.shard_states: list[tuple] = []
         self._parse()
         # Hot-path state/layout declarations are recognized lexically on the
         # blanked text so both frontends see the identical set (the macros
@@ -654,6 +744,7 @@ class TextualUnit:
                         fn_rec = self.functions.setdefault(qname, fn)
                         if HOT_FN_MACRO in words:
                             fn_rec.hot = True
+                        self._harvest_annotations(words, simple=simple, cls=cls)
                         self._parse_params(head[open_paren + 1:close_paren], qname)
                         sc = _Scope("function", simple)
                         sc.qname = qname
@@ -738,6 +829,27 @@ class TextualUnit:
 
     _local_types: dict
 
+    def _harvest_annotations(self, words, simple=None, cls="") -> None:
+        """Records DDPM_DET_SOURCE/DDPM_DET_SINK/DDPM_SHARD_MERGE from a
+        function head (inline definition, name already resolved) or from a
+        `;`-terminated declaration (name = identifier before the first
+        '('). Annotating the declaration in the header is enough: the
+        taint pass matches functions by (class, simple name) — an empty
+        class binds every same-named function, matching the call-graph
+        overapproximation."""
+        for macro, store in ((DET_SOURCE_MACRO, self.det_sources),
+                             (DET_SINK_MACRO, self.det_sinks),
+                             (SHARD_MERGE_MACRO, self.shard_merges)):
+            if macro not in words:
+                continue
+            name = simple
+            if name is None and "(" in words:
+                k = words.index("(")
+                if k > 0 and re.match(r"[A-Za-z_]\w*$", words[k - 1]):
+                    name = words[k - 1]
+            if name:
+                store.add((cls, name))
+
     def _class_member_flags(self, words, cls: str, access: str) -> None:
         """Updates special-member facts for `cls` from a member head/decl.
 
@@ -787,6 +899,7 @@ class TextualUnit:
             cls = scopes[-1].name
             access = scopes[-1].access
             self._class_member_flags(words, cls, access)
+            self._harvest_annotations(words, cls=cls)
             # member variable? no parens -> record type
             if "(" not in words and "operator" not in words and \
                     words[0] not in ("using", "friend", "typedef", "template",
@@ -802,12 +915,15 @@ class TextualUnit:
                     if decl_names:
                         var = decl_names[-1]
                         self.members.setdefault(cls, {})[var] = " ".join(decl_words)
+                        if SHARD_STATE_MACRO in decl_words:
+                            self.shard_states.append((cls, var, line))
             # static data member (shared mutable state)
             self._check_static(stoks, words, line, context=cls)
             return
 
         # -- namespace-scope statements -----------------------------------
         if at_ns:
+            self._harvest_annotations(words)
             self._check_static(stoks, words, line, context="::".join(ns_stack))
             return
 
@@ -1470,6 +1586,22 @@ MESSAGES = {
     "layout-certified": "DDPM_HOT_STATE layout not certified — every "
                         "hot-state record needs a DDPM_HOT_LAYOUT(size, "
                         "align) pin so growth shows up in review",
+    "det-taint": "nondeterminism reaches a determinism sink — thread/"
+                 "environment/address-order values must not flow into "
+                 "snapshot/merge/report/JSON/digest emitters; sort, seed, "
+                 "or hoist out of the sink closure",
+    "shard-isolation": "DDPM_SHARD_STATE crossed outside its sanctioned "
+                       "path — shard state belongs to its owner, and on "
+                       "sink paths may only flow through a "
+                       "DDPM_SHARD_MERGE closure",
+    "rng-stream-discipline": "worker-closure RNG not derived from an "
+                             "explicit stream — seed from jump_stream()/"
+                             "long_jump() or a per-task seed argument, "
+                             "never a literal or the default seed shared "
+                             "across workers",
+    "tick-domain": "arithmetic mixes sim-tick and window-index integer "
+                   "domains — make the conversion explicit with "
+                   "SimTime(...)/WindowIndex(...)",
 }
 
 NARROWING_EXEMPT = re.compile(r"src/packet/marking_field\.")
@@ -1505,13 +1637,9 @@ def result_path_functions(functions: dict) -> set:
 # Hot-path pass (shared by both frontends)
 # --------------------------------------------------------------------------
 
-def hot_closure(units: list) -> set:
-    """Qnames reachable (by simple-name call edges) from DDPM_HOT roots.
-
-    Same resolution as result_path_functions: a call through a virtual pulls
-    in every same-named definition. That overapproximation is deliberate —
-    a hot loop cannot prove at the call site which override runs, so every
-    candidate implementation inherits the hot budget."""
+def merged_functions(units: list) -> dict:
+    """qname -> FunctionInfo across all units (declaration in the header,
+    definition in the .cpp, calls unioned)."""
     fns: dict[str, FunctionInfo] = {}
     for u in units:
         for q, fi in u.functions.items():
@@ -1521,11 +1649,21 @@ def hot_closure(units: list) -> set:
             else:
                 fns[q] = FunctionInfo(fi.qname, fi.name, fi.cls, fi.file,
                                       fi.line, set(fi.calls), fi.hot)
+    return fns
+
+
+def forward_closure(fns: dict, seeds) -> set:
+    """Qnames reachable (by simple-name call edges) from the seed
+    FunctionInfos. Same resolution as result_path_functions: a call
+    through a virtual pulls in every same-named definition. That
+    overapproximation is deliberate — the caller cannot prove at the call
+    site which override runs, so every candidate implementation inherits
+    the obligation."""
     by_name: dict[str, list] = {}
     for fi in fns.values():
         by_name.setdefault(fi.name, []).append(fi)
     reach: set = set()
-    work = [fi for fi in fns.values() if fi.hot]
+    work = list(seeds)
     while work:
         fi = work.pop()
         if fi.qname in reach:
@@ -1536,6 +1674,12 @@ def hot_closure(units: list) -> set:
                 if target.qname not in reach:
                     work.append(target)
     return reach
+
+
+def hot_closure(units: list) -> set:
+    """Qnames reachable from DDPM_HOT roots."""
+    fns = merged_functions(units)
+    return forward_closure(fns, [fi for fi in fns.values() if fi.hot])
 
 
 def hot_pass_sites(units: list, class_layout: dict) -> list:
@@ -1630,6 +1774,244 @@ def hot_pass_sites(units: list, class_layout: dict) -> list:
                     "layout-certified", u.rel, line, name,
                     f"declared ({size}, {align}) but the real layout is "
                     f"({real[0]}, {real[1]})"))
+    return sites
+
+
+# --------------------------------------------------------------------------
+# Interprocedural dataflow pass: det-taint / shard-isolation /
+# rng-stream-discipline / tick-domain (shared by both frontends)
+# --------------------------------------------------------------------------
+
+def dataflow_pass_sites(units: list) -> list:
+    """Taint-engine rule sites over the whole-program call graph.
+
+    Like hot_pass_sites, this runs on TextualUnits under BOTH frontends,
+    so the flagged lines — and therefore the ratchet fingerprints — are
+    frontend-independent by construction. Closures are forward reachability
+    over simple-name call edges from three seed sets: determinism sinks
+    (result-path-named functions plus DDPM_DET_SINK annotations), shard
+    merge points (DDPM_SHARD_MERGE), and worker dispatchers (any function
+    whose body touches ParallelRunner / for_each_index)."""
+    fns = merged_functions(units)
+
+    det_source_pairs: set = set()    # (cls-or-empty, simple name)
+    det_sink_pairs: set = set()
+    merge_pairs: set = set()
+    shard_states: list = []          # (owner class, member, rel, line)
+    for u in units:
+        det_source_pairs |= u.det_sources
+        det_sink_pairs |= u.det_sinks
+        merge_pairs |= u.shard_merges
+        for cls, var, line in u.shard_states:
+            shard_states.append((cls, var, u.rel, line))
+
+    def annotated(fi, pairs) -> bool:
+        return any(fi.name == n and (c == "" or fi.cls == c)
+                   for c, n in pairs)
+
+    seed_named = [fi for fi in fns.values()
+                  if RESULT_PATH_SEED.search(fi.name)]
+    seed_reach = forward_closure(fns, seed_named)
+    sink_reach = forward_closure(
+        fns, seed_named + [fi for fi in fns.values()
+                           if annotated(fi, det_sink_pairs)])
+    merge_roots = [fi for fi in fns.values() if annotated(fi, merge_pairs)]
+    merge_reach = forward_closure(fns, merge_roots)
+
+    # DDPM_DET_SOURCE call sites are detected lexically (name + optional
+    # template args + '('), so `pool.map<R>(...)` counts even though the
+    # tokenizer records no call edge for templated calls.
+    src_call_res = {
+        name: re.compile(r"\b" + re.escape(name) + r"\s*(?:<[^;(){}]*>)?\s*\(")
+        for name in {n for _c, n in det_source_pairs}
+    }
+
+    allow_map: dict = {}             # (rel, line) -> set(rules), raw text
+    for u in units:
+        for n, raw in enumerate(u.lines, 1):
+            m = ALLOW_RE.search(raw)
+            if m:
+                allow_map[(u.rel, n)] = {r.strip()
+                                         for r in m.group(1).split(",")}
+
+    sites: list[Fact] = []
+    flagged: set = set()
+
+    def emit(rule, rel, line, ctx, detail):
+        if (rule, rel, line) in flagged:
+            return
+        flagged.add((rule, rel, line))
+        sites.append(Fact(rule, rel, line, ctx, detail))
+
+    # ---- per-function nondeterminism-source inventory --------------------
+    # Collected everywhere (not just sink closures): the merge-cleanliness
+    # check needs them for closures that are not sinks. A site allowed via
+    # `allow(det-taint)` still reaches det-taint itself (the normal
+    # suppression accounting marks it) but no longer poisons a merge.
+    source_sites: dict[str, list] = {}   # qname -> [(rel, line, what, allowed)]
+    for u in units:
+        for qname, start, end in u.fn_extents:
+            fi = fns.get(qname)
+            own = fi.name if fi else ""
+            for n in range(start, min(end, len(u.clean_lines)) + 1):
+                lt = u.clean_lines[n - 1]
+                hits = []
+                for rx, what in DET_SOURCE_LEX:
+                    if rx.search(lt):
+                        hits.append(what)
+                if DET_POINTER_KEY_RE.search(lt):
+                    hits.append("container keyed on a pointer value")
+                for name, rx in src_call_res.items():
+                    # the annotated function's own head/recursion is not a
+                    # call into nondeterminism
+                    if name != own and rx.search(lt):
+                        hits.append(f"call to DDPM_DET_SOURCE '{name}'")
+                allowed = "det-taint" in allow_map.get((u.rel, n), ())
+                for what in hits:
+                    source_sites.setdefault(qname, []).append(
+                        (u.rel, n, what, allowed))
+
+    # ---- det-taint: sources inside the determinism-sink closure ----------
+    for qname in sorted(source_sites):
+        if qname not in sink_reach:
+            continue
+        for rel, n, what, _allowed in source_sites[qname]:
+            emit("det-taint", rel, n, qname,
+                 f"{what} on a determinism-sink path")
+
+    # Unordered-container walks only the annotation vocabulary can see:
+    # inside the DDPM_DET_SINK closure but NOT on a result-path-named
+    # closure (those remain ordered-iteration findings — no double report).
+    for u in units:
+        for f in u.sites:
+            if f.rule != "ordered-iteration":
+                continue
+            ctx = f.context
+            if ctx in sink_reach and ctx not in seed_reach \
+                    and not RESULT_PATH_SEED.search(ctx.split("::")[-1]):
+                emit("det-taint", u.rel, f.line, ctx,
+                     f"{f.detail} — reachable from a DDPM_DET_SINK")
+
+    # ---- shard-isolation -------------------------------------------------
+    owners: dict[str, set] = {}
+    state_res: dict = {}
+    for cls, var, _srel, _sline in shard_states:
+        owners.setdefault(var, set()).add(cls)
+        state_res.setdefault(var, re.compile(r"\b" + re.escape(var) + r"\b"))
+    if shard_states:
+        for u in units:
+            for qname, start, end in u.fn_extents:
+                fi = fns.get(qname)
+                fcls = fi.cls if fi else ""
+                for n in range(start, min(end, len(u.clean_lines)) + 1):
+                    lt = u.clean_lines[n - 1]
+                    for var, rx in state_res.items():
+                        if not rx.search(lt):
+                            continue
+                        if fcls not in owners[var]:
+                            emit("shard-isolation", u.rel, n, qname,
+                                 f"'{var}' (DDPM_SHARD_STATE of "
+                                 f"{'/'.join(sorted(owners[var]))}) touched "
+                                 "outside the owning class")
+                        elif qname in sink_reach \
+                                and not (fi and annotated(fi, merge_pairs)) \
+                                and qname not in merge_reach:
+                            emit("shard-isolation", u.rel, n, qname,
+                                 f"sink-path access to shard state '{var}' "
+                                 "outside a DDPM_SHARD_MERGE closure")
+
+    # DDPM_SHARD_MERGE functions must be det-taint-clean across their
+    # whole closure (an allowed source no longer poisons them; an
+    # unordered walk does).
+    for root_fi in sorted(merge_roots, key=lambda fi: fi.qname):
+        sub = forward_closure(fns, [root_fi])
+        dirty = None
+        for q in sorted(sub):
+            for _rel, _n, what, allowed in source_sites.get(q, []):
+                if not allowed:
+                    dirty = (q, what)
+                    break
+            if dirty:
+                break
+        if dirty is None:
+            for u in units:
+                for f in u.sites:
+                    if f.rule == "ordered-iteration" and f.context in sub \
+                            and not ({"ordered-iteration", "det-taint"} &
+                                     allow_map.get((f.file, f.line), set())):
+                        dirty = (f.context, f.detail)
+                        break
+                if dirty:
+                    break
+        if dirty is not None:
+            emit("shard-isolation", root_fi.file, root_fi.line,
+                 root_fi.qname,
+                 f"DDPM_SHARD_MERGE '{root_fi.name}' reaches a "
+                 f"nondeterminism source ({dirty[1]} in "
+                 f"{dirty[0].split('::')[-1]})")
+
+    # ---- rng-stream-discipline -------------------------------------------
+    extent_text: dict[str, str] = {}
+    for u in units:
+        for qname, start, end in u.fn_extents:
+            seg = "\n".join(u.clean_lines[start - 1:min(end,
+                                                        len(u.clean_lines))])
+            extent_text[qname] = extent_text.get(qname, "") + "\n" + seg
+    dispatchers = [fns[q] for q, txt in sorted(extent_text.items())
+                   if q in fns and RNG_DISPATCH_RE.search(txt)]
+    worker_reach = forward_closure(fns, dispatchers)
+    for u in units:
+        for qname, start, end in u.fn_extents:
+            if qname not in worker_reach:
+                continue
+            for n in range(start, min(end, len(u.clean_lines)) + 1):
+                lt = u.clean_lines[n - 1]
+                for m in RNG_DECL_RE.finditer(lt):
+                    args = (m.group(2) or m.group(3) or "").strip()
+                    if args and RNG_OK_ARG_RE.search(args):
+                        continue
+                    what = (f"Rng {m.group(1)}(...) seeded from a "
+                            "worker-shared constant" if args else
+                            f"Rng {m.group(1)} with the default seed")
+                    emit("rng-stream-discipline", u.rel, n, qname, what)
+                for m in RNG_DEFAULT_DECL_RE.finditer(lt):
+                    emit("rng-stream-discipline", u.rel, n, qname,
+                         f"Rng {m.group(1)} with the default seed")
+
+    # ---- tick-domain -----------------------------------------------------
+    # Self-gating on the WindowIndex vocabulary: a file that never names
+    # the window domain cannot mix it.
+    for u in units:
+        if "WindowIndex" not in u.clean:
+            continue
+        for qname, start, end in u.fn_extents:
+            fi = fns.get(qname)
+            fcls = fi.cls if fi else ""
+            for n in range(start, min(end, len(u.clean_lines)) + 1):
+                lt = u.clean_lines[n - 1]
+                if not TICK_MIX_OP_RE.search(lt):
+                    continue
+                if TICK_CONVERT_RE.search(lt):
+                    continue  # explicit conversion: the sanctioned crossing
+                domains: set = set()
+                for tok in set(re.findall(r"[A-Za-z_]\w*", lt)):
+                    ty = u._local_types.get((qname, tok))
+                    if ty is None and fcls:
+                        ty = u.members.get(fcls, {}).get(tok)
+                    if ty is None:
+                        hits2 = {u.members[c][tok] for c in u.members
+                                 if tok in u.members[c]}
+                        ty = next(iter(hits2)) if len(hits2) == 1 else None
+                    if ty is None:
+                        continue
+                    for rx, dom in TICK_DOMAIN_TYPES:
+                        if rx.search(ty):
+                            domains.add(dom)
+                            break
+                if len(domains) > 1:
+                    emit("tick-domain", u.rel, n, qname,
+                         "mixes " + " and ".join(sorted(domains)) +
+                         "-domain operands without explicit conversion")
     return sites
 
 
@@ -1846,6 +2228,7 @@ def run_analysis(root: Path, dirs, frontend, scope_prefixes):
     if not units:
         units = build_textual_units(files, root)
     facts.sites.extend(hot_pass_sites(units, facts.class_layout))
+    facts.sites.extend(dataflow_pass_sites(units))
     findings = evaluate(facts, scope_prefixes)
     assign_fingerprints(findings, root)
     allows = collect_allow_comments(files, root)

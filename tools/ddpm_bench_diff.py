@@ -4,6 +4,7 @@
 Usage:
   python3 tools/ddpm_bench_diff.py BASELINE.json CURRENT.json
                                    [--tolerance 0.10] [--report OUT.md]
+                                   [--floor NAME=VALUE ...]
 
 Compares a freshly measured kernel-bench JSON against the committed
 baseline, metric by metric. A metric that REGRESSES by more than the
@@ -26,7 +27,18 @@ almost certainly measuring the build type, not the change under test.
 Cross-host comparisons are similarly noisy — pick the tolerance to match
 how comparable the two environments really are.
 
-Exit codes: 0 ratchet holds, 1 regression beyond tolerance, 2 usage.
+Floors are absolute bounds, orthogonal to the relative tolerance: the
+baseline JSON may carry a `"floors": {"metric": value}` object, and any
+floored metric whose CURRENT value lands on the wrong side of its floor
+fails the diff even if the relative move is within tolerance. Direction
+follows the unit — a floor on a better-higher metric (x, ops/s) is a
+minimum, on a duration it is a maximum. `--floor NAME=VALUE` (repeatable)
+adds or overrides a floor from the command line. This is what keeps
+`sweep_speedup` from ever drifting below parity one tolerance-sized
+nibble at a time.
+
+Exit codes: 0 ratchet holds, 1 regression beyond tolerance or floor
+violation, 2 usage.
 """
 
 import argparse
@@ -61,12 +73,36 @@ def main():
                          "(default 0.10 = 10%%)")
     ap.add_argument("--report", metavar="OUT.md", default=None,
                     help="also write the table as markdown")
+    ap.add_argument("--floor", metavar="NAME=VALUE", action="append",
+                    default=[],
+                    help="absolute floor for a metric; overrides the "
+                         "baseline's floors object (repeatable)")
     args = ap.parse_args()
     if args.tolerance < 0:
         ap.error("--tolerance must be non-negative")
 
     base_doc, base = load(args.baseline)
     cur_doc, cur = load(args.current)
+
+    floors = {}
+    raw_floors = base_doc.get("floors", {})
+    if not isinstance(raw_floors, dict):
+        sys.exit(f"ddpm_bench_diff: 'floors' in {args.baseline} "
+                 "must be an object")
+    for name, value in raw_floors.items():
+        try:
+            floors[name] = float(value)
+        except (TypeError, ValueError):
+            sys.exit(f"ddpm_bench_diff: floor for {name!r} in "
+                     f"{args.baseline} is not a number: {value!r}")
+    for spec in args.floor:
+        name, sep, value = spec.partition("=")
+        if not sep or not name:
+            ap.error(f"--floor expects NAME=VALUE, got {spec!r}")
+        try:
+            floors[name] = float(value)
+        except ValueError:
+            ap.error(f"--floor value for {name!r} is not a number: {value!r}")
 
     warnings = []
     for key in PROVENANCE_KEYS:
@@ -75,12 +111,33 @@ def main():
             warnings.append(f"provenance mismatch: {key}: "
                             f"baseline={bv!r} current={cv!r}")
 
+    def floor_breach(name, cval, unit):
+        """Floor verdict text, or None. Direction follows the unit: a floor
+        on a better-higher metric is a minimum, on a duration a maximum."""
+        if name not in floors:
+            return None
+        limit = floors[name]
+        higher_better = unit in HIGHER_IS_BETTER_UNITS
+        if higher_better and cval < limit:
+            return f"FLOOR VIOLATION ({cval:g} < floor {limit:g})"
+        if not higher_better and cval > limit:
+            return f"FLOOR VIOLATION ({cval:g} > ceiling {limit:g})"
+        return None
+
+    for name in floors:
+        if name not in cur:
+            warnings.append(f"floored metric '{name}' missing from current")
+
     rows = []          # (name, unit, base, cur, delta_frac, verdict)
     regressions = []
     for name in sorted(set(base) | set(cur)):
         if name not in base:
-            rows.append((name, cur[name][1], None, cur[name][0], None,
-                         "new metric"))
+            cval, unit = cur[name]
+            breach = floor_breach(name, cval, unit)
+            if breach:
+                regressions.append(name)
+            rows.append((name, unit, None, cval, None,
+                         breach or "new metric"))
             continue
         if name not in cur:
             rows.append((name, base[name][1], base[name][0], None, None,
@@ -90,12 +147,19 @@ def main():
         bval, unit = base[name]
         cval, _ = cur[name]
         higher_better = unit in HIGHER_IS_BETTER_UNITS
+        breach = floor_breach(name, cval, unit)
         if bval == 0:
-            rows.append((name, unit, bval, cval, None, "zero baseline"))
+            if breach:
+                regressions.append(name)
+            rows.append((name, unit, bval, cval, None,
+                         breach or "zero baseline"))
             continue
         delta = (cval - bval) / bval
         regress = -delta if higher_better else delta
-        if regress > args.tolerance:
+        if breach:
+            verdict = breach
+            regressions.append(name)
+        elif regress > args.tolerance:
             verdict = f"REGRESSION ({regress:+.1%} worse)"
             regressions.append(name)
         elif regress > 0:
@@ -110,6 +174,14 @@ def main():
         f"tolerance: {args.tolerance:.0%} regression per metric; "
         "improvements always pass (forward-only ratchet)",
         "",
+    ]
+    if floors:
+        lines += [
+            "floors (absolute, direction per unit): " +
+            ", ".join(f"{n}={v:g}" for n, v in sorted(floors.items())),
+            "",
+        ]
+    lines += [
         "| metric | unit | baseline | current | delta | verdict |",
         "|---|---|---:|---:|---:|---|",
     ]
@@ -130,7 +202,7 @@ def main():
 
     if regressions:
         print(f"ddpm_bench_diff: FAIL — {len(regressions)} metric(s) "
-              f"regressed beyond {args.tolerance:.0%}: "
+              f"regressed beyond {args.tolerance:.0%} or breached a floor: "
               + ", ".join(regressions), file=sys.stderr)
         return 1
     print(f"ddpm_bench_diff: OK — ratchet holds over {len(rows)} metric(s)")

@@ -40,7 +40,15 @@ clang-tidy knows about (registered as the `repo_lint` ctest):
                      structs only; all trace ingestion and CSV parsing live
                      in src/flow/, keeping the DDPM_HOT sketch paths free
                      of I/O and locale machinery.
-  9. required-docs   the tracked top-level documents (README.md,
+  9. shard-state-statics
+                     any file that declares DDPM_SHARD_STATE members (see
+                     src/core/shard_annotations.hpp) is a sharded parallel
+                     surface; a mutable static in such a file is exactly
+                     the cross-shard channel the annotation contract
+                     promises not to have, so every mutable static there
+                     must itself carry DDPM_SHARD_STATE on its line (or a
+                     reviewed allow). Const/constexpr statics are exempt.
+ 10. required-docs   the tracked top-level documents (README.md,
                      ROADMAP.md, CHANGES.md, ISSUE.md, EXPERIMENTS.md,
                      DESIGN.md, PAPER.md) and docs/ARCHITECTURE.md exist
                      and are non-empty. Sessions hand work to each other
@@ -72,7 +80,7 @@ ALLOW = re.compile(r"ddpm-lint:\s*allow\(([\w-]+)\)")
 KNOWN_RULES = frozenset({
     "pragma-once", "rng-containment", "float-compare", "header-io",
     "no-using-std", "netsim-no-std-function", "src-no-console",
-    "stream-no-ingest", "required-docs",
+    "stream-no-ingest", "shard-state-statics", "required-docs",
 })
 
 # Documents every session relies on finding; see rule 8 in the docstring.
@@ -282,6 +290,43 @@ def check_stream_no_ingest(root: Path) -> list[Violation]:
     return out
 
 
+# A `static` (optionally inline/thread_local) that is not const-qualified
+# and not obviously a function declaration. Heuristic: a variable line has
+# a `;` and either carries an initializer (`=`, `{`) or has no parameter
+# list at all; `static T f();` and `static T f(args)` stay exempt.
+MUTABLE_STATIC = re.compile(
+    r"(?:^|[\s;{])(?:inline\s+|thread_local\s+)*static\s+"
+    r"(?!const\b|constexpr\b|constinit\b|assert\s*\()"
+)
+
+
+def check_shard_state_statics(root: Path) -> list[Violation]:
+    out = []
+    for path in iter_source(root, ("src",), (".hpp", ".cpp")):
+        text = path.read_text(encoding="utf-8")
+        if "DDPM_SHARD_STATE" not in text:
+            continue
+        if path.name == "shard_annotations.hpp":
+            continue  # the vocabulary header defines the macro itself
+        for n, line in enumerate(text.splitlines(), 1):
+            code = strip_comments(line)
+            if not MUTABLE_STATIC.search(code):
+                continue
+            looks_like_variable = ";" in code and (
+                "=" in code or "{" in code or "(" not in code)
+            if not looks_like_variable:
+                continue
+            if "DDPM_SHARD_STATE" in code:
+                continue  # annotated: the analyzer audits it interprocedurally
+            if suppressed(line, "shard-state-statics", path, n):
+                continue
+            out.append(
+                (path, n, "shard-state-statics",
+                 "mutable static in a DDPM_SHARD_STATE file is a cross-shard"
+                 " channel; annotate it DDPM_SHARD_STATE or remove it"))
+    return out
+
+
 def check_required_docs(root: Path) -> list[Violation]:
     out = []
     for name in REQUIRED_DOCS:
@@ -338,6 +383,7 @@ def main(argv: list[str]) -> int:
         check_netsim_no_std_function,
         check_src_no_console,
         check_stream_no_ingest,
+        check_shard_state_statics,
         check_required_docs,
         check_stale_suppressions,  # must be last: audits the allow() comments
     ):

@@ -51,11 +51,25 @@ def project(report: dict) -> dict:
 
 
 def main(argv: list[str]) -> int:
-    args = [a for a in argv[1:] if not a.startswith("--")]
-    update = "--update" in argv
+    args: list[str] = []
+    update = False
     baseline_path = DEFAULT_BASELINE
-    if "--baseline" in argv:
-        baseline_path = Path(argv[argv.index("--baseline") + 1])
+    it = iter(argv[1:])
+    for a in it:
+        if a == "--update":
+            update = True
+        elif a == "--baseline":
+            value = next(it, None)
+            if value is None:
+                print("ddpm_verify_diff: --baseline needs a path",
+                      file=sys.stderr)
+                return 2
+            baseline_path = Path(value)
+        elif a.startswith("--"):
+            print(f"ddpm_verify_diff: unknown option {a}", file=sys.stderr)
+            return 2
+        else:
+            args.append(a)
     if len(args) != 1:
         print(__doc__, file=sys.stderr)
         return 2
