@@ -10,17 +10,25 @@
 //                  destination,
 //   --width        the paper's Tables 1-3 bit budgets against the real
 //                  DdpmCodec layout and factory limits.
+//   --model        bounded exhaustive model checking of the wormhole
+//                  VC/credit protocol on the small-configuration grid,
+//                  with witness replay on conviction.
 //
 // --all (the default) runs everything. --json FILE writes the verdict
 // table the `verify` CI job diffs against tools/ddpm_verify_baseline.json;
-// --markdown prints the tables EXPERIMENTS.md embeds. Exit status is the
-// number of failing verdicts (0 = the design space is certified).
+// --markdown prints the tables EXPERIMENTS.md embeds; --witness-dir DIR
+// saves each convicted model configuration's replayable counterexample as
+// DIR/witness_N.json (the artifact the `verify-model` CI job uploads on
+// failure). Exit status is the number of failing verdicts (0 = the design
+// space is certified).
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "verify/design_space.hpp"
+#include "verify/model/suite.hpp"
 #include "verify/width_cert.hpp"
 
 namespace {
@@ -28,7 +36,8 @@ namespace {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--all] [--cdg] [--invariant] [--injectivity] [--width]\n"
-               "       [--json FILE] [--markdown]\n";
+               "       [--model] [--json FILE] [--markdown] "
+               "[--witness-dir DIR]\n";
   return 2;
 }
 
@@ -36,12 +45,14 @@ int usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   bool want_cdg = false, want_invariant = false, want_injectivity = false,
-       want_width = false, markdown = false;
+       want_width = false, want_model = false, markdown = false;
   std::string json_path;
+  std::string witness_dir;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--all") {
-      want_cdg = want_invariant = want_injectivity = want_width = true;
+      want_cdg = want_invariant = want_injectivity = want_width =
+          want_model = true;
     } else if (arg == "--cdg") {
       want_cdg = true;
     } else if (arg == "--invariant") {
@@ -50,16 +61,22 @@ int main(int argc, char** argv) {
       want_injectivity = true;
     } else if (arg == "--width") {
       want_width = true;
+    } else if (arg == "--model") {
+      want_model = true;
     } else if (arg == "--markdown") {
       markdown = true;
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--witness-dir" && i + 1 < argc) {
+      witness_dir = argv[++i];
     } else {
       return usage(argv[0]);
     }
   }
-  if (!want_cdg && !want_invariant && !want_injectivity && !want_width) {
-    want_cdg = want_invariant = want_injectivity = want_width = true;
+  if (!want_cdg && !want_invariant && !want_injectivity && !want_width &&
+      !want_model) {
+    want_cdg = want_invariant = want_injectivity = want_width = want_model =
+        true;
   }
 
   ddpm::verify::Report report;
@@ -69,6 +86,19 @@ int main(int argc, char** argv) {
     report.injectivity = ddpm::verify::run_injectivity_suite();
   }
   if (want_width) report.width = ddpm::verify::certify_widths();
+  std::vector<ddpm::verify::model::ModelWitness> witnesses;
+  if (want_model) report.model = ddpm::verify::model::run_model_suite(&witnesses);
+  for (std::size_t i = 0; i < witnesses.size(); ++i) {
+    if (witness_dir.empty()) break;
+    const std::string path =
+        witness_dir + "/witness_" + std::to_string(i) + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "ddpm_verify: cannot write " << path << "\n";
+      return 2;
+    }
+    out << witnesses[i].to_json();
+  }
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -104,6 +134,14 @@ int main(int argc, char** argv) {
     for (const auto& v : report.width) {
       if (!v.pass) {
         std::cout << "  FAIL width " << v.check << ": " << v.note << "\n";
+      }
+    }
+    for (const auto& v : report.model) {
+      if (!v.pass) {
+        std::cout << "  FAIL model " << v.topology << " x " << v.router
+                  << " vcs=" << v.vcs << " depth=" << v.depth << ": "
+                  << (v.violated.empty() ? "incomplete" : v.violated)
+                  << (v.note.empty() ? "" : " — " + v.note) << "\n";
       }
     }
   }

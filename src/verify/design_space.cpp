@@ -7,6 +7,7 @@
 #include "routing/router.hpp"
 #include "topology/factory.hpp"
 #include "verify/cdg.hpp"
+#include "verify/model/suite.hpp"
 #include "verify/width_cert.hpp"
 
 namespace ddpm::verify {
@@ -119,6 +120,7 @@ Report run_all(const InvariantOptions& opt) {
   report.invariant = run_invariant_suite(opt);
   report.injectivity = run_injectivity_suite(opt);
   report.width = certify_widths();
+  report.model = model::run_model_suite();
   return report;
 }
 

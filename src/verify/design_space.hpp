@@ -41,7 +41,8 @@ std::vector<InvariantVerdict> run_invariant_suite(
 std::vector<InjectivityVerdict> run_injectivity_suite(
     const InvariantOptions& opt = {});
 
-/// The full report: CDG + invariant + injectivity + field widths.
+/// The full report: CDG + invariant + injectivity + field widths + the
+/// bounded protocol model-checking grid (verify/model/suite.hpp).
 Report run_all(const InvariantOptions& opt = {});
 
 }  // namespace ddpm::verify

@@ -1,0 +1,268 @@
+#include "verify/model/explore.hpp"
+
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "core/check.hpp"
+#include "verify/model/symmetry.hpp"
+
+namespace ddpm::verify::model {
+
+namespace {
+
+constexpr std::uint32_t kNone = 0xffffffffu;
+
+/// Per-state bookkeeping. `action` encodes the edge from `parent`:
+/// 0 = step, 1 + i = inject pairs()[i].
+struct Rec {
+  std::uint32_t parent = kNone;
+  std::uint32_t action = 0;
+  std::uint32_t step_succ = kNone;
+  std::uint8_t delivered = 0;  // not in the encoding; re-attached on decode
+  std::uint8_t injected = 0;
+  bool has_flits = false;
+};
+
+struct Search {
+  const ProtoModel& model;
+  const SymmetryGroup* group;  // null = full space
+  std::unordered_map<std::string, std::uint32_t> canon_ids;
+  std::vector<const std::string*> by_id;
+  std::vector<Rec> recs;
+  ModelCheckResult* result;
+  std::uint32_t convicted = kNone;
+
+  std::string canon(const ModelState& s) const {
+    return group != nullptr ? group->canonical(model, s) : model.encode_state(s);
+  }
+
+  /// Registers (or finds) the canonical image of `s`; runs the safety
+  /// checks on first discovery. Returns the state id.
+  std::uint32_t intern(const ModelState& s, std::uint32_t parent,
+                       std::uint32_t action) {
+    auto [it, inserted] = canon_ids.emplace(canon(s),
+                                            std::uint32_t(recs.size()));
+    if (!inserted) return it->second;
+    const std::uint32_t id = it->second;
+    by_id.push_back(&it->first);
+    Rec rec;
+    rec.parent = parent;
+    rec.action = action;
+    rec.delivered = std::uint8_t(s.delivered);
+    rec.injected = std::uint8_t(s.injected);
+    rec.has_flits = s.flits > 0;
+    recs.push_back(rec);
+    std::string property, why;
+    if (convicted == kNone && !model.check_safety(s, &property, &why)) {
+      convicted = id;
+      result->violated = property;
+      result->detail = why;
+      if (property == "no-loss") result->ok_loss = false;
+      if (property == "no-overflow") result->ok_overflow = false;
+      if (property == "credit-conservation") result->ok_conservation = false;
+    }
+    return id;
+  }
+
+  ModelState decode_state(std::uint32_t id) const {
+    ModelState s = model.decode_state(*by_id[id]);
+    s.delivered = recs[id].delivered;
+    return s;
+  }
+
+  /// Event path from the root to `id`, in execution order.
+  std::vector<std::string> events_to(std::uint32_t id) const {
+    std::vector<std::string> rev;
+    for (std::uint32_t cur = id; recs[cur].parent != kNone;
+         cur = recs[cur].parent) {
+      const std::uint32_t action = recs[cur].action;
+      if (action == 0) {
+        rev.emplace_back("step");
+      } else {
+        const auto& [src, dst] = model.pairs()[action - 1];
+        std::ostringstream os;
+        os << "inject " << src << " " << dst;
+        rev.push_back(os.str());
+      }
+    }
+    return {rev.rbegin(), rev.rend()};
+  }
+};
+
+/// Classifies every step-successor chain once the search is complete.
+/// Returns the smallest-id stuck state (kNone when every chain drains) and
+/// fills `kind` with "deadlock" or "livelock" for that state's cycle.
+std::uint32_t classify_progress(const std::vector<Rec>& recs,
+                                std::string* kind) {
+  enum : std::uint8_t { kWhite = 0, kGray = 1, kDone = 2 };
+  std::vector<std::uint8_t> color(recs.size(), kWhite);
+  std::vector<std::uint8_t> stuck(recs.size(), 0);
+  std::vector<std::string> stuck_kind(recs.size());
+  std::uint32_t first_stuck = kNone;
+  std::vector<std::uint32_t> path;
+  for (std::uint32_t root = 0; root < recs.size(); ++root) {
+    if (color[root] != kWhite) continue;
+    path.clear();
+    std::uint32_t cur = root;
+    bool base_stuck = false;
+    std::string base_kind;
+    while (true) {
+      if (!recs[cur].has_flits) break;  // drains (empty net is a fixpoint)
+      if (color[cur] == kDone) {
+        base_stuck = stuck[cur] != 0;
+        base_kind = stuck_kind[cur];
+        break;
+      }
+      if (color[cur] == kGray) {
+        // `cur` is on the current path: the chain entered a step cycle.
+        std::size_t pos = path.size();
+        while (pos > 0 && path[pos - 1] != cur) --pos;
+        --pos;  // path[pos] == cur; cycle = path[pos..end]
+        base_stuck = true;
+        // A one-state cycle means step(S) == S: a true deadlock fixpoint.
+        base_kind = (path.size() - pos == 1) ? "deadlock" : "livelock";
+        break;
+      }
+      color[cur] = kGray;
+      path.push_back(cur);
+      cur = recs[cur].step_succ;
+      DDPM_CHECK(cur != kNone, "progress pass on incomplete search");
+    }
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      color[*it] = kDone;
+      stuck[*it] = base_stuck ? 1 : 0;
+      stuck_kind[*it] = base_kind;
+      if (base_stuck && (first_stuck == kNone || *it < first_stuck)) {
+        first_stuck = *it;
+        *kind = base_kind;
+      }
+    }
+  }
+  if (first_stuck != kNone) *kind = stuck_kind[first_stuck];
+  return first_stuck;
+}
+
+ModelCheckResult run_once(const ModelOptions& opt) {
+  ModelCheckResult result;
+  result.symmetry = opt.use_symmetry;
+  ProtoModel model(opt);
+  std::string escape_why;
+  if (!model.check_escape_reach(&escape_why)) {
+    result.ok_escape = false;
+    result.violated = "escape-reachability";
+    result.detail = escape_why;
+  }
+  std::unique_ptr<SymmetryGroup> group;
+  if (opt.use_symmetry) group = std::make_unique<SymmetryGroup>(model);
+
+  Search search{model, group.get(), {}, {}, {}, &result, kNone};
+  search.intern(model.initial(), kNone, 0);
+
+  bool truncated = false;
+  std::uint32_t id = 0;
+  for (; id < search.recs.size() && search.convicted == kNone; ++id) {
+    if (search.recs.size() >= opt.max_states) {
+      truncated = true;
+      break;
+    }
+    const ModelState state = search.decode_state(id);
+    {
+      ModelState t = state;
+      model.step(t);
+      ++result.transitions;
+      search.recs[id].step_succ = search.intern(t, id, 0);
+    }
+    if (search.convicted != kNone) break;
+    if (std::uint32_t(state.injected) < std::uint32_t(opt.packets)) {
+      for (std::size_t pi = 0; pi < model.pairs().size(); ++pi) {
+        ModelState t = state;
+        model.inject(t, model.pairs()[pi].first, model.pairs()[pi].second);
+        ++result.transitions;
+        search.intern(t, id, std::uint32_t(1 + pi));
+        if (search.convicted != kNone) break;
+      }
+    }
+  }
+  result.states = search.recs.size();
+  result.complete = !truncated && search.convicted == kNone &&
+                    id >= search.recs.size();
+
+  std::uint32_t witness_state = kNone;
+  std::uint64_t extra_steps = 0;
+  if (search.convicted != kNone) {
+    witness_state = search.convicted;
+  } else if (result.complete) {
+    std::string kind;
+    const std::uint32_t stuck = classify_progress(search.recs, &kind);
+    if (stuck != kNone) {
+      result.ok_progress = false;
+      result.progress_kind = kind;
+      if (result.violated.empty()) {
+        result.violated = "bounded-progress";
+        std::ostringstream os;
+        os << kind << " reached after the witness prefix (step chain never "
+           << "drains)";
+        result.detail = os.str();
+      }
+      witness_state = stuck;
+      // Append enough steps to demonstrably enter and tour the cycle.
+      std::uint32_t cur = stuck;
+      std::vector<std::uint8_t> seen(search.recs.size(), 0);
+      while (seen[cur] == 0) {
+        seen[cur] = 1;
+        cur = search.recs[cur].step_succ;
+        ++extra_steps;
+      }
+      extra_steps += 2;  // one extra lap entry plus slack
+    }
+  } else if (result.violated.empty()) {
+    result.violated = "incomplete";
+    std::ostringstream os;
+    os << "state budget exhausted at " << result.states
+       << " states; nothing proven";
+    result.detail = os.str();
+  }
+
+  if (witness_state != kNone && group == nullptr) {
+    // Quotient parent chains are only sound up to the group action; the
+    // caller re-runs unreduced before emitting a witness.
+    ModelWitness w;
+    w.topology = opt.topology;
+    w.router = opt.router;
+    w.adaptive_vcs = opt.adaptive_vcs;
+    w.buffer_flits = opt.buffer_flits;
+    w.flits_per_packet = opt.flits_per_packet;
+    w.disable_escape = opt.disable_escape;
+    w.mutation = mutation_name(int(opt.mutation));
+    w.property = result.violated;
+    w.progress_kind = result.progress_kind;
+    w.detail = result.detail;
+    w.events = search.events_to(witness_state);
+    for (std::uint64_t i = 0; i < extra_steps; ++i) {
+      w.events.emplace_back("step");
+    }
+    result.witness = std::move(w);
+    result.has_witness = true;
+  }
+  return result;
+}
+
+}  // namespace
+
+ModelCheckResult check_model(const ModelOptions& opt) {
+  ModelCheckResult result = run_once(opt);
+  if (opt.use_symmetry && !result.all_ok()) {
+    // Sound witnesses need exact parent chains: redo on the full space.
+    ModelOptions full = opt;
+    full.use_symmetry = false;
+    ModelCheckResult exact = run_once(full);
+    exact.note = "conviction under symmetry quotient; re-explored the full "
+                 "space for the witness";
+    return exact;
+  }
+  return result;
+}
+
+}  // namespace ddpm::verify::model

@@ -1,0 +1,60 @@
+// Bounded exhaustive exploration of the protocol state space.
+//
+// check_model() runs a breadth-first search over every protocol state a
+// ProtoModel configuration can reach from the empty network, under the
+// action alphabet {inject(src, dst), step}: injections are bounded by the
+// packet budget, states are deduplicated by canonical encoding (optionally
+// quotiented by the validated symmetry group), and every newly discovered
+// state is checked against the safety properties (no loss/duplication, no
+// overflow, credit conservation). Bounded progress is decided after the
+// search closes: each state has exactly one step-successor, so the
+// step-successor chains partition into "drains" (reaches zero flits) and
+// "stuck" (enters a step cycle with flits in flight — a fixpoint is a
+// deadlock, a longer cycle a livelock), classified in one memoized pass.
+//
+// Convictions carry a ModelWitness whose event path is exact: a conviction
+// found under the symmetry quotient is automatically re-explored on the
+// full space first, because quotient parent chains are only sound up to
+// the (heuristically validated) group action (verify/model/symmetry.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "verify/model/proto_model.hpp"
+#include "verify/model/witness.hpp"
+
+namespace ddpm::verify::model {
+
+struct ModelCheckResult {
+  std::uint64_t states = 0;       ///< distinct states stored
+  std::uint64_t transitions = 0;  ///< edges examined
+  bool complete = false;  ///< frontier exhausted under max_states, no early stop
+  bool symmetry = false;  ///< the returned verdict used the quotient
+
+  bool ok_loss = true;
+  bool ok_overflow = true;
+  bool ok_conservation = true;
+  bool ok_escape = true;
+  bool ok_progress = true;
+
+  std::string violated;       ///< first violated property id ("" = none)
+  std::string detail;         ///< concrete violation site
+  std::string progress_kind;  ///< "deadlock" / "livelock" when progress fails
+
+  bool has_witness = false;
+  ModelWitness witness;
+  std::string note;
+
+  bool all_ok() const noexcept {
+    return ok_loss && ok_overflow && ok_conservation && ok_escape &&
+           ok_progress;
+  }
+};
+
+/// Explores `opt` exhaustively and returns the verdict (+ witness on
+/// conviction). Throws std::invalid_argument when the topology/router
+/// factories reject the configuration.
+ModelCheckResult check_model(const ModelOptions& opt);
+
+}  // namespace ddpm::verify::model

@@ -1,0 +1,112 @@
+#include "verify/model/suite.hpp"
+
+#include <stdexcept>
+
+#include "verify/model/replay.hpp"
+
+namespace ddpm::verify::model {
+
+namespace {
+
+ModelOptions config(const char* topology, const char* router,
+                    int adaptive_vcs, int depth, int packets,
+                    std::vector<std::pair<int, int>> pairs,
+                    bool symmetry) {
+  ModelOptions opt;
+  opt.topology = topology;
+  opt.router = router;
+  opt.adaptive_vcs = adaptive_vcs;
+  opt.buffer_flits = depth;
+  opt.packets = packets;
+  opt.flits_per_packet = 2;
+  opt.allowed_pairs = std::move(pairs);
+  opt.use_symmetry = symmetry;
+  return opt;
+}
+
+}  // namespace
+
+std::vector<ModelOptions> model_suite_configs() {
+  // Restricted injection alphabets keep the larger fabrics exhaustively
+  // closable; each restricted set pairs up antipodal/crossing flows (the
+  // traffic class that exercises escape VCs and wrap links hardest) and is
+  // closed under the surviving symmetry group.
+  const std::vector<std::pair<int, int>> mesh3{{0, 8}, {8, 0}, {2, 6}, {6, 2}};
+  const std::vector<std::pair<int, int>> torus3{{0, 4}, {4, 0}, {1, 5}, {5, 1}};
+  const std::vector<std::pair<int, int>> cube3{{0, 7}, {7, 0}, {1, 6}, {6, 1}};
+  std::vector<ModelOptions> grid;
+  grid.push_back(config("mesh:2x2", "dor", 1, 1, 3, {}, false));
+  grid.push_back(config("mesh:2x2", "adaptive", 1, 1, 3, {}, false));
+  grid.push_back(config("mesh:2x2", "adaptive", 3, 2, 3, {}, false));
+  grid.push_back(config("mesh:2x2", "north-last", 1, 2, 3, {}, false));
+  grid.push_back(config("mesh:3x3", "dor", 1, 1, 3, mesh3, true));
+  grid.push_back(config("mesh:3x3", "west-first", 2, 1, 2, mesh3, true));
+  grid.push_back(config("torus:3x3", "dor", 1, 1, 2, torus3, true));
+  grid.push_back(config("torus:3x3", "adaptive", 2, 2, 2, torus3, true));
+  grid.push_back(config("hypercube:3", "dor", 1, 1, 2, cube3, true));
+  grid.push_back(config("hypercube:3", "adaptive", 1, 2, 2, cube3, true));
+  return grid;
+}
+
+ModelVerdict run_model_config(const ModelOptions& opt,
+                              ModelWitness* witness) {
+  ModelVerdict v;
+  v.topology = opt.topology;
+  v.router = opt.router;
+  v.depth = opt.buffer_flits;
+  v.packets = opt.packets;
+  v.flits_per_packet = opt.flits_per_packet;
+  v.symmetry = opt.use_symmetry;
+  ModelCheckResult result;
+  try {
+    ProtoModel probe(opt);  // cheap: factories + tables, no exploration
+    v.vcs = probe.vcs();
+    v.pairs = probe.pairs().size();
+    result = check_model(opt);
+  } catch (const std::invalid_argument& e) {
+    v.pass = false;
+    v.note = std::string("configuration rejected: ") + e.what();
+    return v;
+  }
+  v.states = result.states;
+  v.transitions = result.transitions;
+  v.complete = result.complete;
+  v.symmetry = result.symmetry;
+  v.credit_conservation = result.ok_conservation;
+  v.no_overflow = result.ok_overflow;
+  v.no_loss = result.ok_loss;
+  v.escape_reachable = result.ok_escape;
+  v.bounded_progress = result.ok_progress;
+  v.violated = result.violated;
+  v.note = result.note;
+  if (result.has_witness) {
+    if (witness != nullptr) *witness = result.witness;
+    v.witness_events = result.witness.events.size();
+    const ReplayResult replay = replay_witness(result.witness);
+    if (!replay.ran) {
+      v.witness_replay = "unavailable";
+    } else {
+      v.witness_replay = replay.reproduced ? "reproduced" : "not-reproduced";
+    }
+    if (!v.note.empty()) v.note += "; ";
+    v.note += replay.detail;
+  }
+  v.pass = result.complete && result.all_ok();
+  return v;
+}
+
+std::vector<ModelVerdict> run_model_suite(
+    std::vector<ModelWitness>* witnesses) {
+  std::vector<ModelVerdict> out;
+  for (const ModelOptions& opt : model_suite_configs()) {
+    ModelWitness w;
+    ModelVerdict v = run_model_config(opt, witnesses != nullptr ? &w : nullptr);
+    if (witnesses != nullptr && v.witness_events > 0) {
+      witnesses->push_back(std::move(w));
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace ddpm::verify::model

@@ -1,0 +1,36 @@
+// Model-checking suite driver for ddpm_verify --model.
+//
+// model_suite_configs() is the certified design grid: small topology x
+// router x VC x depth configurations whose reachable protocol state spaces
+// close exhaustively within the per-config budget, chosen to cover every
+// topology family, both routing disciplines the wormhole substrate
+// supports (deterministic DOR, fully adaptive with escape), a turn-model
+// router, 2-4 total VCs, and credit depths 1-2. run_model_suite() explores
+// each one, replays any conviction on the real WormholeNetwork, and
+// returns the ModelVerdict rows the Report renders (and the `verify-model`
+// CI job ratchets via tools/ddpm_verify_diff.py).
+#pragma once
+
+#include <vector>
+
+#include "verify/model/explore.hpp"
+#include "verify/verdict.hpp"
+
+namespace ddpm::verify::model {
+
+/// The fixed configuration grid (deterministic order).
+std::vector<ModelOptions> model_suite_configs();
+
+/// Explores one configuration and folds the result (plus witness replay on
+/// conviction) into a verdict row. When `witness` is non-null and the
+/// exploration convicts, the concrete counterexample is copied out so the
+/// caller can persist it (ddpm_verify --witness-dir).
+ModelVerdict run_model_config(const ModelOptions& opt,
+                              ModelWitness* witness = nullptr);
+
+/// The whole grid. `witnesses`, when non-null, collects the witness of
+/// every convicted configuration in grid order.
+std::vector<ModelVerdict> run_model_suite(
+    std::vector<ModelWitness>* witnesses = nullptr);
+
+}  // namespace ddpm::verify::model

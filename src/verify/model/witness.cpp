@@ -1,0 +1,62 @@
+#include "verify/model/witness.hpp"
+
+#include <sstream>
+
+#include "core/model_hooks.hpp"
+
+namespace ddpm::verify::model {
+
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+}  // namespace
+
+const char* mutation_name(int mutation) {
+  switch (core::ModelMutation(mutation)) {
+    case core::ModelMutation::kNone:
+      return "none";
+    case core::ModelMutation::kDropCreditReturn:
+      return "drop-credit-return";
+    case core::ModelMutation::kBufferOffByOne:
+      return "buffer-off-by-one";
+    case core::ModelMutation::kSkipEscapeFallback:
+      return "skip-escape-fallback";
+  }
+  return "unknown";
+}
+
+std::string ModelWitness::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"topology\": \"";
+  json_escape(os, topology);
+  os << "\",\n  \"router\": \"";
+  json_escape(os, router);
+  os << "\",\n  \"adaptive_vcs\": " << adaptive_vcs
+     << ",\n  \"buffer_flits\": " << buffer_flits
+     << ",\n  \"flits_per_packet\": " << flits_per_packet
+     << ",\n  \"disable_escape\": " << (disable_escape ? "true" : "false")
+     << ",\n  \"mutation\": \"";
+  json_escape(os, mutation);
+  os << "\",\n  \"property\": \"";
+  json_escape(os, property);
+  os << "\",\n  \"progress_kind\": \"";
+  json_escape(os, progress_kind);
+  os << "\",\n  \"detail\": \"";
+  json_escape(os, detail);
+  os << "\",\n  \"events\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    os << (i ? ", " : "") << '"';
+    json_escape(os, events[i]);
+    os << '"';
+  }
+  os << "]\n}\n";
+  return os.str();
+}
+
+}  // namespace ddpm::verify::model

@@ -1,0 +1,47 @@
+// Witness format for bounded model-checker convictions.
+//
+// A witness is a concrete, self-contained event sequence — "inject SRC
+// DST" and "step" lines — that drives a fresh network (abstract model or
+// real WormholeNetwork, they accept the same alphabet) from the empty
+// initial state to the claimed violation. The replay harness
+// (verify/model/replay.hpp) executes it on the production engine and
+// reports whether the real failure reproduces; a witness that does NOT
+// reproduce convicts the abstraction instead of the protocol
+// (docs/VERIFICATION.md, "witness replay contract").
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ddpm::verify::model {
+
+struct ModelWitness {
+  // Enough configuration to rebuild the exact network the events assume.
+  std::string topology;
+  std::string router;
+  int adaptive_vcs = 1;
+  int buffer_flits = 1;
+  int flits_per_packet = 2;
+  bool disable_escape = false;
+  std::string mutation = "none";  ///< core::ModelMutation, stable name
+
+  /// Violated property id: "no-loss", "no-overflow",
+  /// "credit-conservation", "escape-reachability", "bounded-progress".
+  std::string property;
+  /// For bounded-progress: "deadlock" (step fixpoint) or "livelock"
+  /// (non-trivial step cycle). Empty for safety properties.
+  std::string progress_kind;
+  std::string detail;  ///< human-readable description of the violation
+
+  /// The event sequence: "inject SRC DST" or "step", in order.
+  std::vector<std::string> events;
+
+  /// Deterministic JSON rendering (the CI failure artifact).
+  std::string to_json() const;
+};
+
+/// Stable name for a ModelMutation value ("none", "drop-credit-return",
+/// "buffer-off-by-one", "skip-escape-fallback").
+const char* mutation_name(int mutation);
+
+}  // namespace ddpm::verify::model

@@ -37,7 +37,8 @@ const char* mark(bool pass) { return pass ? "pass" : "FAIL"; }
 bool Report::all_pass() const noexcept { return failures() == 0; }
 
 std::size_t Report::rows() const noexcept {
-  return cdg.size() + invariant.size() + injectivity.size() + width.size();
+  return cdg.size() + invariant.size() + injectivity.size() + width.size() +
+         model.size();
 }
 
 std::size_t Report::failures() const noexcept {
@@ -46,6 +47,7 @@ std::size_t Report::failures() const noexcept {
   for (const auto& v : invariant) n += !v.pass;
   for (const auto& v : injectivity) n += !v.pass;
   for (const auto& v : width) n += !v.pass;
+  for (const auto& v : model) n += !v.pass;
   return n;
 }
 
@@ -113,7 +115,34 @@ std::string Report::to_json() const {
     field(os, "note", v.note);
     os << '}';
   }
-  os << (width.empty() ? "" : "\n  ") << "],\n  \"all_pass\": "
+  os << (width.empty() ? "" : "\n  ") << "],\n  \"model\": [";
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    const ModelVerdict& v = model[i];
+    os << (i ? "," : "") << "\n    {";
+    field(os, "topology", v.topology, true);
+    field(os, "router", v.router);
+    field(os, "vcs", std::uint64_t(v.vcs));
+    field(os, "depth", std::uint64_t(v.depth));
+    field(os, "packets", std::uint64_t(v.packets));
+    field(os, "flits_per_packet", std::uint64_t(v.flits_per_packet));
+    field(os, "pairs", v.pairs);
+    field(os, "symmetry", v.symmetry);
+    field(os, "states", v.states);
+    field(os, "transitions", v.transitions);
+    field(os, "complete", v.complete);
+    field(os, "credit_conservation", v.credit_conservation);
+    field(os, "no_overflow", v.no_overflow);
+    field(os, "no_loss", v.no_loss);
+    field(os, "escape_reachable", v.escape_reachable);
+    field(os, "bounded_progress", v.bounded_progress);
+    field(os, "violated", v.violated);
+    field(os, "witness_events", v.witness_events);
+    field(os, "witness_replay", v.witness_replay);
+    field(os, "pass", v.pass);
+    field(os, "note", v.note);
+    os << '}';
+  }
+  os << (model.empty() ? "" : "\n  ") << "],\n  \"all_pass\": "
      << (all_pass() ? "true" : "false") << "\n}\n";
   return os.str();
 }
@@ -169,6 +198,25 @@ std::string Report::to_markdown() const {
     for (const WidthVerdict& v : width) {
       os << "| " << v.check << " | " << v.detail << " | " << mark(v.pass)
          << " |\n";
+    }
+    os << '\n';
+  }
+  if (!model.empty()) {
+    os << "### Model-checked protocol configurations\n\n"
+       << "| Topology | Router | VCs | Depth | K | States | Coverage | "
+          "Conservation | Overflow | Loss/dup | Escape | Progress | "
+          "Verdict |\n"
+       << "|---|---|---|---|---|---|---|---|---|---|---|---|---|\n";
+    for (const ModelVerdict& v : model) {
+      os << "| " << v.topology << " | " << v.router << " | " << v.vcs
+         << " | " << v.depth << " | " << v.packets << " | " << v.states
+         << " | " << (v.complete ? "exhaustive" : "TRUNCATED") << " | "
+         << (v.credit_conservation ? "proved" : "VIOLATED") << " | "
+         << (v.no_overflow ? "proved" : "VIOLATED") << " | "
+         << (v.no_loss ? "proved" : "VIOLATED") << " | "
+         << (v.escape_reachable ? "proved" : "VIOLATED") << " | "
+         << (v.bounded_progress ? "proved" : "VIOLATED") << " | "
+         << mark(v.pass) << " |\n";
     }
     os << '\n';
   }

@@ -63,11 +63,41 @@ struct WidthVerdict {
   std::string note;
 };
 
+/// One bounded model-checking configuration's verdict: the VC/credit
+/// protocol properties proven (or convicted) over the exhaustively
+/// enumerated reachable states of a small fabric (src/verify/model).
+struct ModelVerdict {
+  std::string topology;  ///< topology spec, e.g. "mesh:2x2"
+  std::string router;    ///< factory name, e.g. "adaptive"
+  int vcs = 0;           ///< total VCs (escape + adaptive)
+  int depth = 0;         ///< per-(port, VC) credit depth
+  int packets = 0;       ///< injection budget K
+  int flits_per_packet = 0;
+  std::uint64_t pairs = 0;  ///< (src, dst) pairs in the injection alphabet
+  bool symmetry = false;    ///< explored under the symmetry quotient
+  std::uint64_t states = 0;
+  std::uint64_t transitions = 0;
+  bool complete = false;  ///< reachable space closed under max_states
+  bool credit_conservation = false;
+  bool no_overflow = false;
+  bool no_loss = false;          ///< no flit loss or duplication
+  bool escape_reachable = false;
+  bool bounded_progress = false;  ///< every step chain drains
+  std::string violated;  ///< first violated property id ("" = none)
+  std::uint64_t witness_events = 0;  ///< conviction witness length
+  /// "" (no conviction), "reproduced", "not-reproduced" (abstraction
+  /// unsound), or "unavailable".
+  std::string witness_replay;
+  bool pass = false;
+  std::string note;
+};
+
 struct Report {
   std::vector<CdgVerdict> cdg;
   std::vector<InvariantVerdict> invariant;
   std::vector<InjectivityVerdict> injectivity;
   std::vector<WidthVerdict> width;
+  std::vector<ModelVerdict> model;
 
   bool all_pass() const noexcept;
   std::size_t rows() const noexcept;

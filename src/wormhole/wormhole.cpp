@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "core/check.hpp"
 #include "routing/deadlock.hpp"
@@ -217,6 +218,108 @@ void WormholeNetwork::inject(pkt::Packet&& packet, NodeId src) {
   flits_in_flight_ += flits;
 }
 
+ProtocolSnapshot WormholeNetwork::snapshot_protocol() const {
+  ProtocolSnapshot snap;
+  const int V = total_vcs();
+  snap.nodes = num_nodes_;
+  snap.ports = num_ports_;
+  snap.vcs = V;
+  snap.depth = config_.buffer_flits;
+  snap.flits_in_flight = flits_in_flight_;
+  snap.delivered = delivered_;
+  const std::size_t in_units = std::size_t(num_ports_ + 1) * std::size_t(V);
+  const std::size_t out_units = std::size_t(num_ports_) * std::size_t(V);
+  snap.occupancy.assign(std::size_t(num_nodes_) * in_units, 0);
+  snap.credits.assign(std::size_t(num_nodes_) * out_units, 0);
+  snap.allocated.assign(std::size_t(num_nodes_) * out_units, 0);
+  for (NodeId n = 0; n < NodeId(num_nodes_); ++n) {
+    for (std::size_t u = 0; u < in_units; ++u) {
+      const std::size_t g = std::size_t(n) * in_units + u;
+      if (soa_units_ != 0) {
+        snap.occupancy[g] =
+            int(u) < soa_switch_units_
+                ? soa_in_[std::size_t(n) * std::size_t(soa_units_) + u].qcount
+                : std::uint32_t(
+                      inj_buf_[std::size_t(n) * std::size_t(V) +
+                               (u - std::size_t(soa_switch_units_))]
+                          .size());
+      } else {
+        snap.occupancy[g] = std::uint32_t(nodes_[n].in[u].buffer.size());
+      }
+    }
+    for (std::size_t u = 0; u < out_units; ++u) {
+      const std::size_t g = std::size_t(n) * out_units + u;
+      if (soa_units_ != 0) {
+        snap.credits[g] = soa_out_[g].credits;
+        snap.allocated[g] = soa_out_[g].allocated;
+      } else {
+        snap.credits[g] = nodes_[n].out[u].credits;
+        snap.allocated[g] = nodes_[n].out[u].allocated ? 1 : 0;
+      }
+    }
+  }
+  return snap;
+}
+
+bool WormholeNetwork::check_protocol_invariants(std::string* why) const {
+  const ProtocolSnapshot snap = snapshot_protocol();
+  const int V = snap.vcs;
+  const std::size_t in_units = std::size_t(num_ports_ + 1) * std::size_t(V);
+  const std::size_t out_units = std::size_t(num_ports_) * std::size_t(V);
+  const auto fail = [why](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  // Flit accounting: every in-flight flit is buffered somewhere (between
+  // cycles the staging vectors are empty), and nothing is double-counted.
+  std::uint64_t buffered = 0;
+  for (const std::uint32_t occ : snap.occupancy) buffered += occ;
+  if (buffered != snap.flits_in_flight) {
+    std::ostringstream os;
+    os << "flit accounting: " << buffered << " buffered vs "
+       << snap.flits_in_flight << " in flight (loss or duplication)";
+    return fail(os.str());
+  }
+  for (NodeId n = 0; n < NodeId(snap.nodes); ++n) {
+    // No overflow: switch units are bounded by the credit depth (injection
+    // units, port P, are unbounded by design).
+    for (Port p = 0; p < num_ports_; ++p) {
+      for (int vc = 0; vc < V; ++vc) {
+        const std::uint32_t occ =
+            snap.occupancy[std::size_t(n) * in_units +
+                           std::size_t(p) * std::size_t(V) + std::size_t(vc)];
+        if (occ > std::uint32_t(snap.depth)) {
+          std::ostringstream os;
+          os << "buffer overflow: node " << n << " port " << p << " vc " << vc
+             << " holds " << occ << " flits (depth " << snap.depth << ")";
+          return fail(os.str());
+        }
+        // Credit conservation per link/VC: the upstream neighbor's credit
+        // counter for the output VC feeding this buffer, plus the flits
+        // sitting in the buffer, must equal the depth.
+        const std::size_t link =
+            std::size_t(n) * std::size_t(num_ports_) + std::size_t(p);
+        const NodeId up = neighbor_[link];
+        if (up == topo::kInvalidNode) continue;
+        const Port up_port = reverse_port_[link];
+        const std::int32_t credits =
+            snap.credits[std::size_t(up) * out_units +
+                         std::size_t(up_port) * std::size_t(V) +
+                         std::size_t(vc)];
+        if (credits < 0 || std::uint32_t(credits) + occ !=
+                               std::uint32_t(snap.depth)) {
+          std::ostringstream os;
+          os << "credit conservation: link " << up << "->" << n << " vc "
+             << vc << " has " << credits << " credits + " << occ
+             << " buffered != depth " << snap.depth;
+          return fail(os.str());
+        }
+      }
+    }
+  }
+  return true;
+}
+
 std::uint64_t WormholeNetwork::injection_backlog() const {
   std::uint64_t total = 0;
   const int V = total_vcs();
@@ -242,6 +345,7 @@ std::uint64_t WormholeNetwork::injection_backlog() const {
 
 DDPM_HOT void WormholeNetwork::return_credit(NodeId node, int in_port,
                                              int vc) {
+  if (DDPM_MODEL_MUTATION(kDropCreditReturn)) return;  // seeded bug
   if (in_port == injection_port()) return;  // injection queue is unbounded
   const std::size_t link = std::size_t(node) * std::size_t(num_ports_) +
                            std::size_t(in_port);
@@ -311,7 +415,8 @@ DDPM_HOT bool WormholeNetwork::allocate(NodeId node, int in_port,
 
   // 2. Escape layer: dimension-order port, dateline-disciplined VC class.
   std::uint8_t next_class = head.escape_class;
-  if (best_port < 0 && config_.disable_escape) {
+  if (best_port < 0 &&
+      (config_.disable_escape || DDPM_MODEL_MUTATION(kSkipEscapeFallback))) {
     probes_.on_alloc_stall();
     return false;  // no escape lanes: wait (possibly forever — deadlock)
   }
@@ -447,7 +552,7 @@ DDPM_HOT void WormholeNetwork::switch_allocation(NodeId node) {
       InputVc& vc = state.in[unit];
       if (!vc.active || vc.out_port != out_port || vc.buffer.empty()) continue;
       OutputVc& out = output_vc(node, out_port, vc.out_vc);
-      if (out.credits == 0) {
+      if (out.credits == 0 && !DDPM_MODEL_MUTATION(kBufferOffByOne)) {
         probes_.on_credit_stall();
         continue;
       }
@@ -456,7 +561,14 @@ DDPM_HOT void WormholeNetwork::switch_allocation(NodeId node) {
       Flit flit = std::move(vc.buffer.front());
       vc.buffer.pop_front();
       --node_flits_[node];
+#if defined(DDPM_MODEL_MUTATIONS)
+      // Under the off-by-one mutation the sender "knows" about one slot
+      // that does not exist; clamp so the counter models that belief
+      // rather than underflowing.
+      if (out.credits > 0) --out.credits;
+#else
       --out.credits;
+#endif
       const int in_port = int(unit_port_[unit]);
       const int in_vc = int(unit_vc_[unit]);
       return_credit(node, in_port, in_vc);
@@ -584,7 +696,8 @@ DDPM_HOT bool WormholeNetwork::soa_allocate(NodeId node, int in_port,
   }
 
   std::uint8_t next_class = head.escape_class;
-  if (best_port < 0 && config_.disable_escape) {
+  if (best_port < 0 &&
+      (config_.disable_escape || DDPM_MODEL_MUTATION(kSkipEscapeFallback))) {
     probes_.on_alloc_stall();
     return false;
   }
@@ -713,7 +826,7 @@ DDPM_HOT void WormholeNetwork::soa_switch_allocation(NodeId node) {
       }
       UnitCtl& ctl = soa_in_[base + std::size_t(unit)];
       OutCtl& out = soa_out_[std::size_t(ctl.out_slot)];
-      if (out.credits == 0) {
+      if (out.credits == 0 && !DDPM_MODEL_MUTATION(kBufferOffByOne)) {
         probes_.on_credit_stall();
         continue;
       }
@@ -721,7 +834,13 @@ DDPM_HOT void WormholeNetwork::soa_switch_allocation(NodeId node) {
       probes_.on_buffer_sample(soa_qsize(node, unit, ctl));
       const Flit flit = soa_qfront(node, unit, ctl);
       soa_qpop(node, unit, ctl);
+#if defined(DDPM_MODEL_MUTATIONS)
+      // See the reference-engine traversal: model the sender's stale belief
+      // without underflowing the counter.
+      if (out.credits > 0) --out.credits;
+#else
       --out.credits;
+#endif
       soa_return_credit(base + std::size_t(unit));
       const LinkDst dst = link_dst_[np];
       if (flit.tail) {

@@ -52,7 +52,10 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+
 #include "core/hot_path.hpp"
+#include "core/model_hooks.hpp"
 #include "core/ring.hpp"
 #include "marking/scheme.hpp"
 #include "netsim/rng.hpp"
@@ -66,6 +69,24 @@ namespace ddpm::wormhole {
 
 using topo::NodeId;
 using topo::Port;
+
+/// Between-cycles view of the credit/VC protocol state, engine-agnostic:
+/// the same projection the bounded model checker's abstract states encode,
+/// captured from the *real* network (src/verify/model, the witness-replay
+/// contract). All vectors are indexed with the network's own unit layout:
+/// input units as node * (P+1) * V + port * V + vc (port P = injection),
+/// output VCs as node * P * V + port * V + vc.
+struct ProtocolSnapshot {
+  int nodes = 0;
+  int ports = 0;
+  int vcs = 0;
+  int depth = 0;  ///< configured buffer_flits (per switch (port, VC))
+  std::vector<std::uint32_t> occupancy;  ///< flits buffered per input unit
+  std::vector<std::int32_t> credits;     ///< credit counter per output VC
+  std::vector<std::uint8_t> allocated;   ///< allocation flag per output VC
+  std::uint64_t flits_in_flight = 0;
+  std::uint64_t delivered = 0;
+};
 
 struct WormholeConfig {
   std::uint32_t flit_bytes = 16;  // packet -> ceil(wire_bytes / flit_bytes) flits
@@ -140,6 +161,20 @@ class WormholeNetwork {
   /// the unit count fits the 64-bit masks). Exposed so tests can assert
   /// which engine a scenario actually ran on.
   bool using_soa_engine() const noexcept { return soa_units_ != 0; }
+
+  /// Captures the credit/VC protocol state (engine-agnostic projection).
+  /// Cold by construction: the model checker's lockstep-differential test
+  /// and the witness-replay harness call it between cycles; nothing on the
+  /// step() path does.
+  DDPM_MODEL ProtocolSnapshot snapshot_protocol() const;
+
+  /// Checks the between-cycles protocol invariants on the live state:
+  /// credit conservation (upstream credits + downstream occupancy == depth
+  /// on every link/VC), no buffer overflow (occupancy <= depth on every
+  /// switch unit), and flit accounting (buffered flits == flits_in_flight).
+  /// Returns false and describes the first violation in `why` (if given).
+  /// This is what a replayed witness must be able to break.
+  DDPM_MODEL bool check_protocol_invariants(std::string* why = nullptr) const;
 
   /// Called with each fully ejected packet; delivered_at is the cycle the
   /// tail flit left the network.
@@ -292,6 +327,7 @@ class WormholeNetwork {
   /// Credit return for a pop from global unit g = node * U + unit; the
   /// upstream output-VC slot is precomputed in credit_slot_.
   void soa_return_credit(std::size_t g) noexcept {
+    if (DDPM_MODEL_MUTATION(kDropCreditReturn)) return;  // seeded bug
     const std::int32_t slot = credit_slot_[g];
     if (slot >= 0 && soa_out_[std::size_t(slot)].credits < config_.buffer_flits) {
       ++soa_out_[std::size_t(slot)].credits;

@@ -1,0 +1,125 @@
+// route::PortList edge cases: capacity boundary, the overflow DDPM_CHECK,
+// and behavioral parity with the std::vector<Port> surface it replaced in
+// Router::candidates (push_back/assign/erase_value/iteration/equality).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "routing/port_list.hpp"
+#include "topology/topology.hpp"
+
+namespace {
+
+using ddpm::route::PortList;
+using ddpm::topo::Port;
+
+TEST(PortList, FillsToExactCapacity) {
+  PortList list;
+  for (std::size_t i = 0; i < PortList::kCapacity; ++i) {
+    list.push_back(Port(i));
+  }
+  EXPECT_EQ(list.size(), PortList::kCapacity);
+  EXPECT_FALSE(list.empty());
+  for (std::size_t i = 0; i < PortList::kCapacity; ++i) {
+    EXPECT_EQ(list[i], Port(i));
+  }
+}
+
+TEST(PortListDeathTest, OverflowAbortsLoudly) {
+  PortList list;
+  for (std::size_t i = 0; i < PortList::kCapacity; ++i) {
+    list.push_back(Port(0));
+  }
+  EXPECT_DEATH(list.push_back(Port(0)), "PortList overflow");
+}
+
+TEST(PortListDeathTest, AssignBeyondCapacityAborts) {
+  PortList list;
+  EXPECT_DEATH(list.assign(PortList::kCapacity + 1, Port(0)),
+               "PortList overflow");
+}
+
+TEST(PortList, AssignMatchesVectorSemantics) {
+  PortList list{Port(1), Port(2), Port(3)};
+  list.assign(1, Port(7));
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_EQ(list.front(), Port(7));
+  list.assign(0, Port(9));
+  EXPECT_TRUE(list.empty());
+  // assign may grow as well as shrink, like vector::assign.
+  list.assign(PortList::kCapacity, Port(4));
+  EXPECT_EQ(list.size(), PortList::kCapacity);
+  EXPECT_TRUE(std::all_of(list.begin(), list.end(),
+                          [](Port p) { return p == Port(4); }));
+}
+
+TEST(PortList, EraseValuePreservesOrderOfSurvivors) {
+  PortList list{Port(3), Port(1), Port(3), Port(2), Port(3)};
+  list.erase_value(Port(3));
+  EXPECT_EQ(list, (PortList{Port(1), Port(2)}));
+  list.erase_value(Port(5));  // absent value: no-op
+  EXPECT_EQ(list, (PortList{Port(1), Port(2)}));
+  list.erase_value(Port(1));
+  list.erase_value(Port(2));
+  EXPECT_TRUE(list.empty());
+  list.erase_value(Port(1));  // empty list: still a no-op
+  EXPECT_TRUE(list.empty());
+}
+
+// The drop-in contract: any sequence of the shared operations leaves
+// PortList and std::vector<Port> observably identical.
+TEST(PortList, ParityWithVectorUnderSharedOperations) {
+  PortList list;
+  std::vector<Port> vec;
+  const auto expect_same = [&] {
+    ASSERT_EQ(list.size(), vec.size());
+    EXPECT_TRUE(std::equal(list.begin(), list.end(), vec.begin()));
+    EXPECT_EQ(list.empty(), vec.empty());
+  };
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      const Port p = Port((i * 5 + round) % 6);
+      list.push_back(p);
+      vec.push_back(p);
+    }
+    expect_same();
+    list.erase_value(Port(round));
+    vec.erase(std::remove(vec.begin(), vec.end(), Port(round)), vec.end());
+    expect_same();
+  }
+  EXPECT_EQ(list.front(), vec.front());
+  list.assign(2, Port(9));
+  vec.assign(2, Port(9));
+  expect_same();
+  list.clear();
+  vec.clear();
+  expect_same();
+}
+
+TEST(PortList, RangeForIterationAndConstIteration) {
+  const PortList list{Port(4), Port(0), Port(2)};
+  std::vector<Port> seen;
+  for (const Port p : list) seen.push_back(p);
+  EXPECT_EQ(seen, (std::vector<Port>{Port(4), Port(0), Port(2)}));
+  EXPECT_EQ(list.end() - list.begin(), 3);
+}
+
+TEST(PortList, EqualityComparesLengthAndPrefix) {
+  EXPECT_EQ(PortList{}, PortList{});
+  EXPECT_EQ((PortList{Port(1), Port(2)}), (PortList{Port(1), Port(2)}));
+  EXPECT_FALSE((PortList{Port(1), Port(2)}) == (PortList{Port(2), Port(1)}));
+  EXPECT_FALSE((PortList{Port(1)}) == (PortList{Port(1), Port(1)}));
+  // Stale bytes past size() must not affect equality.
+  PortList a{Port(1), Port(2), Port(3)};
+  a.erase_value(Port(3));
+  EXPECT_EQ(a, (PortList{Port(1), Port(2)}));
+}
+
+TEST(PortList, MutationThroughIterators) {
+  PortList list{Port(1), Port(2), Port(3)};
+  for (Port& p : list) p = Port(p + 1);
+  EXPECT_EQ(list, (PortList{Port(2), Port(3), Port(4)}));
+}
+
+}  // namespace

@@ -88,10 +88,21 @@ not fail, new ones do. `--update-baseline` rewrites the file; stale
 baseline entries and stale allow() comments fail the run so debt only
 ratchets down.
 
+Scoped runs & caching
+---------------------
+`--only RULE[,RULE...]` restricts the report (and the pass/fail gate) to
+the named rules: findings for other rules are dropped, and allow()
+comments / baseline entries for unselected rules are neither consumed nor
+reported stale. Unknown rule names are a usage error. `--facts-cache PATH`
+persists the parsed-facts model (functions, classes, rule sites) keyed by
+a digest of the analyzed file contents + frontend + tool version, so
+repeated scoped runs skip the parse entirely when nothing changed.
+
 Usage:
   tools/ddpm_analyze.py [--compile-commands build/compile_commands.json]
                         [--baseline tools/ddpm_analyze_baseline.json]
                         [--frontend auto|libclang|textual] [--json OUT]
+                        [--only RULE[,RULE...]] [--facts-cache PATH]
                         [--update-baseline] [--self-test DIR] [ROOT]
 
 Exit codes: 0 clean, 1 findings/self-test failure, 2 usage error,
@@ -108,6 +119,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 SKIP_EXIT = 77
+
+# Bump whenever extraction or the rule passes change meaning: the facts
+# cache (--facts-cache) keys on it, so stale pickles self-invalidate.
+TOOL_VERSION = "3"
 
 RULES = (
     "ordered-iteration",
@@ -2218,17 +2233,67 @@ def gather_files(root: Path, dirs):
     return files
 
 
-def run_analysis(root: Path, dirs, frontend, scope_prefixes):
+def facts_cache_key(files, root: Path, frontend) -> str:
+    """Digest of everything the parsed-facts model depends on: the tool
+    version, the frontend, and every analyzed file's path + content."""
+    h = hashlib.sha256()
+    h.update(f"ddpm_analyze/{TOOL_VERSION}/{frontend.name}".encode())
+    for p in files:
+        h.update(p.relative_to(root).as_posix().encode())
+        h.update(b"\0")
+        try:
+            h.update(p.read_bytes())
+        except OSError:
+            h.update(b"<unreadable>")
+        h.update(b"\0")
+    return h.hexdigest()
+
+
+def load_facts_cache(path: Path, key: str):
+    import pickle
+    try:
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+    except Exception:  # missing, truncated, or incompatible pickle
+        return None
+    if not isinstance(payload, dict) or payload.get("key") != key:
+        return None
+    facts = payload.get("facts")
+    return facts if isinstance(facts, Facts) else None
+
+
+def store_facts_cache(path: Path, key: str, facts) -> None:
+    import pickle
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            pickle.dump({"tool": "ddpm_analyze", "version": TOOL_VERSION,
+                         "key": key, "facts": facts}, fh)
+        tmp.replace(path)
+    except OSError:
+        pass  # a cold cache next run, not an analysis failure
+
+
+def run_analysis(root: Path, dirs, frontend, scope_prefixes,
+                 cache_path: Path | None = None):
     files = gather_files(root, dirs)
-    facts = frontend.extract(files, root)
-    # The hot-path pass is textual under both frontends so the flagged lines
-    # match exactly; the textual frontend's already-parsed units are reused,
-    # the libclang frontend pays one extra lexical pass.
-    units = getattr(frontend, "units", None)
-    if not units:
-        units = build_textual_units(files, root)
-    facts.sites.extend(hot_pass_sites(units, facts.class_layout))
-    facts.sites.extend(dataflow_pass_sites(units))
+    key = facts_cache_key(files, root, frontend) if cache_path else None
+    facts = load_facts_cache(cache_path, key) if cache_path else None
+    if facts is not None:
+        print("ddpm_analyze: facts cache hit "
+              f"({cache_path.name}, {len(files)} files unchanged)")
+    if facts is None:
+        facts = frontend.extract(files, root)
+        # The hot-path pass is textual under both frontends so the flagged
+        # lines match exactly; the textual frontend's already-parsed units
+        # are reused, the libclang frontend pays one extra lexical pass.
+        units = getattr(frontend, "units", None)
+        if not units:
+            units = build_textual_units(files, root)
+        facts.sites.extend(hot_pass_sites(units, facts.class_layout))
+        facts.sites.extend(dataflow_pass_sites(units))
+        if cache_path:
+            store_facts_cache(cache_path, key, facts)
     findings = evaluate(facts, scope_prefixes)
     assign_fingerprints(findings, root)
     allows = collect_allow_comments(files, root)
@@ -2384,6 +2449,8 @@ def main(argv) -> int:
     ap.add_argument("--update-baseline", action="store_true")
     ap.add_argument("--self-test", metavar="DIR", default=None)
     ap.add_argument("--json", metavar="OUT", default=None)
+    ap.add_argument("--only", metavar="RULE[,RULE...]", default=None)
+    ap.add_argument("--facts-cache", metavar="PATH", default=None)
     ap.add_argument("--list-rules", action="store_true")
     args = ap.parse_args(argv[1:])
 
@@ -2391,6 +2458,23 @@ def main(argv) -> int:
         for r in RULES + META_RULES:
             print(f"{r}: {MESSAGES[r]}")
         return 0
+
+    only = None
+    if args.only is not None:
+        only = {r.strip() for r in args.only.split(",") if r.strip()}
+        unknown = sorted(only - set(RULES))
+        if not only or unknown:
+            what = ", ".join(unknown) if unknown else "(empty)"
+            print(f"ddpm_analyze: --only names unknown rule(s): {what}",
+                  file=sys.stderr)
+            print("ddpm_analyze: known rules: " + ", ".join(RULES),
+                  file=sys.stderr)
+            return 2
+        if args.update_baseline:
+            print("ddpm_analyze: --update-baseline cannot be combined with "
+                  "--only (a scoped run would drop every other rule's "
+                  "baseline entries)", file=sys.stderr)
+            return 2
 
     root = Path(args.root).resolve()
     if not (root / "src").is_dir():
@@ -2411,8 +2495,10 @@ def main(argv) -> int:
         if st != 0:
             return st
 
+    cache_path = Path(args.facts_cache) if args.facts_cache else None
     findings, allows, facts = run_analysis(
-        root, ["src"], frontend, scope_prefixes=("src/",))
+        root, ["src"], frontend, scope_prefixes=("src/",),
+        cache_path=cache_path)
     baseline_path = root / args.baseline
     if args.update_baseline:
         keep = [f for f in findings
@@ -2423,6 +2509,14 @@ def main(argv) -> int:
         return 0
 
     baseline = load_baseline(baseline_path)
+    if only is not None:
+        # Scoped run: other rules' findings, allow() comments, and baseline
+        # entries are out of scope — not reported, not consumed, not stale.
+        findings = [f for f in findings if f.rule in only]
+        allows = {k: rules & only for k, rules in allows.items()
+                  if rules & only}
+        baseline = {fp: e for fp, e in baseline.items()
+                    if e.get("rule") in only}
     new, stale_allows, stale_baseline = apply_suppressions_and_baseline(
         findings, allows, baseline)
 

@@ -14,8 +14,15 @@ Any verdict with pass == false fails the gate regardless of the baseline:
 the baseline records the shape of the design space, never a tolerated
 failure.
 
+--only SECTION[,SECTION...] scopes the diff to the named sections (e.g. a
+CI job that runs `ddpm_verify --model` alone diffs with --only model):
+out-of-scope baseline entries are neither compared nor reported as
+removed. --only cannot be combined with --update — a scoped update would
+drop every other section from the baseline.
+
 Usage:
   tools/ddpm_verify_diff.py VERIFY_JSON [--baseline FILE] [--update]
+      [--only SECTION[,SECTION...]]
 
 Exit codes: 0 = verdicts match baseline and all pass, 1 = drift or
 failures, 2 = usage/IO error.
@@ -36,6 +43,9 @@ PROJECTIONS = {
                   ("exhaustive_pairs", "codec_roundtrip", "holds", "pass")),
     "injectivity": (("topology",), ("exhaustive", "injective", "pass")),
     "width": (("check",), ("pass",)),
+    "model": (("topology", "router", "vcs", "depth"),
+              ("complete", "credit_conservation", "no_overflow", "no_loss",
+               "escape_reachable", "bounded_progress", "pass")),
 }
 
 
@@ -53,11 +63,26 @@ def project(report: dict) -> dict:
 def main(argv: list[str]) -> int:
     args: list[str] = []
     update = False
+    only: set[str] | None = None
     baseline_path = DEFAULT_BASELINE
     it = iter(argv[1:])
     for a in it:
         if a == "--update":
             update = True
+        elif a == "--only":
+            value = next(it, None)
+            if value is None:
+                print("ddpm_verify_diff: --only needs a section list",
+                      file=sys.stderr)
+                return 2
+            only = {s.strip() for s in value.split(",") if s.strip()}
+            unknown = sorted(only - set(PROJECTIONS))
+            if not only or unknown:
+                what = ", ".join(unknown) if unknown else "(empty)"
+                print(f"ddpm_verify_diff: --only names unknown section(s): "
+                      f"{what}; known: {', '.join(PROJECTIONS)}",
+                      file=sys.stderr)
+                return 2
         elif a == "--baseline":
             value = next(it, None)
             if value is None:
@@ -78,8 +103,16 @@ def main(argv: list[str]) -> int:
         print(f"ddpm_verify_diff: {verify_path} not found", file=sys.stderr)
         return 2
 
+    if update and only is not None:
+        print("ddpm_verify_diff: --update cannot be combined with --only "
+              "(a scoped update would drop the other sections' baseline "
+              "entries)", file=sys.stderr)
+        return 2
+
     report = json.loads(verify_path.read_text(encoding="utf-8"))
     current = project(report)
+    if only is not None:
+        current = {s: rows for s, rows in current.items() if s in only}
 
     failures = 0
     for section, rows in current.items():
@@ -103,6 +136,8 @@ def main(argv: list[str]) -> int:
 
     drift = 0
     for section in PROJECTIONS:
+        if only is not None and section not in only:
+            continue
         base_rows = baseline.get(section, {})
         cur_rows = current.get(section, {})
         for key in sorted(set(base_rows) | set(cur_rows)):

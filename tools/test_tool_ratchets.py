@@ -183,6 +183,13 @@ VERIFY_DOC = {
     "width": [
         {"check": "marking-field", "pass": True},
     ],
+    "model": [
+        {"topology": "mesh:2x2", "router": "dor", "vcs": 2, "depth": 1,
+         "states": 29120, "transitions": 49364, "complete": True,
+         "credit_conservation": True, "no_overflow": True, "no_loss": True,
+         "escape_reachable": True, "bounded_progress": True, "pass": True,
+         "note": "free text"},
+    ],
 }
 
 
@@ -255,14 +262,165 @@ class VerifyDiffTest(unittest.TestCase):
                 "--baseline", self.baseline)
         self.assertEqual(p.returncode, 2)
 
+    def test_only_scopes_the_diff_to_named_sections(self):
+        # A model-only report (ddpm_verify --model) would drift every other
+        # section as REMOVED without scoping; --only model diffs cleanly.
+        doc = {"model": copy.deepcopy(VERIFY_DOC["model"])}
+        report = write_json(self.tmp.name, "model_only.json", doc)
+        p = run(VERIFY_DIFF, report, "--baseline", self.baseline)
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("REMOVED", p.stdout)
+        p = run(VERIFY_DIFF, report, "--baseline", self.baseline,
+                "--only", "model")
+        self.assertEqual(p.returncode, 0, p.stdout + p.stderr)
+        self.assertIn("match the baseline", p.stdout)
+
+    def test_only_still_catches_model_drift(self):
+        doc = {"model": copy.deepcopy(VERIFY_DOC["model"])}
+        doc["model"][0]["bounded_progress"] = False
+        doc["model"][0]["pass"] = True  # outcome changed, still "passing"
+        report = write_json(self.tmp.name, "model_drift.json", doc)
+        p = run(VERIFY_DIFF, report, "--baseline", self.baseline,
+                "--only", "model")
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("CHANGED model", p.stdout)
+
+    def test_only_unknown_section_is_usage_error(self):
+        report = write_json(self.tmp.name, "r2.json", VERIFY_DOC)
+        p = run(VERIFY_DIFF, report, "--baseline", self.baseline,
+                "--only", "nope")
+        self.assertEqual(p.returncode, 2)
+        self.assertIn("unknown section", p.stderr)
+
+    def test_only_cannot_update_the_baseline(self):
+        report = write_json(self.tmp.name, "r3.json", VERIFY_DOC)
+        p = run(VERIFY_DIFF, report, "--baseline", self.baseline,
+                "--only", "model", "--update")
+        self.assertEqual(p.returncode, 2)
+
     def test_update_writes_projected_baseline(self):
         with open(self.baseline, encoding="utf-8") as fh:
             baseline = json.load(fh)
         self.assertEqual(set(baseline),
-                         {"cdg", "invariant", "injectivity", "width"})
+                         {"cdg", "invariant", "injectivity", "width",
+                          "model"})
         row = baseline["cdg"]["torus:4x4|dor"]
         self.assertNotIn("dependencies", row)  # counters are projected out
         self.assertIs(row["pass"], True)
+
+
+ANALYZE = os.path.join(TOOLS_DIR, "ddpm_analyze.py")
+
+# Two violations of two different rules inside one DDPM_HOT function: the
+# smallest tree that lets the tests tell "scoped out" apart from "fixed".
+HOT_FIXTURE = """\
+#include <sstream>
+
+#define DDPM_HOT
+
+namespace fix {
+
+DDPM_HOT int hot_entry(int a, int b) {
+  int q = a / b;
+  std::ostringstream os;
+  os << q;
+  return q;
+}
+
+}  // namespace fix
+"""
+
+
+class AnalyzeTest(unittest.TestCase):
+    """CLI tests for ddpm_analyze --only and --facts-cache against a
+    minimal synthetic repo (one hot function, two rule violations)."""
+
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+        os.mkdir(os.path.join(self.tmp.name, "src"))
+        self.source = os.path.join(self.tmp.name, "src", "hot.cpp")
+        self.write_source(HOT_FIXTURE)
+
+    def write_source(self, text):
+        with open(self.source, "w", encoding="utf-8") as fh:
+            fh.write(text)
+
+    def analyze(self, *args):
+        return run(ANALYZE, "--frontend", "textual",
+                   "--baseline", "baseline.json", self.tmp.name, *args)
+
+    def test_unscoped_run_reports_both_rules(self):
+        p = self.analyze()
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("hot-no-div", p.stdout)
+        self.assertIn("hot-no-throw-io", p.stdout)
+
+    def test_only_restricts_to_the_named_rule(self):
+        p = self.analyze("--only", "hot-no-div")
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("hot-no-div", p.stdout)
+        self.assertNotIn("hot-no-throw-io", p.stdout)
+
+    def test_only_rule_without_findings_is_clean(self):
+        p = self.analyze("--only", "hot-no-lock")
+        self.assertEqual(p.returncode, 0, p.stderr)
+        self.assertIn("clean", p.stdout)
+
+    def test_only_accepts_a_comma_separated_list(self):
+        p = self.analyze("--only", "hot-no-div,hot-no-throw-io")
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("hot-no-div", p.stdout)
+        self.assertIn("hot-no-throw-io", p.stdout)
+
+    def test_only_unknown_rule_is_usage_error(self):
+        p = self.analyze("--only", "no-such-rule")
+        self.assertEqual(p.returncode, 2)
+        self.assertIn("unknown rule", p.stderr)
+        self.assertIn("known rules", p.stderr)
+
+    def test_only_empty_list_is_usage_error(self):
+        p = self.analyze("--only", ",")
+        self.assertEqual(p.returncode, 2)
+
+    def test_only_cannot_update_the_baseline(self):
+        p = self.analyze("--only", "hot-no-div", "--update-baseline")
+        self.assertEqual(p.returncode, 2)
+        self.assertIn("--update-baseline", p.stderr)
+
+    def test_facts_cache_hits_on_identical_tree(self):
+        cache = os.path.join(self.tmp.name, "facts.cache")
+        cold = self.analyze("--facts-cache", cache)
+        self.assertEqual(cold.returncode, 1)
+        self.assertNotIn("facts cache hit", cold.stdout)
+        self.assertTrue(os.path.exists(cache))
+        warm = self.analyze("--facts-cache", cache)
+        self.assertEqual(warm.returncode, 1)
+        self.assertIn("facts cache hit", warm.stdout)
+        # Findings (and their fingerprints) must be byte-identical.
+        pick = lambda out: sorted(  # noqa: E731
+            ln for ln in out.splitlines() if "[hot-" in ln)
+        self.assertEqual(pick(cold.stdout), pick(warm.stdout))
+
+    def test_facts_cache_invalidates_when_a_file_changes(self):
+        cache = os.path.join(self.tmp.name, "facts.cache")
+        self.analyze("--facts-cache", cache)
+        self.write_source(HOT_FIXTURE.replace("a / b", "a >> 1"))
+        p = self.analyze("--facts-cache", cache)
+        self.assertEqual(p.returncode, 1)
+        self.assertNotIn("facts cache hit", p.stdout)
+        self.assertNotIn("hot-no-div", p.stdout)  # stale facts would flag it
+        self.assertIn("hot-no-throw-io", p.stdout)
+
+    def test_corrupt_cache_falls_back_to_a_cold_run(self):
+        cache = os.path.join(self.tmp.name, "facts.cache")
+        self.analyze("--facts-cache", cache)
+        with open(cache, "wb") as fh:
+            fh.write(b"not a pickle")
+        p = self.analyze("--facts-cache", cache)
+        self.assertEqual(p.returncode, 1)
+        self.assertNotIn("facts cache hit", p.stdout)
+        self.assertIn("hot-no-div", p.stdout)
 
 
 if __name__ == "__main__":
